@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation: BTM capacity (L1 size) vs. hybrid performance.
+ *
+ * Paper Section 5.2: "when the transactional cache is made
+ * sufficiently large to hold all vacation-low's transactions, the
+ * hybrids perform (relative to the unbounded HTM) almost exactly as
+ * they do for vacation high [contention]".  This bench sweeps the L1
+ * set count and reports the UFO hybrid's failover rate and its
+ * performance relative to the unbounded HTM.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace utm;
+using namespace utm::bench;
+
+int
+main()
+{
+    std::printf("Ablation: vacation-low vs. L1 capacity "
+                "(8 threads; UFO hybrid relative to unbounded HTM)\n\n");
+    std::printf("%-10s %12s %14s %16s %18s\n", "L1-KiB", "sets",
+                "failovers", "hybrid-speedup", "rel-to-unbounded");
+
+    const BenchSpec spec{"vacation-low", "vacation", false};
+
+    for (unsigned sets : {32u, 64u, 128u, 256u, 512u}) {
+        auto run = [&](TxSystemKind kind) {
+            auto w = makeStampWorkload(spec);
+            RunConfig cfg;
+            cfg.kind = kind;
+            cfg.threads = 8;
+            cfg.machine.seed = 42;
+            cfg.machine.l1Sets = sets;
+            RunResult r = runWorkload(*w, cfg);
+            if (!r.valid)
+                std::abort();
+            return r;
+        };
+        const Cycles seq = [&] {
+            auto w = makeStampWorkload(spec);
+            RunConfig cfg;
+            cfg.kind = TxSystemKind::NoTm;
+            cfg.threads = 1;
+            cfg.machine.seed = 42;
+            cfg.machine.l1Sets = sets;
+            return runWorkload(*w, cfg).cycles;
+        }();
+        RunResult hybrid = run(TxSystemKind::UfoHybrid);
+        RunResult unbounded = run(TxSystemKind::UnboundedHtm);
+        std::printf("%-10u %12u %14llu %16.2f %18.2f\n",
+                    sets * 8 * kLineSize / 1024, sets,
+                    static_cast<unsigned long long>(hybrid.failovers),
+                    double(seq) / double(hybrid.cycles),
+                    double(unbounded.cycles) / double(hybrid.cycles));
+    }
+    std::printf("\n(expected: failovers shrink to ~0 as capacity "
+                "grows; the hybrid converges to the unbounded HTM)\n");
+    return 0;
+}

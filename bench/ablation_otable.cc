@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation: ownership-table size.
+ *
+ * Paper Section 4.1: "realistic implementations generally have at
+ * least tens of thousands of entries to minimize aliasing".  This
+ * bench shrinks the otable and reports the aliasing costs: chain
+ * inserts for USTM, extra barrier conflicts for HyTM's hardware
+ * transactions (false conflicts on shared rows), and the resulting
+ * performance.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace utm;
+using namespace utm::bench;
+
+int
+main()
+{
+    std::printf("Ablation: otable buckets vs. aliasing "
+                "(vacation-low, 8 threads)\n\n");
+    std::printf("%-10s %16s %18s %18s %14s\n", "buckets",
+                "ustm-chain-ins", "hytm-barrier-conf", "hytm-speedup",
+                "ustm-speedup");
+
+    const BenchSpec spec{"vacation-low", "vacation", false};
+
+    auto seq = [&](unsigned buckets) {
+        auto w = makeStampWorkload(spec);
+        RunConfig cfg;
+        cfg.kind = TxSystemKind::NoTm;
+        cfg.threads = 1;
+        cfg.machine.seed = 42;
+        cfg.machine.otableBuckets = buckets;
+        return runWorkload(*w, cfg).cycles;
+    };
+    auto run = [&](TxSystemKind kind, unsigned buckets) {
+        auto w = makeStampWorkload(spec);
+        RunConfig cfg;
+        cfg.kind = kind;
+        cfg.threads = 8;
+        cfg.machine.seed = 42;
+        cfg.machine.otableBuckets = buckets;
+        RunResult r = runWorkload(*w, cfg);
+        if (!r.valid)
+            std::abort();
+        return r;
+    };
+
+    for (unsigned buckets : {256u, 1024u, 4096u, 65536u}) {
+        const Cycles s = seq(buckets);
+        RunResult ustm = run(TxSystemKind::Ustm, buckets);
+        RunResult hytm = run(TxSystemKind::HyTm, buckets);
+        std::printf("%-10u %16llu %18llu %18.2f %14.2f\n", buckets,
+                    static_cast<unsigned long long>(
+                        ustm.stat("ustm.chain_inserts")),
+                    static_cast<unsigned long long>(
+                        hytm.stat("hytm.barrier_conflicts")),
+                    double(s) / double(hytm.cycles),
+                    double(s) / double(ustm.cycles));
+    }
+    std::printf("\n(expected: small tables alias heavily -- USTM "
+                "chain traffic explodes and its performance drops; "
+                "tens of thousands of buckets make aliasing "
+                "negligible, as the paper prescribes)\n");
+    return 0;
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator substrate itself:
+ * host-time cost of fiber switches, simulated accesses, and the TM
+ * fast paths.  These guard the simulator's own performance (the
+ * figure benches run hundreds of full-machine simulations).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "btm/btm.hh"
+#include "core/tx_system.hh"
+#include "mem/memory_system.hh"
+#include "rt/heap.hh"
+#include "sim/fiber.hh"
+#include "sim/machine.hh"
+#include "sim/rng.hh"
+#include "ustm/ustm.hh"
+
+namespace {
+
+using namespace utm;
+
+void
+BM_FiberRoundTrip(benchmark::State &state)
+{
+    Fiber f;
+    bool stop = false;
+    f.reset([&] {
+        while (!stop)
+            f.yield();
+    });
+    for (auto _ : state)
+        f.resume();
+    stop = true;
+    f.resume();
+}
+BENCHMARK(BM_FiberRoundTrip);
+
+void
+BM_Rng(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_Rng);
+
+void
+BM_SimLoadL1Hit(benchmark::State &state)
+{
+    MachineConfig mc;
+    mc.timerQuantum = 0;
+    Machine machine(mc);
+    ThreadContext &tc = machine.initContext();
+    machine.memory().write(0x1000, 42, 8);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tc.load(0x1000, 8));
+}
+BENCHMARK(BM_SimLoadL1Hit);
+
+void
+BM_SimStoreSpread(benchmark::State &state)
+{
+    MachineConfig mc;
+    mc.timerQuantum = 0;
+    Machine machine(mc);
+    ThreadContext &tc = machine.initContext();
+    Addr a = 0x1000;
+    for (auto _ : state) {
+        tc.store(a, 1, 8);
+        a = 0x1000 + ((a + kLineSize) & 0xffff);
+    }
+}
+BENCHMARK(BM_SimStoreSpread);
+
+void
+BM_BtmTxBeginCommit(benchmark::State &state)
+{
+    MachineConfig mc;
+    mc.timerQuantum = 0;
+    Machine machine(mc);
+    ThreadContext &tc = machine.initContext();
+    machine.memory().materializePage(0x2000);
+    BtmUnit btm(tc);
+    for (auto _ : state) {
+        btm.txBegin();
+        tc.store(0x2000, 7, 8);
+        btm.txEnd();
+    }
+}
+BENCHMARK(BM_BtmTxBeginCommit);
+
+void
+BM_UstmTx(benchmark::State &state)
+{
+    MachineConfig mc;
+    mc.timerQuantum = 0;
+    Machine machine(mc);
+    ThreadContext &tc = machine.initContext();
+    Ustm ustm(machine, /*strong_atomic=*/false);
+    ustm.setup(tc);
+    for (auto _ : state) {
+        ustm.txBegin(tc);
+        ustm.txWrite(tc, 0x3000, 9, 8);
+        ustm.txEnd(tc);
+    }
+}
+BENCHMARK(BM_UstmTx);
+
+void
+BM_UstmStrongTx(benchmark::State &state)
+{
+    MachineConfig mc;
+    mc.timerQuantum = 0;
+    Machine machine(mc);
+    ThreadContext &tc = machine.initContext();
+    Ustm ustm(machine, /*strong_atomic=*/true);
+    ustm.setup(tc);
+    for (auto _ : state) {
+        ustm.txBegin(tc);
+        ustm.txWrite(tc, 0x3000, 9, 8);
+        ustm.txEnd(tc);
+    }
+}
+BENCHMARK(BM_UstmStrongTx);
+
+void
+BM_FullCounterTx(benchmark::State &state)
+{
+    // Whole-stack cost: one hybrid transaction end to end.
+    MachineConfig mc;
+    mc.timerQuantum = 0;
+    Machine machine(mc);
+    auto sys = TxSystem::create(TxSystemKind::UfoHybrid, machine);
+    sys->setup();
+    ThreadContext &tc = machine.initContext();
+    machine.memory().materializePage(0x4000);
+    for (auto _ : state) {
+        sys->atomic(tc, [&](TxHandle &h) {
+            h.write(0x4000, h.read(0x4000, 8) + 1, 8);
+        });
+    }
+}
+BENCHMARK(BM_FullCounterTx);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches.
+ *
+ * Each bench binary regenerates one table or figure from the paper's
+ * evaluation (Section 5), printing the same rows/series.  Absolute
+ * numbers come from this repository's simulator, not the authors'
+ * full-system testbed; the *shape* (who wins, by what rough factor,
+ * where the crossovers are) is the reproduction target.  See
+ * EXPERIMENTS.md.
+ */
+
+#ifndef UFOTM_BENCH_BENCH_UTIL_HH
+#define UFOTM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stamp/failover_ubench.hh"
+#include "stamp/genome.hh"
+#include "stamp/kmeans.hh"
+#include "stamp/vacation.hh"
+#include "stamp/workload.hh"
+
+namespace utm::bench {
+
+/** The STAMP-like benchmark set of Figure 5/6. */
+struct BenchSpec
+{
+    std::string id;   ///< e.g. "kmeans-high"
+    std::string base; ///< "kmeans" | "vacation" | "genome"
+    bool high = false;
+};
+
+inline std::vector<BenchSpec>
+stampBenchmarks()
+{
+    return {
+        {"kmeans-high", "kmeans", true},
+        {"kmeans-low", "kmeans", false},
+        {"vacation-high", "vacation", true},
+        {"vacation-low", "vacation", false},
+        {"genome", "genome", false},
+    };
+}
+
+/** Build a workload; @p scale multiplies the default problem size. */
+inline std::unique_ptr<Workload>
+makeStampWorkload(const BenchSpec &spec, double scale = 1.0)
+{
+    if (spec.base == "kmeans") {
+        KmeansParams p = KmeansParams::contention(spec.high);
+        p.points = static_cast<int>(p.points * scale);
+        return std::make_unique<KmeansWorkload>(p);
+    }
+    if (spec.base == "vacation") {
+        VacationParams p = VacationParams::contention(spec.high);
+        p.totalTasks = static_cast<int>(p.totalTasks * scale);
+        return std::make_unique<VacationWorkload>(p);
+    }
+    if (spec.base == "genome") {
+        GenomeParams p;
+        p.segments = static_cast<int>(p.segments * scale);
+        p.uniquePool = static_cast<int>(p.uniquePool * scale);
+        return std::make_unique<GenomeWorkload>(p);
+    }
+    std::fprintf(stderr, "unknown benchmark %s\n", spec.base.c_str());
+    std::abort();
+}
+
+/** The TM systems compared in Figure 5. */
+inline std::vector<TxSystemKind>
+figure5Systems()
+{
+    return {
+        TxSystemKind::UnboundedHtm, TxSystemKind::UfoHybrid,
+        TxSystemKind::HyTm,         TxSystemKind::PhTm,
+        TxSystemKind::Ustm,         TxSystemKind::UstmStrong,
+        TxSystemKind::Tl2,
+    };
+}
+
+/** Run one configuration and return the result (dies if invalid). */
+inline RunResult
+runOnce(const BenchSpec &spec, TxSystemKind kind, int threads,
+        double scale = 1.0, std::uint64_t seed = 42)
+{
+    auto w = makeStampWorkload(spec, scale);
+    RunConfig cfg;
+    cfg.kind = kind;
+    cfg.threads = threads;
+    cfg.machine.seed = seed;
+    RunResult res = runWorkload(*w, cfg);
+    if (!res.valid) {
+        std::fprintf(stderr,
+                     "VALIDATION FAILED: %s on %s with %d threads\n",
+                     spec.id.c_str(), txSystemKindName(kind), threads);
+        std::abort();
+    }
+    return res;
+}
+
+/** Sequential (NoTm, 1 thread) baseline cycles. */
+inline Cycles
+sequentialBaseline(const BenchSpec &spec, double scale = 1.0,
+                   std::uint64_t seed = 42)
+{
+    return runOnce(spec, TxSystemKind::NoTm, 1, scale, seed).cycles;
+}
+
+} // namespace utm::bench
+
+#endif // UFOTM_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 5: speedup over sequential execution for every TM system on
+ * the STAMP-like benchmarks, as the thread count scales.
+ *
+ * Expected shape (paper Section 5.2):
+ *  - kmeans: all hybrids track the unbounded HTM (few failovers);
+ *    HyTM lags 10-20% from barrier overhead; STMs far below.
+ *  - vacation: large transactions overflow the L1; the UFO hybrid
+ *    stays closest to unbounded HTM, PhTM degrades with threads
+ *    (one software transaction serializes the rest), HyTM suffers
+ *    extra overflows/nonT conflicts.
+ *  - genome: contention-heavy insertion phase; robust CM keeps the
+ *    UFO hybrid and PhTM near the unbounded HTM.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "bench_util.hh"
+
+using namespace utm;
+using namespace utm::bench;
+
+int
+main(int argc, char **argv)
+{
+    double scale = 1.0;
+    std::vector<int> threads = {1, 2, 4, 8, 16};
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--quick")) {
+            scale = 0.5;
+            threads = {1, 4, 8};
+        }
+    }
+
+    std::printf("Figure 5: speedup vs sequential execution\n");
+    std::printf("(simulated cycles; speedup = seq_cycles / cycles)\n\n");
+
+    for (const BenchSpec &spec : stampBenchmarks()) {
+        const Cycles seq = sequentialBaseline(spec, scale);
+        std::printf("== %s (sequential: %llu cycles) ==\n",
+                    spec.id.c_str(),
+                    static_cast<unsigned long long>(seq));
+        std::printf("%-8s", "threads");
+        for (TxSystemKind k : figure5Systems())
+            std::printf("%14s", txSystemKindName(k));
+        std::printf("\n");
+        for (int t : threads) {
+            std::printf("%-8d", t);
+            for (TxSystemKind k : figure5Systems()) {
+                RunResult r = runOnce(spec, k, t, scale);
+                std::printf("%14.2f", double(seq) / double(r.cycles));
+            }
+            std::printf("\n");
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 6: why hardware transactions aborted, per benchmark and TM
+ * system (8 threads).
+ *
+ * Expected shape (paper Section 5.2): kmeans aborts are almost all
+ * contention/recoverable; vacation-low shows the UFO hybrid's
+ * UFO-bit-set kills (retried in hardware), HyTM's extra set overflows
+ * and nonT conflicts on otable rows, and PhTM's explicit aborts +
+ * nonT conflicts on the phase counter; genome is contention-heavy.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "bench_util.hh"
+
+using namespace utm;
+using namespace utm::bench;
+
+namespace {
+
+const char *kReasons[] = {
+    "conflict",   "set_overflow", "interrupt",     "ufo_bit_set",
+    "ufo_fault",  "nont_conflict", "explicit",     "page_fault",
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double scale = 1.0;
+    int threads = 8;
+    for (int i = 1; i < argc; ++i)
+        if (!std::strcmp(argv[i], "--quick"))
+            scale = 0.5;
+
+    std::printf("Figure 6: hardware-transaction abort reasons "
+                "(%d threads)\n", threads);
+    std::printf("(counts; 'commits hw/sw' give scale)\n\n");
+
+    const TxSystemKind systems[] = {
+        TxSystemKind::UnboundedHtm,
+        TxSystemKind::UfoHybrid,
+        TxSystemKind::HyTm,
+        TxSystemKind::PhTm,
+    };
+
+    for (const BenchSpec &spec : stampBenchmarks()) {
+        std::printf("== %s ==\n", spec.id.c_str());
+        std::printf("%-14s %10s %10s", "system", "hw_commit",
+                    "sw_commit");
+        for (const char *r : kReasons)
+            std::printf(" %13s", r);
+        std::printf("\n");
+        for (TxSystemKind k : systems) {
+            RunResult r = runOnce(spec, k, threads, scale);
+            std::printf("%-14s %10llu %10llu", txSystemKindName(k),
+                        static_cast<unsigned long long>(r.hwCommits),
+                        static_cast<unsigned long long>(r.swCommits));
+            for (const char *reason : kReasons) {
+                std::printf(" %13llu",
+                            static_cast<unsigned long long>(r.stat(
+                                std::string("btm.aborts.") + reason)));
+            }
+            std::printf("\n");
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Figure 7: throughput of the hybrid TMs as a function of the forced
+ * software-failover rate, on a conflict-free microbenchmark
+ * (8 threads), compared against pure HTM and pure STM.
+ *
+ * Expected shape (paper Section 5.3):
+ *  - 7a: UFO hybrid and HyTM degrade ~linearly from pure-HTM-like to
+ *    pure-STM-like; PhTM collapses quickly because one software
+ *    transaction drags all concurrent transactions into software.
+ *  - 7b (low rates): at 0% the UFO hybrid matches pure HTM; PhTM pays
+ *    ~2% for the phase-counter check; HyTM pays more for its otable
+ *    barriers.  The UFO hybrid's software transactions pay extra for
+ *    UFO bit maintenance, so its slope is steeper than HyTM's and the
+ *    curves cross at a high failover rate (paper: ~45%).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench_util.hh"
+
+using namespace utm;
+using namespace utm::bench;
+
+namespace {
+
+double
+throughput(TxSystemKind kind, double rate, int threads, int tx_per_thread)
+{
+    FailoverParams p;
+    p.txPerThread = tx_per_thread;
+    p.failoverRate = rate;
+    FailoverUbench w(p);
+    RunConfig cfg;
+    cfg.kind = kind;
+    cfg.threads = threads;
+    cfg.machine.seed = 42;
+    RunResult r = runWorkload(w, cfg);
+    if (!r.valid) {
+        std::fprintf(stderr, "ubench validation failed (%s, rate %.2f)\n",
+                     txSystemKindName(kind), rate);
+        std::abort();
+    }
+    const double total_tx = double(threads) * tx_per_thread;
+    return total_tx * 1e6 / double(r.cycles); // txns per Mcycle
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int threads = 8;
+    int tx_per_thread = 256;
+    for (int i = 1; i < argc; ++i)
+        if (!std::strcmp(argv[i], "--quick"))
+            tx_per_thread = 96;
+
+    const std::vector<TxSystemKind> hybrids = {
+        TxSystemKind::UfoHybrid, TxSystemKind::HyTm, TxSystemKind::PhTm};
+
+    std::printf("Figure 7a: throughput (txns/Mcycle) vs forced "
+                "failover rate (%d threads)\n\n", threads);
+    std::printf("%-8s %13s", "rate", "pure-htm");
+    for (TxSystemKind k : hybrids)
+        std::printf(" %13s", txSystemKindName(k));
+    std::printf(" %13s\n", "pure-stm");
+
+    const double pure_htm =
+        throughput(TxSystemKind::UnboundedHtm, 0.0, threads,
+                   tx_per_thread);
+    const double pure_stm =
+        throughput(TxSystemKind::UstmStrong, 0.0, threads,
+                   tx_per_thread);
+
+    for (double rate : {0.0, 0.05, 0.1, 0.2, 0.3, 0.45, 0.6, 0.8, 1.0}) {
+        std::printf("%-8.2f %13.2f", rate, pure_htm);
+        for (TxSystemKind k : hybrids)
+            std::printf(" %13.2f",
+                        throughput(k, rate, threads, tx_per_thread));
+        std::printf(" %13.2f\n", pure_stm);
+    }
+
+    std::printf("\nFigure 7b: overhead at low failover rates "
+                "(relative to pure HTM = 1.0; lower is better)\n\n");
+    std::printf("%-8s", "rate");
+    for (TxSystemKind k : hybrids)
+        std::printf(" %13s", txSystemKindName(k));
+    std::printf("\n");
+    for (double rate : {0.0, 0.01, 0.02, 0.05}) {
+        std::printf("%-8.2f", rate);
+        for (TxSystemKind k : hybrids) {
+            const double t = throughput(k, rate, threads, tx_per_thread);
+            std::printf(" %13.3f", pure_htm / t);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Table 4: the simulated-machine parameters used for every experiment
+ * in this reproduction (the substitute for the paper's
+ * Simics/PTLsim/Ruby configuration).
+ */
+
+#include <cstdio>
+
+#include "sim/config.hh"
+
+int
+main()
+{
+    utm::MachineConfig cfg;
+    std::printf("Table 4: simulation parameters\n\n%s",
+                cfg.describe().c_str());
+    std::printf("\nPaper's testbed: 16-core x86 full-system OoO "
+                "simulator (Simics + PTLsim + Ruby MOESI directory), "
+                "32 KiB L1 D-cache, modified Linux 2.6.23.9 kernel for "
+                "UFO swap support, USTM otable of 65536 entries.\n");
+    return 0;
+}

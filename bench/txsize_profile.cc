@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Transaction-footprint profile per benchmark (run on the unbounded
+ * HTM so every transaction commits and is measured whole).
+ *
+ * Explains the Figure 5/6 failover behaviour structurally: a
+ * transaction overflows an 8-way 64-set L1 when ~one set fills, which
+ * becomes likely as footprints approach a few hundred lines.  kmeans
+ * stays tiny, vacation-low has a heavy tail, labyrinth is uniformly
+ * enormous.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "stamp/intruder.hh"
+#include "stamp/labyrinth.hh"
+
+using namespace utm;
+using namespace utm::bench;
+
+namespace {
+
+void
+profile(const char *label, Workload &w)
+{
+    RunConfig cfg;
+    cfg.kind = TxSystemKind::UnboundedHtm;
+    cfg.threads = 8;
+    cfg.machine.seed = 42;
+
+    // Capture the histogram through a machine we own: replicate
+    // runWorkload but keep the Machine alive for inspection.
+    MachineConfig mc = cfg.machine;
+    mc.numCores = cfg.threads;
+    Machine machine(mc);
+    TxHeap heap(machine);
+    auto sys = TxSystem::create(cfg.kind, machine, cfg.policy);
+    sys->setup();
+    w.setup(machine.initContext(), heap, cfg.threads);
+    for (int t = 0; t < cfg.threads; ++t) {
+        machine.addThread(
+            [&w, sys = sys.get(), t, n = cfg.threads](
+                ThreadContext &tc) { w.threadBody(tc, *sys, t, n); });
+    }
+    machine.run();
+    if (!w.validate(machine.initContext()))
+        std::abort();
+
+    const Histogram &h = machine.stats().histogram("btm.tx_lines");
+    std::printf("%-16s %10llu %8llu %8llu %8llu %8llu %10.1f%%\n",
+                label, static_cast<unsigned long long>(h.samples()),
+                static_cast<unsigned long long>(h.quantile(0.50)),
+                static_cast<unsigned long long>(h.quantile(0.90)),
+                static_cast<unsigned long long>(h.quantile(0.99)),
+                static_cast<unsigned long long>(h.max()),
+                100.0 * double(h.countAbove(255)) /
+                    double(std::max<std::uint64_t>(1, h.samples())));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Transaction footprint profile (lines touched; "
+                "unbounded HTM, 8 threads)\n\n");
+    std::printf("%-16s %10s %8s %8s %8s %8s %11s\n", "benchmark",
+                "txns", "p50", "p90", "p99", "max", ">256 lines");
+
+    for (const BenchSpec &spec : stampBenchmarks()) {
+        auto w = makeStampWorkload(spec);
+        profile(spec.id.c_str(), *w);
+    }
+    {
+        LabyrinthParams p;
+        LabyrinthWorkload w(p);
+        profile("labyrinth", w);
+    }
+    {
+        IntruderParams p;
+        IntruderWorkload w(p);
+        profile("intruder", w);
+    }
+    std::printf("\n(quantiles are power-of-two bucket upper bounds; "
+                "a 32 KiB 8-way L1 fits at most 512 lines and "
+                "overflows when any one set exceeds 8)\n");
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Quickstart: build a simulated machine, wrap it in the UFO hybrid
+ * TM, and run concurrent transactions through the public API.
+ *
+ *   $ ./quickstart
+ *
+ * Demonstrates:
+ *  - TxSystem::create / setup / atomic,
+ *  - the handle's typed read/write,
+ *  - that most transactions commit in zero-overhead hardware, and
+ *  - the stats registry.
+ */
+
+#include <cstdio>
+
+#include "core/tx_system.hh"
+#include "rt/heap.hh"
+#include "sim/machine.hh"
+
+using namespace utm;
+
+int
+main()
+{
+    // 1. A simulated 8-core machine (paper Table 4 geometry).
+    MachineConfig cfg;
+    cfg.numCores = 8;
+    Machine machine(cfg);
+    TxHeap heap(machine);
+
+    // 2. The paper's TM system: BTM hardware transactions backed by a
+    //    strongly-atomic USTM.
+    auto tm = TxSystem::create(TxSystemKind::UfoHybrid, machine);
+    tm->setup();
+
+    // 3. Shared state: a counter and a small histogram.
+    ThreadContext &init = machine.initContext();
+    const Addr counter = heap.allocZeroed(init, 8, true);
+    const Addr histogram = heap.allocZeroed(init, 8 * 16, true);
+
+    // 4. Eight threads, each folding values into shared state
+    //    transactionally.
+    constexpr int kPerThread = 500;
+    for (int t = 0; t < 8; ++t) {
+        machine.addThread([&, t](ThreadContext &tc) {
+            for (int i = 0; i < kPerThread; ++i) {
+                const std::uint64_t bucket =
+                    tc.rng().nextBounded(16);
+                tm->atomic(tc, [&](TxHandle &h) {
+                    h.write<std::uint64_t>(
+                        counter, h.read<std::uint64_t>(counter) + 1);
+                    const Addr slot = histogram + bucket * 8;
+                    h.write<std::uint64_t>(
+                        slot, h.read<std::uint64_t>(slot) + 1);
+                });
+                tc.advance(50); // Non-transactional work.
+            }
+            (void)t;
+        });
+    }
+    machine.run();
+
+    // 5. Results.
+    const std::uint64_t total = machine.memory().read(counter, 8);
+    std::uint64_t hist_total = 0;
+    for (int b = 0; b < 16; ++b)
+        hist_total += machine.memory().read(histogram + b * 8, 8);
+
+    std::printf("counter          : %llu (expected %d)\n",
+                static_cast<unsigned long long>(total), 8 * kPerThread);
+    std::printf("histogram total  : %llu\n",
+                static_cast<unsigned long long>(hist_total));
+    std::printf("simulated cycles : %llu\n",
+                static_cast<unsigned long long>(
+                    machine.completionTime()));
+    std::printf("hw commits       : %llu\n",
+                static_cast<unsigned long long>(
+                    machine.stats().get("tm.commits.hw")));
+    std::printf("sw commits       : %llu\n",
+                static_cast<unsigned long long>(
+                    machine.stats().get("tm.commits.sw")));
+    std::printf("hw conflicts     : %llu (retried in hardware)\n",
+                static_cast<unsigned long long>(
+                    machine.stats().get("btm.aborts.conflict")));
+    return total == std::uint64_t(8 * kPerThread) ? 0 : 1;
+}

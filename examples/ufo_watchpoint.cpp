@@ -1,0 +1,90 @@
+/**
+ * @file
+ * UFO beyond TM: fine-grained memory protection as a debugging
+ * watchpoint facility (the iWatcher use case, paper Section 3.2).
+ *
+ * The paper's hardware philosophy is "primitives, not solutions":
+ * BTM and UFO are useful independently of transactional memory.  This
+ * example arms fault-on-write UFO protection over a buffer that one
+ * thread is supposed to treat as read-only, and catches the rogue
+ * writer the moment it stores — with zero overhead on every access
+ * that doesn't fault.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "mem/memory_system.hh"
+#include "rt/heap.hh"
+#include "sim/machine.hh"
+#include "ufo/ufo.hh"
+
+using namespace utm;
+
+int
+main()
+{
+    MachineConfig cfg;
+    cfg.numCores = 2;
+    Machine machine(cfg);
+    TxHeap heap(machine);
+
+    ThreadContext &init = machine.initContext();
+    constexpr std::uint64_t kBufBytes = 16 * kLineSize;
+    const Addr buffer = heap.allocZeroed(init, kBufBytes, true);
+    const Addr scratch = heap.allocZeroed(init, kBufBytes, true);
+
+    // Arm the watchpoint: any write to `buffer` faults.
+    ufoProtectRange(init, buffer, kBufBytes, kUfoWriteOnly);
+
+    struct Hit
+    {
+        ThreadId thread;
+        Addr addr;
+    };
+    std::vector<Hit> hits;
+
+    // The debugger's fault handler: record the offender, then open
+    // the line so execution can continue (a real debugger might trap
+    // to the user instead).
+    machine.memsys().setUfoFaultHandler(
+        [&](ThreadContext &tc, Addr a, AccessType t) {
+            if (t == AccessType::Write)
+                hits.push_back({tc.id(), a});
+            tc.setUfoBits(lineOf(a), kUfoNone);
+        });
+
+    // Thread 0: well-behaved. Reads the buffer, writes scratch.
+    machine.addThread([&](ThreadContext &tc) {
+        std::uint64_t sum = 0;
+        for (Addr a = buffer; a < buffer + kBufBytes; a += kLineSize)
+            sum += tc.load(a, 8); // Reads never fault: zero overhead.
+        tc.store(scratch, sum, 8);
+    });
+
+    // Thread 1: buggy. Mostly writes scratch, but one stray store
+    // lands in the protected buffer.
+    machine.addThread([&](ThreadContext &tc) {
+        tc.advance(100);
+        for (int i = 0; i < 8; ++i)
+            tc.store(scratch + 8 + i * kLineSize, i, 8);
+        tc.store(buffer + 5 * kLineSize + 16, 0xbad, 8); // Caught!
+    });
+
+    machine.run();
+
+    std::printf("watchpoint hits: %zu\n", hits.size());
+    for (const Hit &h : hits) {
+        std::printf("  thread %d wrote %#llx (buffer offset %llu)\n",
+                    h.thread, static_cast<unsigned long long>(h.addr),
+                    static_cast<unsigned long long>(h.addr - buffer));
+    }
+    std::printf("ufo faults taken: %llu\n",
+                static_cast<unsigned long long>(
+                    machine.stats().get("ufo.faults")));
+
+    const bool ok = hits.size() == 1 && hits[0].thread == 1 &&
+                    lineOf(hits[0].addr) == buffer + 5 * kLineSize;
+    std::printf("%s\n", ok ? "rogue writer identified" : "MISSED!");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Speculative lock elision over BTM (paper Section 3.1: "The same
+ * hardware can be used for implementing speculative lock elision").
+ *
+ * A critical section runs as a hardware transaction that only READS
+ * the lock word: uncontended sections execute fully in parallel, and
+ * coherence aborts the speculation if any thread actually acquires
+ * the lock (or touches conflicting data).  After a bounded number of
+ * failed speculations the section falls back to really taking the
+ * lock, preserving exact lock semantics.
+ */
+
+#ifndef UFOTM_BTM_SLE_HH
+#define UFOTM_BTM_SLE_HH
+
+#include "btm/btm.hh"
+#include "sim/machine.hh"
+#include "sim/thread_context.hh"
+#include "sim/types.hh"
+
+namespace utm {
+
+/** Test-and-test-and-set spinlock in simulated memory. */
+class SimSpinLock
+{
+  public:
+    explicit SimSpinLock(Addr word) : word_(word) {}
+
+    void
+    acquire(ThreadContext &tc)
+    {
+        for (;;) {
+            while (tc.load(word_, 8) != 0) {
+                tc.advance(20);
+                tc.yield();
+            }
+            if (tc.cas(word_, 8, 0, 1))
+                return;
+        }
+    }
+
+    void release(ThreadContext &tc) { tc.store(word_, 0, 8); }
+
+    bool heldNow(ThreadContext &tc) { return tc.load(word_, 8) != 0; }
+
+    Addr word() const { return word_; }
+
+  private:
+    Addr word_;
+};
+
+/**
+ * Run @p body as an elided critical section of @p lock.
+ *
+ * @param max_attempts  Speculation attempts before falling back to a
+ *                      real acquisition.
+ * @return true when the section was elided, false when the lock was
+ *         actually taken.
+ */
+template <typename Fn>
+bool
+elideLock(ThreadContext &tc, BtmUnit &btm, SimSpinLock &lock, Fn &&body,
+          int max_attempts = 3)
+{
+    Machine &m = tc.machine();
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+        try {
+            btm.txBegin();
+            // Reading (not writing) the lock word puts it in the
+            // speculative read set: a real acquisition by another
+            // thread aborts us through coherence.
+            if (tc.load(lock.word(), 8) != 0)
+                btm.txAbort();
+            body();
+            btm.txEnd();
+            m.stats().inc("sle.elided");
+            return true;
+        } catch (const BtmAbortException &) {
+            m.stats().inc("sle.speculation_failed");
+            tc.advance(Cycles(40) << attempt);
+            tc.yield();
+        }
+    }
+    m.stats().inc("sle.acquired");
+    lock.acquire(tc);
+    body();
+    lock.release(tc);
+    return false;
+}
+
+} // namespace utm
+
+#endif // UFOTM_BTM_SLE_HH

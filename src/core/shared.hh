@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Typed views over simulated memory: Shared<T> and SharedArray<T>.
+ *
+ * Thin, zero-state wrappers that bind an address to a C++ type so
+ * workload code reads naturally:
+ *
+ *   Shared<std::uint64_t> counter(heap.allocZeroed(init, 8, true));
+ *   tm->atomic(tc, [&](TxHandle &h) {
+ *       counter.set(h, counter.get(h) + 1);
+ *   });
+ *
+ * Both transactional (TxHandle) and non-transactional (ThreadContext)
+ * accessors are provided; under a strongly-atomic system the
+ * non-transactional accessors are safe by construction (they fault on
+ * transactionally-held lines).
+ */
+
+#ifndef UFOTM_CORE_SHARED_HH
+#define UFOTM_CORE_SHARED_HH
+
+#include "core/tx_system.hh"
+#include "rt/heap.hh"
+#include "sim/logging.hh"
+#include "sim/thread_context.hh"
+#include "sim/types.hh"
+
+namespace utm {
+
+/** A typed cell in simulated memory. */
+template <typename T>
+class Shared
+{
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                  "Shared<T> requires a <=8-byte trivially copyable T");
+
+  public:
+    Shared() = default;
+    explicit Shared(Addr a) : addr_(a)
+    {
+        utm_assert(lineOf(a) == lineOf(a + sizeof(T) - 1));
+    }
+
+    Addr addr() const { return addr_; }
+
+    /** @name Transactional access. @{ */
+    T get(TxHandle &h) const { return h.read<T>(addr_); }
+    void set(TxHandle &h, T v) const { h.write<T>(addr_, v); }
+
+    /** Read-modify-write convenience. */
+    template <typename Fn>
+    T
+    update(TxHandle &h, Fn &&fn) const
+    {
+        T v = fn(get(h));
+        set(h, v);
+        return v;
+    }
+    /** @} */
+
+    /** @name Non-transactional access (strong atomicity applies). @{ */
+    T load(ThreadContext &tc) const { return tc.loadT<T>(addr_); }
+    void store(ThreadContext &tc, T v) const { tc.storeT<T>(addr_, v); }
+    /** @} */
+
+  private:
+    Addr addr_ = 0;
+};
+
+/** A typed array in simulated memory, one element per @p stride. */
+template <typename T>
+class SharedArray
+{
+  public:
+    SharedArray() = default;
+
+    /**
+     * @param base   First element's address.
+     * @param count  Number of elements.
+     * @param stride Bytes between elements; defaults to one cache
+     *               line per element (conflict-free padding).
+     */
+    SharedArray(Addr base, std::size_t count,
+                std::size_t stride = kLineSize)
+        : base_(base), count_(count), stride_(stride)
+    {
+        utm_assert(stride >= sizeof(T));
+    }
+
+    /** Allocate a zeroed array (line-per-element by default). */
+    static SharedArray
+    create(ThreadContext &tc, TxHeap &heap, std::size_t count,
+           std::size_t stride = kLineSize)
+    {
+        Addr base = heap.allocZeroed(tc, count * stride, true);
+        return SharedArray(base, count, stride);
+    }
+
+    std::size_t size() const { return count_; }
+    Addr addrOf(std::size_t i) const
+    {
+        utm_assert(i < count_);
+        return base_ + i * stride_;
+    }
+
+    Shared<T> operator[](std::size_t i) const
+    {
+        return Shared<T>(addrOf(i));
+    }
+
+    T get(TxHandle &h, std::size_t i) const { return (*this)[i].get(h); }
+    void
+    set(TxHandle &h, std::size_t i, T v) const
+    {
+        (*this)[i].set(h, v);
+    }
+
+  private:
+    Addr base_ = 0;
+    std::size_t count_ = 0;
+    std::size_t stride_ = kLineSize;
+};
+
+} // namespace utm
+
+#endif // UFOTM_CORE_SHARED_HH

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Public transactional-memory API.
+ *
+ * A TxSystem wraps one of the paper's TM configurations around a
+ * simulated Machine.  Workload code runs transactions with:
+ *
+ *   auto sys = TxSystem::create(TxSystemKind::UfoHybrid, machine);
+ *   sys->setup();                       // once, before machine.run()
+ *   ...inside a simulated thread...
+ *   sys->atomic(tc, [&](TxHandle &h) {
+ *       std::uint64_t v = h.read<std::uint64_t>(addr);
+ *       h.write<std::uint64_t>(addr, v + 1);
+ *   });
+ *
+ * The body may be re-executed after aborts, so it must only mutate
+ * simulated memory through the handle (plus idempotent host-local
+ * state).  TxHandle::read/write dispatch to the current execution
+ * path: raw (no TM), hardware (BTM — zero instrumentation in the UFO
+ * hybrid, otable-checking barriers in HyTM), or software (USTM/TL2
+ * barriers).
+ */
+
+#ifndef UFOTM_CORE_TX_SYSTEM_HH
+#define UFOTM_CORE_TX_SYSTEM_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "hybrid/policy.hh"
+#include "sim/thread_context.hh"
+#include "sim/types.hh"
+
+namespace utm {
+
+class Machine;
+class TxSystem;
+
+/** The TM configurations evaluated in the paper (Section 5). */
+enum class TxSystemKind
+{
+    NoTm,         ///< No concurrency control (sequential baseline).
+    UnboundedHtm, ///< Idealized HTM without the L1 capacity bound.
+    UfoHybrid,    ///< The paper's proposal (BTM + strongly-atomic USTM).
+    HyTm,         ///< Hybrid with otable-checking hardware barriers.
+    PhTm,         ///< Phased TM (HTM/STM phases exclude each other).
+    Ustm,         ///< Pure USTM, weakly atomic.
+    UstmStrong,   ///< Pure USTM with UFO strong atomicity.
+    Tl2,          ///< TL2 baseline STM.
+};
+
+const char *txSystemKindName(TxSystemKind k);
+
+/** Handle passed to a transaction body; routes accesses per path. */
+class TxHandle
+{
+  public:
+    enum class Path { Raw, Hardware, Software };
+
+    Path path() const { return path_; }
+    ThreadContext &ctx() { return *tc_; }
+
+    std::uint64_t read(Addr a, unsigned size);
+    void write(Addr a, std::uint64_t v, unsigned size);
+
+    template <typename T>
+    T
+    read(Addr a)
+    {
+        static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+        std::uint64_t raw = read(a, sizeof(T));
+        T v;
+        std::memcpy(&v, &raw, sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    write(Addr a, T v)
+    {
+        static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+        std::uint64_t raw = 0;
+        std::memcpy(&raw, &v, sizeof(T));
+        write(a, raw, sizeof(T));
+    }
+
+    /**
+     * Force this transaction onto the software path (models
+     * operations only the STM supports; also drives the Figure 7
+     * forced-failover microbenchmark).  On systems with no software
+     * path this is a no-op.
+     */
+    void requireSoftware();
+
+    /**
+     * Defer a side effect until this transaction commits (paper
+     * Section 6: "deferring" is how most side-effecting operations —
+     * output I/O, frees, notifications — become transaction-safe).
+     * The action runs exactly once, after the commit, in registration
+     * order; if the attempt aborts, the queue from that attempt is
+     * discarded.
+     */
+    void onCommit(std::function<void(ThreadContext &)> action);
+
+    /**
+     * Register compensation to run if this transaction attempt
+     * aborts (paper Section 6: "compensation code" for operations
+     * that had to happen eagerly).  Discarded on commit.
+     */
+    void onAbort(std::function<void(ThreadContext &)> action);
+
+    /**
+     * Perform an (idempotent) system call inside the transaction
+     * (paper Section 6: e.g. sbrk, gettimeofday).  Hardware
+     * transactions cannot survive kernel entry, so on the hardware
+     * path this aborts and the transaction fails over to software,
+     * where the call is simply charged.
+     */
+    void
+    syscall()
+    {
+        tc_->syscallMarker();
+    }
+
+    /** As syscall(), for I/O (deferred/compensated in the STM). */
+    void
+    io()
+    {
+        tc_->ioMarker();
+    }
+
+    /**
+     * Transactional waiting (paper Section 6's `retry`): blocks until
+     * another transaction writes something this transaction has read,
+     * then re-executes the body from the start.  Never returns to the
+     * caller.  On the hardware path this compiles to an explicit
+     * abort that fails over to software, exactly as the paper
+     * describes; only software (USTM-backed) systems support the wait
+     * itself.
+     */
+    [[noreturn]] void retryWait();
+
+  private:
+    friend class TxSystem;
+    TxHandle(TxSystem &sys, ThreadContext &tc, Path path)
+        : sys_(&sys), tc_(&tc), path_(path)
+    {
+    }
+
+    TxSystem *sys_;
+    ThreadContext *tc_;
+    Path path_;
+};
+
+/** Base class of every TM configuration. */
+class TxSystem
+{
+  public:
+    using Body = std::function<void(TxHandle &)>;
+
+    /** Build a TM system of the given kind over @p machine. */
+    static std::unique_ptr<TxSystem> create(TxSystemKind kind,
+                                            Machine &machine,
+                                            const TmPolicy &policy = {});
+
+    virtual ~TxSystem() = default;
+
+    /** One-time metadata setup (otable, counters); call before run(). */
+    virtual void setup();
+
+    /** Run @p body as one transaction on thread @p tc. */
+    virtual void atomic(ThreadContext &tc, const Body &body) = 0;
+
+    virtual const char *name() const = 0;
+    TxSystemKind kind() const { return kind_; }
+    Machine &machine() { return machine_; }
+    const TmPolicy &policy() const { return policy_; }
+
+  protected:
+    TxSystem(TxSystemKind kind, Machine &machine,
+             const TmPolicy &policy);
+
+    friend class TxHandle;
+
+    /** Per-attempt deferred/compensating actions (paper Section 6). */
+    struct DeferredActions
+    {
+        std::vector<std::function<void(ThreadContext &)>> commit;
+        std::vector<std::function<void(ThreadContext &)>> abort;
+
+        void
+        clear()
+        {
+            commit.clear();
+            abort.clear();
+        }
+    };
+
+    /** Reset the per-attempt queues (call when an attempt starts). */
+    void beginAttempt(ThreadContext &tc);
+    /** Run + clear commit actions (call after a commit). */
+    void commitAttempt(ThreadContext &tc);
+    /** Run + clear compensation (call after an attempt aborts). */
+    void abortAttempt(ThreadContext &tc);
+
+    DeferredActions &deferred(ThreadContext &tc);
+
+    /** @name Per-path access hooks. @{ */
+    virtual std::uint64_t
+    htmRead(ThreadContext &tc, Addr a, unsigned size)
+    {
+        return tc.load(a, size); // Zero-overhead hardware access.
+    }
+
+    virtual void
+    htmWrite(ThreadContext &tc, Addr a, std::uint64_t v, unsigned size)
+    {
+        tc.store(a, v, size);
+    }
+
+    virtual std::uint64_t stmRead(ThreadContext &tc, Addr a,
+                                  unsigned size);
+    virtual void stmWrite(ThreadContext &tc, Addr a, std::uint64_t v,
+                          unsigned size);
+    /** @} */
+
+    /** requireSoftware() hook; default: ignore. */
+    virtual void onRequireSoftware(ThreadContext &tc, TxHandle::Path p);
+
+    /** retryWait() hook; default: unsupported (panics). */
+    [[noreturn]] virtual void onRetryWait(ThreadContext &tc,
+                                          TxHandle::Path p);
+
+    TxHandle makeHandle(ThreadContext &tc, TxHandle::Path p)
+    {
+        return TxHandle(*this, tc, p);
+    }
+
+    TxSystemKind kind_;
+    Machine &machine_;
+    TmPolicy policy_;
+
+  private:
+    std::array<DeferredActions, kMaxThreads> deferred_;
+};
+
+} // namespace utm
+
+#endif // UFOTM_CORE_TX_SYSTEM_HH

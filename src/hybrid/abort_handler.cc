@@ -1,0 +1,99 @@
+#include "hybrid/abort_handler.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/machine.hh"
+#include "sim/thread_context.hh"
+
+namespace utm {
+
+BtmAbortHandler::BtmAbortHandler(Machine &machine, const TmPolicy &policy,
+                                 bool explicit_means_conflict)
+    : machine_(machine), policy_(policy),
+      explicitMeansConflict_(explicit_means_conflict)
+{
+}
+
+void
+BtmAbortHandler::backoff(ThreadContext &tc, int attempt)
+{
+    const int exp = std::min(attempt, policy_.backoffMaxExp);
+    const Cycles base = policy_.backoffBase << exp;
+    const Cycles jitter = tc.rng().nextBounded(base + 1);
+    tc.advance(base + jitter);
+    tc.yield();
+}
+
+BtmAbortHandler::Decision
+BtmAbortHandler::onAbort(ThreadContext &tc, AbortHandlerState &st,
+                         const BtmAbortException &e)
+{
+    StatsRegistry &stats = machine_.stats();
+    if (st.forcedSoftware) {
+        stats.inc("tm.failovers.forced");
+        return Decision::FailToSoftware;
+    }
+
+    switch (e.reason) {
+      // Nearly guaranteed to fail again in hardware: go to software.
+      case AbortReason::SetOverflow:
+      case AbortReason::Syscall:
+      case AbortReason::Io:
+      case AbortReason::Exception:
+      case AbortReason::Uncacheable:
+      case AbortReason::NestingOverflow:
+        stats.inc("tm.failovers.hard");
+        return Decision::FailToSoftware;
+
+      // Resolvable in software, then retry in hardware.
+      case AbortReason::PageFault:
+        machine_.memory().materializePage(e.addr);
+        stats.inc("tm.retries.page_fault");
+        return Decision::RetryHardware;
+
+      // Unlikely to repeat: retry in hardware.
+      case AbortReason::Interrupt:
+        ++st.interruptAborts;
+        if (st.interruptAborts > policy_.interruptFailoverThreshold) {
+            stats.inc("tm.failovers.interrupt");
+            return Decision::FailToSoftware;
+        }
+        stats.inc("tm.retries.interrupt");
+        return Decision::RetryHardware;
+
+      // Contention: back off and retry in hardware. The paper is
+      // emphatic that contention must NOT push transactions to
+      // software (the STM's longer occupancy makes contention worse).
+      case AbortReason::Conflict:
+      case AbortReason::UfoBitSet:
+      case AbortReason::UfoFault:
+      case AbortReason::NonTConflict:
+        ++st.conflictAborts;
+        if (policy_.conflictFailoverThreshold > 0 &&
+            st.conflictAborts >= policy_.conflictFailoverThreshold) {
+            stats.inc("tm.failovers.conflict");
+            return Decision::FailToSoftware;
+        }
+        stats.inc("tm.retries.conflict");
+        backoff(tc, st.conflictAborts);
+        return Decision::RetryHardware;
+
+      case AbortReason::Explicit:
+        if (explicitMeansConflict_) {
+            ++st.conflictAborts;
+            stats.inc("tm.retries.conflict");
+            backoff(tc, st.conflictAborts);
+            return Decision::RetryHardware;
+        }
+        stats.inc("tm.failovers.explicit");
+        return Decision::FailToSoftware;
+
+      case AbortReason::None:
+        break;
+    }
+    utm_panic("abort handler saw reason %d",
+              static_cast<int>(e.reason));
+}
+
+} // namespace utm

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The BTM abort handler (paper Algorithm 3).
+ *
+ * After a hardware transaction aborts, the handler classifies the
+ * abort reason into: conditions that all but guarantee another
+ * hardware failure (fail over to software immediately); conditions
+ * unlikely to repeat (retry in hardware, with exponential backoff for
+ * contention); and conditions resolvable by a software action (page
+ * faults: touch the page, then retry in hardware).
+ */
+
+#ifndef UFOTM_HYBRID_ABORT_HANDLER_HH
+#define UFOTM_HYBRID_ABORT_HANDLER_HH
+
+#include "btm/btm.hh"
+#include "hybrid/policy.hh"
+#include "mem/tm_iface.hh"
+
+namespace utm {
+
+class Machine;
+class ThreadContext;
+
+/** Per-thread, per-transaction abort-handler bookkeeping. */
+struct AbortHandlerState
+{
+    int conflictAborts = 0;
+    int interruptAborts = 0;
+    bool forcedSoftware = false; ///< TxHandle::requireSoftware().
+
+    void
+    newTransaction()
+    {
+        conflictAborts = 0;
+        interruptAborts = 0;
+        forcedSoftware = false;
+    }
+};
+
+/** Decides, per abort, between hardware retry and software failover. */
+class BtmAbortHandler
+{
+  public:
+    enum class Decision { RetryHardware, FailToSoftware };
+
+    /**
+     * @param explicit_means_conflict HyTM's barriers signal conflicts
+     *        with btm_abort; treat Explicit as contention (retry in
+     *        hardware) instead of as failover.
+     */
+    BtmAbortHandler(Machine &machine, const TmPolicy &policy,
+                    bool explicit_means_conflict = false);
+
+    Decision onAbort(ThreadContext &tc, AbortHandlerState &st,
+                     const BtmAbortException &e);
+
+  private:
+    void backoff(ThreadContext &tc, int attempt);
+
+    Machine &machine_;
+    const TmPolicy &policy_;
+    bool explicitMeansConflict_;
+};
+
+} // namespace utm
+
+#endif // UFOTM_HYBRID_ABORT_HANDLER_HH

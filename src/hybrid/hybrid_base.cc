@@ -1,0 +1,143 @@
+#include "hybrid/hybrid_base.hh"
+
+#include "mem/memory_system.hh"
+#include "sim/logging.hh"
+#include "sim/machine.hh"
+
+namespace utm {
+
+HybridTmBase::HybridTmBase(TxSystemKind kind, Machine &machine,
+                           const TmPolicy &policy,
+                           bool strong_atomic_stm,
+                           bool explicit_means_conflict)
+    : TxSystem(kind, machine, policy),
+      ustm_(std::make_unique<Ustm>(machine, strong_atomic_stm,
+                                   policy.ustm)),
+      abortHandler_(machine, policy_, explicit_means_conflict)
+{
+    machine.memsys().setBtmPolicy(policy.btm);
+}
+
+void
+HybridTmBase::setup()
+{
+    ustm_->setup(machine_.initContext());
+}
+
+BtmUnit &
+HybridTmBase::btm(ThreadContext &tc)
+{
+    auto &slot = btms_[tc.id()];
+    if (!slot)
+        slot = std::make_unique<BtmUnit>(tc);
+    return *slot;
+}
+
+AbortHandlerState &
+HybridTmBase::handlerState(ThreadContext &tc)
+{
+    return handlerState_[tc.id()];
+}
+
+bool
+HybridTmBase::runNestedInline(ThreadContext &tc, const Body &body)
+{
+    BtmUnit &unit = btm(tc);
+    if (unit.inTx()) {
+        unit.txBegin(); // Bump the flattened-nesting depth.
+        TxHandle h = makeHandle(tc, TxHandle::Path::Hardware);
+        body(h);
+        unit.txEnd();
+        return true;
+    }
+    if (ustm_->inTx(tc.id())) {
+        ustm_->txBegin(tc);
+        TxHandle h = makeHandle(tc, TxHandle::Path::Software);
+        body(h);
+        ustm_->txEnd(tc);
+        return true;
+    }
+    return false;
+}
+
+bool
+HybridTmBase::tryHardware(ThreadContext &tc, const Body &body,
+                          BtmAbortHandler::Decision *decision)
+{
+    BtmUnit &unit = btm(tc);
+    try {
+        beginAttempt(tc);
+        unit.txBegin();
+        TxHandle h = makeHandle(tc, TxHandle::Path::Hardware);
+        body(h);
+        unit.txEnd();
+        ++hwCommits_;
+        machine_.stats().inc("tm.commits.hw");
+        commitAttempt(tc);
+        return true;
+    } catch (const BtmAbortException &e) {
+        abortAttempt(tc);
+        *decision = abortHandler_.onAbort(tc, handlerState(tc), e);
+        return false;
+    }
+}
+
+void
+HybridTmBase::runSoftware(ThreadContext &tc, const Body &body)
+{
+    machine_.stats().inc("tm.failovers");
+    for (;;) {
+        try {
+            beginAttempt(tc);
+            ustm_->txBegin(tc);
+            TxHandle h = makeHandle(tc, TxHandle::Path::Software);
+            body(h);
+            ustm_->txEnd(tc);
+            ++swCommits_;
+            machine_.stats().inc("tm.commits.sw");
+            commitAttempt(tc);
+            return;
+        } catch (const UstmAbortException &) {
+            // Killed: the killer-retire wait happens in txBegin.
+            abortAttempt(tc);
+            machine_.stats().inc("tm.sw_retries");
+        }
+    }
+}
+
+std::uint64_t
+HybridTmBase::stmRead(ThreadContext &tc, Addr a, unsigned size)
+{
+    return ustm_->txRead(tc, a, size);
+}
+
+void
+HybridTmBase::stmWrite(ThreadContext &tc, Addr a, std::uint64_t v,
+                       unsigned size)
+{
+    ustm_->txWrite(tc, a, v, size);
+}
+
+void
+HybridTmBase::onRequireSoftware(ThreadContext &tc, TxHandle::Path p)
+{
+    if (p != TxHandle::Path::Hardware)
+        return;
+    handlerState(tc).forcedSoftware = true;
+    btm(tc).txAbort(); // throws; the abort handler sees forcedSoftware
+}
+
+void
+HybridTmBase::onRetryWait(ThreadContext &tc, TxHandle::Path p)
+{
+    if (p == TxHandle::Path::Hardware) {
+        // Paper Section 6: the compiler translates `retry` in the
+        // hardware version into an explicit abort, failing the
+        // transaction over to software where waiting is supported.
+        handlerState(tc).forcedSoftware = true;
+        btm(tc).txAbort(); // throws
+    }
+    ustm_->txRetryWait(tc); // throws after wakeup
+}
+
+} // namespace utm

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared plumbing for the hybrid TM systems (UFO hybrid, HyTM, PhTM):
+ * per-thread BTM units and abort-handler state, a USTM software side,
+ * and the software-path transaction loop.
+ */
+
+#ifndef UFOTM_HYBRID_HYBRID_BASE_HH
+#define UFOTM_HYBRID_HYBRID_BASE_HH
+
+#include <array>
+#include <memory>
+
+#include "btm/btm.hh"
+#include "core/tx_system.hh"
+#include "hybrid/abort_handler.hh"
+#include "ustm/ustm.hh"
+
+namespace utm {
+
+/** Common base of the three hybrid TM systems. */
+class HybridTmBase : public TxSystem
+{
+  public:
+    /** Cumulative per-system counters (also mirrored in stats). */
+    std::uint64_t hwCommits() const { return hwCommits_; }
+    std::uint64_t swCommits() const { return swCommits_; }
+
+    Ustm &ustm() { return *ustm_; }
+
+  protected:
+    HybridTmBase(TxSystemKind kind, Machine &machine,
+                 const TmPolicy &policy, bool strong_atomic_stm,
+                 bool explicit_means_conflict);
+
+    void setup() override;
+
+    /** Lazily create this thread's BTM unit. */
+    BtmUnit &btm(ThreadContext &tc);
+    AbortHandlerState &handlerState(ThreadContext &tc);
+
+    /** Run @p body to commit on the software path. */
+    void runSoftware(ThreadContext &tc, const Body &body);
+
+    /** One hardware attempt; true on commit, false -> consult abort
+     *  decision in @p decision. */
+    bool tryHardware(ThreadContext &tc, const Body &body,
+                     BtmAbortHandler::Decision *decision);
+
+    /**
+     * Flattened nesting: when atomic() is called from inside an
+     * enclosing transaction, run the body inline on the enclosing
+     * path (the paper's BTM and USTM both flatten).  Returns true
+     * when the nested case was handled.
+     */
+    bool runNestedInline(ThreadContext &tc, const Body &body);
+
+    std::uint64_t stmRead(ThreadContext &tc, Addr a,
+                          unsigned size) override;
+    void stmWrite(ThreadContext &tc, Addr a, std::uint64_t v,
+                  unsigned size) override;
+    void onRequireSoftware(ThreadContext &tc,
+                           TxHandle::Path p) override;
+    [[noreturn]] void onRetryWait(ThreadContext &tc,
+                                  TxHandle::Path p) override;
+
+    std::unique_ptr<Ustm> ustm_;
+    BtmAbortHandler abortHandler_;
+    std::array<std::unique_ptr<BtmUnit>, kMaxThreads> btms_;
+    std::array<AbortHandlerState, kMaxThreads> handlerState_;
+    std::uint64_t hwCommits_ = 0;
+    std::uint64_t swCommits_ = 0;
+};
+
+} // namespace utm
+
+#endif // UFOTM_HYBRID_HYBRID_BASE_HH

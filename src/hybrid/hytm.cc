@@ -1,0 +1,85 @@
+#include "hybrid/hytm.hh"
+
+#include "sim/machine.hh"
+
+namespace utm {
+
+HyTm::HyTm(Machine &machine, const TmPolicy &policy)
+    : HybridTmBase(TxSystemKind::HyTm, machine, policy,
+                   /*strong_atomic_stm=*/false,
+                   /*explicit_means_conflict=*/true)
+{
+}
+
+void
+HyTm::atomic(ThreadContext &tc, const Body &body)
+{
+    if (runNestedInline(tc, body))
+        return;
+    handlerState(tc).newTransaction();
+    for (;;) {
+        BtmAbortHandler::Decision d;
+        checked_[tc.id()].clear();
+        if (tryHardware(tc, body, &d))
+            return;
+        if (d == BtmAbortHandler::Decision::RetryHardware)
+            continue;
+        runSoftware(tc, body);
+        return;
+    }
+}
+
+void
+HyTm::hwBarrier(ThreadContext &tc, LineAddr line, bool is_write)
+{
+    auto &memo = checked_[tc.id()];
+    const int need = is_write ? 2 : 1;
+    auto mit = memo.find(line);
+    if (mit != memo.end() && mit->second >= need)
+        return; // Redundant barrier eliminated.
+
+    Otable &ot = ustm_->otable();
+    const Addr head = ot.bucketAddr(line);
+    const std::uint64_t tag = Otable::tagOf(line);
+
+    // Transactional read: the otable word joins this hardware
+    // transaction's read set.
+    std::uint64_t w0 = tc.load(head, 8);
+    bool conflict = false;
+    if (Otable::locked(w0)) {
+        conflict = true; // Mutation in flight: be conservative.
+    } else if (Otable::used(w0) && Otable::tag(w0) == tag) {
+        conflict = is_write || Otable::writeState(w0);
+    } else if (Otable::hasChain(w0)) {
+        Addr node = tc.load(head + 16, 8);
+        while (node != 0) {
+            std::uint64_t nw0 = tc.load(node, 8);
+            if (Otable::used(nw0) && Otable::tag(nw0) == tag) {
+                conflict = is_write || Otable::writeState(nw0);
+                break;
+            }
+            node = tc.load(node + 16, 8);
+        }
+    }
+    if (conflict) {
+        machine_.stats().inc("hytm.barrier_conflicts");
+        btm(tc).txAbort(); // throws Explicit; handler retries in HW
+    }
+    memo[line] = need;
+}
+
+std::uint64_t
+HyTm::htmRead(ThreadContext &tc, Addr a, unsigned size)
+{
+    hwBarrier(tc, lineOf(a), /*is_write=*/false);
+    return tc.load(a, size);
+}
+
+void
+HyTm::htmWrite(ThreadContext &tc, Addr a, std::uint64_t v, unsigned size)
+{
+    hwBarrier(tc, lineOf(a), /*is_write=*/true);
+    tc.store(a, v, size);
+}
+
+} // namespace utm

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * HyTM (Damron et al., ASPLOS 2006), as modelled in paper Section 5.
+ *
+ * Hardware transactions carry read/write barriers that inspect the
+ * STM's otable for conflicting records; if one is present the hardware
+ * transaction explicitly aborts and retries.  The otable words are
+ * read *transactionally*, which inflates the hardware footprint
+ * (extra set overflows) and exposes the transaction to aborts when
+ * unrelated software transactions touch aliasing otable rows (the
+ * extra nonT conflicts of Figure 6c).
+ */
+
+#ifndef UFOTM_HYBRID_HYTM_HH
+#define UFOTM_HYBRID_HYTM_HH
+
+#include <array>
+#include <unordered_map>
+
+#include "hybrid/hybrid_base.hh"
+
+namespace utm {
+
+/** Hybrid TM with otable-checking hardware barriers. */
+class HyTm : public HybridTmBase
+{
+  public:
+    HyTm(Machine &machine, const TmPolicy &policy);
+
+    void atomic(ThreadContext &tc, const Body &body) override;
+    const char *name() const override { return "hytm"; }
+
+  protected:
+    std::uint64_t htmRead(ThreadContext &tc, Addr a,
+                          unsigned size) override;
+    void htmWrite(ThreadContext &tc, Addr a, std::uint64_t v,
+                  unsigned size) override;
+
+  private:
+    /** Transactional otable inspection; aborts on a conflicting
+     *  record. */
+    void hwBarrier(ThreadContext &tc, LineAddr line, bool is_write);
+
+    /**
+     * Per-transaction barrier memo: redundant checks for a line
+     * already checked this transaction are compiled away (a read
+     * check is subsumed by a previous write check).  Values: 1 = read
+     * checked, 2 = write checked.
+     */
+    std::array<std::unordered_map<LineAddr, int>, kMaxThreads> checked_;
+};
+
+} // namespace utm
+
+#endif // UFOTM_HYBRID_HYTM_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The hybrid TM policy matrix (paper Sections 4.3.1, 4.4, 5.4).
+ *
+ * Defaults encode the paper's recommended policies:
+ *  - age-ordered hardware contention management,
+ *  - contention NEVER causes failover to software,
+ *  - exponential backoff before hardware retries,
+ *  - UFO faults abort the hardware transaction (rather than stall),
+ *  - STM transactions statically prioritized over HTM transactions.
+ *
+ * Figure 8's sensitivity study sweeps these knobs.
+ */
+
+#ifndef UFOTM_HYBRID_POLICY_HH
+#define UFOTM_HYBRID_POLICY_HH
+
+#include "mem/tm_iface.hh"
+#include "sim/types.hh"
+#include "ustm/ustm.hh"
+
+namespace utm {
+
+/** Every TM-system policy knob in one place. */
+struct TmPolicy
+{
+    /** Hardware CM policy (lives in the memory system). */
+    BtmPolicy btm;
+
+    /** Software CM policy (USTM). */
+    UstmPolicy ustm;
+
+    /**
+     * Fail a transaction over to software after this many
+     * contention-induced hardware aborts; 0 means never (the paper's
+     * recommendation — Figure 8 bar 2 shows why).
+     */
+    int conflictFailoverThreshold = 0;
+
+    /** Fail over after this many interrupt-induced aborts. */
+    int interruptFailoverThreshold = 7;
+
+    /** Exponential-backoff base delay before hardware retries. */
+    Cycles backoffBase = 20;
+
+    /** Cap on the backoff exponent. */
+    int backoffMaxExp = 8;
+};
+
+} // namespace utm
+
+#endif // UFOTM_HYBRID_POLICY_HH

@@ -1,0 +1,29 @@
+#include "hybrid/ufo_hybrid.hh"
+
+namespace utm {
+
+UfoHybridTm::UfoHybridTm(Machine &machine, const TmPolicy &policy)
+    : HybridTmBase(TxSystemKind::UfoHybrid, machine, policy,
+                   /*strong_atomic_stm=*/true,
+                   /*explicit_means_conflict=*/false)
+{
+}
+
+void
+UfoHybridTm::atomic(ThreadContext &tc, const Body &body)
+{
+    if (runNestedInline(tc, body))
+        return;
+    handlerState(tc).newTransaction();
+    for (;;) {
+        BtmAbortHandler::Decision d;
+        if (tryHardware(tc, body, &d))
+            return;
+        if (d == BtmAbortHandler::Decision::RetryHardware)
+            continue;
+        runSoftware(tc, body);
+        return;
+    }
+}
+
+} // namespace utm

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * The UFO hybrid TM — the paper's proposal (Section 4.3).
+ *
+ * Transactions first run in BTM with zero instrumentation; the
+ * strongly-atomic USTM's UFO protection keeps concurrent hardware
+ * transactions (and plain code) from violating software-transaction
+ * atomicity.  The Figure 4 control flow with the Algorithm 3 abort
+ * handler decides hardware retry vs software failover.
+ */
+
+#ifndef UFOTM_HYBRID_UFO_HYBRID_HH
+#define UFOTM_HYBRID_UFO_HYBRID_HH
+
+#include "hybrid/hybrid_base.hh"
+
+namespace utm {
+
+/** The paper's hybrid: zero-overhead BTM + strongly-atomic USTM. */
+class UfoHybridTm : public HybridTmBase
+{
+  public:
+    UfoHybridTm(Machine &machine, const TmPolicy &policy);
+
+    void atomic(ThreadContext &tc, const Body &body) override;
+    const char *name() const override { return "ufo-hybrid"; }
+};
+
+} // namespace utm
+
+#endif // UFOTM_HYBRID_UFO_HYBRID_HH

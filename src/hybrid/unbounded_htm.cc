@@ -1,0 +1,78 @@
+#include "hybrid/unbounded_htm.hh"
+
+#include <algorithm>
+
+#include "mem/memory_system.hh"
+#include "sim/logging.hh"
+#include "sim/machine.hh"
+
+namespace utm {
+
+UnboundedHtm::UnboundedHtm(Machine &machine, const TmPolicy &policy)
+    : TxSystem(TxSystemKind::UnboundedHtm, machine, policy)
+{
+    machine.memsys().setBtmPolicy(policy.btm);
+}
+
+BtmUnit &
+UnboundedHtm::btm(ThreadContext &tc)
+{
+    auto &slot = btms_[tc.id()];
+    if (!slot)
+        slot = std::make_unique<BtmUnit>(tc, /*is_unbounded=*/true);
+    return *slot;
+}
+
+void
+UnboundedHtm::atomic(ThreadContext &tc, const Body &body)
+{
+    BtmUnit &unit = btm(tc);
+    if (unit.inTx()) {
+        // Flattened nesting.
+        unit.txBegin();
+        TxHandle h = makeHandle(tc, TxHandle::Path::Hardware);
+        body(h);
+        unit.txEnd();
+        return;
+    }
+    int conflicts = 0;
+    for (;;) {
+        try {
+            beginAttempt(tc);
+            unit.txBegin();
+            TxHandle h = makeHandle(tc, TxHandle::Path::Hardware);
+            body(h);
+            unit.txEnd();
+            machine_.stats().inc("tm.commits.hw");
+            commitAttempt(tc);
+            return;
+        } catch (const BtmAbortException &e) {
+            abortAttempt(tc);
+            switch (e.reason) {
+              case AbortReason::PageFault:
+                // Simplified handler: touch the page, retry.
+                machine_.memory().materializePage(e.addr);
+                continue;
+              case AbortReason::Conflict:
+              case AbortReason::NonTConflict:
+              case AbortReason::Interrupt:
+              case AbortReason::UfoBitSet:
+              case AbortReason::UfoFault: {
+                ++conflicts;
+                const int exp =
+                    std::min(conflicts, policy_.backoffMaxExp);
+                const Cycles base = policy_.backoffBase << exp;
+                tc.advance(base + tc.rng().nextBounded(base + 1));
+                tc.yield();
+                continue;
+              }
+              default:
+                utm_fatal("unbounded HTM cannot recover from '%s' "
+                          "aborts (no software fallback)",
+                          abortReasonName(e.reason));
+            }
+        }
+    }
+}
+
+} // namespace utm

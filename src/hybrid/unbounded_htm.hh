@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Idealized unbounded HTM (paper Section 5): BTM semantics without the
+ * L1 capacity bound.  Used as the performance ceiling the hybrids are
+ * measured against; deliberately optimistic with respect to real
+ * unbounded-HTM proposals (flash abort, no software rollback).
+ */
+
+#ifndef UFOTM_HYBRID_UNBOUNDED_HTM_HH
+#define UFOTM_HYBRID_UNBOUNDED_HTM_HH
+
+#include <array>
+#include <memory>
+
+#include "btm/btm.hh"
+#include "core/tx_system.hh"
+
+namespace utm {
+
+/** Pure-hardware TM without capacity bounds. */
+class UnboundedHtm : public TxSystem
+{
+  public:
+    UnboundedHtm(Machine &machine, const TmPolicy &policy);
+
+    void atomic(ThreadContext &tc, const Body &body) override;
+    const char *name() const override { return "unbounded-htm"; }
+
+  private:
+    BtmUnit &btm(ThreadContext &tc);
+
+    std::array<std::unique_ptr<BtmUnit>, kMaxThreads> btms_;
+};
+
+} // namespace utm
+
+#endif // UFOTM_HYBRID_UNBOUNDED_HTM_HH

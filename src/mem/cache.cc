@@ -1,0 +1,116 @@
+#include "mem/cache.hh"
+
+#include "sim/logging.hh"
+
+namespace utm {
+
+Cache::Cache(unsigned sets, unsigned ways)
+    : sets_(sets), ways_(ways), lines_(sets * ways)
+{
+    utm_assert(sets > 0 && (sets & (sets - 1)) == 0);
+    utm_assert(ways > 0);
+}
+
+unsigned
+Cache::setIndex(LineAddr line) const
+{
+    return static_cast<unsigned>((line >> kLineBits) & (sets_ - 1));
+}
+
+Cache::Line *
+Cache::find(LineAddr line)
+{
+    Line *base = &lines_[setIndex(line) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].addr == line)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::find(LineAddr line) const
+{
+    return const_cast<Cache *>(this)->find(line);
+}
+
+Cache::InsertResult
+Cache::insert(LineAddr line, bool allow_spec_eviction)
+{
+    utm_assert(lineOffset(line) == 0);
+    InsertResult res;
+    Line *base = &lines_[setIndex(line) * ways_];
+
+    Line *victim = nullptr;
+    // Prefer an invalid way; otherwise the LRU non-speculative way;
+    // speculative ways are pinned unless eviction is allowed.
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+    }
+    if (!victim) {
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (base[w].spec)
+                continue;
+            if (!victim || base[w].lru < victim->lru)
+                victim = &base[w];
+        }
+    }
+    if (!victim && allow_spec_eviction) {
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (!victim || base[w].lru < victim->lru)
+                victim = &base[w];
+        }
+    }
+    if (!victim) {
+        res.overflowed = true;
+        return res;
+    }
+
+    if (victim->valid) {
+        res.evicted = true;
+        res.evictedAddr = victim->addr;
+        res.evictedDirty = victim->dirty;
+        res.evictedSpec = victim->spec;
+    }
+    *victim = Line{};
+    victim->addr = line;
+    victim->valid = true;
+    victim->lru = ++lruClock_;
+    res.line = victim;
+    return res;
+}
+
+void
+Cache::invalidate(LineAddr line)
+{
+    if (Line *l = find(line))
+        *l = Line{};
+}
+
+void
+Cache::touch(Line *line)
+{
+    line->lru = ++lruClock_;
+}
+
+void
+Cache::clearAllSpec()
+{
+    for (auto &l : lines_)
+        l.spec = false;
+}
+
+unsigned
+Cache::specLineCount() const
+{
+    unsigned n = 0;
+    for (const auto &l : lines_)
+        if (l.valid && l.spec)
+            ++n;
+    return n;
+}
+
+} // namespace utm

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Set-associative tag store used for the per-core L1s and the shared
+ * L2.
+ *
+ * Data is functional (it lives in SimMemory); the caches model timing,
+ * coherence residency, and — crucially for BTM — the speculative-line
+ * pinning that bounds hardware transactions by cache geometry.
+ */
+
+#ifndef UFOTM_MEM_CACHE_HH
+#define UFOTM_MEM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace utm {
+
+/** A set-associative tag store with LRU replacement. */
+class Cache
+{
+  public:
+    /** Per-line metadata. */
+    struct Line
+    {
+        LineAddr addr = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool excl = false; ///< Held with exclusive (write) permission.
+        bool spec = false; ///< Belongs to an in-flight BTM transaction.
+        std::uint64_t lru = 0;
+    };
+
+    /** Result of a line allocation. */
+    struct InsertResult
+    {
+        Line *line = nullptr;  ///< Null if the set overflowed.
+        bool overflowed = false;
+        bool evicted = false;
+        LineAddr evictedAddr = 0;
+        bool evictedDirty = false;
+        bool evictedSpec = false;
+    };
+
+    Cache(unsigned sets, unsigned ways);
+
+    /** Look up @p line; null if absent. */
+    Line *find(LineAddr line);
+    const Line *find(LineAddr line) const;
+
+    /**
+     * Allocate a way for @p line, evicting the LRU non-speculative
+     * line if necessary.  If every way in the set is speculative and
+     * @p allow_spec_eviction is false, the allocation overflows (the
+     * caller aborts the transaction).  With @p allow_spec_eviction
+     * (unbounded-HTM mode) a speculative line may be silently evicted;
+     * conflict tracking is unaffected because the spec table, not the
+     * cache, is authoritative.
+     */
+    InsertResult insert(LineAddr line, bool allow_spec_eviction);
+
+    /** Drop @p line if present (remote invalidation). */
+    void invalidate(LineAddr line);
+
+    /** Mark a line most-recently-used. */
+    void touch(Line *line);
+
+    /** Flash-clear every speculative flag (BTM commit/abort). */
+    void clearAllSpec();
+
+    /** Number of valid lines with the spec flag set. */
+    unsigned specLineCount() const;
+
+    unsigned sets() const { return sets_; }
+    unsigned ways() const { return ways_; }
+
+  private:
+    unsigned setIndex(LineAddr line) const;
+
+    unsigned sets_;
+    unsigned ways_;
+    std::uint64_t lruClock_ = 0;
+    std::vector<Line> lines_; ///< sets_ * ways_, set-major.
+};
+
+} // namespace utm
+
+#endif // UFOTM_MEM_CACHE_HH

@@ -1,0 +1,61 @@
+#include "mem/directory.hh"
+
+#include "sim/logging.hh"
+
+namespace utm {
+
+const Directory::Entry *
+Directory::find(LineAddr line) const
+{
+    auto it = entries_.find(line);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+void
+Directory::addSharer(LineAddr line, ThreadId core)
+{
+    utm_assert(core >= 0 && core < kMaxThreads);
+    entries_[line].sharers |= 1ull << core;
+}
+
+void
+Directory::setOwner(LineAddr line, ThreadId core)
+{
+    utm_assert(core >= 0 && core < kMaxThreads);
+    Entry &e = entries_[line];
+    e.sharers |= 1ull << core;
+    e.owner = core;
+}
+
+void
+Directory::clearOwner(LineAddr line)
+{
+    auto it = entries_.find(line);
+    if (it != entries_.end())
+        it->second.owner = -1;
+}
+
+void
+Directory::removeSharer(LineAddr line, ThreadId core)
+{
+    auto it = entries_.find(line);
+    if (it == entries_.end())
+        return;
+    Entry &e = it->second;
+    e.sharers &= ~(1ull << core);
+    if (e.owner == core)
+        e.owner = -1;
+    if (e.sharers == 0)
+        entries_.erase(it);
+}
+
+std::uint64_t
+Directory::othersMask(LineAddr line, ThreadId core) const
+{
+    const Entry *e = find(line);
+    if (!e)
+        return 0;
+    return e->sharers & ~(1ull << core);
+}
+
+} // namespace utm

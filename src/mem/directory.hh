@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Directory-style sharer tracking for the coherence model.
+ *
+ * Tracks, per line, which cores hold a copy and which (if any) holds
+ * it exclusively/dirty.  Used for invalidation fan-out and transfer
+ * latency decisions; the functional data always lives in SimMemory.
+ */
+
+#ifndef UFOTM_MEM_DIRECTORY_HH
+#define UFOTM_MEM_DIRECTORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace utm {
+
+/** Per-line coherence residency directory. */
+class Directory
+{
+  public:
+    struct Entry
+    {
+        std::uint64_t sharers = 0; ///< Bitmask of cores with a copy.
+        ThreadId owner = -1;       ///< Core with exclusive/dirty copy.
+    };
+
+    /** Look up (never materializes) the entry for @p line. */
+    const Entry *find(LineAddr line) const;
+
+    /** Record that @p core now holds @p line (shared). */
+    void addSharer(LineAddr line, ThreadId core);
+
+    /** Record that @p core holds @p line exclusively. */
+    void setOwner(LineAddr line, ThreadId core);
+
+    /** Downgrade the exclusive owner (it keeps a shared copy). */
+    void clearOwner(LineAddr line);
+
+    /** Remove @p core's copy (eviction or invalidation). */
+    void removeSharer(LineAddr line, ThreadId core);
+
+    /** Sharer mask excluding @p core. */
+    std::uint64_t othersMask(LineAddr line, ThreadId core) const;
+
+    std::size_t trackedLines() const { return entries_.size(); }
+
+  private:
+    std::unordered_map<LineAddr, Entry> entries_;
+};
+
+} // namespace utm
+
+#endif // UFOTM_MEM_DIRECTORY_HH

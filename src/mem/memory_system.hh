@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The simulated memory system: timing, coherence, UFO protection
+ * checks, and BTM conflict detection/resolution.
+ *
+ * Every simulated memory access is a single atomic simulation event
+ * that performs, in order:
+ *
+ *   1. pending-abort / page-fault checks for the issuing transaction;
+ *   2. the UFO protection check (skipped when the thread has UFO
+ *      faults disabled) — non-transactional faults vector to the
+ *      registered handler, transactional faults abort or stall the
+ *      hardware transaction per policy;
+ *   3. speculative-conflict resolution against in-flight BTM
+ *      transactions (wound the owner or NACK the requester, per the
+ *      hardware contention-management policy);
+ *   4. timing (L1/L2/memory/transfer latencies, capacity overflow);
+ *   5. speculative bookkeeping (read/write sets, undo logging);
+ *   6. the functional read or write against SimMemory.
+ *
+ * The "spec table" — a map from line to the set of transactional
+ * readers and the transactional writer — is the authoritative conflict
+ * structure; per-cache spec flags only implement the L1 capacity bound.
+ */
+
+#ifndef UFOTM_MEM_MEMORY_SYSTEM_HH
+#define UFOTM_MEM_MEMORY_SYSTEM_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "mem/directory.hh"
+#include "mem/sim_memory.hh"
+#include "mem/tm_iface.hh"
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace utm {
+
+class Machine;
+class ThreadContext;
+
+/** Timing + coherence + protection model over SimMemory. */
+class MemorySystem
+{
+  public:
+    MemorySystem(Machine &machine, const MachineConfig &cfg);
+
+    /** @name TM hardware wiring. @{ */
+    void setBtmClient(ThreadId t, BtmClient *c);
+    BtmClient *btmClient(ThreadId t) const;
+    void setUfoFaultHandler(UfoFaultHandler h);
+    bool hasUfoFaultHandler() const { return bool(ufoHandler_); }
+    void setRetryWakeupHooks(RetryWakeupHooks h);
+    const RetryWakeupHooks &retryWakeupHooks() const
+    {
+        return retryHooks_;
+    }
+    void setBtmPolicy(const BtmPolicy &p) { policy_ = p; }
+    const BtmPolicy &btmPolicy() const { return policy_; }
+    /** @} */
+
+    /** @name Data path (issued by ThreadContext). @{ */
+    std::uint64_t read(ThreadContext &tc, Addr a, unsigned size);
+    void write(ThreadContext &tc, Addr a, std::uint64_t v, unsigned size);
+
+    /** Atomic compare-and-swap; one simulation event. */
+    bool cas(ThreadContext &tc, Addr a, unsigned size,
+             std::uint64_t expect, std::uint64_t desired,
+             std::uint64_t *old_out = nullptr);
+
+    /** Atomic fetch-and-add; returns the old value. */
+    std::uint64_t fetchAdd(ThreadContext &tc, Addr a, unsigned size,
+                           std::uint64_t delta);
+    /** @} */
+
+    /** @name UFO ISA operations (paper Table 2). @{ */
+    void ufoSet(ThreadContext &tc, LineAddr line, UfoBits bits);
+    void ufoAdd(ThreadContext &tc, LineAddr line, UfoBits bits);
+    UfoBits ufoRead(ThreadContext &tc, LineAddr line);
+    /** @} */
+
+    /** @name BTM speculative bookkeeping. @{ */
+    void addSpecRead(ThreadId t, LineAddr line);
+    void addSpecWrite(ThreadId t, LineAddr line);
+
+    /**
+     * Drop @p t's speculative state for the given lines (commit or
+     * abort).  Written lines are invalidated in the L1 on abort (the
+     * cache held speculative data); on commit they stay.
+     */
+    void clearSpec(ThreadId t, const std::vector<LineAddr> &reads,
+                   const std::vector<LineAddr> &writes,
+                   bool invalidate_writes);
+    /** @} */
+
+    /** @name Introspection for tests. @{ */
+    bool lineHasSpecWriter(LineAddr line) const;
+    std::uint64_t specReaders(LineAddr line) const;
+    Cache &l1(ThreadId t) { return *l1_[t]; }
+    Directory &directory() { return dir_; }
+    /** @} */
+
+    SimMemory &backing() { return mem_; }
+
+  private:
+    struct SpecEntry
+    {
+        std::uint64_t readers = 0;
+        ThreadId writer = -1;
+    };
+
+    enum class RmwKind { None, Cas, FetchAdd };
+
+    std::uint64_t accessImpl(ThreadContext &tc, Addr a, AccessType t,
+                             unsigned size, std::uint64_t wval,
+                             RmwKind rmw, std::uint64_t rmw_expect,
+                             bool *rmw_success);
+
+    /**
+     * Resolve conflicts between this access and remote speculative
+     * lines.  Returns false if the requester was NACKed (retry after
+     * the NACK delay).
+     */
+    bool resolveSpecConflicts(ThreadContext &tc, LineAddr line,
+                              AccessType t);
+
+    /** Charge latency; may abort the requester's transaction. */
+    void chargeAccess(ThreadContext &tc, LineAddr line, AccessType t);
+
+    /** Invalidate all remote L1 copies of @p line. */
+    void invalidateOthers(LineAddr line, ThreadId self);
+
+    Machine &machine_;
+    const MachineConfig &cfg_;
+    SimMemory &mem_;
+    BtmPolicy policy_;
+    std::array<BtmClient *, kMaxThreads> btm_{};
+    UfoFaultHandler ufoHandler_;
+    RetryWakeupHooks retryHooks_;
+    std::unordered_map<LineAddr, SpecEntry> spec_;
+    std::vector<std::unique_ptr<Cache>> l1_;
+    std::unique_ptr<Cache> l2_;
+    Directory dir_;
+};
+
+} // namespace utm
+
+#endif // UFOTM_MEM_MEMORY_SYSTEM_HH

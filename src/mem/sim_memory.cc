@@ -1,0 +1,102 @@
+#include "mem/sim_memory.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace utm {
+
+SimMemory::Page &
+SimMemory::pageFor(Addr a)
+{
+    const std::uint64_t idx = a >> kPageBits;
+    auto it = pages_.find(idx);
+    if (it == pages_.end())
+        it = pages_.emplace(idx, std::make_unique<Page>()).first;
+    return *it->second;
+}
+
+const SimMemory::Page *
+SimMemory::pageForConst(Addr a) const
+{
+    auto it = pages_.find(a >> kPageBits);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t
+SimMemory::read(Addr a, unsigned size) const
+{
+    utm_assert(size == 1 || size == 2 || size == 4 || size == 8);
+    utm_assert(lineOf(a) == lineOf(a + size - 1));
+    const Page *p = pageForConst(a);
+    if (!p)
+        return 0;
+    std::uint64_t v = 0;
+    std::memcpy(&v, p->data.data() + (a & (kPageSize - 1)), size);
+    return v;
+}
+
+void
+SimMemory::write(Addr a, std::uint64_t v, unsigned size)
+{
+    utm_assert(size == 1 || size == 2 || size == 4 || size == 8);
+    utm_assert(lineOf(a) == lineOf(a + size - 1));
+    Page &p = pageFor(a);
+    std::memcpy(p.data.data() + (a & (kPageSize - 1)), &v, size);
+}
+
+UfoBits
+SimMemory::ufoBits(LineAddr line) const
+{
+    const Page *p = pageForConst(line);
+    if (!p)
+        return kUfoNone;
+    std::uint8_t raw =
+        p->ufo[(line & (kPageSize - 1)) >> kLineBits];
+    return UfoBits{(raw & 1) != 0, (raw & 2) != 0};
+}
+
+void
+SimMemory::setUfoBits(LineAddr line, UfoBits bits)
+{
+    utm_assert(lineOffset(line) == 0);
+    Page &p = pageFor(line);
+    std::uint8_t &slot = p.ufo[(line & (kPageSize - 1)) >> kLineBits];
+    const bool was = slot != 0;
+    slot = static_cast<std::uint8_t>((bits.faultOnRead ? 1 : 0) |
+                                     (bits.faultOnWrite ? 2 : 0));
+    const bool now = slot != 0;
+    if (was && !now)
+        p.ufoSetCount--;
+    else if (!was && now)
+        p.ufoSetCount++;
+}
+
+void
+SimMemory::addUfoBits(LineAddr line, UfoBits bits)
+{
+    UfoBits cur = ufoBits(line);
+    setUfoBits(line, UfoBits{cur.faultOnRead || bits.faultOnRead,
+                             cur.faultOnWrite || bits.faultOnWrite});
+}
+
+bool
+SimMemory::pageExists(Addr a) const
+{
+    return pages_.find(a >> kPageBits) != pages_.end();
+}
+
+void
+SimMemory::materializePage(Addr a)
+{
+    pageFor(a);
+}
+
+bool
+SimMemory::pageHasUfoBits(Addr a) const
+{
+    const Page *p = pageForConst(a);
+    return p && p->ufoSetCount > 0;
+}
+
+} // namespace utm

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Functional backing store for the simulated physical address space.
+ *
+ * Data and the per-line UFO protection bits live side by side, exactly
+ * as the paper's Appendix A describes (UFO bits travel with the data
+ * through the whole hierarchy).  Storage is allocated lazily in 64 KiB
+ * pages so tests and workloads can use a sparse address space.
+ */
+
+#ifndef UFOTM_MEM_SIM_MEMORY_HH
+#define UFOTM_MEM_SIM_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace utm {
+
+/** Sparse, paged, functional memory with per-line UFO bits. */
+class SimMemory
+{
+  public:
+    static constexpr unsigned kPageBits = 16;
+    static constexpr std::uint64_t kPageSize = 1ull << kPageBits;
+    static constexpr unsigned kLinesPerPage = kPageSize / kLineSize;
+
+    /**
+     * Read @p size bytes (1, 2, 4, or 8) at @p a, zero-extended.
+     * The access must not cross a cache-line boundary.
+     */
+    std::uint64_t read(Addr a, unsigned size) const;
+
+    /** Write the low @p size bytes of @p v at @p a. */
+    void write(Addr a, std::uint64_t v, unsigned size);
+
+    /** @name UFO protection bits, per cache line. @{ */
+    UfoBits ufoBits(LineAddr line) const;
+    void setUfoBits(LineAddr line, UfoBits bits);
+    void addUfoBits(LineAddr line, UfoBits bits);
+    /** @} */
+
+    /** True if any UFO bit is set anywhere in the page holding @p a.
+     *  Used by the swap model's all-clear-page optimization. */
+    bool pageHasUfoBits(Addr a) const;
+
+    /** Has the page holding @p a been materialized (page-fault model)? */
+    bool pageExists(Addr a) const;
+
+    /** Materialize the page holding @p a (resolve a page fault). */
+    void materializePage(Addr a);
+
+    /** Number of pages materialized so far. */
+    std::size_t pageCount() const { return pages_.size(); }
+
+  private:
+    struct Page
+    {
+        std::array<std::uint8_t, kPageSize> data{};
+        /** Two bits per line: bit0 = fault-on-read, bit1 = f-o-write. */
+        std::array<std::uint8_t, kLinesPerPage> ufo{};
+        unsigned ufoSetCount = 0;
+    };
+
+    Page &pageFor(Addr a);
+    const Page *pageForConst(Addr a) const;
+
+    std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace utm
+
+#endif // UFOTM_MEM_SIM_MEMORY_HH

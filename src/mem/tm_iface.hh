@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Interfaces between the memory system and the TM hardware models.
+ *
+ * The memory system detects conflicts and faults; the BTM unit (and the
+ * software layers above it) decide what to do about them.  This header
+ * defines the abort-reason vocabulary (paper Section 3.1), the
+ * BTM-client callback interface, the hardware contention-management
+ * policy knobs (Sections 4.4 and 5.4), and the UFO fault-handler hook
+ * (Section 3.2).
+ */
+
+#ifndef UFOTM_MEM_TM_IFACE_HH
+#define UFOTM_MEM_TM_IFACE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace utm {
+
+class ThreadContext;
+
+/**
+ * Why a BTM transaction aborted.  Mirrors the status-register reasons
+ * listed in paper Section 3.1, plus the UFO-specific reasons the hybrid
+ * needs (killed by a remote set_ufo_bits; faulted on UFO bits) and the
+ * non-transactional-conflict reason used by Figure 6.
+ */
+enum class AbortReason
+{
+    None,
+    Conflict,        ///< Lost a transaction-vs-transaction conflict.
+    SetOverflow,     ///< Speculative lines overflowed an L1 set.
+    Explicit,        ///< btm_abort executed.
+    Interrupt,       ///< Timer interrupt arrived mid-transaction.
+    Exception,       ///< Non-page-fault exception.
+    Syscall,         ///< System call attempted inside the transaction.
+    Io,              ///< I/O attempted inside the transaction.
+    Uncacheable,     ///< Uncacheable access attempted.
+    PageFault,       ///< Page fault (recoverable: touch and retry).
+    NestingOverflow, ///< Hardware nesting depth exceeded.
+    UfoFault,        ///< Access hit a UFO-protected line (STM conflict).
+    UfoBitSet,       ///< Remote set_ufo_bits killed a speculative line.
+    NonTConflict,    ///< Non-transactional access won a conflict.
+};
+
+/** Human-readable abort-reason name (for stats and Figure 6 rows). */
+const char *abortReasonName(AbortReason r);
+
+/** Number of AbortReason values, for iteration. */
+constexpr int kNumAbortReasons = 14;
+
+/**
+ * Hardware contention-management policy (paper Sections 4.4, 5.4).
+ */
+struct BtmPolicy
+{
+    /** Who wins a BTM-vs-BTM conflict. */
+    enum class Cm
+    {
+        AgeOrdered,    ///< Older wins; younger requester NACKs (paper).
+        RequesterWins, ///< Naive policy (Figure 8, first bar).
+    };
+
+    /** How a BTM transaction responds to a UFO fault (STM conflict). */
+    enum class UfoFaultResponse
+    {
+        Abort, ///< Vector to the abort handler (default).
+        Stall, ///< Stall until the protection clears (Figure 8, bar 3).
+    };
+
+    Cm cm = Cm::AgeOrdered;
+    UfoFaultResponse ufoFaultResponse = UfoFaultResponse::Abort;
+
+    /**
+     * Limit study (Figure 8, bar 4): set_ufo_bits only kills BTM
+     * transactions whose access mode truly conflicts with the new
+     * bits, instead of every speculative copy of the line.
+     */
+    bool ufoSetTrueConflictOracle = false;
+};
+
+/**
+ * Callback interface the BTM hardware model implements so the memory
+ * system can interrogate and wound in-flight transactions.
+ *
+ * All methods that report a fatal condition for the current
+ * transaction (onUfoFault with Abort policy, onCapacityOverflow,
+ * onPageFault, takePendingAbort) throw BtmAbortException; the
+ * transaction-retry loop above catches it.
+ */
+class BtmClient
+{
+  public:
+    virtual ~BtmClient() = default;
+
+    /** Is a hardware transaction currently executing on this core? */
+    virtual bool inTx() const = 0;
+
+    /** Is this transaction already wounded but not yet unwound? */
+    virtual bool doomed() const = 0;
+
+    /** Throw the pending abort (called when doomed() is observed). */
+    [[noreturn]] virtual void takePendingAbort() = 0;
+
+    /** Transaction begin sequence number; smaller means older. */
+    virtual std::uint64_t txAge() const = 0;
+
+    /** Is the L1 capacity bound lifted (unbounded-HTM mode)? */
+    virtual bool unbounded() const = 0;
+
+    /** Did this transaction speculatively write @p line ? */
+    virtual bool wroteLine(LineAddr line) const = 0;
+
+    /**
+     * Synchronously abort this transaction from another thread's
+     * action: restore the undo log, release speculative state, record
+     * the reason.  The victim's fiber observes the doom at its next
+     * simulation event and unwinds via takePendingAbort().
+     */
+    virtual void wound(AbortReason r, ThreadId killer) = 0;
+
+    /** A UFO fault hit a transactional access: abort or stall. */
+    virtual void onUfoFault(Addr a, AccessType t) = 0;
+
+    /** Track a committed transactional access (sets, undo log). */
+    virtual void onTxAccess(Addr a, unsigned size, AccessType t) = 0;
+
+    /** A speculative line could not be kept in the L1. */
+    [[noreturn]] virtual void onCapacityOverflow(LineAddr line) = 0;
+
+    /** The transaction touched an unmapped page. */
+    [[noreturn]] virtual void onPageFault(Addr a) = 0;
+
+    /** Syscall/IO/exception attempted inside the transaction. */
+    [[noreturn]] virtual void onForbiddenOp(AbortReason r) = 0;
+
+    /** The core's timer quantum expired mid-transaction. */
+    [[noreturn]] virtual void onTimerInterrupt() = 0;
+};
+
+/**
+ * User-registered UFO fault handler (paper Section 3.2), invoked when
+ * a non-transactional access faults.  The handler must make progress
+ * (stall the access until protection clears, or abort the owning
+ * software transaction); the faulting access retries afterwards.
+ */
+using UfoFaultHandler =
+    std::function<void(ThreadContext &, Addr, AccessType)>;
+
+/**
+ * Section 6 `retry` wakeup protocol, from the hardware side.
+ *
+ * When a BTM transaction's access faults on UFO protection, the
+ * user-mode fault handler (running inside the hardware transaction)
+ * inspects the otable.  If the line is owned only by *parked*
+ * retrying transactions, the handler records their identities, the
+ * hardware transaction speculatively clears the UFO bits (the clear
+ * becomes visible at commit and is discarded on abort), and the
+ * recorded transactions are woken after the commit — so they observe
+ * the committed update when they re-execute.
+ */
+struct RetryWakeupHooks
+{
+    /** Opaque wakeup token: (thread id, transaction age). */
+    using Token = std::pair<ThreadId, std::uint64_t>;
+
+    /**
+     * Inspect the otable for @p line.  Returns true iff the line's
+     * protection is held only by parked retrying transactions (or is
+     * mid-release); fills @p tokens with the retryers to wake at
+     * commit.  Returns false on a live STM conflict.
+     */
+    std::function<bool(ThreadContext &, LineAddr,
+                       std::vector<Token> *tokens)>
+        inspect;
+
+    /** Wake the recorded transactions (called after BTM commit). */
+    std::function<void(const std::vector<Token> &tokens)> wake;
+};
+
+} // namespace utm
+
+#endif // UFOTM_MEM_TM_IFACE_HH

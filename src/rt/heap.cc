@@ -1,0 +1,111 @@
+#include "rt/heap.hh"
+
+#include "mem/sim_memory.hh"
+#include "sim/logging.hh"
+#include "sim/machine.hh"
+#include "sim/thread_context.hh"
+
+namespace utm {
+
+namespace {
+constexpr Cycles kAllocCost = 30;
+constexpr Cycles kFreeCost = 15;
+} // namespace
+
+TxHeap::TxHeap(Machine &machine)
+    : machine_(machine), base_(machine.config().heapBase),
+      limit_(base_ + machine.config().heapSize), bump_(base_)
+{
+}
+
+int
+TxHeap::classOf(std::uint64_t bytes, bool line_aligned)
+{
+    utm_assert(bytes > 0);
+    if (line_aligned || bytes > kLineSize) {
+        // Line-aligned classes: 64, 128, 256, ... (classes 8..15).
+        std::uint64_t sz = kLineSize;
+        for (int c = 8; c < kNumClasses; ++c, sz <<= 1)
+            if (bytes <= sz)
+                return c;
+        utm_fatal("allocation of %llu bytes exceeds max size class",
+                  static_cast<unsigned long long>(bytes));
+    }
+    // Small classes: 8, 16, 24, 32, 40, 48, 56, 64 (classes 0..7).
+    return static_cast<int>((bytes + 7) / 8) - 1;
+}
+
+std::uint64_t
+TxHeap::classSize(int cls)
+{
+    if (cls < 8)
+        return std::uint64_t(cls + 1) * 8;
+    return std::uint64_t(kLineSize) << (cls - 8);
+}
+
+Addr
+TxHeap::carve(ThreadContext &tc, std::uint64_t size, bool line_align)
+{
+    if (line_align && lineOffset(bump_) != 0) {
+        bump_ = lineOf(bump_) + kLineSize;
+    } else if (size <= kLineSize &&
+               lineOf(bump_) != lineOf(bump_ + size - 1)) {
+        // Keep sub-line blocks from straddling lines.
+        bump_ = lineOf(bump_) + kLineSize;
+    }
+    if (bump_ + size > limit_)
+        utm_fatal("simulated heap exhausted (%llu bytes in use)",
+                  static_cast<unsigned long long>(bytesInUse_));
+    Addr a = bump_;
+    bump_ += size;
+    // Pre-faulted arena: materialize pages as they are first carved.
+    SimMemory &mem = machine_.memory();
+    for (Addr p = a; p < a + size; p += SimMemory::kPageSize)
+        mem.materializePage(p);
+    mem.materializePage(a + size - 1);
+    (void)tc;
+    return a;
+}
+
+Addr
+TxHeap::alloc(ThreadContext &tc, std::uint64_t bytes, bool line_aligned)
+{
+    tc.advance(kAllocCost);
+    const int cls = classOf(bytes, line_aligned);
+    auto &fl = freeLists_[cls];
+    Addr a;
+    if (!fl.empty()) {
+        a = fl.back();
+        fl.pop_back();
+    } else {
+        a = carve(tc, classSize(cls), cls >= 8);
+    }
+    bytesInUse_ += classSize(cls);
+    return a;
+}
+
+Addr
+TxHeap::allocZeroed(ThreadContext &tc, std::uint64_t bytes,
+                    bool line_aligned)
+{
+    Addr a = alloc(tc, bytes, line_aligned);
+    // Functional zeroing (blocks from the free list may be dirty).
+    SimMemory &mem = machine_.memory();
+    const std::uint64_t size = classSize(classOf(bytes, line_aligned));
+    for (std::uint64_t off = 0; off < size; off += 8)
+        mem.write(a + off, 0, 8);
+    return a;
+}
+
+void
+TxHeap::free(ThreadContext &tc, Addr a, std::uint64_t bytes,
+             bool line_aligned)
+{
+    tc.advance(kFreeCost);
+    const int cls = classOf(bytes, line_aligned);
+    freeLists_[cls].push_back(a);
+    utm_assert(bytesInUse_ >= classSize(cls));
+    bytesInUse_ -= classSize(cls);
+}
+
+} // namespace utm

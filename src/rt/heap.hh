@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Simulated-memory heap allocator.
+ *
+ * Carves the machine's heap region into size-class chunks.  Metadata
+ * is host-side (the allocator itself is not under test), but the cost
+ * of allocation is charged and freshly carved pages are materialized
+ * eagerly — modelling a pre-faulted malloc arena, so that transactional
+ * allocations do not page-fault (see DESIGN.md).
+ *
+ * Allocations never straddle a cache line unless they are larger than
+ * one line, in which case they are line-aligned; this keeps the
+ * line-granularity TM systems honest about false sharing.
+ */
+
+#ifndef UFOTM_RT_HEAP_HH
+#define UFOTM_RT_HEAP_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace utm {
+
+class Machine;
+class ThreadContext;
+
+/** Shared allocator over the machine's simulated heap region. */
+class TxHeap
+{
+  public:
+    explicit TxHeap(Machine &machine);
+
+    /**
+     * Allocate @p bytes (rounded to a size class).  Line-aligned when
+     * @p line_aligned or when the size exceeds one line.
+     */
+    Addr alloc(ThreadContext &tc, std::uint64_t bytes,
+               bool line_aligned = false);
+
+    /** Return a block to its size-class free list; @p line_aligned
+     *  must match the allocation. */
+    void free(ThreadContext &tc, Addr a, std::uint64_t bytes,
+              bool line_aligned = false);
+
+    /** Allocate and zero. */
+    Addr allocZeroed(ThreadContext &tc, std::uint64_t bytes,
+                     bool line_aligned = false);
+
+    std::uint64_t bytesInUse() const { return bytesInUse_; }
+    std::uint64_t bytesCarved() const { return bump_ - base_; }
+
+  private:
+    static constexpr int kNumClasses = 24;
+
+    static int classOf(std::uint64_t bytes, bool line_aligned);
+    static std::uint64_t classSize(int cls);
+
+    Addr carve(ThreadContext &tc, std::uint64_t size, bool line_align);
+
+    Machine &machine_;
+    Addr base_;
+    Addr limit_;
+    Addr bump_;
+    std::array<std::vector<Addr>, kNumClasses> freeLists_;
+    std::uint64_t bytesInUse_ = 0;
+};
+
+} // namespace utm
+
+#endif // UFOTM_RT_HEAP_HH

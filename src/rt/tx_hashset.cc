@@ -1,0 +1,94 @@
+#include "rt/tx_hashset.hh"
+
+#include "sim/logging.hh"
+
+namespace utm {
+
+namespace {
+constexpr unsigned kCapOff = 0;
+constexpr unsigned kCountOff = 8;
+constexpr unsigned kSlotsOff = kLineSize; ///< Slots on their own lines.
+} // namespace
+
+TxHashSet
+TxHashSet::create(ThreadContext &tc, TxHeap &heap,
+                  std::uint64_t capacity)
+{
+    utm_assert(capacity >= 2 && (capacity & (capacity - 1)) == 0);
+    Addr base = heap.allocZeroed(tc, kSlotsOff + capacity * 8,
+                                 /*line_aligned=*/true);
+    tc.store(base + kCapOff, capacity, 8);
+    return TxHashSet(base);
+}
+
+std::uint64_t
+TxHashSet::hashKey(std::uint64_t key)
+{
+    key ^= key >> 33;
+    key *= 0xff51afd7ed558ccdull;
+    key ^= key >> 33;
+    return key;
+}
+
+Addr
+TxHashSet::slotAddr(std::uint64_t cap, std::uint64_t idx) const
+{
+    return base_ + kSlotsOff + (idx & (cap - 1)) * 8;
+}
+
+bool
+TxHashSet::insert(TxHandle &h, std::uint64_t key)
+{
+    utm_assert(key != 0);
+    const std::uint64_t cap = h.read(base_ + kCapOff, 8);
+    std::uint64_t idx = hashKey(key);
+    for (std::uint64_t probe = 0; probe < cap; ++probe, ++idx) {
+        const Addr slot = slotAddr(cap, idx);
+        const std::uint64_t cur = h.read(slot, 8);
+        if (cur == key)
+            return false;
+        if (cur == 0) {
+            // Note: no shared count field is maintained -- it would
+            // serialize every insert on one hot line.
+            h.write(slot, key, 8);
+            return true;
+        }
+    }
+    utm_fatal("TxHashSet full (capacity %llu)",
+              static_cast<unsigned long long>(cap));
+}
+
+bool
+TxHashSet::contains(TxHandle &h, std::uint64_t key)
+{
+    utm_assert(key != 0);
+    const std::uint64_t cap = h.read(base_ + kCapOff, 8);
+    std::uint64_t idx = hashKey(key);
+    for (std::uint64_t probe = 0; probe < cap; ++probe, ++idx) {
+        const std::uint64_t cur = h.read(slotAddr(cap, idx), 8);
+        if (cur == key)
+            return true;
+        if (cur == 0)
+            return false;
+    }
+    return false;
+}
+
+std::uint64_t
+TxHashSet::count(TxHandle &h)
+{
+    const std::uint64_t cap = h.read(base_ + kCapOff, 8);
+    std::uint64_t n = 0;
+    for (std::uint64_t i = 0; i < cap; ++i)
+        if (h.read(slotAddr(cap, i), 8) != 0)
+            ++n;
+    return n;
+}
+
+std::uint64_t
+TxHashSet::capacity(TxHandle &h)
+{
+    return h.read(base_ + kCapOff, 8);
+}
+
+} // namespace utm

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fixed-capacity open-addressing hash set over simulated memory
+ * (linear probing; key 0 is the empty sentinel).  Used by genome's
+ * segment-deduplication phase.
+ *
+ * Layout: header { capacity (u64), count (u64) } followed by the
+ * line-aligned slot array.
+ */
+
+#ifndef UFOTM_RT_TX_HASHSET_HH
+#define UFOTM_RT_TX_HASHSET_HH
+
+#include <cstdint>
+
+#include "core/tx_system.hh"
+#include "rt/heap.hh"
+#include "sim/types.hh"
+
+namespace utm {
+
+/** Open-addressing hash set of non-zero u64 keys. */
+class TxHashSet
+{
+  public:
+    /** Wrap an existing set at @p base. */
+    explicit TxHashSet(Addr base) : base_(base) {}
+
+    /** Allocate a set with @p capacity slots (power of two). */
+    static TxHashSet create(ThreadContext &tc, TxHeap &heap,
+                            std::uint64_t capacity);
+
+    /**
+     * Insert @p key (must be non-zero).
+     * @return false if already present.
+     */
+    bool insert(TxHandle &h, std::uint64_t key);
+
+    bool contains(TxHandle &h, std::uint64_t key);
+
+    /** Number of keys (full scan; verification helper). */
+    std::uint64_t count(TxHandle &h);
+
+    std::uint64_t capacity(TxHandle &h);
+
+    Addr base() const { return base_; }
+
+  private:
+    static std::uint64_t hashKey(std::uint64_t key);
+
+    Addr slotAddr(std::uint64_t cap, std::uint64_t idx) const;
+
+    Addr base_;
+};
+
+} // namespace utm
+
+#endif // UFOTM_RT_TX_HASHSET_HH

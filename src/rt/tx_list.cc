@@ -1,0 +1,111 @@
+#include "rt/tx_list.hh"
+
+#include "sim/logging.hh"
+
+namespace utm {
+
+namespace {
+constexpr unsigned kNodeBytes = 24;
+constexpr unsigned kKeyOff = 0;
+constexpr unsigned kValOff = 8;
+constexpr unsigned kNextOff = 16;
+} // namespace
+
+TxList
+TxList::create(ThreadContext &tc, TxHeap &heap)
+{
+    Addr header = heap.allocZeroed(tc, 8);
+    return TxList(heap, header);
+}
+
+bool
+TxList::insert(TxHandle &h, std::uint64_t key, std::uint64_t value)
+{
+    // Find the insertion point: prev_ptr is the address of the
+    // pointer cell to rewrite (header or a node's next field).
+    Addr prev_ptr = header_;
+    Addr node = h.read(prev_ptr, 8);
+    while (node != 0) {
+        std::uint64_t nkey = h.read(node + kKeyOff, 8);
+        if (nkey == key)
+            return false;
+        if (nkey > key)
+            break;
+        prev_ptr = node + kNextOff;
+        node = h.read(prev_ptr, 8);
+    }
+    Addr fresh = heap_->alloc(h.ctx(), kNodeBytes, /*line_aligned=*/true);
+    h.write(fresh + kKeyOff, key, 8);
+    h.write(fresh + kValOff, value, 8);
+    h.write(fresh + kNextOff, node, 8);
+    h.write(prev_ptr, fresh, 8);
+    return true;
+}
+
+bool
+TxList::lookup(TxHandle &h, std::uint64_t key, std::uint64_t *value_out)
+{
+    Addr node = h.read(header_, 8);
+    while (node != 0) {
+        std::uint64_t nkey = h.read(node + kKeyOff, 8);
+        if (nkey == key) {
+            if (value_out)
+                *value_out = h.read(node + kValOff, 8);
+            return true;
+        }
+        if (nkey > key)
+            return false;
+        node = h.read(node + kNextOff, 8);
+    }
+    return false;
+}
+
+bool
+TxList::remove(TxHandle &h, std::uint64_t key)
+{
+    Addr prev_ptr = header_;
+    Addr node = h.read(prev_ptr, 8);
+    while (node != 0) {
+        std::uint64_t nkey = h.read(node + kKeyOff, 8);
+        if (nkey == key) {
+            Addr next = h.read(node + kNextOff, 8);
+            h.write(prev_ptr, next, 8);
+            // The node is leaked, not freed: heap metadata is host
+            // state and is not rolled back on abort, so freeing
+            // inside a (re-executable) transaction could hand the
+            // block out while the old list still links it.
+            return true;
+        }
+        if (nkey > key)
+            return false;
+        prev_ptr = node + kNextOff;
+        node = h.read(prev_ptr, 8);
+    }
+    return false;
+}
+
+std::uint64_t
+TxList::size(TxHandle &h)
+{
+    std::uint64_t n = 0;
+    Addr node = h.read(header_, 8);
+    while (node != 0) {
+        ++n;
+        node = h.read(node + kNextOff, 8);
+    }
+    return n;
+}
+
+std::vector<std::uint64_t>
+TxList::keys(TxHandle &h)
+{
+    std::vector<std::uint64_t> out;
+    Addr node = h.read(header_, 8);
+    while (node != 0) {
+        out.push_back(h.read(node + kKeyOff, 8));
+        node = h.read(node + kNextOff, 8);
+    }
+    return out;
+}
+
+} // namespace utm

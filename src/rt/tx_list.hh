@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Sorted singly-linked list in simulated memory, accessed through a
+ * TxHandle so the active TM system mediates every read and write.
+ *
+ * Node layout (one line-aligned 24-byte block per node):
+ *   +0  key    (u64)
+ *   +8  value  (u64)
+ *   +16 next   (u64, simulated address; 0 = end)
+ *
+ * The list header is a single word holding the head pointer.  This is
+ * the structure behind genome's high-contention insertion phase.
+ */
+
+#ifndef UFOTM_RT_TX_LIST_HH
+#define UFOTM_RT_TX_LIST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tx_system.hh"
+#include "rt/heap.hh"
+#include "sim/types.hh"
+
+namespace utm {
+
+/** Sorted key/value linked list over simulated memory. */
+class TxList
+{
+  public:
+    /** Wrap an existing header word at @p header. */
+    TxList(TxHeap &heap, Addr header) : heap_(&heap), header_(header) {}
+
+    /** Allocate a fresh (empty) list. */
+    static TxList create(ThreadContext &tc, TxHeap &heap);
+
+    /**
+     * Insert (key, value) keeping the list sorted by key.
+     * @return false if the key was already present.
+     */
+    bool insert(TxHandle &h, std::uint64_t key, std::uint64_t value);
+
+    /** Look up @p key; true and *value_out set if present. */
+    bool lookup(TxHandle &h, std::uint64_t key,
+                std::uint64_t *value_out = nullptr);
+
+    /** Remove @p key; true if it was present (node is freed). */
+    bool remove(TxHandle &h, std::uint64_t key);
+
+    /** Walk the whole list; returns the number of nodes. */
+    std::uint64_t size(TxHandle &h);
+
+    /** Collect all keys in order (verification helper). */
+    std::vector<std::uint64_t> keys(TxHandle &h);
+
+    Addr header() const { return header_; }
+
+  private:
+    TxHeap *heap_;
+    Addr header_;
+};
+
+} // namespace utm
+
+#endif // UFOTM_RT_TX_LIST_HH

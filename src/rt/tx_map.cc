@@ -1,0 +1,138 @@
+#include "rt/tx_map.hh"
+
+#include "sim/logging.hh"
+
+namespace utm {
+
+namespace {
+constexpr unsigned kNodeBytes = 24;
+constexpr unsigned kKeyOff = 0;
+constexpr unsigned kValOff = 8;
+constexpr unsigned kNextOff = 16;
+
+std::uint64_t
+mixKey(std::uint64_t key)
+{
+    key ^= key >> 30;
+    key *= 0xbf58476d1ce4e5b9ull;
+    key ^= key >> 27;
+    return key;
+}
+
+} // namespace
+
+TxMap
+TxMap::create(ThreadContext &tc, TxHeap &heap, std::uint64_t buckets)
+{
+    utm_assert(buckets >= 1 && (buckets & (buckets - 1)) == 0);
+    // Header line + one line per bucket head.
+    Addr base = heap.allocZeroed(
+        tc, kLineSize + buckets * kLineSize, /*line_aligned=*/true);
+    tc.store(base, buckets, 8);
+    return TxMap(heap, base);
+}
+
+Addr
+TxMap::bucketHead(std::uint64_t buckets, std::uint64_t key) const
+{
+    const std::uint64_t b = mixKey(key) & (buckets - 1);
+    return base_ + kLineSize + b * kLineSize;
+}
+
+bool
+TxMap::insert(TxHandle &h, std::uint64_t key, std::uint64_t value)
+{
+    const std::uint64_t buckets = h.read(base_, 8);
+    Addr prev_ptr = bucketHead(buckets, key);
+    Addr node = h.read(prev_ptr, 8);
+    while (node != 0) {
+        std::uint64_t nkey = h.read(node + kKeyOff, 8);
+        if (nkey == key)
+            return false;
+        if (nkey > key)
+            break;
+        prev_ptr = node + kNextOff;
+        node = h.read(prev_ptr, 8);
+    }
+    Addr fresh = heap_->alloc(h.ctx(), kNodeBytes, /*line_aligned=*/true);
+    h.write(fresh + kKeyOff, key, 8);
+    h.write(fresh + kValOff, value, 8);
+    h.write(fresh + kNextOff, node, 8);
+    h.write(prev_ptr, fresh, 8);
+    return true;
+}
+
+Addr
+TxMap::valueAddr(TxHandle &h, std::uint64_t key)
+{
+    const std::uint64_t buckets = h.read(base_, 8);
+    Addr node = h.read(bucketHead(buckets, key), 8);
+    while (node != 0) {
+        std::uint64_t nkey = h.read(node + kKeyOff, 8);
+        if (nkey == key)
+            return node + kValOff;
+        if (nkey > key)
+            return 0;
+        node = h.read(node + kNextOff, 8);
+    }
+    return 0;
+}
+
+bool
+TxMap::lookup(TxHandle &h, std::uint64_t key, std::uint64_t *value_out)
+{
+    Addr va = valueAddr(h, key);
+    if (va == 0)
+        return false;
+    if (value_out)
+        *value_out = h.read(va, 8);
+    return true;
+}
+
+bool
+TxMap::update(TxHandle &h, std::uint64_t key, std::uint64_t value)
+{
+    Addr va = valueAddr(h, key);
+    if (va == 0)
+        return false;
+    h.write(va, value, 8);
+    return true;
+}
+
+bool
+TxMap::remove(TxHandle &h, std::uint64_t key)
+{
+    const std::uint64_t buckets = h.read(base_, 8);
+    Addr prev_ptr = bucketHead(buckets, key);
+    Addr node = h.read(prev_ptr, 8);
+    while (node != 0) {
+        std::uint64_t nkey = h.read(node + kKeyOff, 8);
+        if (nkey == key) {
+            Addr next = h.read(node + kNextOff, 8);
+            h.write(prev_ptr, next, 8);
+            return true;
+        }
+        if (nkey > key)
+            return false;
+        prev_ptr = node + kNextOff;
+        node = h.read(prev_ptr, 8);
+    }
+    return false;
+}
+
+std::uint64_t
+TxMap::size(TxHandle &h)
+{
+    const std::uint64_t buckets = h.read(base_, 8);
+    std::uint64_t n = 0;
+    for (std::uint64_t b = 0; b < buckets; ++b) {
+        Addr node = h.read(base_ + kLineSize + b * kLineSize, 8);
+        while (node != 0) {
+            ++n;
+            node = h.read(node + kNextOff, 8);
+        }
+    }
+    return n;
+}
+
+} // namespace utm

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Chained hash map over simulated memory: a bucket array of sorted
+ * TxList-style chains.  With a deliberately small bucket count the
+ * chain walks produce the deep-traversal read footprints of STAMP
+ * vacation's tree indices.
+ *
+ * Layout: header { buckets (u64) } then one head-pointer word per
+ * bucket (each on its own line to avoid false sharing between
+ * buckets); chain nodes are TxList nodes {key, value, next}.
+ */
+
+#ifndef UFOTM_RT_TX_MAP_HH
+#define UFOTM_RT_TX_MAP_HH
+
+#include <cstdint>
+
+#include "core/tx_system.hh"
+#include "rt/heap.hh"
+#include "sim/types.hh"
+
+namespace utm {
+
+/** Chained hash map of u64 -> u64 over simulated memory. */
+class TxMap
+{
+  public:
+    explicit TxMap(TxHeap &heap, Addr base) : heap_(&heap), base_(base)
+    {
+    }
+
+    /** Allocate a map with @p buckets chains (power of two). */
+    static TxMap create(ThreadContext &tc, TxHeap &heap,
+                        std::uint64_t buckets);
+
+    /** Insert; false if the key exists. */
+    bool insert(TxHandle &h, std::uint64_t key, std::uint64_t value);
+
+    /** Look up; true and *value_out set when present. */
+    bool lookup(TxHandle &h, std::uint64_t key,
+                std::uint64_t *value_out = nullptr);
+
+    /** Overwrite an existing key's value; false if absent. */
+    bool update(TxHandle &h, std::uint64_t key, std::uint64_t value);
+
+    /** Remove; false if absent (node leaked, not freed — see
+     *  TxList::remove). */
+    bool remove(TxHandle &h, std::uint64_t key);
+
+    /** Address of the value word for in-place RMW on present keys;
+     *  0 when absent.  The chain walk is transactional. */
+    Addr valueAddr(TxHandle &h, std::uint64_t key);
+
+    /** Total entries (verification helper; walks everything). */
+    std::uint64_t size(TxHandle &h);
+
+    Addr base() const { return base_; }
+
+  private:
+    Addr bucketHead(std::uint64_t buckets, std::uint64_t key) const;
+
+    TxHeap *heap_;
+    Addr base_;
+};
+
+} // namespace utm
+
+#endif // UFOTM_RT_TX_MAP_HH

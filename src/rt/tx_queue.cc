@@ -1,0 +1,57 @@
+#include "rt/tx_queue.hh"
+
+namespace utm {
+
+namespace {
+constexpr unsigned kValOff = 0;
+constexpr unsigned kNextOff = 8;
+constexpr unsigned kNodeBytes = 16;
+} // namespace
+
+TxQueue
+TxQueue::create(ThreadContext &tc, TxHeap &heap)
+{
+    return TxQueue(heap, heap.allocZeroed(tc, 16, true));
+}
+
+void
+TxQueue::enqueue(TxHandle &h, std::uint64_t value)
+{
+    Addr node = heap_->alloc(h.ctx(), kNodeBytes, /*line_aligned=*/true);
+    h.write(node + kValOff, value, 8);
+    h.write(node + kNextOff, 0, 8);
+    const Addr tail = h.read(header_ + 8, 8);
+    if (tail == 0)
+        h.write(header_, node, 8); // Empty: head = node.
+    else
+        h.write(tail + kNextOff, node, 8);
+    h.write(header_ + 8, node, 8);
+}
+
+bool
+TxQueue::dequeue(TxHandle &h, std::uint64_t *value_out)
+{
+    const Addr head = h.read(header_, 8);
+    if (head == 0)
+        return false;
+    *value_out = h.read(head + kValOff, 8);
+    const Addr next = h.read(head + kNextOff, 8);
+    h.write(header_, next, 8);
+    if (next == 0)
+        h.write(header_ + 8, 0, 8);
+    return true;
+}
+
+std::uint64_t
+TxQueue::size(TxHandle &h)
+{
+    std::uint64_t n = 0;
+    Addr node = h.read(header_, 8);
+    while (node != 0) {
+        ++n;
+        node = h.read(node + kNextOff, 8);
+    }
+    return n;
+}
+
+} // namespace utm

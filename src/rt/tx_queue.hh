@@ -1,0 +1,51 @@
+/**
+ * @file
+ * FIFO queue over simulated memory, accessed through a TxHandle.
+ *
+ * Layout: one header line holding {head, tail} pointers; nodes are
+ * line-aligned {value, next} pairs.  The shared header makes the
+ * queue a natural contention point, as in STAMP's intruder.
+ * Dequeued nodes are leaked, not freed (heap metadata is host state
+ * and is not rolled back on abort — see TxList::remove).
+ */
+
+#ifndef UFOTM_RT_TX_QUEUE_HH
+#define UFOTM_RT_TX_QUEUE_HH
+
+#include <cstdint>
+
+#include "core/tx_system.hh"
+#include "rt/heap.hh"
+#include "sim/types.hh"
+
+namespace utm {
+
+/** Transactional FIFO of u64 values. */
+class TxQueue
+{
+  public:
+    TxQueue(TxHeap &heap, Addr header) : heap_(&heap), header_(header)
+    {
+    }
+
+    /** Allocate an empty queue. */
+    static TxQueue create(ThreadContext &tc, TxHeap &heap);
+
+    void enqueue(TxHandle &h, std::uint64_t value);
+
+    /** Pop the oldest value; false when empty. */
+    bool dequeue(TxHandle &h, std::uint64_t *value_out);
+
+    /** Walk the queue (verification helper). */
+    std::uint64_t size(TxHandle &h);
+
+    Addr header() const { return header_; }
+
+  private:
+    TxHeap *heap_;
+    Addr header_; ///< +0 head ptr, +8 tail ptr.
+};
+
+} // namespace utm
+
+#endif // UFOTM_RT_TX_QUEUE_HH

@@ -1,0 +1,28 @@
+#include "sim/config.hh"
+
+#include <sstream>
+
+namespace utm {
+
+std::string
+MachineConfig::describe() const
+{
+    std::ostringstream os;
+    os << "cores                 " << numCores << "\n"
+       << "L1 data cache         " << (l1Bytes() >> 10) << " KiB, "
+       << l1Ways << "-way, " << kLineSize << " B lines, "
+       << l1HitLatency << "-cycle hit\n"
+       << "L2 unified cache      "
+       << ((std::uint64_t(l2Sets) * l2Ways * kLineSize) >> 20)
+       << " MiB, " << l2Ways << "-way, " << l2HitLatency
+       << "-cycle hit\n"
+       << "memory latency        " << memLatency << " cycles\n"
+       << "cache-cache transfer  " << transferLatency << " cycles\n"
+       << "NACK retry delay      " << nackRetryDelay << " cycles\n"
+       << "timer quantum         " << timerQuantum << " cycles\n"
+       << "USTM otable buckets   " << otableBuckets << "\n"
+       << "rng seed              " << seed << "\n";
+    return os.str();
+}
+
+} // namespace utm

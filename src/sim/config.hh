@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Machine configuration (the paper's Table 4).
+ *
+ * Latencies follow the paper's simulated system where stated; where the
+ * scanned table is incomplete we use representative 2008-era values and
+ * document them in DESIGN.md.  Every knob here can be swept by the
+ * bench harnesses.
+ */
+
+#ifndef UFOTM_SIM_CONFIG_HH
+#define UFOTM_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace utm {
+
+/** Full description of the simulated machine. */
+struct MachineConfig
+{
+    /** Number of cores == maximum number of simulated threads. */
+    int numCores = 8;
+
+    /** @name L1 data cache geometry (per core, write-back).
+     *  32 KiB, 8-way, 64 B lines: 64 sets. BTM transactions are bounded
+     *  by this geometry (a set whose ways are all speculative
+     *  overflows). @{ */
+    unsigned l1Sets = 64;
+    unsigned l1Ways = 8;
+    /** @} */
+
+    /** @name Shared L2 geometry (unified, inclusive). 4 MiB, 16-way. @{ */
+    unsigned l2Sets = 4096;
+    unsigned l2Ways = 16;
+    /** @} */
+
+    /** @name Access latencies, in cycles. @{ */
+    Cycles l1HitLatency = 3;
+    Cycles l2HitLatency = 16;
+    Cycles memLatency = 220;
+    /** Extra cost of a dirty remote-to-local cache transfer. */
+    Cycles transferLatency = 40;
+    /** NACKed coherence requests retry after this delay (paper: 20). */
+    Cycles nackRetryDelay = 20;
+    /** @} */
+
+    /** Cost charged for a non-memory "work" unit in workload kernels. */
+    Cycles aluOpLatency = 1;
+
+    /** Timer-interrupt quantum per core; aborts in-flight BTM
+     *  transactions with AbortReason::Interrupt. 0 disables timers. */
+    Cycles timerQuantum = 200000;
+
+    /** Global RNG seed; every per-thread Rng derives from it. */
+    std::uint64_t seed = 1;
+
+    /** USTM ownership-table bucket count (paper: 65536). */
+    unsigned otableBuckets = 65536;
+
+    /** Simulated-heap base address and size. */
+    Addr heapBase = 0x10000000;
+    std::uint64_t heapSize = 512ull << 20;
+
+    /** Render as the Table 4 parameter dump. */
+    std::string describe() const;
+
+    /** L1 capacity in bytes. */
+    std::uint64_t l1Bytes() const
+    {
+        return std::uint64_t(l1Sets) * l1Ways * kLineSize;
+    }
+};
+
+} // namespace utm
+
+#endif // UFOTM_SIM_CONFIG_HH

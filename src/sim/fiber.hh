@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Cooperative user-level fibers built on POSIX ucontext.
+ *
+ * Every simulated thread runs on a fiber.  The scheduler resumes one
+ * fiber at a time; a fiber returns control by calling yield() (done
+ * implicitly by every simulated memory access).  This makes the whole
+ * simulation single-host-threaded and deterministic.
+ */
+
+#ifndef UFOTM_SIM_FIBER_HH
+#define UFOTM_SIM_FIBER_HH
+
+#include <setjmp.h>
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace utm {
+
+/** One cooperative fiber with its own stack. */
+class Fiber
+{
+  public:
+    using Fn = std::function<void()>;
+
+    explicit Fiber(std::size_t stack_size = 256 * 1024);
+    ~Fiber();
+
+    Fiber(const Fiber&) = delete;
+    Fiber& operator=(const Fiber&) = delete;
+
+    /** Arm the fiber with an entry function; it runs on first resume. */
+    void reset(Fn fn);
+
+    /**
+     * Switch into the fiber.  Returns when the fiber yields or its
+     * entry function returns.  Must not be called from inside the
+     * fiber itself.
+     */
+    void resume();
+
+    /** Switch back to whoever called resume().  Call inside the fiber. */
+    void yield();
+
+    /** True once the entry function has returned. */
+    bool finished() const { return finished_; }
+
+    /** True while execution is inside this fiber. */
+    bool running() const { return running_; }
+
+  private:
+    static void trampoline(unsigned hi, unsigned lo);
+    void run();
+
+    ucontext_t own_;
+    ucontext_t callerCtx_;
+    jmp_buf ownJb_;
+    jmp_buf callerJb_;
+    std::vector<char> stack_;
+    Fn fn_;
+    bool started_ = false;
+    bool finished_ = true;
+    bool running_ = false;
+};
+
+} // namespace utm
+
+#endif // UFOTM_SIM_FIBER_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 discipline:
+ *
+ *  - panic():  an internal simulator bug; should never happen. Aborts.
+ *  - fatal():  a user/configuration error; exits with an error code.
+ *  - warn():   something suspicious that the simulation survives.
+ *  - inform(): plain status output.
+ */
+
+#ifndef UFOTM_SIM_LOGGING_HH
+#define UFOTM_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace utm {
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Format a printf-style message into a std::string. */
+std::string vformatString(const char *fmt, va_list ap);
+
+} // namespace utm
+
+#define utm_panic(...) ::utm::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define utm_fatal(...) ::utm::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define utm_warn(...) ::utm::warnImpl(__VA_ARGS__)
+#define utm_inform(...) ::utm::informImpl(__VA_ARGS__)
+
+/** Invariant check that survives NDEBUG builds; panics on failure. */
+#define utm_assert(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::utm::panicImpl(__FILE__, __LINE__,                            \
+                             "assertion failed: %s", #cond);                \
+        }                                                                   \
+    } while (0)
+
+#endif // UFOTM_SIM_LOGGING_HH

@@ -1,0 +1,69 @@
+#include "sim/machine.hh"
+
+#include "mem/memory_system.hh"
+#include "sim/logging.hh"
+
+namespace utm {
+
+Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
+{
+    utm_assert(cfg_.numCores >= 1 && cfg_.numCores < kMaxThreads);
+    msys_ = std::make_unique<MemorySystem>(*this, cfg_);
+}
+
+Machine::~Machine() = default;
+
+ThreadContext &
+Machine::addThread(ThreadContext::Fn fn)
+{
+    utm_assert(!running_);
+    if (static_cast<int>(threads_.size()) >= cfg_.numCores)
+        utm_fatal("more threads (%zu) than cores (%d)",
+                  threads_.size() + 1, cfg_.numCores);
+    ThreadId id = static_cast<ThreadId>(threads_.size());
+    threads_.push_back(
+        std::make_unique<ThreadContext>(*this, id, std::move(fn)));
+    return *threads_.back();
+}
+
+ThreadContext &
+Machine::initContext()
+{
+    if (!initCtx_) {
+        // The init context gets the last thread id so it never
+        // collides with worker cores; it has its own L1 slot.
+        initCtx_ = std::make_unique<ThreadContext>(
+            *this, kMaxThreads - 1, nullptr);
+    }
+    return *initCtx_;
+}
+
+void
+Machine::run()
+{
+    running_ = true;
+    for (;;) {
+        ThreadContext *next = nullptr;
+        for (auto &t : threads_) {
+            if (t->done())
+                continue;
+            if (!next || t->now() < next->now())
+                next = t.get();
+        }
+        if (!next)
+            break;
+        next->resume();
+    }
+    running_ = false;
+}
+
+Cycles
+Machine::completionTime() const
+{
+    Cycles max = 0;
+    for (const auto &t : threads_)
+        max = std::max(max, t->now());
+    return max;
+}
+
+} // namespace utm

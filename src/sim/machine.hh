@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The top-level simulated machine: memory hierarchy, cores/threads,
+ * and the deterministic cooperative scheduler.
+ *
+ * Scheduling rule: always resume the unfinished thread with the
+ * smallest local clock (ties broken by thread id).  Combined with the
+ * rule that every shared-memory access is a single atomic event, this
+ * makes runs bit-reproducible for a given seed.
+ */
+
+#ifndef UFOTM_SIM_MACHINE_HH
+#define UFOTM_SIM_MACHINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/sim_memory.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/thread_context.hh"
+#include "sim/types.hh"
+
+namespace utm {
+
+class MemorySystem;
+
+/** A simulated multicore machine. */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &cfg = MachineConfig{});
+    ~Machine();
+
+    Machine(const Machine&) = delete;
+    Machine& operator=(const Machine&) = delete;
+
+    /**
+     * Add a simulated thread; ids are assigned 0, 1, ... in call
+     * order. All threads must be added before run().
+     */
+    ThreadContext &addThread(ThreadContext::Fn fn);
+
+    /** Run the scheduler until every thread's entry fn returns. */
+    void run();
+
+    /**
+     * A context for untimed-ish setup/verification performed outside
+     * the scheduler (tests, workload result checking).  It shares the
+     * machine's memory system but never yields.
+     */
+    ThreadContext &initContext();
+
+    /** Global transaction begin-sequence counter (age-based CM). */
+    std::uint64_t nextTxSeq() { return txSeq_++; }
+
+    const MachineConfig &config() const { return cfg_; }
+    SimMemory &memory() { return mem_; }
+    MemorySystem &memsys() { return *msys_; }
+    StatsRegistry &stats() { return stats_; }
+
+    int numThreads() const { return static_cast<int>(threads_.size()); }
+    ThreadContext &thread(ThreadId t) { return *threads_.at(t); }
+
+    /** Completion time: max final clock across worker threads. */
+    Cycles completionTime() const;
+
+  private:
+    MachineConfig cfg_;
+    SimMemory mem_;
+    StatsRegistry stats_;
+    std::unique_ptr<MemorySystem> msys_;
+    std::vector<std::unique_ptr<ThreadContext>> threads_;
+    std::unique_ptr<ThreadContext> initCtx_;
+    std::uint64_t txSeq_ = 1;
+    bool running_ = false;
+};
+
+} // namespace utm
+
+#endif // UFOTM_SIM_MACHINE_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * Each simulated thread owns an independently-seeded Rng so that the
+ * interleaving chosen by the scheduler is bit-reproducible across runs.
+ */
+
+#ifndef UFOTM_SIM_RNG_HH
+#define UFOTM_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace utm {
+
+/** xoshiro256** generator with SplitMix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Re-seed the generator. */
+    void seed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform value in [0, bound); bound must be non-zero. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability @p p. */
+    bool nextBool(double p);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace utm
+
+#endif // UFOTM_SIM_RNG_HH

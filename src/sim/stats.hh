@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Lightweight named-counter statistics registry.
+ *
+ * Components bump counters by name ("btm.aborts.overflow", ...); bench
+ * harnesses read them back to print the paper's tables.  Counters are
+ * created on first use.
+ */
+
+#ifndef UFOTM_SIM_STATS_HH
+#define UFOTM_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace utm {
+
+/** Power-of-two-bucketed histogram of 64-bit samples. */
+class Histogram
+{
+  public:
+    static constexpr int kBuckets = 33; ///< bucket i: [2^(i-1), 2^i).
+
+    void observe(std::uint64_t value);
+
+    std::uint64_t samples() const { return samples_; }
+    std::uint64_t min() const { return samples_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    double mean() const;
+
+    /** Bucketed quantile (upper bound of the bucket holding @p q). */
+    std::uint64_t quantile(double q) const;
+
+    /** Samples strictly greater than @p threshold. */
+    std::uint64_t countAbove(std::uint64_t threshold) const;
+
+  private:
+    std::uint64_t buckets_[kBuckets] = {};
+    std::uint64_t samples_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~std::uint64_t(0);
+    std::uint64_t max_ = 0;
+};
+
+/** A registry of named 64-bit counters. */
+class StatsRegistry
+{
+  public:
+    /** Add @p delta to counter @p name, creating it at zero if new. */
+    void inc(const std::string &name, std::uint64_t delta = 1);
+
+    /** Record a sample in the named histogram. */
+    void observe(const std::string &name, std::uint64_t value);
+
+    /** Read a histogram; an empty one if never observed. */
+    const Histogram &histogram(const std::string &name) const;
+
+    /** Set counter @p name to @p value. */
+    void set(const std::string &name, std::uint64_t value);
+
+    /** Read counter @p name; zero if it was never touched. */
+    std::uint64_t get(const std::string &name) const;
+
+    /** All counters whose names start with @p prefix, sorted by name. */
+    std::vector<std::pair<std::string, std::uint64_t>>
+    withPrefix(const std::string &prefix) const;
+
+    /** Reset every counter to zero (names are retained). */
+    void clear();
+
+    /** Render all counters, one "name value" line each. */
+    std::string dump() const;
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace utm
+
+#endif // UFOTM_SIM_STATS_HH

@@ -1,0 +1,127 @@
+#include "sim/thread_context.hh"
+
+#include "mem/memory_system.hh"
+#include "mem/tm_iface.hh"
+#include "sim/logging.hh"
+#include "sim/machine.hh"
+
+namespace utm {
+
+ThreadContext::ThreadContext(Machine &machine, ThreadId id, Fn fn)
+    : machine_(machine), id_(id), fn_(std::move(fn)),
+      rng_(machine.config().seed * 0x9e3779b97f4a7c15ull +
+           static_cast<std::uint64_t>(id) + 1)
+{
+    const Cycles q = machine_.config().timerQuantum;
+    nextTimer_ = q == 0 ? ~Cycles(0) : q;
+    if (fn_)
+        fiber_ = std::make_unique<Fiber>();
+    else
+        done_ = true; // Init context: never scheduled.
+}
+
+MemorySystem &
+ThreadContext::memsys()
+{
+    return machine_.memsys();
+}
+
+StatsRegistry &
+ThreadContext::stats()
+{
+    return machine_.stats();
+}
+
+void
+ThreadContext::resume()
+{
+    utm_assert(fiber_ && !done_);
+    if (!startedFiber_) {
+        startedFiber_ = true;
+        fiber_->reset([this] { fn_(*this); });
+    }
+    fiber_->resume();
+    if (fiber_->finished())
+        done_ = true;
+}
+
+void
+ThreadContext::advance(Cycles n)
+{
+    clock_ += n;
+    if (clock_ >= nextTimer_) {
+        const Cycles q = machine_.config().timerQuantum;
+        nextTimer_ = ((clock_ / q) + 1) * q;
+        stats().inc("machine.timer_interrupts");
+        if (btm_ && btm_->inTx())
+            btm_->onTimerInterrupt(); // throws BtmAbortException
+    }
+}
+
+void
+ThreadContext::yield()
+{
+    if (fiber_ && fiber_->running())
+        fiber_->yield();
+}
+
+std::uint64_t
+ThreadContext::load(Addr a, unsigned size)
+{
+    return memsys().read(*this, a, size);
+}
+
+void
+ThreadContext::store(Addr a, std::uint64_t v, unsigned size)
+{
+    memsys().write(*this, a, v, size);
+}
+
+bool
+ThreadContext::cas(Addr a, unsigned size, std::uint64_t expect,
+                   std::uint64_t desired, std::uint64_t *old_out)
+{
+    return memsys().cas(*this, a, size, expect, desired, old_out);
+}
+
+std::uint64_t
+ThreadContext::fetchAdd(Addr a, unsigned size, std::uint64_t delta)
+{
+    return memsys().fetchAdd(*this, a, size, delta);
+}
+
+void
+ThreadContext::setUfoBits(Addr a, UfoBits bits)
+{
+    memsys().ufoSet(*this, lineOf(a), bits);
+}
+
+void
+ThreadContext::addUfoBits(Addr a, UfoBits bits)
+{
+    memsys().ufoAdd(*this, lineOf(a), bits);
+}
+
+UfoBits
+ThreadContext::readUfoBits(Addr a)
+{
+    return memsys().ufoRead(*this, lineOf(a));
+}
+
+void
+ThreadContext::syscallMarker()
+{
+    advance(100); // Kernel entry/exit cost.
+    if (btm_ && btm_->inTx())
+        btm_->onForbiddenOp(AbortReason::Syscall);
+}
+
+void
+ThreadContext::ioMarker()
+{
+    advance(500);
+    if (btm_ && btm_->inTx())
+        btm_->onForbiddenOp(AbortReason::Io);
+}
+
+} // namespace utm

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Per-thread execution context of the simulated machine.
+ *
+ * A ThreadContext is the handle workload code and TM runtimes use for
+ * everything: timed memory accesses, UFO ISA operations, cycle
+ * accounting, and the per-thread RNG.  One thread per core; thread 0's
+ * entry function typically performs workload setup.
+ */
+
+#ifndef UFOTM_SIM_THREAD_CONTEXT_HH
+#define UFOTM_SIM_THREAD_CONTEXT_HH
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <type_traits>
+
+#include "sim/fiber.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace utm {
+
+class BtmClient;
+class Machine;
+class MemorySystem;
+class StatsRegistry;
+
+/** One simulated hardware thread (== core in this model). */
+class ThreadContext
+{
+  public:
+    using Fn = std::function<void(ThreadContext &)>;
+
+    /**
+     * @param machine  Owning machine.
+     * @param id       Thread/core id.
+     * @param fn       Entry function; null for the init context, which
+     *                 runs on the host stack outside the scheduler.
+     */
+    ThreadContext(Machine &machine, ThreadId id, Fn fn);
+
+    /** @name Time. @{ */
+    Cycles now() const { return clock_; }
+
+    /**
+     * Charge @p n cycles of local work.  Fires the core's timer
+     * interrupt when the quantum boundary is crossed, which aborts an
+     * in-flight BTM transaction.
+     */
+    void advance(Cycles n);
+
+    /** Cooperative reschedule point. No-op on the init context. */
+    void yield();
+    /** @} */
+
+    /** @name Timed shared-memory accesses. @{ */
+    std::uint64_t load(Addr a, unsigned size);
+    void store(Addr a, std::uint64_t v, unsigned size);
+    bool cas(Addr a, unsigned size, std::uint64_t expect,
+             std::uint64_t desired, std::uint64_t *old_out = nullptr);
+    std::uint64_t fetchAdd(Addr a, unsigned size, std::uint64_t delta);
+
+    template <typename T>
+    T
+    loadT(Addr a)
+    {
+        static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+        std::uint64_t raw = load(a, sizeof(T));
+        T v;
+        std::memcpy(&v, &raw, sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    storeT(Addr a, T v)
+    {
+        static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+        std::uint64_t raw = 0;
+        std::memcpy(&raw, &v, sizeof(T));
+        store(a, raw, sizeof(T));
+    }
+    /** @} */
+
+    /** @name UFO ISA (paper Table 2). @{ */
+    void setUfoBits(Addr a, UfoBits bits);
+    void addUfoBits(Addr a, UfoBits bits);
+    UfoBits readUfoBits(Addr a);
+    void enableUfo() { ufoEnabled_ = true; }
+    void disableUfo() { ufoEnabled_ = false; }
+    bool ufoEnabled() const { return ufoEnabled_; }
+    /** @} */
+
+    /** @name Transaction-hostile events (syscall/IO markers). @{ */
+    void syscallMarker();
+    void ioMarker();
+    /** @} */
+
+    /** @name Plumbing. @{ */
+    ThreadId id() const { return id_; }
+    Machine &machine() { return machine_; }
+    MemorySystem &memsys();
+    StatsRegistry &stats();
+    Rng &rng() { return rng_; }
+    BtmClient *btmClient() { return btm_; }
+    void setBtmClient(BtmClient *c) { btm_ = c; }
+    bool done() const { return done_; }
+    bool isInitContext() const { return !fiber_; }
+    Fiber *fiber() { return fiber_.get(); }
+    /** Scheduler entry: run/resume this thread's fiber. */
+    void resume();
+    /** @} */
+
+  private:
+    Machine &machine_;
+    ThreadId id_;
+    Cycles clock_ = 0;
+    Cycles nextTimer_;
+    bool ufoEnabled_ = true;
+    bool done_ = false;
+    bool startedFiber_ = false;
+    Fn fn_;
+    std::unique_ptr<Fiber> fiber_;
+    Rng rng_;
+    BtmClient *btm_ = nullptr;
+};
+
+} // namespace utm
+
+#endif // UFOTM_SIM_THREAD_CONTEXT_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fundamental simulator types shared by every module.
+ *
+ * The simulated machine exposes a flat 64-bit physical address space.
+ * All TM mechanisms in this repository (BTM speculative bits, UFO
+ * protection bits, the USTM ownership table) operate at cache-line
+ * granularity, mirroring the paper.
+ */
+
+#ifndef UFOTM_SIM_TYPES_HH
+#define UFOTM_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace utm {
+
+/** Simulated physical address. */
+using Addr = std::uint64_t;
+
+/** Simulated time, in processor cycles. */
+using Cycles = std::uint64_t;
+
+/** Simulated thread identifier; one thread per core in this model. */
+using ThreadId = int;
+
+/** Log2 of the cache-line size; 64-byte lines as in the paper. */
+constexpr unsigned kLineBits = 6;
+
+/** Cache-line size in bytes. */
+constexpr unsigned kLineSize = 1u << kLineBits;
+
+/** Maximum number of simulated threads (otable owner sets are 64-bit). */
+constexpr int kMaxThreads = 64;
+
+/** A line-aligned address (low kLineBits bits are zero). */
+using LineAddr = Addr;
+
+/** Round an address down to its cache line. */
+constexpr LineAddr
+lineOf(Addr a)
+{
+    return a & ~static_cast<Addr>(kLineSize - 1);
+}
+
+/** Byte offset of an address within its cache line. */
+constexpr unsigned
+lineOffset(Addr a)
+{
+    return static_cast<unsigned>(a & (kLineSize - 1));
+}
+
+/** Kind of memory access, used by coherence, UFO and TM layers. */
+enum class AccessType { Read, Write };
+
+/**
+ * UFO protection bits for one cache line (paper Section 3.2).
+ *
+ * faultOnRead/faultOnWrite raise a user-level fault when a thread with
+ * UFO faults enabled performs the corresponding access.
+ */
+struct UfoBits
+{
+    bool faultOnRead = false;
+    bool faultOnWrite = false;
+
+    constexpr bool any() const { return faultOnRead || faultOnWrite; }
+
+    /** Would an access of type @p t fault under these bits? */
+    constexpr bool
+    faults(AccessType t) const
+    {
+        return t == AccessType::Read ? faultOnRead : faultOnWrite;
+    }
+
+    constexpr bool operator==(const UfoBits&) const = default;
+};
+
+/** Both UFO bits set: full isolation of a line. */
+constexpr UfoBits kUfoBoth{true, true};
+/** Only fault-on-write: readers tolerated, writers fault. */
+constexpr UfoBits kUfoWriteOnly{false, true};
+/** No protection. */
+constexpr UfoBits kUfoNone{false, false};
+
+} // namespace utm
+
+#endif // UFOTM_SIM_TYPES_HH

@@ -1,0 +1,78 @@
+#include "stamp/failover_ubench.hh"
+
+#include "mem/sim_memory.hh"
+#include "sim/logging.hh"
+
+namespace utm {
+
+Addr
+FailoverUbench::wordAddr(int tid, int tx_index, int word) const
+{
+    // Deterministic stride through the thread's private region; one
+    // word per line so the transaction footprint is wordsPerTx lines.
+    const std::uint64_t line =
+        (std::uint64_t(tx_index) * p_.wordsPerTx + word) %
+        p_.linesPerThread;
+    return region_ +
+           (std::uint64_t(tid) * p_.linesPerThread + line) * kLineSize;
+}
+
+void
+FailoverUbench::setup(ThreadContext &init, TxHeap &heap, int nthreads)
+{
+    nthreads_ = nthreads;
+    region_ = heap.allocZeroed(
+        init,
+        std::uint64_t(nthreads) * p_.linesPerThread * kLineSize, true);
+}
+
+void
+FailoverUbench::threadBody(ThreadContext &tc, TxSystem &sys, int tid,
+                           int nthreads)
+{
+    (void)nthreads;
+    for (int i = 0; i < p_.txPerThread; ++i) {
+        // Decide the forced failover before the transaction so the
+        // body replays identically after aborts.
+        const bool force = tc.rng().nextBool(p_.failoverRate);
+        sys.atomic(tc, [&](TxHandle &h) {
+            if (force)
+                h.requireSoftware();
+            for (int w = 0; w < p_.wordsPerTx; ++w) {
+                const Addr a = wordAddr(tid, i, w);
+                h.write(a, h.read(a, 8) + 1, 8);
+            }
+        });
+        tc.advance(50); // Inter-transaction work.
+    }
+}
+
+bool
+FailoverUbench::validate(ThreadContext &init)
+{
+    SimMemory &mem = init.machine().memory();
+    for (int t = 0; t < nthreads_; ++t) {
+        std::vector<std::uint64_t> expect(p_.linesPerThread, 0);
+        for (int i = 0; i < p_.txPerThread; ++i)
+            for (int w = 0; w < p_.wordsPerTx; ++w) {
+                expect[(std::uint64_t(i) * p_.wordsPerTx + w) %
+                       p_.linesPerThread]++;
+            }
+        for (int l = 0; l < p_.linesPerThread; ++l) {
+            const Addr a =
+                region_ +
+                (std::uint64_t(t) * p_.linesPerThread + l) * kLineSize;
+            if (mem.read(a, 8) != expect[l]) {
+                utm_warn("failover-ubench: thread %d line %d has %llu, "
+                         "expected %llu",
+                         t, l,
+                         static_cast<unsigned long long>(mem.read(a, 8)),
+                         static_cast<unsigned long long>(expect[l]));
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace utm

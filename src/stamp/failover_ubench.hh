@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Software-failover microbenchmark (paper Section 5.3, Figure 7).
+ *
+ * Every transaction reads and increments a fixed number of words in
+ * its own thread's disjoint region — zero conflicts by construction —
+ * and is forced onto the software path with a prescribed probability
+ * via TxHandle::requireSoftware().  Sweeping that probability isolates
+ * how each hybrid's performance degrades from pure-HTM-like to
+ * pure-STM-like.
+ *
+ * Validation: each word's final value equals the number of committed
+ * increments targeted at it (deterministic access pattern).
+ */
+
+#ifndef UFOTM_STAMP_FAILOVER_UBENCH_HH
+#define UFOTM_STAMP_FAILOVER_UBENCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "stamp/workload.hh"
+
+namespace utm {
+
+/** Microbenchmark parameters. */
+struct FailoverParams
+{
+    int txPerThread = 256;
+    int wordsPerTx = 8;
+    int linesPerThread = 64; ///< Private region size.
+    double failoverRate = 0.0;
+    std::uint64_t seed = 17;
+};
+
+/** The forced-failover microbenchmark. */
+class FailoverUbench final : public Workload
+{
+  public:
+    explicit FailoverUbench(const FailoverParams &p) : p_(p) {}
+
+    const char *name() const override { return "failover-ubench"; }
+    void setup(ThreadContext &init, TxHeap &heap, int nthreads) override;
+    void threadBody(ThreadContext &tc, TxSystem &sys, int tid,
+                    int nthreads) override;
+    bool validate(ThreadContext &init) override;
+
+  private:
+    Addr wordAddr(int tid, int tx_index, int word) const;
+
+    FailoverParams p_;
+    Addr region_ = 0;
+    int nthreads_ = 0;
+};
+
+} // namespace utm
+
+#endif // UFOTM_STAMP_FAILOVER_UBENCH_HH

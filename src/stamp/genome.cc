@@ -1,0 +1,106 @@
+#include "stamp/genome.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace utm {
+
+int
+GenomeWorkload::shardOf(std::uint64_t key) const
+{
+    // Shard by key range so each shard list stays sorted globally.
+    return static_cast<int>(key * p_.shards / (p_.uniquePool + 1));
+}
+
+void
+GenomeWorkload::setup(ThreadContext &init, TxHeap &heap, int nthreads)
+{
+    heap_ = &heap;
+    barrier_ = std::make_unique<SimBarrier>(nthreads);
+
+    hashsetBase_ =
+        TxHashSet::create(init, heap, p_.hashsetCapacity).base();
+    shardHeaders_.clear();
+    for (int s = 0; s < p_.shards; ++s)
+        shardHeaders_.push_back(TxList::create(init, heap).header());
+
+    // Segment stream: draws (with duplicates) from the unique pool.
+    Rng rng(p_.seed);
+    stream_.resize(p_.segments);
+    std::set<std::uint64_t> seen;
+    for (auto &s : stream_) {
+        s = 1 + rng.nextBounded(p_.uniquePool); // Keys in [1, pool].
+        seen.insert(s);
+    }
+    uniques_.assign(seen.begin(), seen.end());
+}
+
+void
+GenomeWorkload::threadBody(ThreadContext &tc, TxSystem &sys, int tid,
+                           int nthreads)
+{
+    // Phase 1: deduplicate segments through the shared hash set.
+    TxHashSet set(hashsetBase_);
+    const int per1 = (int(stream_.size()) + nthreads - 1) / nthreads;
+    const int lo1 = tid * per1;
+    const int hi1 = std::min<int>(int(stream_.size()), lo1 + per1);
+    for (int i = lo1; i < hi1; ++i) {
+        const std::uint64_t key = stream_[i];
+        sys.atomic(tc, [&](TxHandle &h) { set.insert(h, key); });
+        tc.advance(30); // Segment-processing work.
+    }
+
+    barrier_->arrive(tc);
+
+    // Phase 2: sorted insertion of the unique segments into shared
+    // shard lists (the paper's high-contention phase).  Keys are
+    // assigned round-robin so every thread hits every shard and the
+    // lists grow under contention.
+    for (int i = tid; i < int(uniques_.size()); i += nthreads) {
+        const std::uint64_t key = uniques_[i];
+        TxList list(*heap_, shardHeaders_[shardOf(key)]);
+        sys.atomic(tc, [&](TxHandle &h) { list.insert(h, key, i); });
+        tc.advance(20);
+    }
+}
+
+bool
+GenomeWorkload::validate(ThreadContext &init)
+{
+    auto no_tm = TxSystem::create(TxSystemKind::NoTm, init.machine());
+    bool ok = true;
+    no_tm->atomic(init, [&](TxHandle &h) {
+        TxHashSet set(hashsetBase_);
+        if (set.count(h) != uniques_.size()) {
+            utm_warn("genome: hashset holds %llu keys, expected %zu",
+                     static_cast<unsigned long long>(set.count(h)),
+                     uniques_.size());
+            ok = false;
+            return;
+        }
+        std::vector<std::uint64_t> all;
+        for (int s = 0; s < p_.shards; ++s) {
+            TxList list(*heap_, shardHeaders_[s]);
+            auto keys = list.keys(h);
+            if (!std::is_sorted(keys.begin(), keys.end())) {
+                utm_warn("genome: shard %d not sorted", s);
+                ok = false;
+                return;
+            }
+            all.insert(all.end(), keys.begin(), keys.end());
+        }
+        std::sort(all.begin(), all.end());
+        if (all != uniques_) {
+            utm_warn("genome: shard lists do not match unique set "
+                     "(%zu vs %zu keys)",
+                     all.size(), uniques_.size());
+            ok = false;
+        }
+    });
+    return ok;
+}
+
+} // namespace utm

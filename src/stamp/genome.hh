@@ -1,0 +1,64 @@
+/**
+ * @file
+ * genome — gene-sequencing kernel (STAMP): a segment-deduplication
+ * phase over a shared hash set, followed by the high-contention phase
+ * the paper highlights — inserting elements in sorted order into
+ * shared linked lists.  List walks give transactions long read chains
+ * that periodically overflow the L1, and concurrent insertions into
+ * the same region conflict heavily.
+ *
+ * Validation: the hash set holds exactly the unique segments; the
+ * shard lists are sorted, duplicate-free, and contain every unique
+ * segment exactly once.
+ */
+
+#ifndef UFOTM_STAMP_GENOME_HH
+#define UFOTM_STAMP_GENOME_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rt/tx_hashset.hh"
+#include "rt/tx_list.hh"
+#include "stamp/workload.hh"
+
+namespace utm {
+
+/** genome parameters (scaled for simulation speed). */
+struct GenomeParams
+{
+    int segments = 1536;      ///< Total segment stream (with dups).
+    int uniquePool = 768;     ///< Distinct segment values.
+    int shards = 8;           ///< Sorted lists sharded by key range.
+    std::uint64_t hashsetCapacity = 2048;
+    std::uint64_t seed = 13;
+};
+
+/** The genome workload. */
+class GenomeWorkload final : public Workload
+{
+  public:
+    explicit GenomeWorkload(const GenomeParams &p) : p_(p) {}
+
+    const char *name() const override { return "genome"; }
+    void setup(ThreadContext &init, TxHeap &heap, int nthreads) override;
+    void threadBody(ThreadContext &tc, TxSystem &sys, int tid,
+                    int nthreads) override;
+    bool validate(ThreadContext &init) override;
+
+  private:
+    int shardOf(std::uint64_t key) const;
+
+    GenomeParams p_;
+    TxHeap *heap_ = nullptr;
+    Addr hashsetBase_ = 0;
+    std::vector<Addr> shardHeaders_;
+    std::vector<std::uint64_t> stream_;  ///< Segment stream (host).
+    std::vector<std::uint64_t> uniques_; ///< Sorted unique values.
+    std::unique_ptr<SimBarrier> barrier_;
+};
+
+} // namespace utm
+
+#endif // UFOTM_STAMP_GENOME_HH

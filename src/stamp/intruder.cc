@@ -1,0 +1,149 @@
+#include "stamp/intruder.hh"
+
+#include <algorithm>
+
+#include "mem/sim_memory.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace utm {
+
+std::uint64_t
+IntruderWorkload::packFragment(int flow, int index,
+                               std::uint64_t payload)
+{
+    return (payload << 24) | (std::uint64_t(flow) << 8) |
+           std::uint64_t(index);
+}
+
+int
+IntruderWorkload::flowOf(std::uint64_t frag)
+{
+    return static_cast<int>((frag >> 8) & 0xffff);
+}
+
+int
+IntruderWorkload::indexOf(std::uint64_t frag)
+{
+    return static_cast<int>(frag & 0xff);
+}
+
+std::uint64_t
+IntruderWorkload::payloadOf(std::uint64_t frag)
+{
+    return frag >> 24;
+}
+
+void
+IntruderWorkload::setup(ThreadContext &init, TxHeap &heap, int nthreads)
+{
+    (void)nthreads;
+    heap_ = &heap;
+    queueHeader_ = TxQueue::create(init, heap).header();
+    assemblyBase_ = TxMap::create(init, heap, p_.mapBuckets).base();
+    detectedBase_ = heap.allocZeroed(
+        init, std::uint64_t(p_.flows) * kLineSize, true);
+
+    // Generate fragments and a shuffled arrival order.
+    Rng rng(p_.seed);
+    expectedChecksum_.assign(p_.flows, 0);
+    std::vector<std::uint64_t> arrivals;
+    for (int f = 0; f < p_.flows; ++f) {
+        for (int i = 0; i < p_.fragmentsPerFlow; ++i) {
+            const std::uint64_t payload = rng.nextBounded(1u << 20);
+            expectedChecksum_[f] += payload;
+            arrivals.push_back(packFragment(f, i, payload));
+        }
+    }
+    for (std::size_t i = arrivals.size(); i > 1; --i)
+        std::swap(arrivals[i - 1], arrivals[rng.nextBounded(i)]);
+
+    auto no_tm = TxSystem::create(TxSystemKind::NoTm, init.machine());
+    no_tm->atomic(init, [&](TxHandle &h) {
+        TxQueue q(*heap_, queueHeader_);
+        for (std::uint64_t frag : arrivals)
+            q.enqueue(h, frag);
+    });
+}
+
+void
+IntruderWorkload::threadBody(ThreadContext &tc, TxSystem &sys, int tid,
+                             int nthreads)
+{
+    (void)tid;
+    (void)nthreads;
+    TxQueue q(*heap_, queueHeader_);
+    TxMap assembly(*heap_, assemblyBase_);
+
+    for (;;) {
+        // Phase 1: grab the next fragment (hot queue header).
+        std::uint64_t frag = 0;
+        bool got = false;
+        sys.atomic(tc,
+                   [&](TxHandle &h) { got = q.dequeue(h, &frag); });
+        if (!got)
+            return;
+
+        // Phase 2: fold it into the flow's reassembly record; the
+        // completing fragment claims the flow for detection.
+        const int flow = flowOf(frag);
+        const std::uint64_t payload = payloadOf(frag);
+        bool completed = false;
+        std::uint64_t checksum = 0;
+        sys.atomic(tc, [&](TxHandle &h) {
+            completed = false;
+            std::uint64_t rec = 0;
+            if (!assembly.lookup(h, flow + 1, &rec)) {
+                assembly.insert(h, flow + 1, (payload << 8) | 1);
+                rec = (payload << 8) | 1;
+            } else {
+                rec = ((rec >> 8) + payload) << 8 | ((rec & 0xff) + 1);
+                assembly.update(h, flow + 1, rec);
+            }
+            if (int(rec & 0xff) == p_.fragmentsPerFlow) {
+                completed = true;
+                checksum = rec >> 8;
+                const Addr d =
+                    detectedBase_ + std::uint64_t(flow) * kLineSize;
+                h.write(d, h.read(d, 8) + checksum + 1, 8);
+            }
+        });
+
+        // Phase 3: run the detector (non-transactional compute).
+        if (completed)
+            tc.advance(400 + (checksum & 0xff));
+        tc.advance(60);
+        (void)indexOf(frag);
+    }
+}
+
+bool
+IntruderWorkload::validate(ThreadContext &init)
+{
+    SimMemory &mem = init.machine().memory();
+    bool ok = true;
+    for (int f = 0; f < p_.flows; ++f) {
+        const std::uint64_t d =
+            mem.read(detectedBase_ + std::uint64_t(f) * kLineSize, 8);
+        if (d != expectedChecksum_[f] + 1) {
+            utm_warn("intruder: flow %d detected value %llu, expected "
+                     "%llu (checksum+1, exactly once)",
+                     f, static_cast<unsigned long long>(d),
+                     static_cast<unsigned long long>(
+                         expectedChecksum_[f] + 1));
+            ok = false;
+        }
+    }
+    auto no_tm = TxSystem::create(TxSystemKind::NoTm, init.machine());
+    no_tm->atomic(init, [&](TxHandle &h) {
+        TxQueue q(*heap_, queueHeader_);
+        std::uint64_t v;
+        if (q.dequeue(h, &v)) {
+            utm_warn("intruder: fragments left in the queue");
+            ok = false;
+        }
+    });
+    return ok;
+}
+
+} // namespace utm

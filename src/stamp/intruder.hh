@@ -1,0 +1,69 @@
+/**
+ * @file
+ * intruder — network-intrusion-detection kernel (extension beyond
+ * the paper's three benchmarks; modelled on STAMP's intruder).
+ *
+ * Packet fragments of many flows arrive in a shared queue in random
+ * order.  Worker threads repeatedly: (1) transactionally dequeue a
+ * fragment; (2) transactionally insert it into the shared reassembly
+ * map keyed by flow; when the flow completes, claim it; (3) run the
+ * detector over the reassembled payload (non-transactional compute).
+ * Medium-sized transactions over a hot queue plus a cool map — a
+ * different contention mix from kmeans/vacation/genome.
+ *
+ * Validation: every flow is detected exactly once and each flow's
+ * reconstructed checksum matches the fragments generated for it.
+ */
+
+#ifndef UFOTM_STAMP_INTRUDER_HH
+#define UFOTM_STAMP_INTRUDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "rt/tx_map.hh"
+#include "rt/tx_queue.hh"
+#include "stamp/workload.hh"
+
+namespace utm {
+
+/** intruder parameters (scaled for simulation speed). */
+struct IntruderParams
+{
+    int flows = 48;
+    int fragmentsPerFlow = 4;
+    int mapBuckets = 32;
+    std::uint64_t seed = 23;
+};
+
+/** The intruder workload. */
+class IntruderWorkload final : public Workload
+{
+  public:
+    explicit IntruderWorkload(const IntruderParams &p) : p_(p) {}
+
+    const char *name() const override { return "intruder"; }
+    void setup(ThreadContext &init, TxHeap &heap, int nthreads) override;
+    void threadBody(ThreadContext &tc, TxSystem &sys, int tid,
+                    int nthreads) override;
+    bool validate(ThreadContext &init) override;
+
+  private:
+    /** Fragment encoding: flow id + fragment index + payload. */
+    static std::uint64_t packFragment(int flow, int index,
+                                      std::uint64_t payload);
+    static int flowOf(std::uint64_t frag);
+    static int indexOf(std::uint64_t frag);
+    static std::uint64_t payloadOf(std::uint64_t frag);
+
+    IntruderParams p_;
+    TxHeap *heap_ = nullptr;
+    Addr queueHeader_ = 0;
+    Addr assemblyBase_ = 0; ///< TxMap: flow -> {count, checksum} cell.
+    Addr detectedBase_ = 0; ///< One line per flow: detection count.
+    std::vector<std::uint64_t> expectedChecksum_;
+};
+
+} // namespace utm
+
+#endif // UFOTM_STAMP_INTRUDER_HH

@@ -1,0 +1,154 @@
+#include "stamp/kmeans.hh"
+
+#include <algorithm>
+
+#include "mem/sim_memory.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace utm {
+
+Addr
+KmeansWorkload::pointAddr(int p, int d) const
+{
+    return points_ + (std::uint64_t(p) * p_.dims + d) * 4;
+}
+
+Addr
+KmeansWorkload::centerCoordAddr(int c, int d) const
+{
+    return coords_ + (std::uint64_t(c) * p_.dims + d) * 4;
+}
+
+Addr
+KmeansWorkload::accumBase(int c) const
+{
+    return accums_ + std::uint64_t(c) * accumStride_;
+}
+
+void
+KmeansWorkload::setup(ThreadContext &init, TxHeap &heap, int nthreads)
+{
+    nthreads_ = nthreads;
+    barrier_ = std::make_unique<SimBarrier>(nthreads);
+
+    points_ = heap.allocZeroed(
+        init, std::uint64_t(p_.points) * p_.dims * 4, true);
+    coords_ = heap.allocZeroed(
+        init, std::uint64_t(p_.clusters) * p_.dims * 4, true);
+    accumStride_ =
+        ((8 + std::uint64_t(p_.dims) * 8 + kLineSize - 1) / kLineSize) *
+        kLineSize;
+    accums_ = heap.allocZeroed(
+        init, std::uint64_t(p_.clusters) * accumStride_, true);
+
+    Rng rng(p_.seed);
+    for (int p = 0; p < p_.points; ++p)
+        for (int d = 0; d < p_.dims; ++d)
+            init.store(pointAddr(p, d), rng.nextBounded(1000), 4);
+    // Seed centers with the first `clusters` points.
+    for (int c = 0; c < p_.clusters; ++c)
+        for (int d = 0; d < p_.dims; ++d)
+            init.store(centerCoordAddr(c, d),
+                       init.load(pointAddr(c, d), 4), 4);
+}
+
+void
+KmeansWorkload::threadBody(ThreadContext &tc, TxSystem &sys, int tid,
+                           int nthreads)
+{
+    const int per = (p_.points + nthreads - 1) / nthreads;
+    const int lo = tid * per;
+    const int hi = std::min(p_.points, lo + per);
+
+    std::vector<std::uint64_t> coord(p_.dims);
+
+    for (int iter = 0; iter < p_.iterations; ++iter) {
+        for (int p = lo; p < hi; ++p) {
+            for (int d = 0; d < p_.dims; ++d)
+                coord[d] = tc.load(pointAddr(p, d), 4);
+
+            // Nearest center: non-transactional reads of the center
+            // coordinates (recomputed only between iterations).
+            std::uint64_t best_dist = ~0ull;
+            int best = 0;
+            for (int c = 0; c < p_.clusters; ++c) {
+                std::uint64_t dist = 0;
+                for (int d = 0; d < p_.dims; ++d) {
+                    std::int64_t delta =
+                        std::int64_t(coord[d]) -
+                        std::int64_t(tc.load(centerCoordAddr(c, d), 4));
+                    dist += std::uint64_t(delta * delta);
+                    tc.advance(2);
+                }
+                if (dist < best_dist) {
+                    best_dist = dist;
+                    best = c;
+                }
+            }
+
+            // Small transaction: fold the point into the accumulator.
+            const Addr ab = accumBase(best);
+            sys.atomic(tc, [&](TxHandle &h) {
+                std::uint64_t cnt = h.read(ab, 8);
+                h.write(ab, cnt + 1, 8);
+                for (int d = 0; d < p_.dims; ++d) {
+                    const Addr sa = ab + 8 + std::uint64_t(d) * 8;
+                    std::uint64_t s = h.read(sa, 8);
+                    h.write(sa, s + coord[d], 8);
+                }
+            });
+        }
+
+        barrier_->arrive(tc);
+        if (tid == 0 && iter + 1 < p_.iterations) {
+            // Recompute centers and reset accumulators (sequential
+            // phase, non-transactional).
+            for (int c = 0; c < p_.clusters; ++c) {
+                const Addr ab = accumBase(c);
+                std::uint64_t cnt = tc.load(ab, 8);
+                for (int d = 0; d < p_.dims; ++d) {
+                    const Addr sa = ab + 8 + std::uint64_t(d) * 8;
+                    if (cnt != 0) {
+                        tc.store(centerCoordAddr(c, d),
+                                 tc.load(sa, 8) / cnt, 4);
+                    }
+                    tc.store(sa, 0, 8);
+                }
+                tc.store(ab, 0, 8);
+            }
+        }
+        barrier_->arrive(tc);
+    }
+}
+
+bool
+KmeansWorkload::validate(ThreadContext &init)
+{
+    SimMemory &mem = init.machine().memory();
+    std::uint64_t total = 0;
+    std::vector<std::uint64_t> sums(p_.dims, 0);
+    for (int c = 0; c < p_.clusters; ++c) {
+        const Addr ab = accumBase(c);
+        total += mem.read(ab, 8);
+        for (int d = 0; d < p_.dims; ++d)
+            sums[d] += mem.read(ab + 8 + std::uint64_t(d) * 8, 8);
+    }
+    if (total != std::uint64_t(p_.points)) {
+        utm_warn("kmeans: count invariant broken (%llu != %d)",
+                 static_cast<unsigned long long>(total), p_.points);
+        return false;
+    }
+    for (int d = 0; d < p_.dims; ++d) {
+        std::uint64_t expect = 0;
+        for (int p = 0; p < p_.points; ++p)
+            expect += mem.read(pointAddr(p, d), 4);
+        if (sums[d] != expect) {
+            utm_warn("kmeans: sum invariant broken in dim %d", d);
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace utm

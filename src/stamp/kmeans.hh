@@ -1,0 +1,74 @@
+/**
+ * @file
+ * kmeans — clustering kernel with small transactions (STAMP).
+ *
+ * Each thread assigns its partition of points to the nearest center
+ * (non-transactional distance computation) and transactionally folds
+ * the point into that center's accumulator (count + per-dimension
+ * sums).  The high-contention configuration uses few centers.
+ *
+ * Validation invariant (holds for every serialization): after the
+ * final iteration, the accumulator counts sum to the number of points
+ * and the per-dimension sums equal the column sums of the point
+ * matrix.
+ */
+
+#ifndef UFOTM_STAMP_KMEANS_HH
+#define UFOTM_STAMP_KMEANS_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "stamp/workload.hh"
+
+namespace utm {
+
+/** kmeans parameters (scaled for simulation speed). */
+struct KmeansParams
+{
+    int points = 1024;
+    int dims = 4;
+    int clusters = 4; ///< 4 = high contention, 24 = low (paper-style).
+    int iterations = 3;
+    std::uint64_t seed = 7;
+
+    static KmeansParams
+    contention(bool high)
+    {
+        KmeansParams p;
+        p.clusters = high ? 4 : 24;
+        return p;
+    }
+};
+
+/** The kmeans workload. */
+class KmeansWorkload final : public Workload
+{
+  public:
+    explicit KmeansWorkload(const KmeansParams &p) : p_(p) {}
+
+    const char *name() const override { return "kmeans"; }
+    void setup(ThreadContext &init, TxHeap &heap,
+               int nthreads) override;
+    void threadBody(ThreadContext &tc, TxSystem &sys, int tid,
+                    int nthreads) override;
+    bool validate(ThreadContext &init) override;
+
+  private:
+    Addr pointAddr(int p, int d) const;
+    Addr centerCoordAddr(int c, int d) const;
+    Addr accumBase(int c) const; ///< {count, sums[dims]} block.
+
+    KmeansParams p_;
+    Addr points_ = 0;
+    Addr coords_ = 0;
+    Addr accums_ = 0;
+    std::uint64_t accumStride_ = 0;
+    std::unique_ptr<SimBarrier> barrier_;
+    int nthreads_ = 0;
+};
+
+} // namespace utm
+
+#endif // UFOTM_STAMP_KMEANS_HH

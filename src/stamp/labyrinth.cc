@@ -1,0 +1,157 @@
+#include "stamp/labyrinth.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "mem/sim_memory.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace utm {
+
+Addr
+LabyrinthWorkload::cellAddr(int cell) const
+{
+    // One cell per cache line: the BFS read set is `cells` lines.
+    return grid_ + std::uint64_t(cell) * kLineSize;
+}
+
+void
+LabyrinthWorkload::setup(ThreadContext &init, TxHeap &heap,
+                         int nthreads)
+{
+    (void)nthreads;
+    grid_ = heap.allocZeroed(
+        init, std::uint64_t(cells()) * kLineSize, true);
+
+    Rng rng(p_.seed);
+    tasks_.clear();
+    for (int t = 0; t < p_.totalTasks; ++t) {
+        int src = static_cast<int>(rng.nextBounded(cells()));
+        int dst = static_cast<int>(rng.nextBounded(cells()));
+        while (dst == src)
+            dst = static_cast<int>(rng.nextBounded(cells()));
+        tasks_.push_back({src, dst});
+    }
+    committed_.assign(tasks_.size(), {});
+}
+
+std::vector<int>
+LabyrinthWorkload::route(TxHandle &h, int src, int dst) const
+{
+    const int w = p_.width;
+    const int n = cells();
+    std::vector<int> parent(n, -1);
+
+    // STAMP-style grid snapshot: the whole occupancy map is read
+    // transactionally up front (every cell is a distinct line, so the
+    // read set always exceeds the L1 capacity bound), then the BFS
+    // runs on the local copy.
+    std::vector<char> occ(n);
+    for (int c = 0; c < n; ++c)
+        occ[c] = h.read(cellAddr(c), 8) != 0;
+    auto occupied = [&](int c) { return occ[c] != 0; };
+    if (occupied(src) || occupied(dst))
+        return {};
+
+    std::deque<int> frontier{src};
+    parent[src] = src;
+    while (!frontier.empty()) {
+        const int c = frontier.front();
+        frontier.pop_front();
+        if (c == dst)
+            break;
+        const int x = c % w;
+        const int neighbors[4] = {x > 0 ? c - 1 : -1,
+                                  x + 1 < w ? c + 1 : -1, c - w,
+                                  c + w};
+        for (int nb : neighbors) {
+            if (nb < 0 || nb >= n || parent[nb] >= 0)
+                continue;
+            h.ctx().advance(2);
+            if (occupied(nb))
+                continue;
+            parent[nb] = c;
+            frontier.push_back(nb);
+        }
+    }
+    if (parent[dst] < 0)
+        return {};
+    std::vector<int> path;
+    for (int c = dst; c != src; c = parent[c])
+        path.push_back(c);
+    path.push_back(src);
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+void
+LabyrinthWorkload::threadBody(ThreadContext &tc, TxSystem &sys, int tid,
+                              int nthreads)
+{
+    for (int t = tid; t < int(tasks_.size()); t += nthreads) {
+        const Task task = tasks_[t];
+        std::vector<int> path;
+        sys.atomic(tc, [&](TxHandle &h) {
+            path = route(h, task.src, task.dst);
+            // Claim the path (marker = task id + 1).
+            for (int c : path)
+                h.write(cellAddr(c), std::uint64_t(t) + 1, 8);
+        });
+        committed_[t] = path; // Final committed execution's path.
+        tc.advance(200);
+    }
+}
+
+bool
+LabyrinthWorkload::validate(ThreadContext &init)
+{
+    SimMemory &mem = init.machine().memory();
+    const int w = p_.width;
+
+    std::vector<int> owner(cells(), 0);
+    for (int c = 0; c < cells(); ++c)
+        owner[c] = static_cast<int>(mem.read(cellAddr(c), 8));
+
+    std::uint64_t marked =
+        std::count_if(owner.begin(), owner.end(),
+                      [](int o) { return o != 0; });
+    std::uint64_t claimed = 0;
+
+    for (int t = 0; t < int(tasks_.size()); ++t) {
+        const auto &path = committed_[t];
+        if (path.empty())
+            continue;
+        claimed += path.size();
+        if (path.front() != tasks_[t].src ||
+            path.back() != tasks_[t].dst) {
+            utm_warn("labyrinth: path %d has wrong endpoints", t);
+            return false;
+        }
+        for (std::size_t i = 0; i < path.size(); ++i) {
+            if (owner[path[i]] != t + 1) {
+                utm_warn("labyrinth: cell %d not owned by path %d",
+                         path[i], t);
+                return false;
+            }
+            if (i > 0) {
+                const int a = path[i - 1], b = path[i];
+                const int dist = std::abs(a % w - b % w) +
+                                 std::abs(a / w - b / w);
+                if (dist != 1) {
+                    utm_warn("labyrinth: path %d not connected", t);
+                    return false;
+                }
+            }
+        }
+    }
+    if (marked != claimed) {
+        utm_warn("labyrinth: %llu cells marked but %llu claimed",
+                 static_cast<unsigned long long>(marked),
+                 static_cast<unsigned long long>(claimed));
+        return false;
+    }
+    return true;
+}
+
+} // namespace utm

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * labyrinth — path router with huge transactions (extension beyond
+ * the paper's three benchmarks; modelled on STAMP's labyrinth).
+ *
+ * Each task routes a path between two points of a shared grid inside
+ * one transaction: a breadth-first search reads a large portion of
+ * the grid (every cell sits on its own cache line, so the read set
+ * far exceeds the L1 capacity bound) and the chosen path's cells are
+ * written.  On the UFO hybrid virtually every transaction overflows
+ * and fails over — the workload probes the hybrid's graceful
+ * degradation floor (it should track the pure strongly-atomic STM,
+ * paying only one doomed hardware attempt per transaction).
+ *
+ * Validation: committed paths are connected, start/end where
+ * requested, and are pairwise cell-disjoint (every grid cell is owned
+ * by at most one path).
+ */
+
+#ifndef UFOTM_STAMP_LABYRINTH_HH
+#define UFOTM_STAMP_LABYRINTH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "stamp/workload.hh"
+
+namespace utm {
+
+/** labyrinth parameters (scaled for simulation speed). */
+struct LabyrinthParams
+{
+    int width = 24;
+    int height = 24;
+    int totalTasks = 24;
+    std::uint64_t seed = 19;
+};
+
+/** The labyrinth workload. */
+class LabyrinthWorkload final : public Workload
+{
+  public:
+    explicit LabyrinthWorkload(const LabyrinthParams &p) : p_(p) {}
+
+    const char *name() const override { return "labyrinth"; }
+    void setup(ThreadContext &init, TxHeap &heap, int nthreads) override;
+    void threadBody(ThreadContext &tc, TxSystem &sys, int tid,
+                    int nthreads) override;
+    bool validate(ThreadContext &init) override;
+
+  private:
+    struct Task
+    {
+        int src;
+        int dst;
+    };
+
+    Addr cellAddr(int cell) const;
+    int cells() const { return p_.width * p_.height; }
+
+    /**
+     * Transactional BFS from src to dst over unoccupied cells;
+     * returns the path (src..dst) or empty when unreachable.
+     */
+    std::vector<int> route(TxHandle &h, int src, int dst) const;
+
+    LabyrinthParams p_;
+    Addr grid_ = 0;
+    std::vector<Task> tasks_;
+    /** Committed paths, per task (host record for validation). */
+    std::vector<std::vector<int>> committed_;
+};
+
+} // namespace utm
+
+#endif // UFOTM_STAMP_LABYRINTH_HH

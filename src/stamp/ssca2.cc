@@ -1,0 +1,93 @@
+#include "stamp/ssca2.hh"
+
+#include <algorithm>
+
+#include "mem/sim_memory.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace utm {
+
+Addr
+Ssca2Workload::degreeAddr(int node) const
+{
+    // Packed: eight counters share one line (intentional false
+    // sharing for line-granularity systems).
+    return degrees_ + std::uint64_t(node) * 8;
+}
+
+Addr
+Ssca2Workload::slotAddr(int node, int slot) const
+{
+    return adjacency_ +
+           (std::uint64_t(node) * p_.maxDegree + slot) * 8;
+}
+
+void
+Ssca2Workload::setup(ThreadContext &init, TxHeap &heap, int nthreads)
+{
+    (void)nthreads;
+    degrees_ = heap.allocZeroed(init, std::uint64_t(p_.nodes) * 8,
+                                true);
+    adjacency_ = heap.allocZeroed(
+        init, std::uint64_t(p_.nodes) * p_.maxDegree * 8, true);
+
+    // Pre-generate the edge list with bounded in-degree.
+    Rng rng(p_.seed);
+    std::vector<int> degree(p_.nodes, 0);
+    edgeList_.clear();
+    while (int(edgeList_.size()) < p_.edges) {
+        const int u = static_cast<int>(rng.nextBounded(p_.nodes));
+        const int v = static_cast<int>(rng.nextBounded(p_.nodes));
+        if (degree[u] >= p_.maxDegree)
+            continue;
+        ++degree[u];
+        edgeList_.emplace_back(u, v);
+    }
+}
+
+void
+Ssca2Workload::threadBody(ThreadContext &tc, TxSystem &sys, int tid,
+                          int nthreads)
+{
+    for (int i = tid; i < int(edgeList_.size()); i += nthreads) {
+        const auto [u, v] = edgeList_[i];
+        sys.atomic(tc, [&](TxHandle &h) {
+            const std::uint64_t deg = h.read(degreeAddr(u), 8);
+            h.write(slotAddr(u, int(deg)), std::uint64_t(v) + 1, 8);
+            h.write(degreeAddr(u), deg + 1, 8);
+        });
+        tc.advance(15);
+    }
+}
+
+bool
+Ssca2Workload::validate(ThreadContext &init)
+{
+    SimMemory &mem = init.machine().memory();
+    std::vector<std::vector<std::uint64_t>> expect(p_.nodes);
+    for (auto [u, v] : edgeList_)
+        expect[u].push_back(std::uint64_t(v) + 1);
+
+    for (int u = 0; u < p_.nodes; ++u) {
+        const std::uint64_t deg = mem.read(degreeAddr(u), 8);
+        if (deg != expect[u].size()) {
+            utm_warn("ssca2: node %d degree %llu, expected %zu", u,
+                     static_cast<unsigned long long>(deg),
+                     expect[u].size());
+            return false;
+        }
+        std::vector<std::uint64_t> got;
+        for (std::uint64_t s = 0; s < deg; ++s)
+            got.push_back(mem.read(slotAddr(u, int(s)), 8));
+        std::sort(got.begin(), got.end());
+        std::sort(expect[u].begin(), expect[u].end());
+        if (got != expect[u]) {
+            utm_warn("ssca2: node %d adjacency mismatch", u);
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace utm

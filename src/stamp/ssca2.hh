@@ -1,0 +1,61 @@
+/**
+ * @file
+ * ssca2 — graph-construction kernel (extension beyond the paper's
+ * three benchmarks; modelled on STAMP's ssca2 kernel 1).
+ *
+ * Threads insert a pre-generated edge list into shared adjacency
+ * arrays.  Each insertion is a tiny read-modify-write transaction on
+ * the target node's degree counter plus one adjacency slot; degree
+ * counters are deliberately packed several per cache line, so the
+ * line-granularity TM systems see false sharing even between
+ * different nodes — the smallest-transaction extreme of the workload
+ * spectrum (kmeans < ssca2 on work per transaction).
+ *
+ * Validation: every node's adjacency multiset equals the host-side
+ * reference built from the same edge list.
+ */
+
+#ifndef UFOTM_STAMP_SSCA2_HH
+#define UFOTM_STAMP_SSCA2_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "stamp/workload.hh"
+
+namespace utm {
+
+/** ssca2 parameters (scaled for simulation speed). */
+struct Ssca2Params
+{
+    int nodes = 128;
+    int edges = 768;
+    int maxDegree = 24;
+    std::uint64_t seed = 29;
+};
+
+/** The ssca2 workload. */
+class Ssca2Workload final : public Workload
+{
+  public:
+    explicit Ssca2Workload(const Ssca2Params &p) : p_(p) {}
+
+    const char *name() const override { return "ssca2"; }
+    void setup(ThreadContext &init, TxHeap &heap, int nthreads) override;
+    void threadBody(ThreadContext &tc, TxSystem &sys, int tid,
+                    int nthreads) override;
+    bool validate(ThreadContext &init) override;
+
+  private:
+    Addr degreeAddr(int node) const;
+    Addr slotAddr(int node, int slot) const;
+
+    Ssca2Params p_;
+    Addr degrees_ = 0;   ///< Packed u64 degree counters (8 per line).
+    Addr adjacency_ = 0; ///< nodes x maxDegree u64 slots.
+    std::vector<std::pair<int, int>> edgeList_;
+};
+
+} // namespace utm
+
+#endif // UFOTM_STAMP_SSCA2_HH

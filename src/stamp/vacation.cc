@@ -1,0 +1,172 @@
+#include "stamp/vacation.hh"
+
+#include <algorithm>
+
+#include "mem/sim_memory.hh"
+#include "rt/tx_list.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace utm {
+
+namespace {
+
+/** Item value word: low 32 bits = availability, high 32 = price. */
+std::uint64_t
+packItem(std::uint64_t avail, std::uint64_t price)
+{
+    return (price << 32) | (avail & 0xffffffffull);
+}
+
+std::uint64_t
+availOf(std::uint64_t v)
+{
+    return v & 0xffffffffull;
+}
+
+/** Reservation key: encodes relation + item + a unique sequence. */
+std::uint64_t
+reservationKey(int relation, std::uint64_t item, std::uint64_t seq)
+{
+    return (seq << 16) | (item << 2) | std::uint64_t(relation);
+}
+
+int
+relationOfKey(std::uint64_t key)
+{
+    return static_cast<int>(key & 3);
+}
+
+} // namespace
+
+Addr
+VacationWorkload::customerHeader(int customer) const
+{
+    return customers_ + std::uint64_t(customer) * kLineSize;
+}
+
+void
+VacationWorkload::setup(ThreadContext &init, TxHeap &heap, int nthreads)
+{
+    (void)nthreads;
+    heap_ = &heap;
+    nCustomers_ = p_.totalTasks;
+
+    relationBases_.clear();
+    for (int r = 0; r < kRelations; ++r)
+        relationBases_.push_back(
+            TxMap::create(init, heap, p_.mapBuckets).base());
+
+    // Populate through a raw (NoTm) handle on the init context.
+    auto no_tm = TxSystem::create(TxSystemKind::NoTm, init.machine());
+    for (int r = 0; r < kRelations; ++r) {
+        TxMap map(heap, relationBases_[r]);
+        no_tm->atomic(init, [&](TxHandle &h) {
+            for (int i = 1; i <= p_.itemsPerRelation; ++i) {
+                map.insert(h, std::uint64_t(i),
+                           packItem(p_.initialAvail, 50 + i % 100));
+            }
+        });
+    }
+
+    // One list header line per customer.
+    customers_ = heap.allocZeroed(
+        init, std::uint64_t(nCustomers_) * kLineSize, true);
+}
+
+void
+VacationWorkload::threadBody(ThreadContext &tc, TxSystem &sys, int tid,
+                             int nthreads)
+{
+    const int range =
+        std::max(1, p_.itemsPerRelation * p_.queryRangePct / 100);
+    const int per = (p_.totalTasks + nthreads - 1) / nthreads;
+    const int lo = tid * per;
+    const int hi = std::min(p_.totalTasks, lo + per);
+
+    for (int task = lo; task < hi; ++task) {
+        const int customer = task;
+        // Choose the task's query plan deterministically before the
+        // transaction so re-executions replay identically.
+        struct Query
+        {
+            int relation;
+            std::uint64_t item;
+            bool reserve;
+        };
+        const int nq = static_cast<int>(
+            tc.rng().nextRange(p_.queriesMin, p_.queriesMax));
+        std::vector<Query> plan(nq);
+        for (auto &q : plan) {
+            q.relation = static_cast<int>(tc.rng().nextBounded(
+                kRelations));
+            q.item = 1 + tc.rng().nextBounded(range);
+            q.reserve = tc.rng().nextBool(p_.reservePct / 100.0);
+        }
+
+        sys.atomic(tc, [&](TxHandle &h) {
+            TxList reservations(*heap_, customerHeader(customer));
+            std::uint64_t seq = 1;
+            for (const auto &q : plan) {
+                TxMap map(*heap_, relationBases_[q.relation]);
+                const Addr va = map.valueAddr(h, q.item);
+                utm_assert(va != 0);
+                const std::uint64_t v = h.read(va, 8);
+                h.ctx().advance(20); // Client-side decision logic.
+                if (q.reserve && availOf(v) > 0) {
+                    h.write(va, v - 1, 8);
+                    reservations.insert(
+                        h, reservationKey(q.relation, q.item, seq++),
+                        availOf(v) - 1);
+                }
+            }
+        });
+    }
+}
+
+bool
+VacationWorkload::validate(ThreadContext &init)
+{
+    SimMemory &mem = init.machine().memory();
+    auto no_tm = TxSystem::create(TxSystemKind::NoTm, init.machine());
+    (void)mem;
+
+    std::uint64_t consumed[kRelations] = {};
+    std::uint64_t reserved[kRelations] = {};
+    bool ok = true;
+
+    no_tm->atomic(init, [&](TxHandle &h) {
+        for (int r = 0; r < kRelations; ++r) {
+            TxMap map(*heap_, relationBases_[r]);
+            for (int i = 1; i <= p_.itemsPerRelation; ++i) {
+                std::uint64_t v = 0;
+                if (!map.lookup(h, std::uint64_t(i), &v)) {
+                    ok = false;
+                    return;
+                }
+                consumed[r] += p_.initialAvail - availOf(v);
+            }
+        }
+        for (int c = 0; c < nCustomers_; ++c) {
+            TxList list(*heap_, customerHeader(c));
+            for (std::uint64_t key : list.keys(h))
+                ++reserved[relationOfKey(key)];
+        }
+    });
+    if (!ok) {
+        utm_warn("vacation: missing item record");
+        return false;
+    }
+    for (int r = 0; r < kRelations; ++r) {
+        if (consumed[r] != reserved[r]) {
+            utm_warn("vacation: relation %d consumed %llu but holds "
+                     "%llu reservations",
+                     r, static_cast<unsigned long long>(consumed[r]),
+                     static_cast<unsigned long long>(reserved[r]));
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace utm

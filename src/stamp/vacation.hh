@@ -1,0 +1,82 @@
+/**
+ * @file
+ * vacation — travel-reservation system with large, long-running
+ * transactions (STAMP).
+ *
+ * Three relations (cars, rooms, flights) are chained hash maps whose
+ * deliberately long chains reproduce the deep index traversals of the
+ * original benchmark; each client task runs one transaction that
+ * queries several items and reserves some of them, appending
+ * reservation records to the customer's list.  Large footprints make
+ * these transactions periodically overflow the L1 and fail over to
+ * software (paper Section 5.2).
+ *
+ * Validation invariant: per relation, the total capacity consumed
+ * (initial availability minus current availability, summed over
+ * items) equals the number of reservation records held by customers.
+ */
+
+#ifndef UFOTM_STAMP_VACATION_HH
+#define UFOTM_STAMP_VACATION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "rt/tx_map.hh"
+#include "stamp/workload.hh"
+
+namespace utm {
+
+/** vacation parameters (scaled for simulation speed). */
+struct VacationParams
+{
+    int itemsPerRelation = 1024;
+    int totalTasks = 256;    ///< Fixed total work, split over threads.
+    int queriesMin = 3;      ///< Per-task query count is uniform in
+    int queriesMax = 14;     ///< [queriesMin, queriesMax].
+    int queryRangePct = 100; ///< Portion of the table queried.
+    int reservePct = 80;     ///< % of queries that try to reserve.
+    int mapBuckets = 32;     ///< Few buckets -> long chain walks.
+    std::uint64_t initialAvail = 100;
+    std::uint64_t seed = 11;
+
+    static VacationParams
+    contention(bool high)
+    {
+        VacationParams p;
+        if (high) {
+            p.queriesMin = 2;     // Smaller transactions...
+            p.queriesMax = 9;
+            p.queryRangePct = 10; // ...hammering a hot subset.
+        }
+        return p;
+    }
+};
+
+/** The vacation workload. */
+class VacationWorkload final : public Workload
+{
+  public:
+    static constexpr int kRelations = 3;
+
+    explicit VacationWorkload(const VacationParams &p) : p_(p) {}
+
+    const char *name() const override { return "vacation"; }
+    void setup(ThreadContext &init, TxHeap &heap, int nthreads) override;
+    void threadBody(ThreadContext &tc, TxSystem &sys, int tid,
+                    int nthreads) override;
+    bool validate(ThreadContext &init) override;
+
+  private:
+    Addr customerHeader(int customer) const;
+
+    VacationParams p_;
+    TxHeap *heap_ = nullptr;
+    std::vector<Addr> relationBases_; ///< TxMap base per relation.
+    Addr customers_ = 0;              ///< Array of list headers.
+    int nCustomers_ = 0;
+};
+
+} // namespace utm
+
+#endif // UFOTM_STAMP_VACATION_HH

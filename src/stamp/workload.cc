@@ -1,0 +1,56 @@
+#include "stamp/workload.hh"
+
+#include "sim/logging.hh"
+
+namespace utm {
+
+void
+SimBarrier::arrive(ThreadContext &tc)
+{
+    const std::uint64_t my_gen = gen_;
+    if (++count_ == total_) {
+        count_ = 0;
+        ++gen_;
+        return;
+    }
+    long spins = 0;
+    while (gen_ == my_gen) {
+        tc.advance(50);
+        tc.yield();
+        if (++spins > 100'000'000)
+            utm_panic("SimBarrier wait did not terminate");
+    }
+}
+
+RunResult
+runWorkload(Workload &w, const RunConfig &cfg)
+{
+    MachineConfig mc = cfg.machine;
+    mc.numCores = std::max(mc.numCores, cfg.threads);
+
+    Machine machine(mc);
+    TxHeap heap(machine);
+    auto sys = TxSystem::create(cfg.kind, machine, cfg.policy);
+    sys->setup();
+    w.setup(machine.initContext(), heap, cfg.threads);
+
+    for (int t = 0; t < cfg.threads; ++t) {
+        machine.addThread([&w, sys = sys.get(), t, n = cfg.threads](
+                              ThreadContext &tc) {
+            w.threadBody(tc, *sys, t, n);
+        });
+    }
+    machine.run();
+
+    RunResult res;
+    res.cycles = machine.completionTime();
+    res.valid = w.validate(machine.initContext());
+    res.hwCommits = machine.stats().get("tm.commits.hw");
+    res.swCommits = machine.stats().get("tm.commits.sw");
+    res.failovers = machine.stats().get("tm.failovers");
+    for (const auto &kv : machine.stats().withPrefix(""))
+        res.stats[kv.first] = kv.second;
+    return res;
+}
+
+} // namespace utm

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Workload driver shared by the STAMP-like benchmarks (paper
+ * Section 5.1) and the failover microbenchmark (Section 5.3).
+ *
+ * A Workload provides setup (run on the init context before the
+ * scheduler starts), a per-thread body, and a validation pass that
+ * checks a serializability invariant after the run.  runWorkload()
+ * builds the machine + TM system, runs to completion, and reports
+ * simulated cycles plus the interesting counters.
+ */
+
+#ifndef UFOTM_STAMP_WORKLOAD_HH
+#define UFOTM_STAMP_WORKLOAD_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/tx_system.hh"
+#include "rt/heap.hh"
+#include "sim/config.hh"
+#include "sim/machine.hh"
+
+namespace utm {
+
+/** Host-side barrier for phase synchronization inside workloads. */
+class SimBarrier
+{
+  public:
+    explicit SimBarrier(int total) : total_(total) {}
+
+    /** Block (spinning simulated time) until all threads arrive. */
+    void arrive(ThreadContext &tc);
+
+  private:
+    int total_;
+    int count_ = 0;
+    std::uint64_t gen_ = 0;
+};
+
+/** Abstract benchmark. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+    virtual const char *name() const = 0;
+
+    /** Build the data structures (init context, before run()). */
+    virtual void setup(ThreadContext &init, TxHeap &heap,
+                       int nthreads) = 0;
+
+    /** Per-thread work; @p tid in [0, nthreads). */
+    virtual void threadBody(ThreadContext &tc, TxSystem &sys, int tid,
+                            int nthreads) = 0;
+
+    /** Check the post-run invariant (init context). */
+    virtual bool validate(ThreadContext &init) = 0;
+};
+
+/** One benchmark run's configuration. */
+struct RunConfig
+{
+    TxSystemKind kind = TxSystemKind::UfoHybrid;
+    int threads = 4;
+    MachineConfig machine;
+    TmPolicy policy;
+};
+
+/** One benchmark run's outcome. */
+struct RunResult
+{
+    Cycles cycles = 0;
+    bool valid = false;
+    std::uint64_t hwCommits = 0;
+    std::uint64_t swCommits = 0;
+    std::uint64_t failovers = 0;
+    /** Full counter snapshot (abort reasons etc.). */
+    std::map<std::string, std::uint64_t> stats;
+
+    std::uint64_t
+    stat(const std::string &name) const
+    {
+        auto it = stats.find(name);
+        return it == stats.end() ? 0 : it->second;
+    }
+};
+
+/** Build machine + TM system, run @p w, validate, report. */
+RunResult runWorkload(Workload &w, const RunConfig &cfg);
+
+} // namespace utm
+
+#endif // UFOTM_STAMP_WORKLOAD_HH

@@ -1,0 +1,174 @@
+#include "tl2/tl2.hh"
+
+#include <algorithm>
+
+#include "mem/sim_memory.hh"
+#include "sim/logging.hh"
+#include "sim/machine.hh"
+#include "sim/thread_context.hh"
+
+namespace utm {
+
+namespace {
+
+constexpr Cycles kBeginCost = 10;
+constexpr Cycles kAbortPenalty = 40;
+constexpr Cycles kWriteBufCost = 4; ///< Hash + append into the redo log.
+
+} // namespace
+
+Tl2::Tl2(Machine &machine) : machine_(machine)
+{
+}
+
+void
+Tl2::setup(ThreadContext &init)
+{
+    SimMemory &mem = machine_.memory();
+    mem.materializePage(kClockAddr);
+    const Addr end = kLockTableBase + std::uint64_t(kLockTableSlots) * 8;
+    for (Addr a = kLockTableBase; a < end; a += SimMemory::kPageSize)
+        mem.materializePage(a);
+    mem.materializePage(end - 1);
+    (void)init;
+}
+
+Addr
+Tl2::slotAddr(LineAddr line) const
+{
+    std::uint64_t x = line >> kLineBits;
+    x ^= x >> 33;
+    x *= 0xc2b2ae3d27d4eb4full;
+    x ^= x >> 29;
+    return kLockTableBase + (x & (kLockTableSlots - 1)) * 8;
+}
+
+void
+Tl2::txBegin(ThreadContext &tc)
+{
+    TxDesc &tx = txs_[tc.id()];
+    utm_assert(!tx.active);
+    tx.active = true;
+    tx.rv = tc.load(kClockAddr, 8);
+    tx.readSet.clear();
+    tx.writeBuf.clear();
+    tx.writeOrder.clear();
+    machine_.stats().inc("tl2.begins");
+    tc.advance(kBeginCost);
+}
+
+void
+Tl2::abortTx(ThreadContext &tc, const std::vector<Addr> &held)
+{
+    TxDesc &tx = txs_[tc.id()];
+    // Release any commit-time locks we already hold (restore their
+    // pre-lock version).
+    for (Addr slot : held) {
+        std::uint64_t vl = tc.load(slot, 8);
+        utm_assert(locked(vl));
+        tc.store(slot, vl & ~1ull, 8);
+    }
+    tx.active = false;
+    machine_.stats().inc("tl2.aborts");
+    tc.advance(kAbortPenalty);
+    throw Tl2AbortException{};
+}
+
+std::uint64_t
+Tl2::txRead(ThreadContext &tc, Addr a, unsigned size)
+{
+    TxDesc &tx = txs_[tc.id()];
+    utm_assert(tx.active);
+
+    auto wit = tx.writeBuf.find(a);
+    if (wit != tx.writeBuf.end()) {
+        utm_assert(wit->second.size == size);
+        tc.advance(2);
+        return wit->second.value;
+    }
+
+    const Addr slot = slotAddr(lineOf(a));
+    std::uint64_t vl = tc.load(slot, 8);
+    if (locked(vl) || version(vl) > tx.rv)
+        abortTx(tc, {});
+    std::uint64_t v = tc.load(a, size);
+    std::uint64_t vl2 = tc.load(slot, 8);
+    if (vl2 != vl)
+        abortTx(tc, {});
+    tx.readSet.emplace_back(slot, vl);
+    return v;
+}
+
+void
+Tl2::txWrite(ThreadContext &tc, Addr a, std::uint64_t v, unsigned size)
+{
+    TxDesc &tx = txs_[tc.id()];
+    utm_assert(tx.active);
+    auto [it, fresh] = tx.writeBuf.insert_or_assign(a, WriteRec{v, size});
+    (void)it;
+    if (fresh)
+        tx.writeOrder.push_back(a);
+    tc.advance(kWriteBufCost);
+}
+
+void
+Tl2::txEnd(ThreadContext &tc)
+{
+    TxDesc &tx = txs_[tc.id()];
+    utm_assert(tx.active);
+
+    if (tx.writeBuf.empty()) {
+        // Read-only transactions commit immediately under TL2.
+        tx.active = false;
+        machine_.stats().inc("tl2.commits");
+        tc.advance(2);
+        return;
+    }
+
+    // Acquire write locks in address order (deadlock avoidance).
+    std::vector<Addr> slots;
+    slots.reserve(tx.writeOrder.size());
+    for (Addr a : tx.writeOrder)
+        slots.push_back(slotAddr(lineOf(a)));
+    std::sort(slots.begin(), slots.end());
+    slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
+
+    std::vector<Addr> held;
+    held.reserve(slots.size());
+    for (Addr slot : slots) {
+        std::uint64_t vl = tc.load(slot, 8);
+        if (locked(vl) || version(vl) > tx.rv)
+            abortTx(tc, held);
+        if (!tc.cas(slot, 8, vl, vl | 1))
+            abortTx(tc, held);
+        held.push_back(slot);
+    }
+
+    const std::uint64_t wv = tc.fetchAdd(kClockAddr, 8, 1) + 1;
+
+    // Validate the read set (skip slots we hold ourselves).
+    for (const auto &[slot, vl] : tx.readSet) {
+        std::uint64_t cur = tc.load(slot, 8);
+        const bool held_by_me =
+            std::binary_search(slots.begin(), slots.end(), slot);
+        if (held_by_me) {
+            if ((cur & ~1ull) != (vl & ~1ull))
+                abortTx(tc, held);
+        } else if (cur != vl) {
+            abortTx(tc, held);
+        }
+    }
+
+    // Write back and release with the new version.
+    for (Addr a : tx.writeOrder) {
+        const WriteRec &w = tx.writeBuf.at(a);
+        tc.store(a, w.value, w.size);
+    }
+    for (Addr slot : held)
+        tc.store(slot, wv << 1, 8);
+
+    tx.active = false;
+    machine_.stats().inc("tl2.commits");
+}
+
+} // namespace utm

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * TL2-style software TM baseline (Dice, Shalev, Shavit, DISC 2006),
+ * used by the paper to link USTM's performance to published results.
+ *
+ * Lazy versioning with a global version clock and per-stripe versioned
+ * write-locks (one stripe per cache line, hashed into a lock table in
+ * simulated memory).  Weakly atomic; standalone use only.
+ */
+
+#ifndef UFOTM_TL2_TL2_HH
+#define UFOTM_TL2_TL2_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace utm {
+
+class Machine;
+class ThreadContext;
+
+/** Thrown when a TL2 transaction must be retried. */
+struct Tl2AbortException
+{
+};
+
+/** TL2 runtime shared by all threads of one machine. */
+class Tl2
+{
+  public:
+    static constexpr Addr kClockAddr = 0x0c000000;
+    static constexpr Addr kLockTableBase = 0x0c010000;
+    static constexpr unsigned kLockTableSlots = 1u << 16;
+
+    explicit Tl2(Machine &machine);
+
+    /** Materialize the clock and lock table. Call once. */
+    void setup(ThreadContext &init);
+
+    void txBegin(ThreadContext &tc);
+
+    /** Commit; throws Tl2AbortException if validation fails. */
+    void txEnd(ThreadContext &tc);
+
+    std::uint64_t txRead(ThreadContext &tc, Addr a, unsigned size);
+    void txWrite(ThreadContext &tc, Addr a, std::uint64_t v,
+                 unsigned size);
+
+    bool inTx(ThreadId t) const { return txs_[t].active; }
+
+  private:
+    struct WriteRec
+    {
+        std::uint64_t value;
+        unsigned size;
+    };
+
+    struct TxDesc
+    {
+        bool active = false;
+        std::uint64_t rv = 0; ///< Read version (clock snapshot).
+        std::vector<std::pair<Addr, std::uint64_t>> readSet; ///< slot,ver
+        std::unordered_map<Addr, WriteRec> writeBuf;
+        std::vector<Addr> writeOrder;
+    };
+
+    Addr slotAddr(LineAddr line) const;
+
+    /** version-lock word: bit0 = locked, bits 1.. = version. */
+    static bool locked(std::uint64_t vl) { return vl & 1; }
+    static std::uint64_t version(std::uint64_t vl) { return vl >> 1; }
+
+    [[noreturn]] void abortTx(ThreadContext &tc,
+                              const std::vector<Addr> &held);
+
+    Machine &machine_;
+    std::array<TxDesc, kMaxThreads> txs_;
+};
+
+} // namespace utm
+
+#endif // UFOTM_TL2_TL2_HH

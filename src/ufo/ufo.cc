@@ -1,0 +1,47 @@
+#include "ufo/ufo.hh"
+
+#include "mem/sim_memory.hh"
+#include "sim/machine.hh"
+#include "sim/thread_context.hh"
+
+namespace utm {
+
+void
+ufoProtectRange(ThreadContext &tc, Addr a, std::uint64_t len,
+                UfoBits bits)
+{
+    for (LineAddr line = lineOf(a); line < a + len; line += kLineSize)
+        tc.setUfoBits(line, bits);
+}
+
+void
+ufoUnprotectRange(ThreadContext &tc, Addr a, std::uint64_t len)
+{
+    for (LineAddr line = lineOf(a); line < a + len; line += kLineSize)
+        tc.setUfoBits(line, kUfoNone);
+}
+
+std::uint64_t
+ufoCountProtectedLines(ThreadContext &tc, Addr a, std::uint64_t len)
+{
+    std::uint64_t n = 0;
+    SimMemory &mem = tc.machine().memory();
+    for (LineAddr line = lineOf(a); line < a + len; line += kLineSize)
+        if (mem.ufoBits(line).any())
+            ++n;
+    return n;
+}
+
+UfoDisableGuard::UfoDisableGuard(ThreadContext &tc)
+    : tc_(tc), wasEnabled_(tc.ufoEnabled())
+{
+    tc_.disableUfo();
+}
+
+UfoDisableGuard::~UfoDisableGuard()
+{
+    if (wasEnabled_)
+        tc_.enableUfo();
+}
+
+} // namespace utm

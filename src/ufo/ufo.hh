@@ -1,0 +1,50 @@
+/**
+ * @file
+ * UFO convenience layer over the raw ISA operations (paper Table 2,
+ * Section 3.2).
+ *
+ * The raw ISA lives on ThreadContext (set/add/readUfoBits,
+ * enable/disableUfo); this header adds range helpers and RAII guards
+ * used by tests, examples, and non-TM applications of the mechanism
+ * (watchpoints, speculative optimizations, concurrent GC — the paper's
+ * "multi-purpose primitive" argument).
+ */
+
+#ifndef UFOTM_UFO_UFO_HH
+#define UFOTM_UFO_UFO_HH
+
+#include "sim/types.hh"
+
+namespace utm {
+
+class ThreadContext;
+
+/** Protect every line overlapping [a, a+len) with @p bits. */
+void ufoProtectRange(ThreadContext &tc, Addr a, std::uint64_t len,
+                     UfoBits bits);
+
+/** Clear protection on every line overlapping [a, a+len). */
+void ufoUnprotectRange(ThreadContext &tc, Addr a, std::uint64_t len);
+
+/** Number of lines in [a, a+len) with any UFO bit set (untimed). */
+std::uint64_t ufoCountProtectedLines(ThreadContext &tc, Addr a,
+                                     std::uint64_t len);
+
+/** RAII: disable UFO faults on this thread for a scope. */
+class UfoDisableGuard
+{
+  public:
+    explicit UfoDisableGuard(ThreadContext &tc);
+    ~UfoDisableGuard();
+
+    UfoDisableGuard(const UfoDisableGuard&) = delete;
+    UfoDisableGuard& operator=(const UfoDisableGuard&) = delete;
+
+  private:
+    ThreadContext &tc_;
+    bool wasEnabled_;
+};
+
+} // namespace utm
+
+#endif // UFOTM_UFO_UFO_HH

@@ -1,0 +1,66 @@
+#include "ustm/otable.hh"
+
+#include "mem/sim_memory.hh"
+#include "sim/logging.hh"
+#include "sim/machine.hh"
+#include "sim/thread_context.hh"
+
+namespace utm {
+
+Otable::Otable(unsigned buckets, Addr base, unsigned pool_nodes)
+    : buckets_(buckets), base_(base),
+      poolBase_(base + std::uint64_t(buckets) * kEntryBytes),
+      poolNodes_(pool_nodes)
+{
+    utm_assert(buckets > 0 && (buckets & (buckets - 1)) == 0);
+    utm_assert(lineOffset(base) == 0);
+    freeList_.reserve(pool_nodes);
+    // LIFO free list; push in reverse so low addresses pop first.
+    for (unsigned i = pool_nodes; i-- > 0;)
+        freeList_.push_back(poolBase_ + std::uint64_t(i) * kEntryBytes);
+}
+
+void
+Otable::initialize(ThreadContext &init)
+{
+    SimMemory &mem = init.machine().memory();
+    for (Addr a = base_; a < end(); a += SimMemory::kPageSize)
+        mem.materializePage(a);
+    mem.materializePage(end() - 1);
+}
+
+unsigned
+Otable::bucketIndex(LineAddr line) const
+{
+    // Mix the line number so strided workloads spread across buckets.
+    std::uint64_t x = line >> kLineBits;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    return static_cast<unsigned>(x & (buckets_ - 1));
+}
+
+Addr
+Otable::bucketAddr(LineAddr line) const
+{
+    return base_ + std::uint64_t(bucketIndex(line)) * kEntryBytes;
+}
+
+Addr
+Otable::allocNode()
+{
+    if (freeList_.empty())
+        utm_fatal("otable chain-node pool exhausted");
+    Addr n = freeList_.back();
+    freeList_.pop_back();
+    return n;
+}
+
+void
+Otable::freeNode(Addr node)
+{
+    utm_assert(node >= poolBase_ && node < end());
+    freeList_.push_back(node);
+}
+
+} // namespace utm

@@ -1,0 +1,791 @@
+#include "ustm/ustm.hh"
+
+#include "mem/memory_system.hh"
+#include "sim/logging.hh"
+#include "sim/machine.hh"
+#include "sim/thread_context.hh"
+
+namespace utm {
+
+namespace {
+
+constexpr Cycles kBeginCost = 20;   ///< Checkpoint + sequence number.
+constexpr Cycles kCommitCost = 10;  ///< Descriptor cleanup.
+constexpr Cycles kAbortPenalty = 40;
+constexpr Cycles kUndoLogCost = 2;  ///< Per-word log append.
+/** Stall poll attempts before retrying the whole barrier. */
+constexpr int kStallPolls = 25;
+/** Safety bound for wait loops (simulator bug detector). */
+constexpr long kWaitSanityBound = 50'000'000;
+
+} // namespace
+
+Ustm::Ustm(Machine &machine, bool strong_atomic, const UstmPolicy &policy)
+    : machine_(machine), strong_(strong_atomic), policy_(policy),
+      otable_(machine.config().otableBuckets, kDefaultOtableBase)
+{
+}
+
+void
+Ustm::setup(ThreadContext &init)
+{
+    otable_.initialize(init);
+    if (strong_) {
+        machine_.memsys().setUfoFaultHandler(
+            [this](ThreadContext &tc, Addr a, AccessType t) {
+                nonTFaultHandler(tc, a, t);
+            });
+        RetryWakeupHooks hooks;
+        hooks.inspect = [this](ThreadContext &tc, LineAddr line,
+                               std::vector<RetryWakeupHooks::Token>
+                                   *tokens) {
+            return inspectForRetryers(tc, line, tokens);
+        };
+        hooks.wake =
+            [this](const std::vector<RetryWakeupHooks::Token> &tokens) {
+                wakeRetryers(tokens);
+            };
+        machine_.memsys().setRetryWakeupHooks(std::move(hooks));
+    }
+}
+
+bool
+Ustm::inTx(ThreadId t) const
+{
+    return txs_[t].status == TxDesc::Status::Active ||
+           txs_[t].status == TxDesc::Status::Committing;
+}
+
+std::uint64_t
+Ustm::txAgeOf(ThreadId t) const
+{
+    return txs_[t].status == TxDesc::Status::Inactive ? 0 : txs_[t].age;
+}
+
+void
+Ustm::txBegin(ThreadContext &tc)
+{
+    TxDesc &tx = txs_[tc.id()];
+    if (tx.depth > 0) {
+        ++tx.depth; // Flattened nesting.
+        return;
+    }
+    // Livelock avoidance: wait until the transaction that killed us
+    // has retired before reissuing (Section 4.1).
+    if (tx.killerTid >= 0) {
+        TxDesc &k = txs_[tx.killerTid];
+        long spins = 0;
+        while (k.status == TxDesc::Status::Active &&
+               k.age == tx.killerAge) {
+            tc.advance(policy_.stallPoll);
+            tc.yield();
+            if (++spins > kWaitSanityBound)
+                utm_panic("killer-retire wait did not terminate");
+        }
+        tx.killerTid = -1;
+    }
+    tx.status = TxDesc::Status::Active;
+    tx.depth = 1;
+    tx.killedAge = 0;
+    tx.age = machine_.nextTxSeq();
+    tx.owned.clear();
+    tx.ownedIndex.clear();
+    tx.undo.clear();
+    if (strong_)
+        tc.disableUfo();
+    machine_.stats().inc("ustm.begins");
+    tc.advance(kBeginCost);
+}
+
+void
+Ustm::txEnd(ThreadContext &tc)
+{
+    TxDesc &tx = txs_[tc.id()];
+    utm_assert(tx.status == TxDesc::Status::Active);
+    if (tx.depth > 1) {
+        --tx.depth;
+        return;
+    }
+    checkKill(tc); // Last chance to observe a kill.
+    tx.status = TxDesc::Status::Committing;
+    releaseAll(tc, tx);
+    tx.status = TxDesc::Status::Inactive;
+    tx.depth = 0;
+    tx.killedAge = 0;
+    tx.undo.clear();
+    if (strong_)
+        tc.enableUfo();
+    machine_.stats().inc("ustm.commits");
+    tc.advance(kCommitCost);
+}
+
+std::uint64_t
+Ustm::txRead(ThreadContext &tc, Addr a, unsigned size)
+{
+    readBarrier(tc, a);
+    return tc.load(a, size);
+}
+
+void
+Ustm::txWrite(ThreadContext &tc, Addr a, std::uint64_t v, unsigned size)
+{
+    writeBarrier(tc, a);
+    TxDesc &tx = txs_[tc.id()];
+    tx.undo.push_back({a, size, machine_.memory().read(a, size)});
+    tc.advance(kUndoLogCost);
+    tc.store(a, v, size);
+}
+
+void
+Ustm::readBarrier(ThreadContext &tc, Addr a)
+{
+    machine_.stats().inc("ustm.read_barriers");
+    acquire(tc, txs_[tc.id()], lineOf(a), /*want_write=*/false);
+}
+
+void
+Ustm::writeBarrier(ThreadContext &tc, Addr a)
+{
+    machine_.stats().inc("ustm.write_barriers");
+    acquire(tc, txs_[tc.id()], lineOf(a), /*want_write=*/true);
+}
+
+void
+Ustm::checkKill(ThreadContext &tc)
+{
+    TxDesc &tx = txs_[tc.id()];
+    if (tx.status == TxDesc::Status::Active && tx.killedAge != 0 &&
+        tx.killedAge == tx.age) {
+        unwindAbort(tc, tx);
+    }
+}
+
+void
+Ustm::record(TxDesc &tx, LineAddr line, Addr entry, bool write)
+{
+    auto it = tx.ownedIndex.find(line);
+    if (it != tx.ownedIndex.end()) {
+        utm_assert(tx.owned[it->second].entry == entry);
+        tx.owned[it->second].write |= write;
+        return;
+    }
+    tx.ownedIndex.emplace(line, tx.owned.size());
+    tx.owned.push_back({line, entry, write});
+}
+
+void
+Ustm::installUfo(ThreadContext &tc, LineAddr line, bool write)
+{
+    if (!strong_)
+        return;
+    tc.setUfoBits(line, write ? kUfoBoth : kUfoWriteOnly);
+}
+
+void
+Ustm::clearUfo(ThreadContext &tc, LineAddr line)
+{
+    if (!strong_)
+        return;
+    tc.setUfoBits(line, kUfoNone);
+}
+
+std::uint64_t
+Ustm::ownersOf(ThreadContext &tc, Addr entry, std::uint64_t w0)
+{
+    if (Otable::multi(w0))
+        return tc.load(entry + 8, 8);
+    return 1ull << Otable::owner(w0);
+}
+
+bool
+Ustm::lockRow(ThreadContext &tc, Addr head, std::uint64_t w0)
+{
+    utm_assert(!Otable::locked(w0));
+    return tc.cas(head, 8, w0, w0 | Otable::kLock);
+}
+
+void
+Ustm::acquire(ThreadContext &tc, TxDesc &tx, LineAddr line,
+              bool want_write)
+{
+    utm_assert(tx.status == TxDesc::Status::Active);
+    for (;;) {
+        checkKill(tc); // throws if this transaction was killed
+        AcquireStep step = acquireStep(tc, tx, line, want_write);
+        switch (step.kind) {
+          case AcquireStep::Kind::Done:
+            return;
+          case AcquireStep::Kind::Retry:
+            tc.advance(policy_.lockBackoff);
+            tc.yield();
+            break;
+          case AcquireStep::Kind::Conflict:
+            resolveConflict(tc, tx, step.conflictOwners,
+                            otable_.bucketAddr(line));
+            break;
+        }
+    }
+}
+
+Ustm::AcquireStep
+Ustm::acquireStep(ThreadContext &tc, TxDesc &tx, LineAddr line,
+                  bool want_write)
+{
+    const ThreadId self = tc.id();
+    const std::uint64_t my_bit = 1ull << self;
+    const std::uint64_t tag = Otable::tagOf(line);
+    const Addr head = otable_.bucketAddr(line);
+
+    std::uint64_t w0 = tc.load(head, 8);
+    if (Otable::locked(w0))
+        return {AcquireStep::Kind::Retry, 0};
+
+    // Fast path: empty bucket, no chain -- single CAS insert (locked
+    // insert in strong mode to couple the UFO bit set, Algorithm 2).
+    if (!Otable::used(w0) && !Otable::hasChain(w0)) {
+        std::uint64_t neww0 = Otable::pack(true, strong_, want_write,
+                                           false, false, self, tag);
+        if (!tc.cas(head, 8, w0, neww0))
+            return {AcquireStep::Kind::Retry, 0};
+        if (strong_) {
+            installUfo(tc, line, want_write);
+            tc.store(head, neww0 & ~Otable::kLock, 8);
+        }
+        record(tx, line, head, want_write);
+        return {AcquireStep::Kind::Done, 0};
+    }
+
+    if (Otable::used(w0) && Otable::tag(w0) == tag) {
+        if (Otable::writeState(w0)) {
+            if (Otable::owner(w0) == self)
+                return {AcquireStep::Kind::Done, 0};
+            return {AcquireStep::Kind::Conflict,
+                    1ull << Otable::owner(w0)};
+        }
+        // Read-state head entry. Loading word1 (multi representation)
+        // can race with a release/reclaim of the entry, so revalidate
+        // word0 afterwards before trusting the owner set.
+        std::uint64_t owners = ownersOf(tc, head, w0);
+        if (Otable::multi(w0) && tc.load(head, 8) != w0)
+            return {AcquireStep::Kind::Retry, 0};
+        if (!want_write) {
+            if (owners & my_bit)
+                return {AcquireStep::Kind::Done, 0};
+            // Need the row lock to join the reader set.
+            if (!lockRow(tc, head, w0))
+                return {AcquireStep::Kind::Retry, 0};
+            return lockedAcquire(tc, tx, line, want_write, head,
+                                 w0 | Otable::kLock);
+        }
+        if (!Otable::multi(w0) && Otable::owner(w0) == self) {
+            // Sole-reader (single-owner representation) upgrade: the
+            // CAS fails if any reader joined, because joining takes
+            // the row lock and perturbs word0.
+            std::uint64_t neww0 =
+                w0 | Otable::kWrite | (strong_ ? Otable::kLock : 0);
+            if (!tc.cas(head, 8, w0, neww0))
+                return {AcquireStep::Kind::Retry, 0};
+            if (strong_) {
+                installUfo(tc, line, true);
+                tc.store(head, neww0 & ~Otable::kLock, 8);
+            }
+            record(tx, line, head, true);
+            return {AcquireStep::Kind::Done, 0};
+        }
+        if (owners == my_bit) {
+            // Multi representation with only us: upgrade under lock.
+            if (!lockRow(tc, head, w0))
+                return {AcquireStep::Kind::Retry, 0};
+            return lockedAcquire(tc, tx, line, want_write, head,
+                                 w0 | Otable::kLock);
+        }
+        return {AcquireStep::Kind::Conflict, owners & ~my_bit};
+    }
+
+    // Tag mismatch or tombstoned head with a chain: locked slow path.
+    if (!lockRow(tc, head, w0))
+        return {AcquireStep::Kind::Retry, 0};
+    return lockedAcquire(tc, tx, line, want_write, head,
+                         w0 | Otable::kLock);
+}
+
+Ustm::AcquireStep
+Ustm::lockedAcquire(ThreadContext &tc, TxDesc &tx, LineAddr line,
+                    bool want_write, Addr head, std::uint64_t w0_locked)
+{
+    const ThreadId self = tc.id();
+    const std::uint64_t my_bit = 1ull << self;
+    const std::uint64_t tag = Otable::tagOf(line);
+    const std::uint64_t w0 = w0_locked & ~Otable::kLock;
+
+    auto unlock = [&](std::uint64_t final_w0) {
+        tc.store(head, final_w0 & ~Otable::kLock, 8);
+    };
+
+    // Case 1: head entry matches our line (we needed the lock to join
+    // the reader set or to serialize with chain updates).
+    if (Otable::used(w0) && Otable::tag(w0) == tag) {
+        if (Otable::writeState(w0)) {
+            ThreadId o = Otable::owner(w0);
+            unlock(w0);
+            if (o == self)
+                return {AcquireStep::Kind::Done, 0};
+            return {AcquireStep::Kind::Conflict, 1ull << o};
+        }
+        std::uint64_t owners = ownersOf(tc, head, w0);
+        if (!want_write) {
+            if (owners & my_bit) {
+                unlock(w0);
+                return {AcquireStep::Kind::Done, 0};
+            }
+            tc.store(head + 8, owners | my_bit, 8);
+            unlock(w0 | Otable::kMulti);
+            record(tx, line, head, false);
+            return {AcquireStep::Kind::Done, 0};
+        }
+        if (owners == my_bit) {
+            // Upgrade; normalize back to the single-owner form.
+            std::uint64_t neww0 =
+                (w0 & ~(Otable::kMulti | Otable::kOwnerMask)) |
+                Otable::kWrite |
+                (static_cast<std::uint64_t>(self)
+                 << Otable::kOwnerShift);
+            installUfo(tc, line, true);
+            unlock(neww0);
+            record(tx, line, head, true);
+            return {AcquireStep::Kind::Done, 0};
+        }
+        unlock(w0);
+        return {AcquireStep::Kind::Conflict, owners & ~my_bit};
+    }
+
+    // Case 2: walk the chain for a node matching our line.
+    Addr node = tc.load(head + 16, 8);
+    while (node != 0) {
+        std::uint64_t nw0 = tc.load(node, 8);
+        if (Otable::used(nw0) && Otable::tag(nw0) == tag) {
+            if (Otable::writeState(nw0)) {
+                ThreadId o = Otable::owner(nw0);
+                unlock(w0);
+                if (o == self)
+                    return {AcquireStep::Kind::Done, 0};
+                return {AcquireStep::Kind::Conflict, 1ull << o};
+            }
+            std::uint64_t owners = ownersOf(tc, node, nw0);
+            if (!want_write) {
+                if (owners & my_bit) {
+                    unlock(w0);
+                    return {AcquireStep::Kind::Done, 0};
+                }
+                tc.store(node + 8, owners | my_bit, 8);
+                if (!Otable::multi(nw0))
+                    tc.store(node, nw0 | Otable::kMulti, 8);
+                unlock(w0);
+                record(tx, line, node, false);
+                return {AcquireStep::Kind::Done, 0};
+            }
+            if (owners == my_bit) {
+                std::uint64_t new_nw0 =
+                    (nw0 & ~(Otable::kMulti | Otable::kOwnerMask)) |
+                    Otable::kWrite |
+                    (static_cast<std::uint64_t>(self)
+                     << Otable::kOwnerShift);
+                tc.store(node, new_nw0, 8);
+                installUfo(tc, line, true);
+                unlock(w0);
+                record(tx, line, node, true);
+                return {AcquireStep::Kind::Done, 0};
+            }
+            unlock(w0);
+            return {AcquireStep::Kind::Conflict, owners & ~my_bit};
+        }
+        node = tc.load(node + 16, 8);
+    }
+
+    // Case 3: no entry for our line anywhere in this bucket.
+    if (!Otable::used(w0)) {
+        // Reclaim the tombstoned head slot.
+        std::uint64_t neww0 =
+            Otable::pack(true, false, want_write, false,
+                         Otable::hasChain(w0), self, tag);
+        installUfo(tc, line, want_write);
+        unlock(neww0);
+        record(tx, line, head, want_write);
+        return {AcquireStep::Kind::Done, 0};
+    }
+    Addr n = otable_.allocNode();
+    tc.store(n, Otable::pack(true, false, want_write, false, false,
+                             self, tag),
+             8);
+    Addr old_next = tc.load(head + 16, 8);
+    tc.store(n + 16, old_next, 8);
+    tc.store(head + 16, n, 8);
+    installUfo(tc, line, want_write);
+    unlock(w0 | Otable::kHasChain);
+    record(tx, line, n, want_write);
+    machine_.stats().inc("ustm.chain_inserts");
+    return {AcquireStep::Kind::Done, 0};
+}
+
+void
+Ustm::resolveConflict(ThreadContext &tc, TxDesc &tx,
+                      std::uint64_t owners, Addr head)
+{
+    machine_.stats().inc("ustm.conflicts");
+    if (killOwners(tc, owners, tx.age, &tx))
+        return; // All younger conflictors were killed; retry.
+
+    // Some conflictor is older: stall until the entry changes (or
+    // give up after a bounded spin and retry the barrier anyway).
+    machine_.stats().inc("ustm.stalls");
+    std::uint64_t w0 = tc.load(head, 8);
+    for (int i = 0; i < kStallPolls; ++i) {
+        checkKill(tc);
+        tc.advance(policy_.stallPoll);
+        tc.yield();
+        if (tc.load(head, 8) != w0)
+            return;
+    }
+}
+
+bool
+Ustm::killOwners(ThreadContext &tc, std::uint64_t owners,
+                 std::uint64_t my_age, TxDesc *me)
+{
+    const ThreadId self = tc.id();
+
+    struct Victim
+    {
+        ThreadId tid;
+        std::uint64_t age;
+    };
+    Victim victims[kMaxThreads];
+    int n_victims = 0;
+
+    // Decide and mark atomically (no timed operations in between).
+    std::uint64_t mask = owners;
+    for (int o = 0; mask != 0; ++o, mask >>= 1) {
+        if (!(mask & 1) || o == self)
+            continue;
+        TxDesc &ot = txs_[o];
+        if (ot.status == TxDesc::Status::Active && my_age != 0 &&
+            ot.age < my_age) {
+            return false; // Older conflictor: the caller stalls.
+        }
+    }
+    mask = owners;
+    for (int o = 0; mask != 0; ++o, mask >>= 1) {
+        if (!(mask & 1) || o == self)
+            continue;
+        TxDesc &ot = txs_[o];
+        if (ot.status == TxDesc::Status::Active ||
+            ot.status == TxDesc::Status::Retrying) {
+            // A Retrying transaction is killable by anyone regardless
+            // of age: the kill doubles as its wakeup (Section 6).
+            ot.killedAge = ot.age;
+            ot.killerTid = me ? self : -1;
+            ot.killerAge = me ? me->age : 0;
+            victims[n_victims++] = {static_cast<ThreadId>(o), ot.age};
+            machine_.stats().inc(
+                ot.status == TxDesc::Status::Retrying
+                    ? "ustm.retry_wakeups"
+                    : "ustm.kills");
+        } else if (ot.status == TxDesc::Status::Aborting ||
+                   ot.status == TxDesc::Status::Committing) {
+            victims[n_victims++] = {static_cast<ThreadId>(o), ot.age};
+        }
+    }
+
+    // Blocking STM: wait for each victim to unwind itself before
+    // touching the otable again (Section 4.1).
+    for (int i = 0; i < n_victims; ++i) {
+        TxDesc &ot = txs_[victims[i].tid];
+        long spins = 0;
+        while (ot.age == victims[i].age &&
+               ot.status != TxDesc::Status::Inactive) {
+            if (me)
+                checkKill(tc); // We may be killed while waiting.
+            tc.advance(policy_.stallPoll);
+            tc.yield();
+            if (++spins > kWaitSanityBound)
+                utm_panic("victim-unwind wait did not terminate");
+        }
+    }
+    return true;
+}
+
+void
+Ustm::releaseAll(ThreadContext &tc, TxDesc &tx)
+{
+    for (const auto &o : tx.owned)
+        releaseEntry(tc, tx, o);
+    tx.owned.clear();
+    tx.ownedIndex.clear();
+}
+
+void
+Ustm::releaseEntry(ThreadContext &tc, TxDesc &tx,
+                   const TxDesc::Owned &o)
+{
+    (void)tx;
+    const ThreadId self = tc.id();
+    const std::uint64_t my_bit = 1ull << self;
+    const Addr head = otable_.bucketAddr(o.line);
+
+    for (;;) {
+        std::uint64_t w0 = tc.load(head, 8);
+        if (Otable::locked(w0) || !lockRow(tc, head, w0)) {
+            tc.advance(policy_.lockBackoff);
+            tc.yield();
+            continue;
+        }
+
+        if (o.entry == head) {
+            utm_assert(Otable::used(w0) &&
+                       Otable::tag(w0) == Otable::tagOf(o.line));
+            std::uint64_t owners = ownersOf(tc, head, w0) & ~my_bit;
+            if (owners == 0) {
+                clearUfo(tc, o.line);
+                tc.store(head,
+                         Otable::hasChain(w0) ? Otable::kHasChain : 0,
+                         8);
+            } else {
+                utm_assert(!Otable::writeState(w0));
+                tc.store(head + 8, owners, 8);
+                tc.store(head, (w0 | Otable::kMulti) & ~Otable::kLock,
+                         8);
+            }
+            return;
+        }
+
+        // Chain node: find its predecessor pointer.
+        Addr prev_ptr = head + 16;
+        Addr node = tc.load(prev_ptr, 8);
+        while (node != 0 && node != o.entry) {
+            prev_ptr = node + 16;
+            node = tc.load(prev_ptr, 8);
+        }
+        utm_assert(node == o.entry);
+        std::uint64_t nw0 = tc.load(node, 8);
+        std::uint64_t owners = ownersOf(tc, node, nw0) & ~my_bit;
+        if (owners == 0) {
+            clearUfo(tc, o.line);
+            Addr next = tc.load(node + 16, 8);
+            tc.store(prev_ptr, next, 8);
+            otable_.freeNode(node);
+            Addr first = tc.load(head + 16, 8);
+            std::uint64_t neww0 = w0;
+            if (first == 0)
+                neww0 &= ~Otable::kHasChain;
+            tc.store(head, neww0 & ~Otable::kLock, 8);
+        } else {
+            utm_assert(!Otable::writeState(nw0));
+            tc.store(node + 8, owners, 8);
+            if (!Otable::multi(nw0))
+                tc.store(node, nw0 | Otable::kMulti, 8);
+            tc.store(head, w0 & ~Otable::kLock, 8);
+        }
+        return;
+    }
+}
+
+void
+Ustm::downgradeEntry(ThreadContext &tc, TxDesc::Owned &o)
+{
+    utm_assert(o.write);
+    const Addr head = otable_.bucketAddr(o.line);
+    for (;;) {
+        std::uint64_t w0 = tc.load(head, 8);
+        if (Otable::locked(w0) || !lockRow(tc, head, w0)) {
+            tc.advance(policy_.lockBackoff);
+            tc.yield();
+            continue;
+        }
+        if (o.entry == head) {
+            utm_assert(Otable::writeState(w0));
+            if (strong_)
+                tc.setUfoBits(o.line, kUfoWriteOnly);
+            tc.store(head, w0 & ~(Otable::kWrite | Otable::kLock), 8);
+        } else {
+            std::uint64_t nw0 = tc.load(o.entry, 8);
+            utm_assert(Otable::writeState(nw0));
+            tc.store(o.entry, nw0 & ~Otable::kWrite, 8);
+            if (strong_)
+                tc.setUfoBits(o.line, kUfoWriteOnly);
+            tc.store(head, w0 & ~Otable::kLock, 8);
+        }
+        o.write = false;
+        return;
+    }
+}
+
+void
+Ustm::txRetryWait(ThreadContext &tc)
+{
+    TxDesc &tx = txs_[tc.id()];
+    utm_assert(tx.status == TxDesc::Status::Active);
+    utm_assert(tx.depth == 1); // retry composes via flattening only
+    machine_.stats().inc("ustm.retries");
+
+    // Undo speculative writes, then convert write ownership to read
+    // ownership so future writers conflict with (and thereby wake)
+    // us.
+    for (auto it = tx.undo.rbegin(); it != tx.undo.rend(); ++it)
+        tc.store(it->addr, it->old, it->size);
+    tx.undo.clear();
+    for (auto &o : tx.owned) {
+        if (o.write)
+            downgradeEntry(tc, o);
+    }
+
+    tx.status = TxDesc::Status::Retrying;
+    long spins = 0;
+    while (tx.killedAge == 0 || tx.killedAge != tx.age) {
+        tc.advance(policy_.stallPoll);
+        tc.yield();
+        if (++spins > kWaitSanityBound)
+            utm_panic("txRetryWait never woken (lost wakeup?)");
+    }
+    // Woken: unwind (releases remaining read ownership) and let the
+    // retry loop re-execute the body.
+    tx.status = TxDesc::Status::Active;
+    unwindAbort(tc, tx);
+}
+
+void
+Ustm::unwindAbort(ThreadContext &tc, TxDesc &tx)
+{
+    tx.status = TxDesc::Status::Aborting;
+    machine_.stats().inc("ustm.aborts");
+    // Eager versioning: restore logged values, newest first, before
+    // releasing write ownership.
+    for (auto it = tx.undo.rbegin(); it != tx.undo.rend(); ++it)
+        tc.store(it->addr, it->old, it->size);
+    releaseAll(tc, tx);
+    tx.undo.clear();
+    tx.status = TxDesc::Status::Inactive;
+    tx.depth = 0;
+    tx.killedAge = 0;
+    if (strong_)
+        tc.enableUfo();
+    tc.advance(kAbortPenalty);
+    throw UstmAbortException{};
+}
+
+std::uint64_t
+Ustm::peekOwners(LineAddr line) const
+{
+    const SimMemory &mem = machine_.memory();
+    const std::uint64_t tag = Otable::tagOf(line);
+    const Addr head = otable_.bucketAddr(line);
+    std::uint64_t w0 = mem.read(head, 8);
+    if (Otable::used(w0) && Otable::tag(w0) == tag) {
+        return Otable::multi(w0) ? mem.read(head + 8, 8)
+                                 : 1ull << Otable::owner(w0);
+    }
+    if (Otable::hasChain(w0)) {
+        Addr node = mem.read(head + 16, 8);
+        while (node != 0) {
+            std::uint64_t nw0 = mem.read(node, 8);
+            if (Otable::used(nw0) && Otable::tag(nw0) == tag) {
+                return Otable::multi(nw0) ? mem.read(node + 8, 8)
+                                          : 1ull << Otable::owner(nw0);
+            }
+            node = mem.read(node + 16, 8);
+        }
+    }
+    return 0;
+}
+
+bool
+Ustm::inspectForRetryers(ThreadContext &tc, LineAddr line,
+                         std::vector<RetryWakeupHooks::Token> *tokens)
+{
+    tc.advance(30); // In-BTM handler execution cost.
+    std::uint64_t owners = peekOwners(line);
+    if (owners == 0)
+        return true; // Bits mid-release: safe to clear.
+    for (int o = 0; owners != 0; ++o, owners >>= 1) {
+        if (!(owners & 1))
+            continue;
+        TxDesc &ot = txs_[o];
+        if (ot.status == TxDesc::Status::Retrying)
+            tokens->emplace_back(static_cast<ThreadId>(o), ot.age);
+        else if (ot.status != TxDesc::Status::Inactive)
+            return false; // Live STM owner: a real conflict.
+    }
+    return true;
+}
+
+void
+Ustm::wakeRetryers(const std::vector<RetryWakeupHooks::Token> &tokens)
+{
+    for (const auto &[tid, age] : tokens) {
+        TxDesc &ot = txs_[tid];
+        if (ot.status == TxDesc::Status::Retrying && ot.age == age) {
+            ot.killedAge = ot.age;
+            ot.killerTid = -1;
+            machine_.stats().inc("ustm.retry_wakeups");
+        }
+    }
+}
+
+void
+Ustm::nonTFaultHandler(ThreadContext &tc, Addr a, AccessType t)
+{
+    const LineAddr line = lineOf(a);
+    machine_.stats().inc("ustm.nont_faults");
+
+    // Parked `retry` transactions never release on their own: wake
+    // them first so the stall below terminates.
+    std::uint64_t parked = peekOwners(line);
+    for (int o = 0; parked != 0; ++o, parked >>= 1) {
+        if ((parked & 1) &&
+            txs_[o].status == TxDesc::Status::Retrying) {
+            txs_[o].killedAge = txs_[o].age;
+            txs_[o].killerTid = -1;
+            machine_.stats().inc("ustm.retry_wakeups");
+        }
+    }
+
+    if (policy_.nonTFault == UstmPolicy::NonTFault::Stall) {
+        long spins = 0;
+        for (;;) {
+            tc.advance(policy_.stallPoll);
+            tc.yield();
+            if (!machine_.memory().ufoBits(line).faults(t))
+                return;
+            if (++spins > kWaitSanityBound)
+                utm_panic("nonT UFO stall did not terminate");
+        }
+    }
+
+    // AbortTx policy: look up the owners and kill them.
+    const std::uint64_t tag = Otable::tagOf(line);
+    const Addr head = otable_.bucketAddr(line);
+    std::uint64_t w0 = tc.load(head, 8);
+    std::uint64_t owners = 0;
+    if (Otable::used(w0) && Otable::tag(w0) == tag) {
+        owners = ownersOf(tc, head, w0);
+    } else if (Otable::hasChain(w0)) {
+        Addr node = tc.load(head + 16, 8);
+        while (node != 0) {
+            std::uint64_t nw0 = tc.load(node, 8);
+            if (Otable::used(nw0) && Otable::tag(nw0) == tag) {
+                owners = ownersOf(tc, node, nw0);
+                break;
+            }
+            node = tc.load(node + 16, 8);
+        }
+    }
+    if (owners == 0) {
+        // Protection is mid-flight (insert or release in progress);
+        // let the access retry.
+        tc.advance(policy_.stallPoll);
+        tc.yield();
+        return;
+    }
+    killOwners(tc, owners, /*my_age=*/0, /*me=*/nullptr);
+}
+
+} // namespace utm

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * USTM: the eager-versioning, eager-conflict-detection, cache-line
+ * granularity software TM of paper Section 4.1, with the optional
+ * UFO-based strong-atomicity extension of Section 4.2.
+ *
+ * The Table 3 API maps to:
+ *   ustm_begin         -> Ustm::txBegin()
+ *   ustm_end           -> Ustm::txEnd()
+ *   ustm_abort         -> observed kill -> UstmAbortException
+ *   ustm_read_barrier  -> Ustm::readBarrier()
+ *   ustm_write_barrier -> Ustm::writeBarrier()
+ *
+ * Conflict resolution is age-based and blocking: a transaction that
+ * conflicts with an older transaction stalls; one that conflicts only
+ * with younger transactions kills them and waits for each victim to
+ * unwind itself (restore its undo log and release its otable entries)
+ * before proceeding.  A freshly-aborted transaction waits until its
+ * killer retires before reissuing (livelock avoidance, Section 4.1).
+ *
+ * In strong-atomic mode, read ownership installs fault-on-write UFO
+ * protection and write ownership installs fault-on-read+write, in
+ * lockstep with otable insertion under the row lock (Algorithm 2); the
+ * registered non-transactional fault handler implements the
+ * software-defined contention policy (stall the access, or abort the
+ * owning transaction).
+ */
+
+#ifndef UFOTM_USTM_USTM_HH
+#define UFOTM_USTM_USTM_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/tm_iface.hh"
+#include "sim/types.hh"
+#include "ustm/otable.hh"
+
+namespace utm {
+
+class Machine;
+class ThreadContext;
+
+/** Thrown when a software transaction observes that it was killed. */
+struct UstmAbortException
+{
+};
+
+/** Software contention-management knobs. */
+struct UstmPolicy
+{
+    /** How the UFO fault handler treats a faulting nonT access. */
+    enum class NonTFault
+    {
+        Stall,   ///< Stall the access until protection clears (default;
+                 ///< STM transactions are statically prioritized).
+        AbortTx, ///< Kill the owning software transaction(s).
+    };
+
+    NonTFault nonTFault = NonTFault::Stall;
+    Cycles stallPoll = 20;   ///< Poll interval while stalled.
+    Cycles lockBackoff = 10; ///< Backoff after losing an otable race.
+};
+
+/** The USTM runtime shared by all threads of one machine. */
+class Ustm
+{
+  public:
+    /** Default simulated address of the otable region. */
+    static constexpr Addr kDefaultOtableBase = 0x08000000;
+
+    /**
+     * @param machine       Owning machine.
+     * @param strong_atomic Install UFO protection with ownership.
+     * @param policy        Software CM knobs.
+     */
+    Ustm(Machine &machine, bool strong_atomic,
+         const UstmPolicy &policy = UstmPolicy{});
+
+    /**
+     * Materialize the otable and (in strong mode) register the UFO
+     * fault handler.  Call once, before threads run.
+     */
+    void setup(ThreadContext &init);
+
+    /** @name Transaction lifecycle (Table 3). @{ */
+    void txBegin(ThreadContext &tc);
+    void txEnd(ThreadContext &tc);
+
+    /**
+     * Transactional waiting — the `retry` primitive of paper
+     * Section 6.  Undoes the transaction's speculative writes,
+     * downgrades its write ownership to read ownership, and parks the
+     * transaction in Retrying state.  Any transaction that later
+     * acquires one of the watched lines for writing wakes it (the
+     * wound doubles as the wakeup); the woken transaction unwinds and
+     * UstmAbortException propagates to the retry loop, which re-runs
+     * the body.  Eager conflict detection wakes at the writer's
+     * *acquire* (not its commit, as in a lazy STM) — at worst one
+     * spurious re-check, never a lost wakeup.
+     */
+    [[noreturn]] void txRetryWait(ThreadContext &tc);
+
+    /** Barrier + data access helpers used by the TxHandle layer. */
+    std::uint64_t txRead(ThreadContext &tc, Addr a, unsigned size);
+    void txWrite(ThreadContext &tc, Addr a, std::uint64_t v,
+                 unsigned size);
+
+    void readBarrier(ThreadContext &tc, Addr a);
+    void writeBarrier(ThreadContext &tc, Addr a);
+    /** @} */
+
+    /**
+     * Poll point: if this transaction has been killed, unwind (restore
+     * the undo log, release ownership) and throw UstmAbortException.
+     */
+    void checkKill(ThreadContext &tc);
+
+    /** Is thread @p t inside a software transaction? */
+    bool inTx(ThreadId t) const;
+
+    bool strongAtomic() const { return strong_; }
+    Otable &otable() { return otable_; }
+    const UstmPolicy &policy() const { return policy_; }
+
+    /** Transaction age of thread @p t (0 when inactive). */
+    std::uint64_t txAgeOf(ThreadId t) const;
+
+    /** Functional (untimed) owner-set lookup for @p line; used by the
+     *  Section 6 hooks and by tests. */
+    std::uint64_t peekOwners(LineAddr line) const;
+
+  private:
+    struct TxDesc
+    {
+        enum class Status
+        {
+            Inactive,
+            Active,
+            Aborting,
+            Committing,
+            Retrying, ///< Parked in txRetryWait; killable by anyone.
+        };
+
+        struct Owned
+        {
+            LineAddr line;
+            Addr entry;
+            bool write;
+        };
+
+        struct UndoRec
+        {
+            Addr addr;
+            unsigned size;
+            std::uint64_t old;
+        };
+
+        Status status = Status::Inactive;
+        int depth = 0;
+        std::uint64_t age = 0;
+        std::uint64_t killedAge = 0; ///< == age means: die.
+        ThreadId killerTid = -1;
+        std::uint64_t killerAge = 0;
+        std::vector<Owned> owned;
+        std::unordered_map<LineAddr, std::size_t> ownedIndex;
+        std::vector<UndoRec> undo;
+    };
+
+    /** Outcome of one pass over the otable entry for a line. */
+    struct AcquireStep
+    {
+        enum class Kind { Done, Retry, Conflict } kind;
+        std::uint64_t conflictOwners = 0;
+    };
+
+    void acquire(ThreadContext &tc, TxDesc &tx, LineAddr line,
+                 bool want_write);
+    AcquireStep acquireStep(ThreadContext &tc, TxDesc &tx,
+                            LineAddr line, bool want_write);
+    AcquireStep lockedAcquire(ThreadContext &tc, TxDesc &tx,
+                              LineAddr line, bool want_write, Addr head,
+                              std::uint64_t w0_locked);
+
+    /** Read an entry's owner set (loads word1 when multi). */
+    std::uint64_t ownersOf(ThreadContext &tc, Addr entry,
+                           std::uint64_t w0);
+
+    void resolveConflict(ThreadContext &tc, TxDesc &tx,
+                         std::uint64_t owners, Addr head);
+
+    /** Kill every active transaction in @p owners younger than
+     *  @p my_age (~0 for non-transactional requesters) and wait for
+     *  each victim to unwind. Returns false if some victim was older
+     *  (caller must stall instead). */
+    bool killOwners(ThreadContext &tc, std::uint64_t owners,
+                    std::uint64_t my_age, TxDesc *me);
+
+    void record(TxDesc &tx, LineAddr line, Addr entry, bool write);
+
+    void releaseAll(ThreadContext &tc, TxDesc &tx);
+    void releaseEntry(ThreadContext &tc, TxDesc &tx,
+                      const TxDesc::Owned &o);
+
+    /** Downgrade a held write entry to read ownership (for retry). */
+    void downgradeEntry(ThreadContext &tc, TxDesc::Owned &o);
+
+    [[noreturn]] void unwindAbort(ThreadContext &tc, TxDesc &tx);
+
+    void installUfo(ThreadContext &tc, LineAddr line, bool write);
+    void clearUfo(ThreadContext &tc, LineAddr line);
+
+    void nonTFaultHandler(ThreadContext &tc, Addr a, AccessType t);
+
+    /**
+     * Section 6 inspect hook, run inside a BTM transaction's UFO
+     * fault handler: true iff @p line is protected only by parked
+     * Retrying transactions (collected into @p tokens for a
+     * post-commit wakeup).  Uses a functional otable peek, modelling
+     * the paper's non-transactional loads from the in-BTM handler.
+     */
+    bool inspectForRetryers(ThreadContext &tc, LineAddr line,
+                            std::vector<RetryWakeupHooks::Token>
+                                *tokens);
+
+    /** Section 6 wake hook: called after the BTM commit. */
+    void wakeRetryers(const std::vector<RetryWakeupHooks::Token> &t);
+
+    /** Lock the row; returns the locked w0 or 0 on failure. */
+    bool lockRow(ThreadContext &tc, Addr head, std::uint64_t w0);
+
+    Machine &machine_;
+    bool strong_;
+    UstmPolicy policy_;
+    Otable otable_;
+    std::array<TxDesc, kMaxThreads> txs_;
+};
+
+} // namespace utm
+
+#endif // UFOTM_USTM_USTM_HH

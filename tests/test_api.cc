@@ -1,0 +1,165 @@
+/**
+ * @file
+ * API-surface tests: factory/name round trips, typed handle accesses
+ * at every width, abort-reason names, logging formatting, and the
+ * stats dump format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdarg>
+
+#include "core/tx_system.hh"
+#include "mem/memory_system.hh"
+#include "rt/heap.hh"
+#include "sim/logging.hh"
+#include "sim/machine.hh"
+
+namespace utm {
+namespace {
+
+TEST(Api, FactoryProducesEveryKindWithMatchingName)
+{
+    const std::pair<TxSystemKind, const char *> kinds[] = {
+        {TxSystemKind::NoTm, "no-tm"},
+        {TxSystemKind::UnboundedHtm, "unbounded-htm"},
+        {TxSystemKind::UfoHybrid, "ufo-hybrid"},
+        {TxSystemKind::HyTm, "hytm"},
+        {TxSystemKind::PhTm, "phtm"},
+        {TxSystemKind::Ustm, "ustm"},
+        {TxSystemKind::UstmStrong, "ustm-ufo"},
+        {TxSystemKind::Tl2, "tl2"},
+    };
+    for (auto &[kind, name] : kinds) {
+        Machine m;
+        auto sys = TxSystem::create(kind, m);
+        ASSERT_NE(sys, nullptr);
+        EXPECT_STREQ(sys->name(), name);
+        EXPECT_STREQ(txSystemKindName(kind), name);
+        EXPECT_EQ(sys->kind(), kind);
+        sys->setup(); // Must be callable on every kind.
+    }
+}
+
+TEST(Api, AbortReasonNamesAreUniqueAndNonEmpty)
+{
+    std::set<std::string> names;
+    for (int i = 0; i < kNumAbortReasons; ++i) {
+        const char *n = abortReasonName(static_cast<AbortReason>(i));
+        ASSERT_NE(n, nullptr);
+        EXPECT_GT(std::strlen(n), 0u);
+        EXPECT_TRUE(names.insert(n).second) << "duplicate: " << n;
+    }
+}
+
+class TypedAccess : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(TypedAccess, RoundTripsAtEveryWidth)
+{
+    const unsigned size = GetParam();
+    Machine m;
+    TxHeap heap(m);
+    auto sys = TxSystem::create(TxSystemKind::UfoHybrid, m);
+    sys->setup();
+    const Addr a = heap.allocZeroed(m.initContext(), 8, true);
+    const std::uint64_t pattern =
+        0x1122334455667788ull & ((size == 8) ? ~0ull
+                                             : ((1ull << (8 * size)) - 1));
+    m.addThread([&](ThreadContext &tc) {
+        sys->atomic(tc, [&](TxHandle &h) {
+            h.write(a, pattern, size);
+            EXPECT_EQ(h.read(a, size), pattern);
+        });
+    });
+    m.run();
+    EXPECT_EQ(m.memory().read(a, size), pattern);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, TypedAccess,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(Api, TypedTemplatesPreserveValues)
+{
+    Machine m;
+    TxHeap heap(m);
+    auto sys = TxSystem::create(TxSystemKind::UstmStrong, m);
+    sys->setup();
+    const Addr a = heap.allocZeroed(m.initContext(), 64, true);
+    m.addThread([&](ThreadContext &tc) {
+        sys->atomic(tc, [&](TxHandle &h) {
+            h.write<std::uint8_t>(a, 0xab);
+            h.write<std::uint16_t>(a + 8, 0xcdef);
+            h.write<std::uint32_t>(a + 16, 0xdeadbeef);
+            h.write<std::int32_t>(a + 24, -12345);
+            EXPECT_EQ(h.read<std::uint8_t>(a), 0xab);
+            EXPECT_EQ(h.read<std::uint16_t>(a + 8), 0xcdef);
+            EXPECT_EQ(h.read<std::uint32_t>(a + 16), 0xdeadbeefu);
+            EXPECT_EQ(h.read<std::int32_t>(a + 24), -12345);
+        });
+    });
+    m.run();
+}
+
+TEST(Api, StatsDumpIsLinePerCounter)
+{
+    StatsRegistry s;
+    s.inc("a.b", 3);
+    s.inc("a.c", 1);
+    std::string d = s.dump();
+    EXPECT_NE(d.find("a.b 3\n"), std::string::npos);
+    EXPECT_NE(d.find("a.c 1\n"), std::string::npos);
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string s = vformatString(fmt, ap);
+    va_end(ap);
+    return s;
+}
+
+TEST(Api, LoggingFormatsLikePrintf)
+{
+    EXPECT_EQ(format("x=%d s=%s", 42, "hi"), "x=42 s=hi");
+    EXPECT_EQ(format("%08llx", 0xabcdull), "0000abcd");
+    EXPECT_EQ(format("plain"), "plain");
+    // Long strings exceed any fixed buffer.
+    std::string big(5000, 'z');
+    EXPECT_EQ(format("%s", big.c_str()), big);
+}
+
+TEST(Api, FatalOnBadConfigIsUserError)
+{
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    MachineConfig mc;
+    mc.numCores = kMaxThreads + 5;
+    EXPECT_DEATH({ Machine m(mc); }, "assertion");
+}
+
+TEST(Api, LineHelpers)
+{
+    EXPECT_EQ(lineOf(0), 0u);
+    EXPECT_EQ(lineOf(63), 0u);
+    EXPECT_EQ(lineOf(64), 64u);
+    EXPECT_EQ(lineOffset(0x1234), 0x34u % 64);
+    EXPECT_EQ(kLineSize, 64u);
+}
+
+TEST(Api, PolicyDefaultsMatchPaperRecommendations)
+{
+    TmPolicy p;
+    EXPECT_EQ(p.btm.cm, BtmPolicy::Cm::AgeOrdered);
+    EXPECT_EQ(p.btm.ufoFaultResponse,
+              BtmPolicy::UfoFaultResponse::Abort);
+    EXPECT_FALSE(p.btm.ufoSetTrueConflictOracle);
+    EXPECT_EQ(p.conflictFailoverThreshold, 0); // Never on contention.
+    EXPECT_EQ(p.interruptFailoverThreshold, 7);
+    EXPECT_EQ(p.ustm.nonTFault, UstmPolicy::NonTFault::Stall);
+}
+
+} // namespace
+} // namespace utm

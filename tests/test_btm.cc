@@ -1,0 +1,467 @@
+/**
+ * @file
+ * Unit tests for the BTM best-effort hardware TM: versioning,
+ * conflicts, contention management, capacity, interrupts, and the
+ * status-register interface.
+ */
+
+#include <gtest/gtest.h>
+
+#include "btm/btm.hh"
+#include "mem/memory_system.hh"
+#include "sim/machine.hh"
+
+namespace utm {
+namespace {
+
+MachineConfig
+quietConfig(int cores = 2)
+{
+    MachineConfig mc;
+    mc.numCores = cores;
+    mc.timerQuantum = 0;
+    return mc;
+}
+
+/**
+ * Map the pages these tests touch.  A transaction's first access to
+ * an unmapped page raises a (recoverable) PageFault abort — the
+ * hybrid's abort handler resolves those, but raw-BtmUnit tests want
+ * to exercise other behaviours.
+ */
+void
+prefault(Machine &m, std::initializer_list<Addr> addrs)
+{
+    for (Addr a : addrs)
+        m.memory().materializePage(a);
+}
+
+TEST(Btm, CommitMakesWritesVisible)
+{
+    Machine m(quietConfig());
+    ThreadContext &tc = m.initContext();
+    prefault(m, {0x100});
+    BtmUnit btm(tc);
+    btm.txBegin();
+    tc.store(0x100, 42, 8);
+    EXPECT_EQ(tc.load(0x100, 8), 42u); // Own writes visible in-tx.
+    btm.txEnd();
+    EXPECT_EQ(tc.load(0x100, 8), 42u);
+    EXPECT_EQ(btm.commits(), 1u);
+}
+
+TEST(Btm, ExplicitAbortRollsBack)
+{
+    Machine m(quietConfig());
+    ThreadContext &tc = m.initContext();
+    BtmUnit btm(tc);
+    tc.store(0x100, 1, 8);
+    tc.store(0x108, 2, 8);
+    bool aborted = false;
+    try {
+        btm.txBegin();
+        tc.store(0x100, 99, 8);
+        tc.store(0x108, 98, 8);
+        tc.store(0x100, 97, 8); // Same word twice.
+        btm.txAbort();
+    } catch (const BtmAbortException &e) {
+        aborted = true;
+        EXPECT_EQ(e.reason, AbortReason::Explicit);
+    }
+    EXPECT_TRUE(aborted);
+    EXPECT_EQ(tc.load(0x100, 8), 1u);
+    EXPECT_EQ(tc.load(0x108, 8), 2u);
+    EXPECT_FALSE(btm.inTx());
+    EXPECT_EQ(btm.lastAbortReason(), AbortReason::Explicit);
+}
+
+TEST(Btm, FlattenedNesting)
+{
+    Machine m(quietConfig());
+    ThreadContext &tc = m.initContext();
+    prefault(m, {0x200});
+    BtmUnit btm(tc);
+    btm.txBegin();
+    btm.txBegin();
+    EXPECT_EQ(btm.nestingDepth(), 2);
+    tc.store(0x200, 5, 8);
+    btm.txEnd();
+    EXPECT_TRUE(btm.inTx()); // Inner end doesn't commit.
+    btm.txEnd();
+    EXPECT_FALSE(btm.inTx());
+    EXPECT_EQ(tc.load(0x200, 8), 5u);
+}
+
+TEST(Btm, NestingOverflowAborts)
+{
+    Machine m(quietConfig());
+    ThreadContext &tc = m.initContext();
+    BtmUnit btm(tc);
+    bool aborted = false;
+    try {
+        for (int i = 0; i <= BtmUnit::kMaxNestingDepth + 1; ++i)
+            btm.txBegin();
+    } catch (const BtmAbortException &e) {
+        aborted = true;
+        EXPECT_EQ(e.reason, AbortReason::NestingOverflow);
+    }
+    EXPECT_TRUE(aborted);
+}
+
+TEST(Btm, SetOverflowAborts)
+{
+    // Fill one L1 set (8 ways) with speculative lines; the 9th
+    // same-set line must abort with SetOverflow.
+    MachineConfig mc = quietConfig();
+    Machine m(mc);
+    ThreadContext &tc = m.initContext();
+    prefault(m, {0x100000, 0x110000, 0x120000});
+    BtmUnit btm(tc);
+    const Addr set_stride = std::uint64_t(mc.l1Sets) * kLineSize;
+    bool aborted = false;
+    try {
+        btm.txBegin();
+        for (unsigned i = 0; i <= mc.l1Ways; ++i)
+            tc.store(0x100000 + i * set_stride, i, 8);
+        btm.txEnd();
+    } catch (const BtmAbortException &e) {
+        aborted = true;
+        EXPECT_EQ(e.reason, AbortReason::SetOverflow);
+    }
+    EXPECT_TRUE(aborted);
+    // All speculative stores rolled back.
+    for (unsigned i = 0; i <= mc.l1Ways; ++i)
+        EXPECT_EQ(m.memory().read(0x100000 + i * set_stride, 8), 0u);
+}
+
+TEST(Btm, UnboundedModeSurvivesOverflow)
+{
+    MachineConfig mc = quietConfig();
+    Machine m(mc);
+    ThreadContext &tc = m.initContext();
+    prefault(m, {0x100000, 0x110000, 0x120000});
+    BtmUnit btm(tc, /*is_unbounded=*/true);
+    const Addr set_stride = std::uint64_t(mc.l1Sets) * kLineSize;
+    btm.txBegin();
+    for (unsigned i = 0; i < 2 * mc.l1Ways; ++i)
+        tc.store(0x100000 + i * set_stride, i + 1, 8);
+    btm.txEnd();
+    for (unsigned i = 0; i < 2 * mc.l1Ways; ++i)
+        EXPECT_EQ(m.memory().read(0x100000 + i * set_stride, 8), i + 1);
+}
+
+TEST(Btm, ConflictAgeOrderedOlderWins)
+{
+    // Thread 0 (older tx) writes a line thread 1 (younger tx) holds:
+    // thread 1 is wounded.
+    Machine m(quietConfig());
+    AbortReason t1_reason = AbortReason::None;
+    prefault(m, {0x5000});
+    m.addThread([&](ThreadContext &tc) {
+        BtmUnit btm(tc);
+        btm.txBegin(); // Older (begins first at clock 0, id 0).
+        tc.advance(100);
+        tc.store(0x5000, 1, 8); // Conflict: wound the younger reader.
+        btm.txEnd();
+        tc.advance(500);
+    });
+    m.addThread([&](ThreadContext &tc) {
+        tc.advance(10);
+        BtmUnit btm(tc);
+        try {
+            btm.txBegin(); // Younger.
+            tc.load(0x5000, 8);
+            tc.advance(400); // Hold the read set while t0 writes.
+            tc.load(0x5000, 8);
+            btm.txEnd();
+        } catch (const BtmAbortException &e) {
+            t1_reason = e.reason;
+        }
+        tc.advance(500);
+    });
+    m.run();
+    EXPECT_EQ(t1_reason, AbortReason::Conflict);
+}
+
+TEST(Btm, ConflictAgeOrderedYoungerNacked)
+{
+    // Thread 1 (younger) wants a line the older tx wrote: it is
+    // NACKed until the older commits, then succeeds; nobody aborts.
+    Machine m(quietConfig());
+    int aborts = 0;
+    prefault(m, {0x6000});
+    m.addThread([&](ThreadContext &tc) {
+        BtmUnit btm(tc);
+        btm.txBegin();
+        tc.store(0x6000, 7, 8);
+        tc.advance(600); // Hold the line for a while.
+        btm.txEnd();
+        tc.advance(100);
+    });
+    m.addThread([&](ThreadContext &tc) {
+        tc.advance(50);
+        BtmUnit btm(tc);
+        try {
+            btm.txBegin();
+            tc.store(0x6000, 8, 8); // NACKs until t0 commits.
+            btm.txEnd();
+        } catch (const BtmAbortException &) {
+            ++aborts;
+        }
+    });
+    m.run();
+    EXPECT_EQ(aborts, 0);
+    EXPECT_EQ(m.memory().read(0x6000, 8), 8u);
+    EXPECT_GT(m.stats().get("btm.nacks"), 0u);
+}
+
+TEST(Btm, RequesterWinsPolicyWoundsOlder)
+{
+    MachineConfig mc = quietConfig();
+    Machine m(mc);
+    BtmPolicy pol;
+    pol.cm = BtmPolicy::Cm::RequesterWins;
+    m.memsys().setBtmPolicy(pol);
+    AbortReason t0_reason = AbortReason::None;
+    prefault(m, {0x7000});
+    m.addThread([&](ThreadContext &tc) {
+        BtmUnit btm(tc);
+        try {
+            btm.txBegin(); // Older.
+            tc.store(0x7000, 1, 8);
+            tc.advance(500);
+            tc.load(0x7000, 8); // Observe own doom.
+            btm.txEnd();
+        } catch (const BtmAbortException &e) {
+            t0_reason = e.reason;
+        }
+    });
+    m.addThread([&](ThreadContext &tc) {
+        tc.advance(50);
+        BtmUnit btm(tc);
+        btm.txBegin(); // Younger requester, wins anyway.
+        tc.store(0x7000, 2, 8);
+        btm.txEnd();
+        tc.advance(600);
+    });
+    m.run();
+    EXPECT_EQ(t0_reason, AbortReason::Conflict);
+}
+
+TEST(Btm, NonTransactionalAccessWoundsTx)
+{
+    Machine m(quietConfig());
+    AbortReason reason = AbortReason::None;
+    prefault(m, {0x8000});
+    m.addThread([&](ThreadContext &tc) {
+        BtmUnit btm(tc);
+        try {
+            btm.txBegin();
+            tc.store(0x8000, 1, 8);
+            tc.advance(500);
+            tc.load(0x8000, 8);
+            btm.txEnd();
+        } catch (const BtmAbortException &e) {
+            reason = e.reason;
+        }
+    });
+    m.addThread([&](ThreadContext &tc) {
+        tc.advance(100);
+        tc.store(0x8000, 99, 8); // Plain store: strong atomicity.
+    });
+    m.run();
+    EXPECT_EQ(reason, AbortReason::NonTConflict);
+    EXPECT_EQ(m.memory().read(0x8000, 8), 99u);
+}
+
+TEST(Btm, TimerInterruptAborts)
+{
+    MachineConfig mc = quietConfig(1);
+    mc.timerQuantum = 1000;
+    Machine m(mc);
+    AbortReason reason = AbortReason::None;
+    prefault(m, {0x9000});
+    m.addThread([&](ThreadContext &tc) {
+        BtmUnit btm(tc);
+        try {
+            btm.txBegin();
+            tc.store(0x9000, 1, 8);
+            tc.advance(5000); // Cross the quantum.
+            btm.txEnd();
+        } catch (const BtmAbortException &e) {
+            reason = e.reason;
+        }
+    });
+    m.run();
+    EXPECT_EQ(reason, AbortReason::Interrupt);
+    EXPECT_EQ(m.memory().read(0x9000, 8), 0u);
+}
+
+TEST(Btm, SyscallAndIoAbort)
+{
+    Machine m(quietConfig(1));
+    std::vector<AbortReason> reasons;
+    m.addThread([&](ThreadContext &tc) {
+        BtmUnit btm(tc);
+        for (int k = 0; k < 2; ++k) {
+            try {
+                btm.txBegin();
+                if (k == 0)
+                    tc.syscallMarker();
+                else
+                    tc.ioMarker();
+                btm.txEnd();
+            } catch (const BtmAbortException &e) {
+                reasons.push_back(e.reason);
+            }
+        }
+    });
+    m.run();
+    ASSERT_EQ(reasons.size(), 2u);
+    EXPECT_EQ(reasons[0], AbortReason::Syscall);
+    EXPECT_EQ(reasons[1], AbortReason::Io);
+}
+
+TEST(Btm, PageFaultAbortReportsAddress)
+{
+    Machine m(quietConfig(1));
+    Addr fault_addr = 0;
+    m.addThread([&](ThreadContext &tc) {
+        BtmUnit btm(tc);
+        try {
+            btm.txBegin();
+            tc.load(0x77770000, 8); // Unmapped page.
+            btm.txEnd();
+        } catch (const BtmAbortException &e) {
+            EXPECT_EQ(e.reason, AbortReason::PageFault);
+            fault_addr = e.addr;
+        }
+    });
+    m.run();
+    EXPECT_EQ(fault_addr, 0x77770000u);
+}
+
+TEST(Btm, UfoFaultAbortPolicy)
+{
+    Machine m(quietConfig(1));
+    AbortReason reason = AbortReason::None;
+    m.memory().setUfoBits(0xa000, kUfoBoth);
+    prefault(m, {0xa000});
+    m.addThread([&](ThreadContext &tc) {
+        BtmUnit btm(tc);
+        try {
+            btm.txBegin();
+            tc.load(0xa000, 8);
+            btm.txEnd();
+        } catch (const BtmAbortException &e) {
+            reason = e.reason;
+        }
+    });
+    m.run();
+    EXPECT_EQ(reason, AbortReason::UfoFault);
+}
+
+TEST(Btm, UfoFaultStallPolicyWaitsForClear)
+{
+    MachineConfig mc = quietConfig();
+    Machine m(mc);
+    BtmPolicy pol;
+    pol.ufoFaultResponse = BtmPolicy::UfoFaultResponse::Stall;
+    m.memsys().setBtmPolicy(pol);
+    m.memory().setUfoBits(0xb000, kUfoBoth);
+    prefault(m, {0xb000});
+    bool committed = false;
+    m.addThread([&](ThreadContext &tc) {
+        BtmUnit btm(tc);
+        btm.txBegin();
+        EXPECT_EQ(tc.load(0xb000, 8), 55u); // Stalls until cleared.
+        btm.txEnd();
+        committed = true;
+    });
+    m.addThread([&](ThreadContext &tc) {
+        tc.disableUfo();
+        tc.store(0xb000, 55, 8);
+        tc.advance(500);
+        tc.setUfoBits(0xb000, kUfoNone);
+    });
+    m.run();
+    EXPECT_TRUE(committed);
+}
+
+TEST(Btm, UfoBitSetKillsSpeculativeReader)
+{
+    Machine m(quietConfig());
+    AbortReason reason = AbortReason::None;
+    prefault(m, {0xc000});
+    m.addThread([&](ThreadContext &tc) {
+        BtmUnit btm(tc);
+        try {
+            btm.txBegin();
+            tc.load(0xc000, 8);
+            tc.advance(500);
+            tc.load(0xc000, 8);
+            btm.txEnd();
+        } catch (const BtmAbortException &e) {
+            reason = e.reason;
+        }
+    });
+    m.addThread([&](ThreadContext &tc) {
+        tc.advance(100);
+        tc.setUfoBits(0xc000, kUfoWriteOnly); // Needs exclusive perm.
+    });
+    m.run();
+    EXPECT_EQ(reason, AbortReason::UfoBitSet);
+}
+
+TEST(Btm, UfoBitSetOracleSparesFalseConflicts)
+{
+    // With the true-conflict oracle, setting fault-on-write for a
+    // line a transaction only READ must not kill it.
+    MachineConfig mc = quietConfig();
+    Machine m(mc);
+    BtmPolicy pol;
+    pol.ufoSetTrueConflictOracle = true;
+    m.memsys().setBtmPolicy(pol);
+    bool committed = false;
+    prefault(m, {0xd000});
+    m.addThread([&](ThreadContext &tc) {
+        BtmUnit btm(tc);
+        btm.txBegin();
+        tc.load(0xd000, 8);
+        tc.advance(500);
+        btm.txEnd();
+        committed = true;
+    });
+    m.addThread([&](ThreadContext &tc) {
+        tc.advance(100);
+        tc.setUfoBits(0xd000, kUfoWriteOnly); // Reader-vs-reader: false.
+        tc.advance(50);
+        tc.setUfoBits(0xd000, kUfoNone);
+    });
+    m.run();
+    EXPECT_TRUE(committed);
+    EXPECT_GT(m.stats().get("ufo.bit_set_false_spared"), 0u);
+}
+
+TEST(Btm, ReadSetAndWriteSetTracked)
+{
+    Machine m(quietConfig(1));
+    prefault(m, {0x100, 0x180});
+    m.addThread([&](ThreadContext &tc) {
+        BtmUnit btm(tc);
+        btm.txBegin();
+        tc.load(0x100, 8);
+        tc.load(0x140, 8);
+        tc.store(0x180, 1, 8);
+        tc.store(0x184, 2, 4); // Same line.
+        EXPECT_EQ(btm.readSetLines(), 2u);
+        EXPECT_EQ(btm.writeSetLines(), 1u);
+        EXPECT_TRUE(btm.wroteLine(0x180));
+        EXPECT_FALSE(btm.wroteLine(0x100));
+        btm.txEnd();
+    });
+    m.run();
+}
+
+} // namespace
+} // namespace utm

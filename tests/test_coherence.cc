@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Adversarial coherence and contention-management tests: deadlock
+ * shapes, RMW atomicity inside transactions, speculative-state
+ * consistency, and unbounded-mode conflict tracking across evictions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "btm/btm.hh"
+#include "core/tx_system.hh"
+#include "mem/memory_system.hh"
+#include "rt/heap.hh"
+#include "sim/machine.hh"
+
+namespace utm {
+namespace {
+
+MachineConfig
+quiet(int cores)
+{
+    MachineConfig mc;
+    mc.numCores = cores;
+    mc.timerQuantum = 0;
+    return mc;
+}
+
+TEST(CoherenceCm, OpposingLockOrderCannotDeadlock)
+{
+    // The classic AB/BA deadlock shape: T0 writes X then Y, T1 writes
+    // Y then X, both holding their first line while requesting the
+    // second.  Age-ordered CM (wound younger / NACK younger) must
+    // resolve it without deadlock; both eventually commit.
+    Machine m(quiet(2));
+    m.memory().materializePage(0x1000);
+    const Addr X = 0x1000, Y = 0x1040;
+    int commits = 0;
+    for (int t = 0; t < 2; ++t) {
+        m.addThread([&, t](ThreadContext &tc) {
+            const Addr first = t == 0 ? X : Y;
+            const Addr second = t == 0 ? Y : X;
+            BtmUnit btm(tc);
+            for (;;) {
+                try {
+                    btm.txBegin();
+                    tc.store(first, tc.load(first, 8) + 1, 8);
+                    tc.advance(300); // Overlap the other thread.
+                    tc.store(second, tc.load(second, 8) + 1, 8);
+                    btm.txEnd();
+                    ++commits;
+                    return;
+                } catch (const BtmAbortException &) {
+                    tc.advance(50 + tc.rng().nextBounded(100));
+                    tc.yield();
+                }
+            }
+        });
+    }
+    m.run();
+    EXPECT_EQ(commits, 2);
+    EXPECT_EQ(m.memory().read(X, 8), 2u);
+    EXPECT_EQ(m.memory().read(Y, 8), 2u);
+}
+
+TEST(CoherenceCm, CasInsideTransactionIsAtomicAndRolledBack)
+{
+    Machine m(quiet(1));
+    m.memory().materializePage(0x2000);
+    m.memory().write(0x2000, 5, 8);
+    m.addThread([&](ThreadContext &tc) {
+        BtmUnit btm(tc);
+        try {
+            btm.txBegin();
+            EXPECT_TRUE(tc.cas(0x2000, 8, 5, 9));
+            EXPECT_EQ(tc.load(0x2000, 8), 9u);
+            EXPECT_EQ(tc.fetchAdd(0x2000, 8, 3), 9u);
+            btm.txAbort();
+        } catch (const BtmAbortException &) {
+        }
+        EXPECT_EQ(tc.load(0x2000, 8), 5u); // Both RMWs rolled back.
+    });
+    m.run();
+}
+
+TEST(CoherenceCm, ConcurrentCasOnSharedCounterIsExact)
+{
+    Machine m(quiet(4));
+    m.memory().materializePage(0x3000);
+    for (int t = 0; t < 4; ++t) {
+        m.addThread([&](ThreadContext &tc) {
+            for (int i = 0; i < 100; ++i) {
+                for (;;) {
+                    std::uint64_t old = tc.load(0x3000, 8);
+                    if (tc.cas(0x3000, 8, old, old + 1))
+                        break;
+                    tc.advance(10);
+                }
+            }
+        });
+    }
+    m.run();
+    EXPECT_EQ(m.memory().read(0x3000, 8), 400u);
+}
+
+TEST(CoherenceCm, ReadersShareWithoutConflict)
+{
+    Machine m(quiet(4));
+    m.memory().materializePage(0x4000);
+    m.memory().write(0x4000, 77, 8);
+    int commits = 0;
+    for (int t = 0; t < 4; ++t) {
+        m.addThread([&](ThreadContext &tc) {
+            BtmUnit btm(tc);
+            btm.txBegin();
+            EXPECT_EQ(tc.load(0x4000, 8), 77u);
+            tc.advance(400); // All four hold the read concurrently.
+            EXPECT_EQ(tc.load(0x4000, 8), 77u);
+            btm.txEnd();
+            ++commits;
+        });
+    }
+    m.run();
+    EXPECT_EQ(commits, 4);
+    EXPECT_EQ(m.stats().get("btm.wounds"), 0u);
+}
+
+TEST(CoherenceCm, SpecTableCleanAfterEveryOutcome)
+{
+    Machine m(quiet(2));
+    m.memory().materializePage(0x5000);
+    MemorySystem &ms = m.memsys();
+    m.addThread([&](ThreadContext &tc) {
+        BtmUnit btm(tc);
+        // Commit path.
+        btm.txBegin();
+        tc.store(0x5000, 1, 8);
+        tc.load(0x5040, 8);
+        btm.txEnd();
+        EXPECT_FALSE(ms.lineHasSpecWriter(0x5000));
+        EXPECT_EQ(ms.specReaders(0x5040), 0u);
+        // Abort path.
+        try {
+            btm.txBegin();
+            tc.store(0x5080, 2, 8);
+            btm.txAbort();
+        } catch (const BtmAbortException &) {
+        }
+        EXPECT_FALSE(ms.lineHasSpecWriter(0x5080));
+    });
+    m.addThread([&](ThreadContext &) {});
+    m.run();
+}
+
+TEST(CoherenceCm, UnboundedConflictSurvivesEviction)
+{
+    // In unbounded mode a speculative line may be evicted from the
+    // L1; the spec table must still catch a later remote conflict.
+    MachineConfig mc = quiet(2);
+    Machine m(mc);
+    const Addr stride = std::uint64_t(mc.l1Sets) * kLineSize;
+    const Addr target = 0x6000000;
+    for (unsigned i = 0; i <= 2 * mc.l1Ways; ++i)
+        m.memory().materializePage(target + i * stride);
+    AbortReason reason = AbortReason::None;
+    m.addThread([&](ThreadContext &tc) {
+        BtmUnit btm(tc, /*is_unbounded=*/true);
+        try {
+            btm.txBegin();
+            // Write the target, then flood its set so it is evicted.
+            tc.store(target, 1, 8);
+            for (unsigned i = 1; i <= 2 * mc.l1Ways; ++i)
+                tc.store(target + i * stride, i, 8);
+            tc.advance(500);
+            tc.load(target, 8); // Observe the wound.
+            btm.txEnd();
+        } catch (const BtmAbortException &e) {
+            reason = e.reason;
+        }
+    });
+    m.addThread([&](ThreadContext &tc) {
+        tc.advance(3000); // After the flood.
+        tc.store(target, 99, 8); // NonT access: must wound the tx.
+    });
+    m.run();
+    EXPECT_EQ(reason, AbortReason::NonTConflict);
+    EXPECT_EQ(m.memory().read(target, 8), 99u);
+    // The transaction's other speculative writes were rolled back.
+    EXPECT_EQ(m.memory().read(target + stride, 8), 0u);
+}
+
+TEST(CoherenceCm, MachinesAreIsolated)
+{
+    Machine a(quiet(1)), b(quiet(1));
+    a.initContext().store(0x100, 1, 8);
+    EXPECT_EQ(b.memory().read(0x100, 8), 0u);
+    EXPECT_EQ(a.memory().read(0x100, 8), 1u);
+}
+
+TEST(CoherenceCmDeath, CrossLineAccessAsserts)
+{
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    Machine m(quiet(1));
+    ThreadContext &tc = m.initContext();
+    EXPECT_DEATH(tc.load(kLineSize - 4, 8), "assertion");
+}
+
+TEST(CoherenceCm, SixteenThreadHybridStress)
+{
+    // Upper-end thread count across mixed footprints.
+    Machine m(quiet(16));
+    TxHeap heap(m);
+    auto sys = TxSystem::create(TxSystemKind::UfoHybrid, m);
+    sys->setup();
+    const Addr counters =
+        heap.allocZeroed(m.initContext(), 16 * kLineSize, true);
+    for (int t = 0; t < 16; ++t) {
+        m.addThread([&, t](ThreadContext &tc) {
+            for (int i = 0; i < 50; ++i) {
+                // Each tx bumps its own counter and a neighbour's.
+                const Addr mine = counters + Addr(t) * kLineSize;
+                const Addr other =
+                    counters + Addr((t + 1) % 16) * kLineSize;
+                sys->atomic(tc, [&](TxHandle &h) {
+                    h.write(mine, h.read(mine, 8) + 1, 8);
+                    h.write(other, h.read(other, 8) + 1, 8);
+                });
+                tc.advance(30);
+            }
+        });
+    }
+    m.run();
+    std::uint64_t total = 0;
+    for (int t = 0; t < 16; ++t)
+        total += m.memory().read(counters + Addr(t) * kLineSize, 8);
+    EXPECT_EQ(total, 16u * 50 * 2);
+}
+
+} // namespace
+} // namespace utm

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Property sweeps over machine configurations and seeds:
+ *
+ *  - timing-model sanity across cache geometries (hits cheaper than
+ *    transfers cheaper than memory; BTM capacity tracks the geometry);
+ *  - workload validation holds across a batch of seeds on the UFO
+ *    hybrid (schedule fuzzing);
+ *  - the whole TM stack works on unusual-but-legal configurations
+ *    (direct-mapped L1, tiny otable, single core).
+ */
+
+#include <gtest/gtest.h>
+
+#include "btm/btm.hh"
+#include "core/tx_system.hh"
+#include "mem/memory_system.hh"
+#include "sim/machine.hh"
+#include "stamp/genome.hh"
+#include "stamp/vacation.hh"
+#include "stamp/workload.hh"
+
+namespace utm {
+namespace {
+
+// --------------------------------------------------- Geometry sweeps
+
+struct Geometry
+{
+    unsigned sets;
+    unsigned ways;
+};
+
+class CacheGeometry : public ::testing::TestWithParam<Geometry>
+{
+};
+
+TEST_P(CacheGeometry, TimingOrderHolds)
+{
+    const Geometry g = GetParam();
+    MachineConfig mc;
+    mc.numCores = 2;
+    mc.timerQuantum = 0;
+    mc.l1Sets = g.sets;
+    mc.l1Ways = g.ways;
+    Machine m(mc);
+    ThreadContext &tc = m.initContext();
+
+    Cycles t0 = tc.now();
+    tc.load(0x9000, 8); // Cold miss.
+    const Cycles miss = tc.now() - t0;
+    t0 = tc.now();
+    tc.load(0x9000, 8); // Hit.
+    const Cycles hit = tc.now() - t0;
+    EXPECT_EQ(hit, mc.l1HitLatency);
+    EXPECT_GE(miss, mc.memLatency);
+    EXPECT_GT(miss, hit * 10);
+}
+
+TEST_P(CacheGeometry, BtmCapacityMatchesGeometry)
+{
+    const Geometry g = GetParam();
+    MachineConfig mc;
+    mc.numCores = 1;
+    mc.timerQuantum = 0;
+    mc.l1Sets = g.sets;
+    mc.l1Ways = g.ways;
+    Machine m(mc);
+    ThreadContext &tc = m.initContext();
+    const Addr stride = std::uint64_t(g.sets) * kLineSize;
+    for (unsigned i = 0; i <= g.ways; ++i)
+        m.memory().materializePage(0x400000 + i * stride);
+
+    BtmUnit btm(tc);
+    // Exactly `ways` same-set lines fit...
+    btm.txBegin();
+    for (unsigned i = 0; i < g.ways; ++i)
+        tc.store(0x400000 + i * stride, i, 8);
+    btm.txEnd();
+    // ...and ways+1 overflows.
+    bool overflowed = false;
+    try {
+        btm.txBegin();
+        for (unsigned i = 0; i <= g.ways; ++i)
+            tc.store(0x400000 + i * stride, i, 8);
+        btm.txEnd();
+    } catch (const BtmAbortException &e) {
+        overflowed = e.reason == AbortReason::SetOverflow;
+    }
+    EXPECT_TRUE(overflowed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(Geometry{64, 8}, Geometry{32, 4},
+                      Geometry{128, 2}, Geometry{16, 1},
+                      Geometry{256, 16}),
+    [](const ::testing::TestParamInfo<Geometry> &info) {
+        return "s" + std::to_string(info.param.sets) + "w" +
+               std::to_string(info.param.ways);
+    });
+
+// ------------------------------------------------------- Seed sweeps
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SeedSweep, GenomeValidatesUnderScheduleFuzzing)
+{
+    GenomeParams p;
+    p.segments = 192;
+    p.uniquePool = 96;
+    p.seed = GetParam() * 31 + 1;
+    GenomeWorkload w(p);
+    RunConfig cfg;
+    cfg.kind = TxSystemKind::UfoHybrid;
+    cfg.threads = 6;
+    cfg.machine.seed = GetParam();
+    RunResult r = runWorkload(w, cfg);
+    EXPECT_TRUE(r.valid) << "seed " << GetParam();
+}
+
+TEST_P(SeedSweep, VacationValidatesUnderScheduleFuzzing)
+{
+    VacationParams p = VacationParams::contention(true);
+    p.totalTasks = 48;
+    p.seed = GetParam() * 17 + 3;
+    VacationWorkload w(p);
+    RunConfig cfg;
+    cfg.kind = TxSystemKind::UfoHybrid;
+    cfg.threads = 6;
+    cfg.machine.seed = GetParam();
+    RunResult r = runWorkload(w, cfg);
+    EXPECT_TRUE(r.valid) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// --------------------------------------------- Odd-but-legal configs
+
+TEST(OddConfigs, TinyOtableStillCorrect)
+{
+    VacationParams p = VacationParams::contention(false);
+    p.totalTasks = 32;
+    VacationWorkload w(p);
+    RunConfig cfg;
+    cfg.kind = TxSystemKind::UfoHybrid;
+    cfg.threads = 4;
+    cfg.machine.seed = 42;
+    cfg.machine.otableBuckets = 16; // Massive aliasing.
+    RunResult r = runWorkload(w, cfg);
+    EXPECT_TRUE(r.valid);
+    EXPECT_GT(r.stat("ustm.chain_inserts"), 0u);
+}
+
+TEST(OddConfigs, DirectMappedL1StillCorrect)
+{
+    // vacation's chain-walking transactions collide constantly in a
+    // direct-mapped L1 and must fail over.
+    VacationParams p = VacationParams::contention(false);
+    p.totalTasks = 24;
+    VacationWorkload w(p);
+    RunConfig cfg;
+    cfg.kind = TxSystemKind::UfoHybrid;
+    cfg.threads = 4;
+    cfg.machine.seed = 42;
+    cfg.machine.l1Sets = 128;
+    cfg.machine.l1Ways = 1; // Direct-mapped: constant overflow.
+    RunResult r = runWorkload(w, cfg);
+    EXPECT_TRUE(r.valid);
+    EXPECT_GT(r.failovers, 0u);
+}
+
+TEST(OddConfigs, SingleCoreRunsEverySystem)
+{
+    for (TxSystemKind k :
+         {TxSystemKind::UfoHybrid, TxSystemKind::HyTm,
+          TxSystemKind::PhTm, TxSystemKind::Tl2}) {
+        GenomeParams p;
+        p.segments = 64;
+        p.uniquePool = 32;
+        GenomeWorkload w(p);
+        RunConfig cfg;
+        cfg.kind = k;
+        cfg.threads = 1;
+        cfg.machine.seed = 42;
+        RunResult r = runWorkload(w, cfg);
+        EXPECT_TRUE(r.valid) << txSystemKindName(k);
+    }
+}
+
+} // namespace
+} // namespace utm

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for Section 6 side-effect support: deferred (on-commit)
+ * actions, compensation (on-abort) actions, and syscalls/IO failing
+ * over to the software path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/tx_system.hh"
+#include "rt/heap.hh"
+#include "sim/machine.hh"
+
+namespace utm {
+namespace {
+
+MachineConfig
+quiet(int cores)
+{
+    MachineConfig mc;
+    mc.numCores = cores;
+    mc.timerQuantum = 0;
+    return mc;
+}
+
+class Deferred : public ::testing::TestWithParam<TxSystemKind>
+{
+};
+
+TEST_P(Deferred, CommitActionRunsExactlyOnce)
+{
+    Machine m(quiet(2));
+    auto sys = TxSystem::create(GetParam(), m);
+    sys->setup();
+    TxHeap heap(m);
+    const Addr x = heap.allocZeroed(m.initContext(), 8, true);
+
+    int commit_actions = 0;
+    int body_runs = 0;
+    // Thread 1 creates contention so thread 0's transaction aborts
+    // and re-executes at least sometimes.
+    m.addThread([&](ThreadContext &tc) {
+        for (int i = 0; i < 20; ++i) {
+            sys->atomic(tc, [&](TxHandle &h) {
+                ++body_runs;
+                h.write(x, h.read(x, 8) + 1, 8);
+                h.ctx().advance(100);
+                h.onCommit([&](ThreadContext &) { ++commit_actions; });
+            });
+            tc.advance(20);
+        }
+    });
+    m.addThread([&](ThreadContext &tc) {
+        for (int i = 0; i < 20; ++i) {
+            sys->atomic(tc, [&](TxHandle &h) {
+                h.write(x, h.read(x, 8) + 1, 8);
+                h.ctx().advance(100);
+            });
+            tc.advance(20);
+        }
+    });
+    m.run();
+
+    EXPECT_EQ(commit_actions, 20); // Once per committed transaction.
+    EXPECT_GE(body_runs, 20);      // Possibly more (re-executions).
+    EXPECT_EQ(m.memory().read(x, 8), 40u);
+}
+
+TEST_P(Deferred, AbortCompensationRunsPerFailedAttempt)
+{
+    Machine m(quiet(1));
+    auto sys = TxSystem::create(GetParam(), m);
+    sys->setup();
+    TxHeap heap(m);
+    const Addr x = heap.allocZeroed(m.initContext(), 8, true);
+
+    int compensations = 0;
+    int commits = 0;
+    m.addThread([&](ThreadContext &tc) {
+        int attempt = 0;
+        sys->atomic(tc, [&](TxHandle &h) {
+            h.onAbort([&](ThreadContext &) { ++compensations; });
+            h.write(x, 7, 8);
+            // Force exactly two extra attempts on systems with a
+            // software path.
+            if (attempt++ < 2 && h.path() == TxHandle::Path::Hardware)
+                h.requireSoftware();
+            h.onCommit([&](ThreadContext &) { ++commits; });
+        });
+    });
+    m.run();
+
+    EXPECT_EQ(commits, 1);
+    if (GetParam() == TxSystemKind::UfoHybrid) {
+        EXPECT_GE(compensations, 1); // The aborted hardware attempt.
+    }
+    EXPECT_EQ(m.memory().read(x, 8), 7u);
+}
+
+TEST_P(Deferred, ActionsOrdered)
+{
+    Machine m(quiet(1));
+    auto sys = TxSystem::create(GetParam(), m);
+    sys->setup();
+    TxHeap heap(m);
+    const Addr x = heap.allocZeroed(m.initContext(), 8, true);
+
+    std::vector<int> order;
+    m.addThread([&](ThreadContext &tc) {
+        sys->atomic(tc, [&](TxHandle &h) {
+            order.clear(); // Idempotent across re-execution.
+            h.write(x, 1, 8);
+            h.onCommit([&](ThreadContext &) { order.push_back(1); });
+            h.onCommit([&](ThreadContext &) { order.push_back(2); });
+        });
+    });
+    m.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Systems, Deferred,
+    ::testing::Values(TxSystemKind::UfoHybrid, TxSystemKind::PhTm,
+                      TxSystemKind::UstmStrong, TxSystemKind::Tl2,
+                      TxSystemKind::UnboundedHtm),
+    [](const ::testing::TestParamInfo<TxSystemKind> &info) {
+        std::string n = txSystemKindName(info.param);
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+TEST(SyscallInTx, FailsOverToSoftware)
+{
+    Machine m(quiet(1));
+    auto sys = TxSystem::create(TxSystemKind::UfoHybrid, m);
+    sys->setup();
+    TxHeap heap(m);
+    const Addr x = heap.allocZeroed(m.initContext(), 8, true);
+
+    TxHandle::Path final_path = TxHandle::Path::Raw;
+    m.addThread([&](ThreadContext &tc) {
+        sys->atomic(tc, [&](TxHandle &h) {
+            h.write(x, 5, 8);
+            h.syscall(); // sbrk/gettimeofday-style idempotent call.
+            final_path = h.path();
+        });
+    });
+    m.run();
+    EXPECT_EQ(final_path, TxHandle::Path::Software);
+    EXPECT_EQ(m.stats().get("tm.failovers.hard"), 1u);
+    EXPECT_EQ(m.memory().read(x, 8), 5u);
+}
+
+TEST(SyscallInTx, IoAlsoFailsOver)
+{
+    Machine m(quiet(1));
+    auto sys = TxSystem::create(TxSystemKind::UfoHybrid, m);
+    sys->setup();
+    int io_done = 0;
+    m.addThread([&](ThreadContext &tc) {
+        sys->atomic(tc, [&](TxHandle &h) {
+            h.io();
+            // Deferred output: runs once, after the commit.
+            h.onCommit([&](ThreadContext &) { ++io_done; });
+        });
+    });
+    m.run();
+    EXPECT_EQ(io_done, 1);
+    EXPECT_EQ(m.stats().get("tm.commits.sw"), 1u);
+}
+
+} // namespace
+} // namespace utm
+
+namespace utm {
+namespace {
+
+class Nesting : public ::testing::TestWithParam<TxSystemKind>
+{
+};
+
+TEST_P(Nesting, NestedAtomicFlattens)
+{
+    Machine m([] {
+        MachineConfig mc;
+        mc.numCores = 2;
+        mc.timerQuantum = 0;
+        return mc;
+    }());
+    auto sys = TxSystem::create(GetParam(), m);
+    sys->setup();
+    TxHeap heap(m);
+    const Addr x = heap.allocZeroed(m.initContext(), 8, true);
+    const Addr y = heap.allocZeroed(m.initContext(), 8, true);
+
+    int outer_commit_actions = 0;
+    m.addThread([&](ThreadContext &tc) {
+        sys->atomic(tc, [&](TxHandle &h) {
+            h.write(x, 1, 8);
+            h.onCommit(
+                [&](ThreadContext &) { ++outer_commit_actions; });
+            // Nested transaction: flattens into the enclosing one.
+            sys->atomic(tc, [&](TxHandle &inner) {
+                inner.write(y, inner.read(x, 8) + 1, 8);
+            });
+            EXPECT_EQ(h.read(y, 8), 2u); // Inner writes visible.
+        });
+    });
+    m.run();
+    EXPECT_EQ(m.memory().read(x, 8), 1u);
+    EXPECT_EQ(m.memory().read(y, 8), 2u);
+    EXPECT_EQ(outer_commit_actions, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Systems, Nesting,
+    ::testing::Values(TxSystemKind::UfoHybrid, TxSystemKind::HyTm,
+                      TxSystemKind::PhTm, TxSystemKind::UstmStrong,
+                      TxSystemKind::Tl2, TxSystemKind::UnboundedHtm,
+                      TxSystemKind::NoTm),
+    [](const ::testing::TestParamInfo<TxSystemKind> &info) {
+        std::string n = txSystemKindName(info.param);
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+} // namespace
+} // namespace utm

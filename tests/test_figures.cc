@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Figure-shape regression tests: small-scale runs asserting the
+ * *orderings* the paper's evaluation reports, so a change that breaks
+ * a reproduced result fails CI rather than just bending a curve.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stamp/failover_ubench.hh"
+#include "stamp/kmeans.hh"
+#include "stamp/vacation.hh"
+#include "stamp/workload.hh"
+
+namespace utm {
+namespace {
+
+RunResult
+runKind(Workload &w, TxSystemKind kind, int threads)
+{
+    RunConfig cfg;
+    cfg.kind = kind;
+    cfg.threads = threads;
+    cfg.machine.seed = 42;
+    RunResult r = runWorkload(w, cfg);
+    EXPECT_TRUE(r.valid);
+    return r;
+}
+
+template <typename Params, typename WorkloadT>
+Cycles
+cyclesFor(const Params &p, TxSystemKind kind, int threads)
+{
+    WorkloadT w(p);
+    return runKind(w, kind, threads).cycles;
+}
+
+TEST(FigureShapes, KmeansHybridTracksUnboundedHtm)
+{
+    // Figure 5 kmeans: <1% gap between the UFO hybrid and the
+    // unbounded HTM (almost everything commits in hardware).
+    KmeansParams p = KmeansParams::contention(true);
+    p.points = 512;
+    const Cycles unbounded =
+        cyclesFor<KmeansParams, KmeansWorkload>(
+            p, TxSystemKind::UnboundedHtm, 8);
+    const Cycles hybrid = cyclesFor<KmeansParams, KmeansWorkload>(
+        p, TxSystemKind::UfoHybrid, 8);
+    EXPECT_NEAR(double(hybrid) / double(unbounded), 1.0, 0.02);
+}
+
+TEST(FigureShapes, VacationLowHybridBeatsOtherHybrids)
+{
+    // Figure 5 vacation-low: the UFO hybrid outperforms HyTM and
+    // PhTM (only the transactions that must fail over do).
+    VacationParams p = VacationParams::contention(false);
+    p.totalTasks = 128;
+    VacationWorkload w1(p), w2(p), w3(p);
+    const Cycles hybrid = runKind(w1, TxSystemKind::UfoHybrid, 8).cycles;
+    const Cycles hytm = runKind(w2, TxSystemKind::HyTm, 8).cycles;
+    const Cycles phtm = runKind(w3, TxSystemKind::PhTm, 8).cycles;
+    EXPECT_LT(hybrid, hytm);
+    EXPECT_LT(hybrid, phtm);
+}
+
+TEST(FigureShapes, VacationHighOverflowsLessThanLow)
+{
+    // Section 5.2: the hybrids perform better in high contention
+    // because the low-contention configuration has more transactions
+    // that overflow the cache.
+    VacationParams lo = VacationParams::contention(false);
+    VacationParams hi = VacationParams::contention(true);
+    lo.totalTasks = hi.totalTasks = 128;
+    VacationWorkload wlo(lo), whi(hi);
+    const RunResult rlo = runKind(wlo, TxSystemKind::UfoHybrid, 8);
+    const RunResult rhi = runKind(whi, TxSystemKind::UfoHybrid, 8);
+    EXPECT_GT(rlo.stat("btm.aborts.set_overflow"),
+              rhi.stat("btm.aborts.set_overflow"));
+}
+
+TEST(FigureShapes, UbenchZeroFailoverMatchesPureHtm)
+{
+    // Figure 7b at 0%: the UFO hybrid is equivalent to the pure HTM;
+    // PhTM pays a small counter-check premium; HyTM pays barriers.
+    FailoverParams p;
+    p.txPerThread = 128;
+    p.failoverRate = 0.0;
+    FailoverUbench w1(p), w2(p), w3(p), w4(p);
+    const Cycles pure =
+        runKind(w1, TxSystemKind::UnboundedHtm, 8).cycles;
+    const Cycles hybrid = runKind(w2, TxSystemKind::UfoHybrid, 8).cycles;
+    const Cycles phtm = runKind(w3, TxSystemKind::PhTm, 8).cycles;
+    const Cycles hytm = runKind(w4, TxSystemKind::HyTm, 8).cycles;
+    EXPECT_NEAR(double(hybrid) / double(pure), 1.0, 0.02);
+    EXPECT_GT(double(phtm) / double(pure), 1.0);
+    EXPECT_LT(double(phtm) / double(pure), 1.3);
+    EXPECT_GT(double(hytm) / double(pure), 1.2);
+}
+
+TEST(FigureShapes, UbenchPhtmCollapsesAtLowFailover)
+{
+    // Figure 7a: at a 10% failover rate PhTM is already STM-like,
+    // while the UFO hybrid retains most of its hardware advantage.
+    FailoverParams p;
+    p.txPerThread = 128;
+    p.failoverRate = 0.10;
+    FailoverUbench w1(p), w2(p), w3(p);
+    const Cycles hybrid = runKind(w1, TxSystemKind::UfoHybrid, 8).cycles;
+    const Cycles phtm = runKind(w2, TxSystemKind::PhTm, 8).cycles;
+    p.failoverRate = 0.0;
+    FailoverUbench wstm(p);
+    const Cycles stm =
+        runKind(wstm, TxSystemKind::UstmStrong, 8).cycles;
+    EXPECT_LT(hybrid, phtm);
+    EXPECT_LT(double(phtm), 1.35 * double(stm)); // STM-like.
+    EXPECT_LT(2 * hybrid, std::uint64_t(1.35 * double(stm)));
+}
+
+TEST(FigureShapes, RequesterWinsPolicyTanks)
+{
+    // Figure 8 bar 1: naive hardware CM costs a first-order factor in
+    // a contended benchmark.
+    KmeansParams p = KmeansParams::contention(true);
+    p.points = 1024;
+    KmeansWorkload w1(p), w2(p);
+    RunConfig good;
+    good.kind = TxSystemKind::UfoHybrid;
+    good.threads = 8;
+    good.machine.seed = 42;
+    RunConfig naive = good;
+    naive.policy.btm.cm = BtmPolicy::Cm::RequesterWins;
+    naive.policy.conflictFailoverThreshold = 5;
+    const Cycles g = runWorkload(w1, good).cycles;
+    const Cycles n = runWorkload(w2, naive).cycles;
+    EXPECT_GT(double(n), 2.0 * double(g));
+}
+
+} // namespace
+} // namespace utm

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Unit tests for the hybrid layer: abort-handler decisions
+ * (Algorithm 3), forced failover, HyTM barrier conflicts, PhTM phase
+ * exclusion, and the UFO hybrid's zero-overhead hardware path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "btm/btm.hh"
+#include "core/tx_system.hh"
+#include "hybrid/abort_handler.hh"
+#include "hybrid/hytm.hh"
+#include "hybrid/phtm.hh"
+#include "mem/memory_system.hh"
+#include "rt/heap.hh"
+#include "sim/machine.hh"
+#include "ustm/ustm.hh"
+
+namespace utm {
+namespace {
+
+MachineConfig
+quiet(int cores = 2)
+{
+    MachineConfig mc;
+    mc.numCores = cores;
+    mc.timerQuantum = 0;
+    return mc;
+}
+
+// ------------------------------------------------------ Abort handler
+
+TEST(AbortHandler, DecisionTable)
+{
+    Machine m(quiet(1));
+    TmPolicy policy;
+    BtmAbortHandler handler(m, policy);
+    AbortHandlerState st;
+    m.addThread([&](ThreadContext &tc) {
+        using D = BtmAbortHandler::Decision;
+        auto decide = [&](AbortReason r) {
+            return handler.onAbort(tc, st, BtmAbortException{r, 0});
+        };
+        // Hard failovers.
+        EXPECT_EQ(decide(AbortReason::SetOverflow), D::FailToSoftware);
+        EXPECT_EQ(decide(AbortReason::Syscall), D::FailToSoftware);
+        EXPECT_EQ(decide(AbortReason::Io), D::FailToSoftware);
+        EXPECT_EQ(decide(AbortReason::Exception), D::FailToSoftware);
+        EXPECT_EQ(decide(AbortReason::NestingOverflow),
+                  D::FailToSoftware);
+        // Contention: never fails over by default.
+        st.newTransaction();
+        for (int i = 0; i < 50; ++i) {
+            EXPECT_EQ(decide(AbortReason::Conflict), D::RetryHardware);
+            EXPECT_EQ(decide(AbortReason::UfoFault), D::RetryHardware);
+            EXPECT_EQ(decide(AbortReason::UfoBitSet),
+                      D::RetryHardware);
+        }
+        // Interrupts: retry up to the threshold, then fail over.
+        st.newTransaction();
+        for (int i = 0; i < policy.interruptFailoverThreshold; ++i) {
+            EXPECT_EQ(decide(AbortReason::Interrupt),
+                      D::RetryHardware);
+        }
+        EXPECT_EQ(decide(AbortReason::Interrupt), D::FailToSoftware);
+        // Page fault: resolved (page materialized), retried.
+        st.newTransaction();
+        EXPECT_EQ(handler.onAbort(
+                      tc, st,
+                      BtmAbortException{AbortReason::PageFault,
+                                        0x12340000}),
+                  D::RetryHardware);
+        EXPECT_TRUE(m.memory().pageExists(0x12340000));
+        // Forced software wins over everything.
+        st.forcedSoftware = true;
+        EXPECT_EQ(decide(AbortReason::Explicit), D::FailToSoftware);
+    });
+    m.run();
+}
+
+TEST(AbortHandlerPolicy, ConflictFailoverThreshold)
+{
+    Machine m(quiet(1));
+    TmPolicy policy;
+    policy.conflictFailoverThreshold = 3;
+    BtmAbortHandler handler(m, policy);
+    AbortHandlerState st;
+    m.addThread([&](ThreadContext &tc) {
+        using D = BtmAbortHandler::Decision;
+        BtmAbortException e{AbortReason::Conflict, 0};
+        EXPECT_EQ(handler.onAbort(tc, st, e), D::RetryHardware);
+        EXPECT_EQ(handler.onAbort(tc, st, e), D::RetryHardware);
+        EXPECT_EQ(handler.onAbort(tc, st, e), D::FailToSoftware);
+    });
+    m.run();
+}
+
+TEST(AbortHandlerPolicy, BackoffGrowsWithAttempts)
+{
+    Machine m(quiet(1));
+    TmPolicy policy;
+    BtmAbortHandler handler(m, policy);
+    AbortHandlerState st;
+    m.addThread([&](ThreadContext &tc) {
+        BtmAbortException e{AbortReason::Conflict, 0};
+        Cycles t0 = tc.now();
+        handler.onAbort(tc, st, e);
+        Cycles first = tc.now() - t0;
+        for (int i = 0; i < 6; ++i)
+            handler.onAbort(tc, st, e);
+        t0 = tc.now();
+        handler.onAbort(tc, st, e);
+        Cycles later = tc.now() - t0;
+        EXPECT_GT(later, first * 4);
+    });
+    m.run();
+}
+
+// --------------------------------------------------------- UFO hybrid
+
+TEST(UfoHybrid, HardwarePathHasNoInstrumentation)
+{
+    // A conflict-free transaction must not touch the otable at all on
+    // the hardware path (pay-per-use).
+    Machine m(quiet(1));
+    auto sys = TxSystem::create(TxSystemKind::UfoHybrid, m);
+    sys->setup();
+    m.memory().materializePage(0x100);
+    std::uint64_t barriers_before = 0;
+    m.addThread([&](ThreadContext &tc) {
+        barriers_before = m.stats().get("ustm.read_barriers") +
+                          m.stats().get("ustm.write_barriers");
+        sys->atomic(tc, [&](TxHandle &h) {
+            EXPECT_EQ(h.path(), TxHandle::Path::Hardware);
+            h.write(0x100, h.read(0x100, 8) + 1, 8);
+        });
+    });
+    m.run();
+    EXPECT_EQ(m.stats().get("ustm.read_barriers") +
+                  m.stats().get("ustm.write_barriers"),
+              barriers_before);
+    EXPECT_EQ(m.stats().get("tm.commits.hw"), 1u);
+}
+
+TEST(UfoHybrid, OverflowFailsOverToSoftware)
+{
+    MachineConfig mc = quiet(1);
+    Machine m(mc);
+    auto sys = TxSystem::create(TxSystemKind::UfoHybrid, m);
+    sys->setup();
+    const Addr stride = std::uint64_t(mc.l1Sets) * kLineSize;
+    for (unsigned i = 0; i <= mc.l1Ways + 1; ++i)
+        m.memory().materializePage(0x200000 + i * stride);
+    bool saw_software = false;
+    m.addThread([&](ThreadContext &tc) {
+        sys->atomic(tc, [&](TxHandle &h) {
+            if (h.path() == TxHandle::Path::Software)
+                saw_software = true;
+            for (unsigned i = 0; i <= mc.l1Ways + 1; ++i)
+                h.write(0x200000 + i * stride, i + 1, 8);
+        });
+    });
+    m.run();
+    EXPECT_TRUE(saw_software);
+    EXPECT_EQ(m.stats().get("tm.commits.sw"), 1u);
+    EXPECT_EQ(m.stats().get("tm.failovers.hard"), 1u);
+    for (unsigned i = 0; i <= mc.l1Ways + 1; ++i)
+        EXPECT_EQ(m.memory().read(0x200000 + i * stride, 8), i + 1);
+}
+
+TEST(UfoHybrid, RequireSoftwareForcesFailover)
+{
+    Machine m(quiet(1));
+    auto sys = TxSystem::create(TxSystemKind::UfoHybrid, m);
+    sys->setup();
+    m.memory().materializePage(0x300);
+    m.addThread([&](ThreadContext &tc) {
+        sys->atomic(tc, [&](TxHandle &h) {
+            h.requireSoftware();
+            EXPECT_EQ(h.path(), TxHandle::Path::Software);
+            h.write(0x300, 5, 8);
+        });
+    });
+    m.run();
+    EXPECT_EQ(m.stats().get("tm.failovers.forced"), 1u);
+    EXPECT_EQ(m.memory().read(0x300, 8), 5u);
+}
+
+TEST(UfoHybrid, HwTxRetriesThroughStmConflict)
+{
+    // A hardware transaction hitting an STM-owned line takes a UFO
+    // fault, aborts, backs off and retries in hardware -- and must
+    // NOT fail over (contention never sends transactions to
+    // software).
+    Machine m(quiet(2));
+    auto sys = TxSystem::create(TxSystemKind::UfoHybrid, m);
+    sys->setup();
+    m.memory().materializePage(0x400);
+    m.addThread([&](ThreadContext &tc) {
+        // Long software transaction owning the line.
+        sys->atomic(tc, [&](TxHandle &h) {
+            h.requireSoftware();
+            h.write(0x400, 1, 8);
+            h.ctx().advance(3000);
+            h.write(0x400, 2, 8);
+        });
+    });
+    m.addThread([&](ThreadContext &tc) {
+        tc.advance(500);
+        sys->atomic(tc, [&](TxHandle &h) {
+            std::uint64_t v = h.read(0x400, 8);
+            EXPECT_TRUE(v == 0 || v == 2); // Never the intermediate 1.
+            h.write(0x408, v, 8);
+        });
+    });
+    m.run();
+    EXPECT_GT(m.stats().get("btm.aborts.ufo_fault"), 0u);
+    EXPECT_EQ(m.stats().get("tm.failovers.conflict"), 0u);
+    EXPECT_EQ(m.stats().get("tm.commits.hw"), 1u);
+    EXPECT_EQ(m.stats().get("tm.commits.sw"), 1u);
+}
+
+// --------------------------------------------------------------- HyTM
+
+TEST(HyTm, BarrierDetectsStmOwnership)
+{
+    Machine m(quiet(2));
+    auto sys = TxSystem::create(TxSystemKind::HyTm, m);
+    sys->setup();
+    m.memory().materializePage(0x500);
+    m.addThread([&](ThreadContext &tc) {
+        sys->atomic(tc, [&](TxHandle &h) {
+            h.requireSoftware();
+            h.write(0x500, 1, 8);
+            h.ctx().advance(2000);
+            h.write(0x500, 2, 8);
+        });
+    });
+    m.addThread([&](ThreadContext &tc) {
+        tc.advance(300);
+        sys->atomic(tc, [&](TxHandle &h) {
+            std::uint64_t v = h.read(0x500, 8);
+            EXPECT_TRUE(v == 0 || v == 2);
+        });
+    });
+    m.run();
+    // The hardware transaction found a conflicting otable record at
+    // least once and explicitly aborted.
+    EXPECT_GT(m.stats().get("hytm.barrier_conflicts") +
+                  m.stats().get("btm.aborts.nont_conflict"),
+              0u);
+}
+
+// --------------------------------------------------------------- PhTM
+
+TEST(PhTm, SoftwarePhaseExcludesHardware)
+{
+    Machine m(quiet(2));
+    auto sys = TxSystem::create(TxSystemKind::PhTm, m);
+    sys->setup();
+    m.memory().materializePage(0x600);
+    std::vector<TxHandle::Path> t1_paths;
+    m.addThread([&](ThreadContext &tc) {
+        sys->atomic(tc, [&](TxHandle &h) {
+            h.requireSoftware();
+            h.write(0x600, 1, 8);
+            h.ctx().advance(8000); // Long software phase.
+        });
+    });
+    m.addThread([&](ThreadContext &tc) {
+        tc.advance(1000); // Arrive during the software phase.
+        for (int i = 0; i < 3; ++i) {
+            sys->atomic(tc, [&](TxHandle &h) {
+                t1_paths.push_back(h.path());
+                h.write(0x640 + i * 64, 1, 8);
+            });
+        }
+    });
+    m.run();
+    // While the needs-STM transaction runs, arrivals go to software.
+    ASSERT_FALSE(t1_paths.empty());
+    EXPECT_EQ(t1_paths.front(), TxHandle::Path::Software);
+}
+
+TEST(PhTm, CountersReturnToZero)
+{
+    Machine m(quiet(2));
+    auto sys = TxSystem::create(TxSystemKind::PhTm, m);
+    sys->setup();
+    m.memory().materializePage(0x700);
+    for (int t = 0; t < 2; ++t) {
+        m.addThread([&, t](ThreadContext &tc) {
+            for (int i = 0; i < 5; ++i) {
+                const bool force = (t == 0 && i % 2 == 0);
+                sys->atomic(tc, [&](TxHandle &h) {
+                    if (force)
+                        h.requireSoftware();
+                    Addr a = 0x700 + (t * 5 + i) * 64;
+                    h.write(a, 1, 8);
+                });
+            }
+        });
+    }
+    m.run();
+    EXPECT_EQ(m.memory().read(PhTm::kStmCountAddr, 8), 0u);
+    EXPECT_EQ(m.memory().read(PhTm::kNeedStmAddr, 8), 0u);
+}
+
+// ---------------------------------------------------- Unbounded HTM
+
+TEST(UnboundedHtm, LargeTransactionCommitsInHardware)
+{
+    MachineConfig mc = quiet(1);
+    Machine m(mc);
+    auto sys = TxSystem::create(TxSystemKind::UnboundedHtm, m);
+    sys->setup();
+    const Addr stride = std::uint64_t(mc.l1Sets) * kLineSize;
+    for (unsigned i = 0; i < 2 * mc.l1Ways; ++i)
+        m.memory().materializePage(0x300000 + i * stride);
+    m.addThread([&](ThreadContext &tc) {
+        sys->atomic(tc, [&](TxHandle &h) {
+            for (unsigned i = 0; i < 2 * mc.l1Ways; ++i)
+                h.write(0x300000 + i * stride, i, 8);
+        });
+    });
+    m.run();
+    EXPECT_EQ(m.stats().get("tm.commits.hw"), 1u);
+    EXPECT_EQ(m.stats().get("btm.set_overflows"), 0u);
+}
+
+} // namespace
+} // namespace utm

@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Unit + property tests for the simulated-memory runtime: heap,
+ * sorted list, hash set, and chained map, including concurrent
+ * property sweeps under the UFO hybrid.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/tx_system.hh"
+#include "rt/heap.hh"
+#include "rt/tx_hashset.hh"
+#include "rt/tx_list.hh"
+#include "rt/tx_map.hh"
+#include "rt/tx_queue.hh"
+#include "sim/machine.hh"
+
+namespace utm {
+namespace {
+
+MachineConfig
+quiet(int cores = 4)
+{
+    MachineConfig mc;
+    mc.numCores = cores;
+    mc.timerQuantum = 0;
+    return mc;
+}
+
+// ----------------------------------------------------------------- Heap
+
+TEST(Heap, AllocationsDisjointAndAligned)
+{
+    Machine m(quiet(1));
+    TxHeap heap(m);
+    ThreadContext &tc = m.initContext();
+    std::vector<std::pair<Addr, std::uint64_t>> blocks;
+    for (std::uint64_t sz : {1u, 8u, 24u, 63u, 64u, 65u, 200u, 4096u}) {
+        Addr a = heap.alloc(tc, sz);
+        EXPECT_EQ(a % 8, 0u);
+        if (sz <= kLineSize) {
+            EXPECT_EQ(lineOf(a), lineOf(a + sz - 1))
+                << "sub-line block straddles a line";
+        } else {
+            EXPECT_EQ(lineOffset(a), 0u);
+        }
+        for (auto &[b, bsz] : blocks)
+            EXPECT_TRUE(a + sz <= b || b + bsz <= a);
+        blocks.emplace_back(a, sz);
+    }
+}
+
+TEST(Heap, FreeListReuse)
+{
+    Machine m(quiet(1));
+    TxHeap heap(m);
+    ThreadContext &tc = m.initContext();
+    Addr a = heap.alloc(tc, 24, true);
+    heap.free(tc, a, 24, true);
+    Addr b = heap.alloc(tc, 24, true);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Heap, ZeroedAllocationClearsRecycledBlock)
+{
+    Machine m(quiet(1));
+    TxHeap heap(m);
+    ThreadContext &tc = m.initContext();
+    Addr a = heap.alloc(tc, 64, true);
+    tc.store(a, 0xffffffffffffffffull, 8);
+    heap.free(tc, a, 64, true);
+    Addr b = heap.allocZeroed(tc, 64, true);
+    ASSERT_EQ(a, b);
+    EXPECT_EQ(tc.load(b, 8), 0u);
+}
+
+TEST(Heap, BytesAccounting)
+{
+    Machine m(quiet(1));
+    TxHeap heap(m);
+    ThreadContext &tc = m.initContext();
+    std::uint64_t before = heap.bytesInUse();
+    Addr a = heap.alloc(tc, 100, true);
+    EXPECT_GT(heap.bytesInUse(), before);
+    heap.free(tc, a, 100, true);
+    EXPECT_EQ(heap.bytesInUse(), before);
+}
+
+TEST(Heap, PagesPrefaulted)
+{
+    Machine m(quiet(1));
+    TxHeap heap(m);
+    ThreadContext &tc = m.initContext();
+    Addr a = heap.alloc(tc, 8192, true);
+    EXPECT_TRUE(m.memory().pageExists(a));
+    EXPECT_TRUE(m.memory().pageExists(a + 8191));
+}
+
+// --------------------------------------------------------------- TxList
+
+class RtFixture : public ::testing::Test
+{
+  protected:
+    RtFixture() : machine_(quiet()), heap_(machine_)
+    {
+        sys_ = TxSystem::create(TxSystemKind::NoTm, machine_);
+    }
+
+    void
+    raw(const std::function<void(TxHandle &)> &fn)
+    {
+        sys_->atomic(machine_.initContext(), fn);
+    }
+
+    Machine machine_;
+    TxHeap heap_;
+    std::unique_ptr<TxSystem> sys_;
+};
+
+TEST_F(RtFixture, ListInsertSortedLookup)
+{
+    TxList list = TxList::create(machine_.initContext(), heap_);
+    raw([&](TxHandle &h) {
+        EXPECT_TRUE(list.insert(h, 30, 300));
+        EXPECT_TRUE(list.insert(h, 10, 100));
+        EXPECT_TRUE(list.insert(h, 20, 200));
+        EXPECT_FALSE(list.insert(h, 20, 999)); // Duplicate.
+        EXPECT_EQ(list.size(h), 3u);
+        EXPECT_EQ(list.keys(h),
+                  (std::vector<std::uint64_t>{10, 20, 30}));
+        std::uint64_t v = 0;
+        EXPECT_TRUE(list.lookup(h, 20, &v));
+        EXPECT_EQ(v, 200u);
+        EXPECT_FALSE(list.lookup(h, 25));
+    });
+}
+
+TEST_F(RtFixture, ListRemove)
+{
+    TxList list = TxList::create(machine_.initContext(), heap_);
+    raw([&](TxHandle &h) {
+        for (std::uint64_t k : {5, 1, 9, 3})
+            list.insert(h, k, k * 10);
+        EXPECT_TRUE(list.remove(h, 1));  // Head.
+        EXPECT_TRUE(list.remove(h, 9));  // Tail.
+        EXPECT_FALSE(list.remove(h, 7)); // Absent.
+        EXPECT_EQ(list.keys(h), (std::vector<std::uint64_t>{3, 5}));
+    });
+}
+
+// ------------------------------------------------------------ TxHashSet
+
+TEST_F(RtFixture, HashSetInsertContains)
+{
+    TxHashSet set =
+        TxHashSet::create(machine_.initContext(), heap_, 64);
+    raw([&](TxHandle &h) {
+        EXPECT_EQ(set.capacity(h), 64u);
+        for (std::uint64_t k = 1; k <= 40; ++k)
+            EXPECT_TRUE(set.insert(h, k));
+        for (std::uint64_t k = 1; k <= 40; ++k) {
+            EXPECT_FALSE(set.insert(h, k)); // Duplicates rejected.
+            EXPECT_TRUE(set.contains(h, k));
+        }
+        EXPECT_FALSE(set.contains(h, 41));
+        EXPECT_EQ(set.count(h), 40u);
+    });
+}
+
+TEST_F(RtFixture, HashSetProbeWraparound)
+{
+    TxHashSet set = TxHashSet::create(machine_.initContext(), heap_, 4);
+    raw([&](TxHandle &h) {
+        // Fill all four slots: probing must wrap and terminate.
+        for (std::uint64_t k = 1; k <= 4; ++k)
+            EXPECT_TRUE(set.insert(h, k));
+        EXPECT_TRUE(set.contains(h, 1));
+        EXPECT_TRUE(set.contains(h, 4));
+    });
+}
+
+// ---------------------------------------------------------------- TxMap
+
+TEST_F(RtFixture, MapInsertLookupUpdateRemove)
+{
+    TxMap map = TxMap::create(machine_.initContext(), heap_, 4);
+    raw([&](TxHandle &h) {
+        for (std::uint64_t k = 1; k <= 32; ++k)
+            EXPECT_TRUE(map.insert(h, k, k + 1000));
+        EXPECT_EQ(map.size(h), 32u);
+        std::uint64_t v = 0;
+        EXPECT_TRUE(map.lookup(h, 17, &v));
+        EXPECT_EQ(v, 1017u);
+        EXPECT_TRUE(map.update(h, 17, 42));
+        EXPECT_TRUE(map.lookup(h, 17, &v));
+        EXPECT_EQ(v, 42u);
+        EXPECT_FALSE(map.update(h, 99, 1));
+        EXPECT_TRUE(map.remove(h, 17));
+        EXPECT_FALSE(map.lookup(h, 17));
+        EXPECT_EQ(map.size(h), 31u);
+    });
+}
+
+TEST_F(RtFixture, MapValueAddrAllowsInPlaceRmw)
+{
+    TxMap map = TxMap::create(machine_.initContext(), heap_, 2);
+    raw([&](TxHandle &h) {
+        map.insert(h, 5, 10);
+        Addr va = map.valueAddr(h, 5);
+        ASSERT_NE(va, 0u);
+        h.write(va, h.read(va, 8) + 1, 8);
+        std::uint64_t v = 0;
+        map.lookup(h, 5, &v);
+        EXPECT_EQ(v, 11u);
+        EXPECT_EQ(map.valueAddr(h, 6), 0u);
+    });
+}
+
+// -------------------------------------------------------------- TxQueue
+
+TEST_F(RtFixture, QueueFifoOrder)
+{
+    TxQueue q = TxQueue::create(machine_.initContext(), heap_);
+    raw([&](TxHandle &h) {
+        std::uint64_t v = 0;
+        EXPECT_FALSE(q.dequeue(h, &v));
+        for (std::uint64_t i = 1; i <= 5; ++i)
+            q.enqueue(h, i * 11);
+        EXPECT_EQ(q.size(h), 5u);
+        for (std::uint64_t i = 1; i <= 5; ++i) {
+            ASSERT_TRUE(q.dequeue(h, &v));
+            EXPECT_EQ(v, i * 11);
+        }
+        EXPECT_FALSE(q.dequeue(h, &v));
+        EXPECT_EQ(q.size(h), 0u);
+    });
+}
+
+TEST_F(RtFixture, QueueInterleavedEnqueueDequeue)
+{
+    TxQueue q = TxQueue::create(machine_.initContext(), heap_);
+    raw([&](TxHandle &h) {
+        std::uint64_t v = 0;
+        q.enqueue(h, 1);
+        q.enqueue(h, 2);
+        ASSERT_TRUE(q.dequeue(h, &v));
+        EXPECT_EQ(v, 1u);
+        q.enqueue(h, 3);
+        ASSERT_TRUE(q.dequeue(h, &v));
+        EXPECT_EQ(v, 2u);
+        ASSERT_TRUE(q.dequeue(h, &v));
+        EXPECT_EQ(v, 3u);
+        // Drained to empty and reusable.
+        q.enqueue(h, 4);
+        ASSERT_TRUE(q.dequeue(h, &v));
+        EXPECT_EQ(v, 4u);
+    });
+}
+
+// ------------------------------------------- Concurrent property tests
+
+struct ConcurrentParam
+{
+    TxSystemKind kind;
+    int threads;
+};
+
+class ConcurrentStructures
+    : public ::testing::TestWithParam<ConcurrentParam>
+{
+};
+
+TEST_P(ConcurrentStructures, ListHoldsAllDisjointInserts)
+{
+    const auto p = GetParam();
+    Machine m(quiet(p.threads));
+    TxHeap heap(m);
+    auto sys = TxSystem::create(p.kind, m);
+    sys->setup();
+    TxList list = TxList::create(m.initContext(), heap);
+    constexpr int kPerThread = 24;
+    for (int t = 0; t < p.threads; ++t) {
+        m.addThread([&, t](ThreadContext &tc) {
+            for (int i = 0; i < kPerThread; ++i) {
+                const std::uint64_t key =
+                    1 + std::uint64_t(i) * p.threads + t;
+                sys->atomic(tc, [&](TxHandle &h) {
+                    list.insert(h, key, key);
+                });
+            }
+        });
+    }
+    m.run();
+    auto no_tm = TxSystem::create(TxSystemKind::NoTm, m);
+    no_tm->atomic(m.initContext(), [&](TxHandle &h) {
+        auto keys = list.keys(h);
+        EXPECT_EQ(keys.size(),
+                  std::uint64_t(p.threads) * kPerThread);
+        EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+        EXPECT_TRUE(std::adjacent_find(keys.begin(), keys.end()) ==
+                    keys.end());
+    });
+}
+
+TEST_P(ConcurrentStructures, HashSetExactlyOneWinnerPerKey)
+{
+    const auto p = GetParam();
+    Machine m(quiet(p.threads));
+    TxHeap heap(m);
+    auto sys = TxSystem::create(p.kind, m);
+    sys->setup();
+    TxHashSet set = TxHashSet::create(m.initContext(), heap, 256);
+    constexpr int kKeys = 60;
+    std::atomic<int> wins{0};
+    for (int t = 0; t < p.threads; ++t) {
+        m.addThread([&](ThreadContext &tc) {
+            // Every thread tries every key.
+            for (std::uint64_t k = 1; k <= kKeys; ++k) {
+                bool inserted = false;
+                sys->atomic(tc, [&](TxHandle &h) {
+                    inserted = set.insert(h, k);
+                });
+                if (inserted)
+                    wins++;
+            }
+        });
+    }
+    m.run();
+    EXPECT_EQ(wins.load(), kKeys);
+    auto no_tm = TxSystem::create(TxSystemKind::NoTm, m);
+    no_tm->atomic(m.initContext(), [&](TxHandle &h) {
+        EXPECT_EQ(set.count(h), std::uint64_t(kKeys));
+    });
+}
+
+TEST_P(ConcurrentStructures, QueueItemsConsumedExactlyOnce)
+{
+    const auto p = GetParam();
+    Machine m(quiet(p.threads));
+    TxHeap heap(m);
+    auto sys = TxSystem::create(p.kind, m);
+    sys->setup();
+    TxQueue q = TxQueue::create(m.initContext(), heap);
+    constexpr int kItems = 80;
+    {
+        auto no_tm = TxSystem::create(TxSystemKind::NoTm, m);
+        no_tm->atomic(m.initContext(), [&](TxHandle &h) {
+            for (std::uint64_t i = 1; i <= kItems; ++i)
+                q.enqueue(h, i);
+        });
+    }
+    std::vector<std::uint64_t> seen;
+    for (int t = 0; t < p.threads; ++t) {
+        m.addThread([&](ThreadContext &tc) {
+            for (;;) {
+                std::uint64_t v = 0;
+                bool got = false;
+                sys->atomic(tc, [&](TxHandle &h) {
+                    got = q.dequeue(h, &v);
+                });
+                if (!got)
+                    return;
+                seen.push_back(v);
+                tc.advance(40);
+            }
+        });
+    }
+    m.run();
+    std::sort(seen.begin(), seen.end());
+    ASSERT_EQ(seen.size(), std::size_t(kItems));
+    for (int i = 0; i < kItems; ++i)
+        EXPECT_EQ(seen[i], std::uint64_t(i + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Systems, ConcurrentStructures,
+    ::testing::Values(ConcurrentParam{TxSystemKind::UfoHybrid, 4},
+                      ConcurrentParam{TxSystemKind::UstmStrong, 4},
+                      ConcurrentParam{TxSystemKind::UnboundedHtm, 4},
+                      ConcurrentParam{TxSystemKind::UfoHybrid, 8}),
+    [](const ::testing::TestParamInfo<ConcurrentParam> &info) {
+        std::string n = txSystemKindName(info.param.kind);
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n + "_t" + std::to_string(info.param.threads);
+    });
+
+} // namespace
+} // namespace utm

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the typed Shared<T>/SharedArray<T> views and the
+ * statistics histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/shared.hh"
+#include "sim/machine.hh"
+#include "sim/stats.hh"
+
+namespace utm {
+namespace {
+
+TEST(SharedCell, TypedRoundTrip)
+{
+    Machine m;
+    TxHeap heap(m);
+    auto sys = TxSystem::create(TxSystemKind::UfoHybrid, m);
+    sys->setup();
+    Shared<std::uint32_t> cell(
+        heap.allocZeroed(m.initContext(), 4, true));
+
+    m.addThread([&](ThreadContext &tc) {
+        sys->atomic(tc, [&](TxHandle &h) {
+            cell.set(h, 41);
+            EXPECT_EQ(cell.get(h), 41u);
+            cell.update(h, [](std::uint32_t v) { return v + 1; });
+        });
+        EXPECT_EQ(cell.load(tc), 42u); // NonT read after commit.
+        cell.store(tc, 7);
+    });
+    m.run();
+    EXPECT_EQ(m.memory().read(cell.addr(), 4), 7u);
+}
+
+TEST(SharedCell, SignedTypes)
+{
+    Machine m;
+    TxHeap heap(m);
+    auto sys = TxSystem::create(TxSystemKind::UstmStrong, m);
+    sys->setup();
+    Shared<std::int16_t> cell(
+        heap.allocZeroed(m.initContext(), 2, true));
+    m.addThread([&](ThreadContext &tc) {
+        sys->atomic(tc, [&](TxHandle &h) { cell.set(h, -123); });
+        EXPECT_EQ(cell.load(tc), -123);
+    });
+    m.run();
+}
+
+TEST(SharedArray, ElementsAreIndependentLines)
+{
+    Machine m;
+    TxHeap heap(m);
+    auto sys = TxSystem::create(TxSystemKind::UfoHybrid, m);
+    sys->setup();
+    auto arr = SharedArray<std::uint64_t>::create(
+        m.initContext(), heap, 8);
+    EXPECT_EQ(arr.size(), 8u);
+    for (std::size_t i = 0; i + 1 < arr.size(); ++i)
+        EXPECT_NE(lineOf(arr.addrOf(i)), lineOf(arr.addrOf(i + 1)));
+
+    m.addThread([&](ThreadContext &tc) {
+        sys->atomic(tc, [&](TxHandle &h) {
+            for (std::size_t i = 0; i < arr.size(); ++i)
+                arr.set(h, i, i * i);
+        });
+    });
+    m.run();
+    for (std::size_t i = 0; i < arr.size(); ++i)
+        EXPECT_EQ(m.memory().read(arr.addrOf(i), 8), i * i);
+}
+
+TEST(SharedArray, PackedStride)
+{
+    Machine m;
+    TxHeap heap(m);
+    auto sys = TxSystem::create(TxSystemKind::Tl2, m);
+    sys->setup();
+    auto arr = SharedArray<std::uint32_t>::create(
+        m.initContext(), heap, 16, /*stride=*/4);
+    m.addThread([&](ThreadContext &tc) {
+        sys->atomic(tc, [&](TxHandle &h) {
+            for (std::size_t i = 0; i < 16; ++i)
+                arr.set(h, i, std::uint32_t(100 + i));
+        });
+    });
+    m.run();
+    for (std::size_t i = 0; i < 16; ++i)
+        EXPECT_EQ(m.memory().read(arr.addrOf(i), 4), 100 + i);
+}
+
+// ------------------------------------------------------------ Histogram
+
+TEST(HistogramStat, BasicMoments)
+{
+    Histogram h;
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+    for (std::uint64_t v : {1u, 2u, 4u, 8u, 100u})
+        h.observe(v);
+    EXPECT_EQ(h.samples(), 5u);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 100u);
+    EXPECT_NEAR(h.mean(), 23.0, 0.01);
+}
+
+TEST(HistogramStat, QuantilesBucketed)
+{
+    Histogram h;
+    for (int i = 0; i < 90; ++i)
+        h.observe(10); // bucket [8,16) -> upper bound 15
+    for (int i = 0; i < 10; ++i)
+        h.observe(1000); // bucket [512,1024) -> upper bound 1023
+    EXPECT_EQ(h.quantile(0.5), 15u);
+    EXPECT_EQ(h.quantile(0.99), 1023u);
+    EXPECT_EQ(h.countAbove(255), 10u);
+    EXPECT_EQ(h.countAbove(1023), 0u);
+}
+
+TEST(HistogramStat, RegistryIntegration)
+{
+    StatsRegistry s;
+    EXPECT_EQ(s.histogram("never").samples(), 0u);
+    s.observe("x", 5);
+    s.observe("x", 6);
+    EXPECT_EQ(s.histogram("x").samples(), 2u);
+}
+
+TEST(HistogramStat, ZeroAndHugeValues)
+{
+    Histogram h;
+    h.observe(0);
+    h.observe(~std::uint64_t(0));
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), ~std::uint64_t(0));
+    EXPECT_EQ(h.samples(), 2u);
+}
+
+} // namespace
+} // namespace utm

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: fibers, RNG, stats,
+ * configuration, scheduling, and the ThreadContext access primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory_system.hh"
+#include "sim/config.hh"
+#include "sim/fiber.hh"
+#include "sim/machine.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+namespace utm {
+namespace {
+
+// ---------------------------------------------------------------- Fiber
+
+TEST(Fiber, RunsToCompletion)
+{
+    Fiber f;
+    int x = 0;
+    f.reset([&] { x = 42; });
+    f.resume();
+    EXPECT_TRUE(f.finished());
+    EXPECT_EQ(x, 42);
+}
+
+TEST(Fiber, YieldRoundTrips)
+{
+    Fiber f;
+    std::vector<int> order;
+    f.reset([&] {
+        order.push_back(1);
+        f.yield();
+        order.push_back(3);
+        f.yield();
+        order.push_back(5);
+    });
+    f.resume();
+    order.push_back(2);
+    f.resume();
+    order.push_back(4);
+    f.resume();
+    EXPECT_TRUE(f.finished());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Fiber, ManyFibersInterleave)
+{
+    constexpr int kN = 16;
+    std::vector<std::unique_ptr<Fiber>> fibers;
+    int counter = 0;
+    for (int i = 0; i < kN; ++i) {
+        fibers.push_back(std::make_unique<Fiber>());
+        Fiber *f = fibers.back().get();
+        fibers.back()->reset([f, &counter] {
+            for (int j = 0; j < 10; ++j) {
+                ++counter;
+                f->yield();
+            }
+        });
+    }
+    bool any = true;
+    while (any) {
+        any = false;
+        for (auto &f : fibers) {
+            if (!f->finished()) {
+                f->resume();
+                any = true;
+            }
+        }
+    }
+    EXPECT_EQ(counter, kN * 10);
+}
+
+TEST(Fiber, ExceptionsStayInsideFiber)
+{
+    Fiber f;
+    bool caught = false;
+    f.reset([&] {
+        try {
+            throw std::runtime_error("boom");
+        } catch (const std::runtime_error &) {
+            caught = true;
+        }
+    });
+    f.resume();
+    EXPECT_TRUE(caught);
+    EXPECT_TRUE(f.finished());
+}
+
+TEST(Fiber, ReuseAfterFinish)
+{
+    Fiber f;
+    int runs = 0;
+    for (int i = 0; i < 3; ++i) {
+        f.reset([&] { ++runs; });
+        f.resume();
+        ASSERT_TRUE(f.finished());
+    }
+    EXPECT_EQ(runs, 3);
+}
+
+// ------------------------------------------------------------------ Rng
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(12345), b(12345);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedStaysInBounds)
+{
+    Rng r(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            ASSERT_LT(r.nextBounded(bound), bound);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        std::int64_t v = r.nextRange(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double d = r.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated)
+{
+    Rng r(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.nextBool(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+// ---------------------------------------------------------------- Stats
+
+TEST(Stats, IncrementAndGet)
+{
+    StatsRegistry s;
+    EXPECT_EQ(s.get("a"), 0u);
+    s.inc("a");
+    s.inc("a", 4);
+    EXPECT_EQ(s.get("a"), 5u);
+    s.set("a", 2);
+    EXPECT_EQ(s.get("a"), 2u);
+}
+
+TEST(Stats, PrefixQuery)
+{
+    StatsRegistry s;
+    s.inc("btm.aborts.conflict", 3);
+    s.inc("btm.aborts.overflow", 1);
+    s.inc("btm.commits", 9);
+    s.inc("ustm.commits", 2);
+    auto aborts = s.withPrefix("btm.aborts.");
+    ASSERT_EQ(aborts.size(), 2u);
+    EXPECT_EQ(aborts[0].first, "btm.aborts.conflict");
+    EXPECT_EQ(aborts[0].second, 3u);
+}
+
+TEST(Stats, ClearKeepsNames)
+{
+    StatsRegistry s;
+    s.inc("x", 7);
+    s.clear();
+    EXPECT_EQ(s.get("x"), 0u);
+    EXPECT_EQ(s.withPrefix("x").size(), 1u);
+}
+
+// --------------------------------------------------------------- Config
+
+TEST(Config, DescribeMentionsGeometry)
+{
+    MachineConfig cfg;
+    std::string d = cfg.describe();
+    EXPECT_NE(d.find("32 KiB"), std::string::npos);
+    EXPECT_NE(d.find("64 B lines"), std::string::npos);
+    EXPECT_EQ(cfg.l1Bytes(), 32u * 1024);
+}
+
+// -------------------------------------------------------------- Machine
+
+TEST(Machine, SchedulerRunsAllThreads)
+{
+    MachineConfig mc;
+    mc.numCores = 4;
+    Machine m(mc);
+    std::vector<int> done;
+    for (int i = 0; i < 4; ++i) {
+        m.addThread([&, i](ThreadContext &tc) {
+            tc.advance(10 * (i + 1));
+            done.push_back(i);
+        });
+    }
+    m.run();
+    EXPECT_EQ(done.size(), 4u);
+    EXPECT_GE(m.completionTime(), 40u);
+}
+
+TEST(Machine, MinClockSchedulingInterleavesFairly)
+{
+    MachineConfig mc;
+    mc.numCores = 2;
+    Machine m(mc);
+    std::vector<int> trace;
+    for (int i = 0; i < 2; ++i) {
+        m.addThread([&, i](ThreadContext &tc) {
+            for (int j = 0; j < 5; ++j) {
+                trace.push_back(i);
+                tc.advance(10);
+                tc.yield();
+            }
+        });
+    }
+    m.run();
+    // Equal-cost threads must alternate, not run back to back.
+    ASSERT_EQ(trace.size(), 10u);
+    for (int j = 0; j + 2 < 10; j += 2)
+        EXPECT_NE(trace[j], trace[j + 1]);
+}
+
+TEST(Machine, TooManyThreadsIsFatal)
+{
+    MachineConfig mc;
+    mc.numCores = 1;
+    Machine m(mc);
+    m.addThread([](ThreadContext &) {});
+    EXPECT_EXIT(m.addThread([](ThreadContext &) {}),
+                ::testing::ExitedWithCode(1), "more threads");
+}
+
+TEST(Machine, TxSeqMonotonic)
+{
+    Machine m;
+    std::uint64_t a = m.nextTxSeq();
+    std::uint64_t b = m.nextTxSeq();
+    EXPECT_LT(a, b);
+}
+
+// -------------------------------------------------------- ThreadContext
+
+TEST(ThreadContext, LoadStoreRoundTrip)
+{
+    Machine m;
+    ThreadContext &tc = m.initContext();
+    tc.store(0x1000, 0xdeadbeefcafef00dull, 8);
+    EXPECT_EQ(tc.load(0x1000, 8), 0xdeadbeefcafef00dull);
+    EXPECT_EQ(tc.load(0x1000, 4), 0xcafef00dull);
+    EXPECT_EQ(tc.load(0x1004, 4), 0xdeadbeefull);
+    tc.storeT<std::uint16_t>(0x1010, 0x1234);
+    EXPECT_EQ(tc.loadT<std::uint16_t>(0x1010), 0x1234);
+}
+
+TEST(ThreadContext, CasSemantics)
+{
+    Machine m;
+    ThreadContext &tc = m.initContext();
+    tc.store(0x2000, 5, 8);
+    std::uint64_t old = 0;
+    EXPECT_FALSE(tc.cas(0x2000, 8, 4, 9, &old));
+    EXPECT_EQ(old, 5u);
+    EXPECT_EQ(tc.load(0x2000, 8), 5u);
+    EXPECT_TRUE(tc.cas(0x2000, 8, 5, 9, &old));
+    EXPECT_EQ(old, 5u);
+    EXPECT_EQ(tc.load(0x2000, 8), 9u);
+}
+
+TEST(ThreadContext, FetchAdd)
+{
+    Machine m;
+    ThreadContext &tc = m.initContext();
+    EXPECT_EQ(tc.fetchAdd(0x3000, 8, 7), 0u);
+    EXPECT_EQ(tc.fetchAdd(0x3000, 8, 3), 7u);
+    EXPECT_EQ(tc.load(0x3000, 8), 10u);
+}
+
+TEST(ThreadContext, AdvanceMovesClock)
+{
+    Machine m;
+    ThreadContext &tc = m.initContext();
+    Cycles t0 = tc.now();
+    tc.advance(123);
+    EXPECT_EQ(tc.now(), t0 + 123);
+}
+
+TEST(ThreadContext, AccessChargesLatency)
+{
+    MachineConfig mc;
+    mc.timerQuantum = 0;
+    Machine m(mc);
+    ThreadContext &tc = m.initContext();
+    Cycles t0 = tc.now();
+    tc.load(0x4000, 8); // Cold: L1 miss + L2 miss.
+    Cycles miss = tc.now() - t0;
+    EXPECT_GE(miss, mc.memLatency);
+    t0 = tc.now();
+    tc.load(0x4000, 8); // Hot: L1 hit.
+    Cycles hit = tc.now() - t0;
+    EXPECT_EQ(hit, mc.l1HitLatency);
+}
+
+TEST(ThreadContext, DeterministicAcrossRuns)
+{
+    auto run = [](std::uint64_t seed) {
+        MachineConfig mc;
+        mc.numCores = 4;
+        mc.seed = seed;
+        Machine m(mc);
+        for (int i = 0; i < 4; ++i) {
+            m.addThread([](ThreadContext &tc) {
+                for (int j = 0; j < 100; ++j) {
+                    Addr a = 0x1000 + tc.rng().nextBounded(32) * 64;
+                    tc.store(a, tc.load(a, 8) + 1, 8);
+                }
+            });
+        }
+        m.run();
+        return m.completionTime();
+    };
+    EXPECT_EQ(run(5), run(5));
+}
+
+} // namespace
+} // namespace utm

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * End-to-end smoke tests: a shared counter incremented concurrently
+ * must be exact under every TM system, for several thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/tx_system.hh"
+#include "mem/memory_system.hh"
+#include "rt/heap.hh"
+#include "sim/machine.hh"
+
+namespace utm {
+namespace {
+
+struct SmokeCase
+{
+    TxSystemKind kind;
+    int threads;
+};
+
+class SmokeCounter : public ::testing::TestWithParam<SmokeCase>
+{
+};
+
+TEST_P(SmokeCounter, SharedCounterIsExact)
+{
+    const SmokeCase c = GetParam();
+    MachineConfig mc;
+    mc.numCores = c.threads;
+    Machine machine(mc);
+    TxHeap heap(machine);
+    auto sys = TxSystem::create(c.kind, machine);
+    sys->setup();
+
+    ThreadContext &init = machine.initContext();
+    const Addr counter = heap.allocZeroed(init, 8, true);
+    constexpr int kIncrementsPerThread = 200;
+
+    for (int t = 0; t < c.threads; ++t) {
+        machine.addThread([&, t](ThreadContext &tc) {
+            (void)t;
+            for (int i = 0; i < kIncrementsPerThread; ++i) {
+                sys->atomic(tc, [&](TxHandle &h) {
+                    h.write(counter, h.read(counter, 8) + 1, 8);
+                });
+                tc.advance(20);
+            }
+        });
+    }
+    machine.run();
+
+    EXPECT_EQ(machine.memory().read(counter, 8),
+              std::uint64_t(c.threads) * kIncrementsPerThread)
+        << "system=" << txSystemKindName(c.kind)
+        << " threads=" << c.threads;
+    EXPECT_GT(machine.completionTime(), 0u);
+}
+
+std::vector<SmokeCase>
+smokeCases()
+{
+    std::vector<SmokeCase> cases;
+    for (TxSystemKind k :
+         {TxSystemKind::UnboundedHtm, TxSystemKind::UfoHybrid,
+          TxSystemKind::HyTm, TxSystemKind::PhTm, TxSystemKind::Ustm,
+          TxSystemKind::UstmStrong, TxSystemKind::Tl2}) {
+        for (int threads : {1, 2, 4, 8})
+            cases.push_back({k, threads});
+    }
+    cases.push_back({TxSystemKind::NoTm, 1}); // Sequential only.
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, SmokeCounter, ::testing::ValuesIn(smokeCases()),
+    [](const ::testing::TestParamInfo<SmokeCase> &info) {
+        std::string name = txSystemKindName(info.param.kind);
+        for (auto &ch : name)
+            if (ch == '-')
+                ch = '_';
+        return name + "_t" + std::to_string(info.param.threads);
+    });
+
+} // namespace
+} // namespace utm

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Torture / property tests:
+ *
+ *  - bit-level determinism: identical seeds produce identical
+ *    simulated timing and statistics;
+ *  - a randomized mixed-structure stress in which threads mutate
+ *    disjoint logical key stripes that nevertheless collide
+ *    physically (shared map buckets, shared otable rows, shared cache
+ *    sets); per-thread shadow models must match the final simulated
+ *    state exactly under every TM system;
+ *  - a read-modify-write sweep across transaction footprints that
+ *    straddle the BTM capacity boundary, so the same run mixes
+ *    hardware commits, failovers, and contention.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/tx_system.hh"
+#include "rt/heap.hh"
+#include "rt/tx_map.hh"
+#include "sim/machine.hh"
+#include "stamp/genome.hh"
+#include "stamp/workload.hh"
+
+namespace utm {
+namespace {
+
+MachineConfig
+quiet(int cores, std::uint64_t seed = 42)
+{
+    MachineConfig mc;
+    mc.numCores = cores;
+    mc.timerQuantum = 0;
+    mc.seed = seed;
+    return mc;
+}
+
+// ------------------------------------------------------- Determinism
+
+TEST(Determinism, SameSeedSameCyclesAndStats)
+{
+    auto run = [](std::uint64_t seed) {
+        GenomeParams p;
+        p.segments = 256;
+        p.uniquePool = 128;
+        GenomeWorkload w(p);
+        RunConfig cfg;
+        cfg.kind = TxSystemKind::UfoHybrid;
+        cfg.threads = 4;
+        cfg.machine.seed = seed;
+        return runWorkload(w, cfg);
+    };
+    RunResult a = run(7);
+    RunResult b = run(7);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.stats, b.stats);
+    EXPECT_TRUE(a.valid && b.valid);
+}
+
+TEST(Determinism, DifferentSeedDifferentSchedule)
+{
+    auto run = [](std::uint64_t seed) {
+        GenomeParams p;
+        p.segments = 256;
+        p.uniquePool = 128;
+        p.seed = seed; // Different streams AND machine seed below.
+        GenomeWorkload w(p);
+        RunConfig cfg;
+        cfg.kind = TxSystemKind::UfoHybrid;
+        cfg.threads = 4;
+        cfg.machine.seed = seed;
+        return runWorkload(w, cfg);
+    };
+    EXPECT_NE(run(1).cycles, run(2).cycles);
+}
+
+// ------------------------------------------- Shadow-model map stress
+
+struct TortureParam
+{
+    TxSystemKind kind;
+    int threads;
+    std::uint64_t seed;
+};
+
+class MapTorture : public ::testing::TestWithParam<TortureParam>
+{
+};
+
+TEST_P(MapTorture, ShadowModelMatches)
+{
+    const TortureParam p = GetParam();
+    Machine m(quiet(p.threads, p.seed));
+    TxHeap heap(m);
+    auto sys = TxSystem::create(p.kind, m);
+    sys->setup();
+    // Few buckets: every thread's keys share chains with every other
+    // thread's -- maximal physical contention, zero logical overlap.
+    TxMap map = TxMap::create(m.initContext(), heap, 8);
+
+    constexpr int kOpsPerThread = 120;
+    std::vector<std::map<std::uint64_t, std::uint64_t>> shadow(
+        p.threads);
+
+    for (int t = 0; t < p.threads; ++t) {
+        m.addThread([&, t](ThreadContext &tc) {
+            auto &mine = shadow[t];
+            for (int i = 0; i < kOpsPerThread; ++i) {
+                // Key stripe: key % threads == t.
+                const std::uint64_t key =
+                    1 + t +
+                    tc.rng().nextBounded(40) *
+                        std::uint64_t(p.threads);
+                const int op = static_cast<int>(
+                    tc.rng().nextBounded(3));
+                const std::uint64_t val = tc.rng().next() | 1;
+                bool applied = false;
+                sys->atomic(tc, [&](TxHandle &h) {
+                    switch (op) {
+                      case 0:
+                        applied = map.insert(h, key, val);
+                        break;
+                      case 1:
+                        applied = map.update(h, key, val);
+                        break;
+                      default:
+                        applied = map.remove(h, key);
+                        break;
+                    }
+                });
+                // The op must succeed exactly when the shadow says it
+                // should (no other thread touches this stripe).
+                const bool expect_applied =
+                    op == 0 ? !mine.count(key) : mine.count(key) != 0;
+                EXPECT_EQ(applied, expect_applied)
+                    << "op " << op << " key " << key;
+                // Mirror into the shadow (post-commit).
+                if (applied) {
+                    if (op == 2)
+                        mine.erase(key);
+                    else
+                        mine[key] = val;
+                }
+                tc.advance(25);
+            }
+        });
+    }
+    m.run();
+
+    // Merge shadows and compare against the simulated map.
+    std::map<std::uint64_t, std::uint64_t> expect;
+    for (auto &s : shadow)
+        expect.insert(s.begin(), s.end());
+
+    auto no_tm = TxSystem::create(TxSystemKind::NoTm, m);
+    no_tm->atomic(m.initContext(), [&](TxHandle &h) {
+        EXPECT_EQ(map.size(h), expect.size());
+        for (const auto &[k, v] : expect) {
+            std::uint64_t got = 0;
+            ASSERT_TRUE(map.lookup(h, k, &got)) << "missing key " << k;
+            EXPECT_EQ(got, v) << "wrong value for key " << k;
+        }
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Systems, MapTorture,
+    ::testing::Values(TortureParam{TxSystemKind::UfoHybrid, 4, 1},
+                      TortureParam{TxSystemKind::UfoHybrid, 8, 2},
+                      TortureParam{TxSystemKind::HyTm, 4, 3},
+                      TortureParam{TxSystemKind::PhTm, 4, 4},
+                      TortureParam{TxSystemKind::UstmStrong, 4, 5},
+                      TortureParam{TxSystemKind::Tl2, 4, 6},
+                      TortureParam{TxSystemKind::UnboundedHtm, 8, 7}),
+    [](const ::testing::TestParamInfo<TortureParam> &info) {
+        std::string n = txSystemKindName(info.param.kind);
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n + "_t" + std::to_string(info.param.threads) + "_s" +
+               std::to_string(info.param.seed);
+    });
+
+// ------------------------------ Footprint sweep across the HW bound
+
+class FootprintSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FootprintSweep, MixedFootprintsStayExact)
+{
+    // Transactions alternate between tiny and huge footprints; the
+    // huge ones exceed one L1 set's associativity and must fail over
+    // (on the hybrid) without breaking the counters.
+    const int lines = GetParam();
+    MachineConfig mc = quiet(4);
+    Machine m(mc);
+    TxHeap heap(m);
+    auto sys = TxSystem::create(TxSystemKind::UfoHybrid, m);
+    sys->setup();
+
+    // All lines in ONE set: footprint > ways forces overflow.
+    const Addr stride = std::uint64_t(mc.l1Sets) * kLineSize;
+    const Addr base = 0x20000000;
+    for (int i = 0; i < lines; ++i)
+        m.memory().materializePage(base + i * stride);
+
+    constexpr int kRounds = 40;
+    for (int t = 0; t < 4; ++t) {
+        m.addThread([&](ThreadContext &tc) {
+            for (int r = 0; r < kRounds; ++r) {
+                const int span = (r % 2 == 0) ? 1 : lines;
+                sys->atomic(tc, [&](TxHandle &h) {
+                    for (int i = 0; i < span; ++i) {
+                        const Addr a = base + Addr(i) * stride;
+                        h.write(a, h.read(a, 8) + 1, 8);
+                    }
+                });
+                tc.advance(30);
+            }
+        });
+    }
+    m.run();
+
+    // Line 0 is touched by every transaction; line i>0 only by the
+    // big ones.
+    EXPECT_EQ(m.memory().read(base, 8), 4u * kRounds);
+    for (int i = 1; i < lines; ++i)
+        EXPECT_EQ(m.memory().read(base + Addr(i) * stride, 8),
+                  4u * kRounds / 2);
+    if (lines > int(mc.l1Ways)) {
+        EXPECT_GT(m.stats().get("tm.failovers"), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Footprints, FootprintSweep,
+                         ::testing::Values(1, 4, 8, 9, 12, 16));
+
+} // namespace
+} // namespace utm

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the UFO convenience layer and the Appendix A swap
+ * model (UFO bits travel to and from the swap file).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/sim_memory.hh"
+#include "sim/machine.hh"
+#include "ufo/swap_model.hh"
+#include "ufo/ufo.hh"
+
+namespace utm {
+namespace {
+
+MachineConfig
+quiet()
+{
+    MachineConfig mc;
+    mc.numCores = 1;
+    mc.timerQuantum = 0;
+    return mc;
+}
+
+TEST(UfoRange, ProtectAndUnprotect)
+{
+    Machine m(quiet());
+    ThreadContext &tc = m.initContext();
+    ufoProtectRange(tc, 0x1010, 0x100, kUfoWriteOnly);
+    // Lines 0x1000..0x1100 overlap [0x1010, 0x1110).
+    EXPECT_EQ(m.memory().ufoBits(0x1000), kUfoWriteOnly);
+    EXPECT_EQ(m.memory().ufoBits(0x1100), kUfoWriteOnly);
+    EXPECT_EQ(m.memory().ufoBits(0x1140), kUfoNone);
+    EXPECT_EQ(ufoCountProtectedLines(tc, 0x1000, 0x200), 5u);
+    ufoUnprotectRange(tc, 0x1000, 0x200);
+    EXPECT_EQ(ufoCountProtectedLines(tc, 0x1000, 0x200), 0u);
+}
+
+TEST(UfoRange, DisableGuardRestores)
+{
+    Machine m(quiet());
+    ThreadContext &tc = m.initContext();
+    EXPECT_TRUE(tc.ufoEnabled());
+    {
+        UfoDisableGuard g(tc);
+        EXPECT_FALSE(tc.ufoEnabled());
+        {
+            UfoDisableGuard g2(tc); // Nested: stays disabled.
+            EXPECT_FALSE(tc.ufoEnabled());
+        }
+        EXPECT_FALSE(tc.ufoEnabled());
+    }
+    EXPECT_TRUE(tc.ufoEnabled());
+}
+
+// ------------------------------------------------------------ SwapModel
+
+class SwapTest : public ::testing::Test
+{
+  protected:
+    SwapTest() : machine_(quiet()) {}
+
+    SwapModel
+    makeModel(std::uint64_t frames, bool ufo, bool all_clear)
+    {
+        SwapModel::Config cfg;
+        cfg.physFrames = frames;
+        cfg.ufoSwapSupport = ufo;
+        cfg.allClearOptimization = all_clear;
+        return SwapModel(machine_, cfg);
+    }
+
+    Machine machine_;
+};
+
+TEST_F(SwapTest, ResidencyAndLru)
+{
+    SwapModel swap = makeModel(2, true, true);
+    ThreadContext &tc = machine_.initContext();
+    swap.touchPage(tc, 1);
+    swap.touchPage(tc, 2);
+    EXPECT_TRUE(swap.resident(1));
+    EXPECT_TRUE(swap.resident(2));
+    swap.touchPage(tc, 1); // 2 becomes LRU.
+    swap.touchPage(tc, 3); // Evicts 2.
+    EXPECT_TRUE(swap.resident(1));
+    EXPECT_FALSE(swap.resident(2));
+    EXPECT_TRUE(swap.resident(3));
+    EXPECT_EQ(swap.stats().swapOuts, 1u);
+    EXPECT_EQ(swap.stats().swapIns, 3u);
+}
+
+TEST_F(SwapTest, AllClearOptimizationSkipsUnprotectedPages)
+{
+    SwapModel swap = makeModel(1, true, true);
+    ThreadContext &tc = machine_.initContext();
+    swap.touchPage(tc, 0); // No UFO bits on this page.
+    swap.touchPage(tc, 1); // Evicts page 0: save skipped.
+    EXPECT_EQ(swap.stats().ufoSaves, 0u);
+    EXPECT_GT(swap.stats().ufoSkippedAllClear, 0u);
+    swap.touchPage(tc, 0); // Re-fault: restore also skipped.
+    EXPECT_EQ(swap.stats().ufoRestores, 0u);
+}
+
+TEST_F(SwapTest, ProtectedPagePaysSaveAndRestore)
+{
+    SwapModel swap = makeModel(1, true, true);
+    ThreadContext &tc = machine_.initContext();
+    machine_.memory().setUfoBits(0 * SimMemory::kPageSize + 0x40,
+                                 kUfoBoth);
+    swap.touchPage(tc, 0);
+    swap.touchPage(tc, 1); // Evict page 0: UFO record saved.
+    EXPECT_EQ(swap.stats().ufoSaves, 1u);
+    swap.touchPage(tc, 0); // Restore pays too.
+    EXPECT_EQ(swap.stats().ufoRestores, 1u);
+    EXPECT_GT(swap.stats().ufoCycles, 0u);
+}
+
+TEST_F(SwapTest, NaiveModeAlwaysPays)
+{
+    SwapModel swap = makeModel(1, true, /*all_clear=*/false);
+    ThreadContext &tc = machine_.initContext();
+    swap.touchPage(tc, 0);
+    swap.touchPage(tc, 1);
+    swap.touchPage(tc, 0);
+    EXPECT_EQ(swap.stats().ufoSaves, 2u); // Both evictions saved.
+    EXPECT_GT(swap.stats().ufoRestores, 0u);
+    EXPECT_EQ(swap.stats().ufoSkippedAllClear, 0u);
+}
+
+TEST_F(SwapTest, NoUfoSupportPaysNothing)
+{
+    SwapModel swap = makeModel(1, /*ufo=*/false, false);
+    ThreadContext &tc = machine_.initContext();
+    swap.touchPage(tc, 0);
+    swap.touchPage(tc, 1);
+    swap.touchPage(tc, 0);
+    EXPECT_EQ(swap.stats().ufoCycles, 0u);
+    EXPECT_GT(swap.stats().ioCycles, 0u);
+}
+
+TEST_F(SwapTest, ChargesSimulatedTime)
+{
+    SwapModel swap = makeModel(4, true, true);
+    ThreadContext &tc = machine_.initContext();
+    Cycles t0 = tc.now();
+    swap.touchPage(tc, 0);
+    EXPECT_GE(tc.now() - t0, swap.config().pageIoCost);
+    t0 = tc.now();
+    swap.touchPage(tc, 0); // Resident: free.
+    EXPECT_EQ(tc.now(), t0);
+}
+
+} // namespace
+} // namespace utm
