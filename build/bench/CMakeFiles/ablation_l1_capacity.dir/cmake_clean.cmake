@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_l1_capacity.dir/ablation_l1_capacity.cc.o"
+  "CMakeFiles/ablation_l1_capacity.dir/ablation_l1_capacity.cc.o.d"
+  "ablation_l1_capacity"
+  "ablation_l1_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_l1_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_otable.dir/ablation_otable.cc.o"
+  "CMakeFiles/ablation_otable.dir/ablation_otable.cc.o.d"
+  "ablation_otable"
+  "ablation_otable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_otable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendixA_swap.dir/appendixA_swap.cc.o"
+  "CMakeFiles/appendixA_swap.dir/appendixA_swap.cc.o.d"
+  "appendixA_swap"
+  "appendixA_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendixA_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_labyrinth.dir/extension_labyrinth.cc.o"
+  "CMakeFiles/extension_labyrinth.dir/extension_labyrinth.cc.o.d"
+  "extension_labyrinth"
+  "extension_labyrinth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_labyrinth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure5_speedup.dir/figure5_speedup.cc.o"
+  "CMakeFiles/figure5_speedup.dir/figure5_speedup.cc.o.d"
+  "figure5_speedup"
+  "figure5_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure5_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

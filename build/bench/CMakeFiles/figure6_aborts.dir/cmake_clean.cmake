@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure6_aborts.dir/figure6_aborts.cc.o"
+  "CMakeFiles/figure6_aborts.dir/figure6_aborts.cc.o.d"
+  "figure6_aborts"
+  "figure6_aborts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure6_aborts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure7_failover.dir/figure7_failover.cc.o"
+  "CMakeFiles/figure7_failover.dir/figure7_failover.cc.o.d"
+  "figure7_failover"
+  "figure7_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure7_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure8_sensitivity.dir/figure8_sensitivity.cc.o"
+  "CMakeFiles/figure8_sensitivity.dir/figure8_sensitivity.cc.o.d"
+  "figure8_sensitivity"
+  "figure8_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure8_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_config.dir/table4_config.cc.o"
+  "CMakeFiles/table4_config.dir/table4_config.cc.o.d"
+  "table4_config"
+  "table4_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txsize_profile.dir/txsize_profile.cc.o"
+  "CMakeFiles/txsize_profile.dir/txsize_profile.cc.o.d"
+  "txsize_profile"
+  "txsize_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txsize_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmsim.dir/tmsim.cpp.o"
+  "CMakeFiles/tmsim.dir/tmsim.cpp.o.d"
+  "tmsim"
+  "tmsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ufo_watchpoint.dir/ufo_watchpoint.cpp.o"
+  "CMakeFiles/ufo_watchpoint.dir/ufo_watchpoint.cpp.o.d"
+  "ufo_watchpoint"
+  "ufo_watchpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ufo_watchpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_bank "/root/repo/build/examples/bank")
+set_tests_properties(example_bank PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_bank_phtm "/root/repo/build/examples/bank" "phtm")
+set_tests_properties(example_bank_phtm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_watchpoint "/root/repo/build/examples/ufo_watchpoint")
+set_tests_properties(example_watchpoint PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_lock_elision "/root/repo/build/examples/lock_elision")
+set_tests_properties(example_lock_elision PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_producer_consumer "/root/repo/build/examples/producer_consumer")
+set_tests_properties(example_producer_consumer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tmsim "/root/repo/build/examples/tmsim" "-w" "intruder" "-s" "ufo-hybrid" "-t" "4" "--stats" "btm.aborts")
+set_tests_properties(example_tmsim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tmsim_labyrinth "/root/repo/build/examples/tmsim" "-w" "labyrinth" "-s" "tl2" "-t" "2" "--scale" "0.5")
+set_tests_properties(example_tmsim_labyrinth PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/btm/btm.cc" "src/CMakeFiles/ufotm.dir/btm/btm.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/btm/btm.cc.o.d"
+  "/root/repo/src/core/tx_system.cc" "src/CMakeFiles/ufotm.dir/core/tx_system.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/core/tx_system.cc.o.d"
+  "/root/repo/src/hybrid/abort_handler.cc" "src/CMakeFiles/ufotm.dir/hybrid/abort_handler.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/hybrid/abort_handler.cc.o.d"
+  "/root/repo/src/hybrid/hybrid_base.cc" "src/CMakeFiles/ufotm.dir/hybrid/hybrid_base.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/hybrid/hybrid_base.cc.o.d"
+  "/root/repo/src/hybrid/hytm.cc" "src/CMakeFiles/ufotm.dir/hybrid/hytm.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/hybrid/hytm.cc.o.d"
+  "/root/repo/src/hybrid/phtm.cc" "src/CMakeFiles/ufotm.dir/hybrid/phtm.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/hybrid/phtm.cc.o.d"
+  "/root/repo/src/hybrid/ufo_hybrid.cc" "src/CMakeFiles/ufotm.dir/hybrid/ufo_hybrid.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/hybrid/ufo_hybrid.cc.o.d"
+  "/root/repo/src/hybrid/unbounded_htm.cc" "src/CMakeFiles/ufotm.dir/hybrid/unbounded_htm.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/hybrid/unbounded_htm.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/ufotm.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/directory.cc" "src/CMakeFiles/ufotm.dir/mem/directory.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/mem/directory.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "src/CMakeFiles/ufotm.dir/mem/memory_system.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/mem/memory_system.cc.o.d"
+  "/root/repo/src/mem/sim_memory.cc" "src/CMakeFiles/ufotm.dir/mem/sim_memory.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/mem/sim_memory.cc.o.d"
+  "/root/repo/src/rt/heap.cc" "src/CMakeFiles/ufotm.dir/rt/heap.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/rt/heap.cc.o.d"
+  "/root/repo/src/rt/tx_hashset.cc" "src/CMakeFiles/ufotm.dir/rt/tx_hashset.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/rt/tx_hashset.cc.o.d"
+  "/root/repo/src/rt/tx_list.cc" "src/CMakeFiles/ufotm.dir/rt/tx_list.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/rt/tx_list.cc.o.d"
+  "/root/repo/src/rt/tx_map.cc" "src/CMakeFiles/ufotm.dir/rt/tx_map.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/rt/tx_map.cc.o.d"
+  "/root/repo/src/rt/tx_queue.cc" "src/CMakeFiles/ufotm.dir/rt/tx_queue.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/rt/tx_queue.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/ufotm.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/fiber.cc" "src/CMakeFiles/ufotm.dir/sim/fiber.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/sim/fiber.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/ufotm.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/CMakeFiles/ufotm.dir/sim/machine.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/sim/machine.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/ufotm.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/sim/rng.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/ufotm.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sim/thread_context.cc" "src/CMakeFiles/ufotm.dir/sim/thread_context.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/sim/thread_context.cc.o.d"
+  "/root/repo/src/stamp/failover_ubench.cc" "src/CMakeFiles/ufotm.dir/stamp/failover_ubench.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/stamp/failover_ubench.cc.o.d"
+  "/root/repo/src/stamp/genome.cc" "src/CMakeFiles/ufotm.dir/stamp/genome.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/stamp/genome.cc.o.d"
+  "/root/repo/src/stamp/intruder.cc" "src/CMakeFiles/ufotm.dir/stamp/intruder.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/stamp/intruder.cc.o.d"
+  "/root/repo/src/stamp/kmeans.cc" "src/CMakeFiles/ufotm.dir/stamp/kmeans.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/stamp/kmeans.cc.o.d"
+  "/root/repo/src/stamp/labyrinth.cc" "src/CMakeFiles/ufotm.dir/stamp/labyrinth.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/stamp/labyrinth.cc.o.d"
+  "/root/repo/src/stamp/ssca2.cc" "src/CMakeFiles/ufotm.dir/stamp/ssca2.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/stamp/ssca2.cc.o.d"
+  "/root/repo/src/stamp/vacation.cc" "src/CMakeFiles/ufotm.dir/stamp/vacation.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/stamp/vacation.cc.o.d"
+  "/root/repo/src/stamp/workload.cc" "src/CMakeFiles/ufotm.dir/stamp/workload.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/stamp/workload.cc.o.d"
+  "/root/repo/src/tl2/tl2.cc" "src/CMakeFiles/ufotm.dir/tl2/tl2.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/tl2/tl2.cc.o.d"
+  "/root/repo/src/ufo/swap_model.cc" "src/CMakeFiles/ufotm.dir/ufo/swap_model.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/ufo/swap_model.cc.o.d"
+  "/root/repo/src/ufo/ufo.cc" "src/CMakeFiles/ufotm.dir/ufo/ufo.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/ufo/ufo.cc.o.d"
+  "/root/repo/src/ustm/otable.cc" "src/CMakeFiles/ufotm.dir/ustm/otable.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/ustm/otable.cc.o.d"
+  "/root/repo/src/ustm/ustm.cc" "src/CMakeFiles/ufotm.dir/ustm/ustm.cc.o" "gcc" "src/CMakeFiles/ufotm.dir/ustm/ustm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

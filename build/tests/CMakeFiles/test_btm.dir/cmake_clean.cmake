@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_btm.dir/test_btm.cc.o"
+  "CMakeFiles/test_btm.dir/test_btm.cc.o.d"
+  "test_btm"
+  "test_btm.pdb"
+  "test_btm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_btm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

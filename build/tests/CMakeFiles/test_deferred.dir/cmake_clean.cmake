@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deferred.dir/test_deferred.cc.o"
+  "CMakeFiles/test_deferred.dir/test_deferred.cc.o.d"
+  "test_deferred"
+  "test_deferred.pdb"
+  "test_deferred[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deferred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shared.dir/test_shared.cc.o"
+  "CMakeFiles/test_shared.dir/test_shared.cc.o.d"
+  "test_shared"
+  "test_shared.pdb"
+  "test_shared[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sle.dir/test_sle.cc.o"
+  "CMakeFiles/test_sle.dir/test_sle.cc.o.d"
+  "test_sle"
+  "test_sle.pdb"
+  "test_sle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strong_atomicity.dir/test_strong_atomicity.cc.o"
+  "CMakeFiles/test_strong_atomicity.dir/test_strong_atomicity.cc.o.d"
+  "test_strong_atomicity"
+  "test_strong_atomicity.pdb"
+  "test_strong_atomicity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strong_atomicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tl2.dir/test_tl2.cc.o"
+  "CMakeFiles/test_tl2.dir/test_tl2.cc.o.d"
+  "test_tl2"
+  "test_tl2.pdb"
+  "test_tl2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tl2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ufo.dir/test_ufo.cc.o"
+  "CMakeFiles/test_ufo.dir/test_ufo.cc.o.d"
+  "test_ufo"
+  "test_ufo.pdb"
+  "test_ufo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ufo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ustm.dir/test_ustm.cc.o"
+  "CMakeFiles/test_ustm.dir/test_ustm.cc.o.d"
+  "test_ustm"
+  "test_ustm.pdb"
+  "test_ustm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ustm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_btm[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_ustm[1]_include.cmake")
+include("/root/repo/build/tests/test_tl2[1]_include.cmake")
+include("/root/repo/build/tests/test_hybrid[1]_include.cmake")
+include("/root/repo/build/tests/test_rt[1]_include.cmake")
+include("/root/repo/build/tests/test_ufo[1]_include.cmake")
+include("/root/repo/build/tests/test_strong_atomicity[1]_include.cmake")
+include("/root/repo/build/tests/test_retry[1]_include.cmake")
+include("/root/repo/build/tests/test_torture[1]_include.cmake")
+include("/root/repo/build/tests/test_figures[1]_include.cmake")
+include("/root/repo/build/tests/test_deferred[1]_include.cmake")
+include("/root/repo/build/tests/test_coherence[1]_include.cmake")
+include("/root/repo/build/tests/test_api[1]_include.cmake")
+include("/root/repo/build/tests/test_config_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_shared[1]_include.cmake")
+include("/root/repo/build/tests/test_sle[1]_include.cmake")
