@@ -18,8 +18,9 @@ using namespace utm;
 using namespace utm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    JsonReport report("ablation_l1_capacity", argc, argv);
     std::printf("Ablation: vacation-low vs. L1 capacity "
                 "(8 threads; UFO hybrid relative to unbounded HTM)\n\n");
     std::printf("%-10s %12s %14s %16s %18s\n", "L1-KiB", "sets",
@@ -56,8 +57,23 @@ main()
                     static_cast<unsigned long long>(hybrid.failovers),
                     double(seq) / double(hybrid.cycles),
                     double(unbounded.cycles) / double(hybrid.cycles));
+        if (report.enabled()) {
+            json::Writer w;
+            w.beginObject();
+            w.kv("benchmark", spec.id);
+            w.kv("l1_sets", sets);
+            w.kv("l1_kib", sets * 8 * kLineSize / 1024);
+            w.kv("seq_cycles", seq);
+            w.kv("hybrid_speedup",
+                 double(seq) / double(hybrid.cycles));
+            w.kv("rel_to_unbounded",
+                 double(unbounded.cycles) / double(hybrid.cycles));
+            emitRunResult(w, hybrid);
+            w.endObject();
+            report.row(w);
+        }
     }
     std::printf("\n(expected: failovers shrink to ~0 as capacity "
                 "grows; the hybrid converges to the unbounded HTM)\n");
-    return 0;
+    return report.write() ? 0 : 1;
 }

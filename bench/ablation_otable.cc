@@ -18,8 +18,9 @@ using namespace utm;
 using namespace utm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    JsonReport report("ablation_otable", argc, argv);
     std::printf("Ablation: otable buckets vs. aliasing "
                 "(vacation-low, 8 threads)\n\n");
     std::printf("%-10s %16s %18s %18s %14s\n", "buckets",
@@ -61,10 +62,25 @@ main()
                         hytm.stat("hytm.barrier_conflicts")),
                     double(s) / double(hytm.cycles),
                     double(s) / double(ustm.cycles));
+        if (report.enabled()) {
+            json::Writer w;
+            w.beginObject();
+            w.kv("benchmark", spec.id);
+            w.kv("otable_buckets", buckets);
+            w.kv("seq_cycles", s);
+            w.kv("ustm_chain_inserts",
+                 ustm.stat("ustm.chain_inserts"));
+            w.kv("hytm_barrier_conflicts",
+                 hytm.stat("hytm.barrier_conflicts"));
+            w.kv("hytm_speedup", double(s) / double(hytm.cycles));
+            w.kv("ustm_speedup", double(s) / double(ustm.cycles));
+            w.endObject();
+            report.row(w);
+        }
     }
     std::printf("\n(expected: small tables alias heavily -- USTM "
                 "chain traffic explodes and its performance drops; "
                 "tens of thousands of buckets make aliasing "
                 "negligible, as the paper prescribes)\n");
-    return 0;
+    return report.write() ? 0 : 1;
 }

@@ -19,8 +19,9 @@ using namespace utm;
 using namespace utm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    JsonReport report("ablation_quantum", argc, argv);
     std::printf("Ablation: timer quantum vs. interrupt aborts "
                 "(vacation-low, 8 threads, UFO hybrid)\n\n");
     std::printf("%-14s %16s %18s %14s\n", "quantum", "intr-aborts",
@@ -55,16 +56,31 @@ main()
         else
             std::snprintf(label, sizeof label, "%llu",
                           static_cast<unsigned long long>(q));
+        const double speedup = double(seq(q)) / double(r.cycles);
         std::printf("%-14s %16llu %18llu %14.2f\n", label,
                     static_cast<unsigned long long>(
                         r.stat("btm.aborts.interrupt")),
                     static_cast<unsigned long long>(
                         r.stat("tm.failovers.interrupt")),
-                    double(seq(q)) / double(r.cycles));
+                    speedup);
+        if (report.enabled()) {
+            json::Writer w;
+            w.beginObject();
+            w.kv("benchmark", spec.id);
+            w.kv("timer_quantum", q);
+            w.kv("interrupt_aborts",
+                 r.stat("btm.aborts.interrupt"));
+            w.kv("interrupt_failovers",
+                 r.stat("tm.failovers.interrupt"));
+            w.kv("speedup", speedup);
+            emitRunResult(w, r);
+            w.endObject();
+            report.row(w);
+        }
     }
     std::printf("\n(expected: interrupt aborts grow as the quantum "
                 "shrinks toward the transaction length; tiny quanta "
                 "push long transactions to software through the "
                 "interrupt-failover threshold)\n");
-    return 0;
+    return report.write() ? 0 : 1;
 }

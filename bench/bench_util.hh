@@ -14,10 +14,13 @@
 #define UFOTM_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "sim/json.hh"
+#include "sim/stats_json.hh"
 #include "stamp/failover_ubench.hh"
 #include "stamp/genome.hh"
 #include "stamp/kmeans.hh"
@@ -108,6 +111,90 @@ sequentialBaseline(const BenchSpec &spec, double scale = 1.0,
                    std::uint64_t seed = 42)
 {
     return runOnce(spec, TxSystemKind::NoTm, 1, scale, seed).cycles;
+}
+
+/**
+ * Structured output for bench binaries (the `--json` mode of
+ * docs/OBSERVABILITY.md).  Construction parses argv; when enabled,
+ * rows accumulated via row() are written as
+ *
+ *   {"schema": "ufotm-bench", "schema_version": 1,
+ *    "bench": "<name>", "rows": [...]}
+ *
+ * to BENCH_<name>.json (or the --json=PATH override) by write(),
+ * which each bench main calls once after its last row.  Rows are
+ * bench-specific objects, pre-serialized with json::Writer.
+ */
+class JsonReport
+{
+  public:
+    JsonReport(std::string bench, int argc, char **argv)
+        : bench_(std::move(bench))
+    {
+        for (int i = 1; i < argc; ++i) {
+            if (!std::strcmp(argv[i], "--json")) {
+                enabled_ = true;
+                path_ = "BENCH_" + bench_ + ".json";
+            } else if (!std::strncmp(argv[i], "--json=", 7)) {
+                enabled_ = true;
+                path_ = argv[i] + 7;
+            }
+        }
+    }
+
+    bool enabled() const { return enabled_; }
+
+    /** Append one pre-serialized JSON object. */
+    void
+    row(const json::Writer &w)
+    {
+        rows_.push_back(w.str());
+    }
+
+    /** Write the report; no-op (returning true) when not enabled. */
+    bool
+    write() const
+    {
+        if (!enabled_)
+            return true;
+        json::Writer w;
+        w.beginObject();
+        w.kv("schema", "ufotm-bench");
+        w.kv("schema_version", stats::kSchemaVersion);
+        w.kv("bench", bench_);
+        w.key("rows").beginArray();
+        for (const std::string &r : rows_)
+            w.raw(r);
+        w.endArray();
+        w.endObject();
+        const bool ok = stats::writeFile(path_, w.str());
+        if (ok)
+            std::fprintf(stderr, "wrote %s\n", path_.c_str());
+        else
+            std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+        return ok;
+    }
+
+  private:
+    std::string bench_;
+    std::string path_;
+    std::vector<std::string> rows_;
+    bool enabled_ = false;
+};
+
+/** Serialize a RunResult's headline fields + counters into @p w. */
+inline void
+emitRunResult(json::Writer &w, const RunResult &r)
+{
+    w.kv("cycles", r.cycles);
+    w.kv("valid", r.valid);
+    w.kv("hw_commits", r.hwCommits);
+    w.kv("sw_commits", r.swCommits);
+    w.kv("failovers", r.failovers);
+    w.key("counters").beginObject();
+    for (const auto &[name, value] : r.stats)
+        w.kv(name, value);
+    w.endObject();
 }
 
 } // namespace utm::bench

@@ -13,14 +13,16 @@
 
 #include <cstdio>
 
+#include "bench_util.hh"
 #include "stamp/labyrinth.hh"
 #include "stamp/workload.hh"
 
 using namespace utm;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonReport report("extension_labyrinth", argc, argv);
     std::printf("Extension: labyrinth (always-overflow transactions), "
                 "speedup vs sequential\n\n");
     std::printf("%-8s %14s %14s %14s %14s %16s\n", "threads",
@@ -57,11 +59,29 @@ main()
                     double(seq) / double(stm.cycles),
                     double(seq) / double(tl2.cycles),
                     100.0 * double(hybrid.failovers) / total_tx);
+        if (report.enabled()) {
+            json::Writer w;
+            w.beginObject();
+            w.kv("benchmark", "labyrinth");
+            w.kv("threads", threads);
+            w.kv("seq_cycles", seq);
+            w.kv("speedup_unbounded",
+                 double(seq) / double(unbounded.cycles));
+            w.kv("speedup_ufo_hybrid",
+                 double(seq) / double(hybrid.cycles));
+            w.kv("speedup_ustm_ufo",
+                 double(seq) / double(stm.cycles));
+            w.kv("speedup_tl2", double(seq) / double(tl2.cycles));
+            w.kv("hybrid_failover_fraction",
+                 double(hybrid.failovers) / total_tx);
+            w.endObject();
+            report.row(w);
+        }
     }
     std::printf("\n(expected: ~100%% failover -- every transaction "
                 "snapshots the whole grid; the hybrid lands at "
                 "STM-like performance, paying one doomed hardware "
                 "attempt per transaction, while the unbounded HTM "
                 "shows what hardware completion would buy)\n");
-    return 0;
+    return report.write() ? 0 : 1;
 }

@@ -27,6 +27,7 @@ main(int argc, char **argv)
 {
     double scale = 1.0;
     std::vector<int> threads = {1, 2, 4, 8, 16};
+    JsonReport report("figure5_speedup", argc, argv);
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--quick")) {
             scale = 0.5;
@@ -51,10 +52,22 @@ main(int argc, char **argv)
             for (TxSystemKind k : figure5Systems()) {
                 RunResult r = runOnce(spec, k, t, scale);
                 std::printf("%14.2f", double(seq) / double(r.cycles));
+                if (report.enabled()) {
+                    json::Writer w;
+                    w.beginObject();
+                    w.kv("benchmark", spec.id);
+                    w.kv("system", txSystemKindName(k));
+                    w.kv("threads", t);
+                    w.kv("seq_cycles", seq);
+                    w.kv("speedup", double(seq) / double(r.cycles));
+                    emitRunResult(w, r);
+                    w.endObject();
+                    report.row(w);
+                }
             }
             std::printf("\n");
         }
         std::printf("\n");
     }
-    return 0;
+    return report.write() ? 0 : 1;
 }

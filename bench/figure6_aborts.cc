@@ -32,6 +32,7 @@ main(int argc, char **argv)
 {
     double scale = 1.0;
     int threads = 8;
+    JsonReport report("figure6_aborts", argc, argv);
     for (int i = 1; i < argc; ++i)
         if (!std::strcmp(argv[i], "--quick"))
             scale = 0.5;
@@ -65,8 +66,32 @@ main(int argc, char **argv)
                                 std::string("btm.aborts.") + reason)));
             }
             std::printf("\n");
+            if (report.enabled()) {
+                // The full per-reason map (every btm.aborts.* counter
+                // the run emitted, not just the printed columns) plus
+                // its sum, so aborts_total is verifiable by
+                // construction.
+                json::Writer w;
+                w.beginObject();
+                w.kv("benchmark", spec.id);
+                w.kv("system", txSystemKindName(k));
+                w.kv("threads", threads);
+                std::uint64_t total = 0;
+                w.key("aborts").beginObject();
+                for (const auto &[name, value] : r.stats) {
+                    if (name.rfind("btm.aborts.", 0) == 0) {
+                        w.kv(name.substr(11), value);
+                        total += value;
+                    }
+                }
+                w.endObject();
+                w.kv("aborts_total", total);
+                emitRunResult(w, r);
+                w.endObject();
+                report.row(w);
+            }
         }
         std::printf("\n");
     }
-    return 0;
+    return report.write() ? 0 : 1;
 }

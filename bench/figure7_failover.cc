@@ -54,6 +54,7 @@ main(int argc, char **argv)
 {
     int threads = 8;
     int tx_per_thread = 256;
+    JsonReport report("figure7_failover", argc, argv);
     for (int i = 1; i < argc; ++i)
         if (!std::strcmp(argv[i], "--quick"))
             tx_per_thread = 96;
@@ -75,11 +76,33 @@ main(int argc, char **argv)
         throughput(TxSystemKind::UstmStrong, 0.0, threads,
                    tx_per_thread);
 
+    auto emitRow = [&](const char *series, TxSystemKind k, double rate,
+                       double tput) {
+        json::Writer w;
+        w.beginObject();
+        w.kv("series", series);
+        w.kv("system", txSystemKindName(k));
+        w.kv("failover_rate", rate);
+        w.kv("threads", threads);
+        w.kv("tx_per_thread", tx_per_thread);
+        w.kv("throughput_tx_per_mcycle", tput);
+        w.kv("relative_to_pure_htm", pure_htm / tput);
+        w.endObject();
+        report.row(w);
+    };
+    if (report.enabled()) {
+        emitRow("7a", TxSystemKind::UnboundedHtm, 0.0, pure_htm);
+        emitRow("7a", TxSystemKind::UstmStrong, 0.0, pure_stm);
+    }
+
     for (double rate : {0.0, 0.05, 0.1, 0.2, 0.3, 0.45, 0.6, 0.8, 1.0}) {
         std::printf("%-8.2f %13.2f", rate, pure_htm);
-        for (TxSystemKind k : hybrids)
-            std::printf(" %13.2f",
-                        throughput(k, rate, threads, tx_per_thread));
+        for (TxSystemKind k : hybrids) {
+            const double t = throughput(k, rate, threads, tx_per_thread);
+            std::printf(" %13.2f", t);
+            if (report.enabled())
+                emitRow("7a", k, rate, t);
+        }
         std::printf(" %13.2f\n", pure_stm);
     }
 
@@ -94,8 +117,10 @@ main(int argc, char **argv)
         for (TxSystemKind k : hybrids) {
             const double t = throughput(k, rate, threads, tx_per_thread);
             std::printf(" %13.3f", pure_htm / t);
+            if (report.enabled())
+                emitRow("7b", k, rate, t);
         }
         std::printf("\n");
     }
-    return 0;
+    return report.write() ? 0 : 1;
 }

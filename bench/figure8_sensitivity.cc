@@ -66,6 +66,7 @@ main(int argc, char **argv)
 {
     double scale = 1.0;
     int threads = 8;
+    JsonReport report("figure8_sensitivity", argc, argv);
     for (int i = 1; i < argc; ++i)
         if (!std::strcmp(argv[i], "--quick"))
             scale = 0.5;
@@ -117,8 +118,20 @@ main(int argc, char **argv)
             }
             std::printf(" %14.2f",
                         double(baseline[i]) / double(r.cycles));
+            if (report.enabled()) {
+                json::Writer jw;
+                jw.beginObject();
+                jw.kv("policy", pc.label);
+                jw.kv("benchmark", benches[i].id);
+                jw.kv("threads", threads);
+                jw.kv("relative_performance",
+                      double(baseline[i]) / double(r.cycles));
+                emitRunResult(jw, r);
+                jw.endObject();
+                report.row(jw);
+            }
         }
         std::printf("\n");
     }
-    return 0;
+    return report.write() ? 0 : 1;
 }

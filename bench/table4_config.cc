@@ -7,17 +7,37 @@
 
 #include <cstdio>
 
+#include "bench_util.hh"
 #include "sim/config.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     utm::MachineConfig cfg;
+    utm::bench::JsonReport report("table4_config", argc, argv);
+    if (report.enabled()) {
+        utm::json::Writer w;
+        w.beginObject();
+        w.kv("num_cores", cfg.numCores);
+        w.kv("l1_sets", cfg.l1Sets);
+        w.kv("l1_ways", cfg.l1Ways);
+        w.kv("l1_bytes", cfg.l1Bytes());
+        w.kv("l2_sets", cfg.l2Sets);
+        w.kv("l2_ways", cfg.l2Ways);
+        w.kv("l1_hit_latency", cfg.l1HitLatency);
+        w.kv("l2_hit_latency", cfg.l2HitLatency);
+        w.kv("mem_latency", cfg.memLatency);
+        w.kv("timer_quantum", cfg.timerQuantum);
+        w.kv("otable_buckets", cfg.otableBuckets);
+        w.kv("seed", cfg.seed);
+        w.endObject();
+        report.row(w);
+    }
     std::printf("Table 4: simulation parameters\n\n%s",
                 cfg.describe().c_str());
     std::printf("\nPaper's testbed: 16-core x86 full-system OoO "
                 "simulator (Simics + PTLsim + Ruby MOESI directory), "
                 "32 KiB L1 D-cache, modified Linux 2.6.23.9 kernel for "
                 "UFO swap support, USTM otable of 65536 entries.\n");
-    return 0;
+    return report.write() ? 0 : 1;
 }

@@ -22,7 +22,7 @@ using namespace utm::bench;
 namespace {
 
 void
-profile(const char *label, Workload &w)
+profile(const char *label, Workload &w, JsonReport &report)
 {
     RunConfig cfg;
     cfg.kind = TxSystemKind::UnboundedHtm;
@@ -56,13 +56,29 @@ profile(const char *label, Workload &w)
                 static_cast<unsigned long long>(h.max()),
                 100.0 * double(h.countAbove(255)) /
                     double(std::max<std::uint64_t>(1, h.samples())));
+    if (report.enabled()) {
+        json::Writer jw;
+        jw.beginObject();
+        jw.kv("benchmark", label);
+        jw.kv("txns", h.samples());
+        jw.kv("p50", h.quantile(0.50));
+        jw.kv("p90", h.quantile(0.90));
+        jw.kv("p99", h.quantile(0.99));
+        jw.kv("max", h.max());
+        jw.kv("fraction_above_256",
+              double(h.countAbove(255)) /
+                  double(std::max<std::uint64_t>(1, h.samples())));
+        jw.endObject();
+        report.row(jw);
+    }
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    JsonReport report("txsize_profile", argc, argv);
     std::printf("Transaction footprint profile (lines touched; "
                 "unbounded HTM, 8 threads)\n\n");
     std::printf("%-16s %10s %8s %8s %8s %8s %11s\n", "benchmark",
@@ -70,20 +86,20 @@ main()
 
     for (const BenchSpec &spec : stampBenchmarks()) {
         auto w = makeStampWorkload(spec);
-        profile(spec.id.c_str(), *w);
+        profile(spec.id.c_str(), *w, report);
     }
     {
         LabyrinthParams p;
         LabyrinthWorkload w(p);
-        profile("labyrinth", w);
+        profile("labyrinth", w, report);
     }
     {
         IntruderParams p;
         IntruderWorkload w(p);
-        profile("intruder", w);
+        profile("intruder", w, report);
     }
     std::printf("\n(quantiles are power-of-two bucket upper bounds; "
                 "a 32 KiB 8-way L1 fits at most 512 lines and "
                 "overflows when any one set exceeds 8)\n");
-    return 0;
+    return report.write() ? 0 : 1;
 }

@@ -39,6 +39,8 @@ struct Options
     unsigned l1Sets = 0;   // 0 = default
     Cycles quantum = ~Cycles(0); // ~0 = default
     std::string statsPrefix;
+    std::string statsJsonPath;
+    std::string tracePath;
     bool listAndExit = false;
 };
 
@@ -74,6 +76,9 @@ usage(const char *argv0, int code)
         "      --l1-sets N        L1 set count (default 64 = 32 KiB)\n"
         "      --quantum N        timer quantum in cycles (0 = off)\n"
         "      --stats PREFIX     dump counters matching PREFIX\n"
+        "      --stats-json PATH  write the stats-JSON document\n"
+        "                         (docs/OBSERVABILITY.md; - = stdout)\n"
+        "      --trace PATH       write a chrome://tracing trace\n"
         "      --list             list workloads and systems\n",
         argv0);
     std::exit(code);
@@ -110,6 +115,14 @@ parse(int argc, char **argv)
             o.quantum = std::strtoull(need(a), nullptr, 0);
         else if (!std::strcmp(a, "--stats"))
             o.statsPrefix = need(a);
+        else if (!std::strcmp(a, "--stats-json"))
+            o.statsJsonPath = need(a);
+        else if (!std::strncmp(a, "--stats-json=", 13))
+            o.statsJsonPath = a + 13;
+        else if (!std::strcmp(a, "--trace"))
+            o.tracePath = need(a);
+        else if (!std::strncmp(a, "--trace=", 8))
+            o.tracePath = a + 8;
         else if (!std::strcmp(a, "--list"))
             o.listAndExit = true;
         else if (!std::strcmp(a, "-h") || !std::strcmp(a, "--help"))
@@ -218,8 +231,15 @@ main(int argc, char **argv)
         cfg.machine.l1Sets = o.l1Sets;
     if (o.quantum != ~Cycles(0))
         cfg.machine.timerQuantum = o.quantum;
+    cfg.scale = o.scale;
+    cfg.statsJsonPath = o.statsJsonPath;
+    cfg.tracePath = o.tracePath;
 
     RunResult r = runWorkload(*w, cfg);
+
+    // With --stats-json=- the JSON document owns stdout.
+    if (o.statsJsonPath == "-")
+        return r.valid ? 0 : 1;
 
     std::printf("workload      : %s\n", o.workload.c_str());
     std::printf("system        : %s\n", txSystemKindName(kind));

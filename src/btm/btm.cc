@@ -66,6 +66,8 @@ BtmUnit::txBegin()
     depth_ = 1;
     age_ = machine_.nextTxSeq();
     machine_.stats().inc("btm.begins");
+    UTM_TRACE_EVENT(machine_, tc_, TraceEvent::TxBegin,
+                    TracePath::Hardware, AbortReason::None);
     tc_.advance(kBeginCost);
 }
 
@@ -92,6 +94,8 @@ BtmUnit::txEnd()
     machine_.stats().inc("btm.commits");
     machine_.stats().observe("btm.tx_lines",
                              readSet_.size() + writeSet_.size());
+    UTM_TRACE_EVENT(machine_, tc_, TraceEvent::TxCommit,
+                    TracePath::Hardware, AbortReason::None);
     // Section 6: wake the retrying transactions whose protection we
     // speculatively cleared, now that our update is committed.
     if (!pendingWakeups_.empty()) {
@@ -169,6 +173,8 @@ BtmUnit::takePendingAbort()
     lastAddr_ = a;
     ++aborts_;
     machine_.stats().inc(std::string("btm.aborts.") + abortReasonName(r));
+    UTM_TRACE_EVENT(machine_, tc_, TraceEvent::TxAbort,
+                    TracePath::Hardware, r);
     tc_.advance(kAbortPenalty);
     throw BtmAbortException{r, a};
 }
@@ -186,6 +192,8 @@ BtmUnit::raiseAbort(AbortReason r, Addr a)
     lastAddr_ = a;
     ++aborts_;
     machine_.stats().inc(std::string("btm.aborts.") + abortReasonName(r));
+    UTM_TRACE_EVENT(machine_, tc_, TraceEvent::TxAbort,
+                    TracePath::Hardware, r);
     tc_.advance(kAbortPenalty);
     throw BtmAbortException{r, a};
 }
@@ -195,6 +203,8 @@ BtmUnit::onUfoFault(Addr a, AccessType t)
 {
     utm_assert(inTx_);
     machine_.stats().inc("btm.ufo_faults");
+    UTM_TRACE_EVENT(machine_, tc_, TraceEvent::UfoFault,
+                    TracePath::Hardware, AbortReason::UfoFault);
     const LineAddr line = lineOf(a);
 
     // Section 6 hook: the user-mode fault handler (running inside the

@@ -44,6 +44,8 @@ BtmAbortHandler::onAbort(ThreadContext &tc, AbortHandlerState &st,
       case AbortReason::Uncacheable:
       case AbortReason::NestingOverflow:
         stats.inc("tm.failovers.hard");
+        stats.inc(std::string("tm.failovers.hard.") +
+                  abortReasonName(e.reason));
         return Decision::FailToSoftware;
 
       // Resolvable in software, then retry in hardware.

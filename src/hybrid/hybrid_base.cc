@@ -86,6 +86,8 @@ void
 HybridTmBase::runSoftware(ThreadContext &tc, const Body &body)
 {
     machine_.stats().inc("tm.failovers");
+    UTM_TRACE_EVENT(machine_, tc, TraceEvent::Failover,
+                    TracePath::Software, AbortReason::None);
     for (;;) {
         try {
             beginAttempt(tc);

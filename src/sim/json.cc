@@ -1,0 +1,168 @@
+#include "sim/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace utm::json {
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+number(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    // Trim to the shortest form that still round-trips visually well.
+    double parsed;
+    std::snprintf(buf, sizeof buf, "%.15g", v);
+    std::sscanf(buf, "%lf", &parsed);
+    if (parsed != v)
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+void
+Writer::beforeValue()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return; // Comma (if any) was written with the key.
+    }
+    if (!stack_.empty() && stack_.back()++ > 0)
+        out_ += ',';
+}
+
+Writer &
+Writer::beginObject()
+{
+    beforeValue();
+    out_ += '{';
+    stack_.push_back(0);
+    return *this;
+}
+
+Writer &
+Writer::endObject()
+{
+    stack_.pop_back();
+    out_ += '}';
+    return *this;
+}
+
+Writer &
+Writer::beginArray()
+{
+    beforeValue();
+    out_ += '[';
+    stack_.push_back(0);
+    return *this;
+}
+
+Writer &
+Writer::endArray()
+{
+    stack_.pop_back();
+    out_ += ']';
+    return *this;
+}
+
+Writer &
+Writer::key(const std::string &k)
+{
+    if (!stack_.empty() && stack_.back()++ > 0)
+        out_ += ',';
+    out_ += '"';
+    out_ += escape(k);
+    out_ += "\":";
+    pendingKey_ = true;
+    return *this;
+}
+
+Writer &
+Writer::value(std::uint64_t v)
+{
+    beforeValue();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+Writer &
+Writer::value(std::int64_t v)
+{
+    beforeValue();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+Writer &
+Writer::value(double v)
+{
+    beforeValue();
+    out_ += number(v);
+    return *this;
+}
+
+Writer &
+Writer::value(bool v)
+{
+    beforeValue();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+Writer &
+Writer::value(const char *v)
+{
+    beforeValue();
+    out_ += '"';
+    out_ += escape(v);
+    out_ += '"';
+    return *this;
+}
+
+Writer &
+Writer::value(const std::string &v)
+{
+    beforeValue();
+    out_ += '"';
+    out_ += escape(v);
+    out_ += '"';
+    return *this;
+}
+
+Writer &
+Writer::raw(const std::string &json)
+{
+    beforeValue();
+    out_ += json;
+    return *this;
+}
+
+} // namespace utm::json

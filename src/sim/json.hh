@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal streaming JSON writer.
+ *
+ * Shared by the stats exporter (sim/stats_json), the trace exporter
+ * (sim/trace), and the bench harness (bench/bench_util).  No external
+ * dependency; emits UTF-8 with escaped control characters and
+ * caller-controlled key order, so output is byte-stable for a given
+ * call sequence.
+ */
+
+#ifndef UFOTM_SIM_JSON_HH
+#define UFOTM_SIM_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace utm::json {
+
+/** Escape @p s for inclusion in a JSON string literal (no quotes). */
+std::string escape(const std::string &s);
+
+/** Render a double as a JSON number (finite; else "0"). */
+std::string number(double v);
+
+/**
+ * Streaming writer with automatic comma placement.
+ *
+ *   Writer w;
+ *   w.beginObject();
+ *   w.kv("a", 1).key("b").beginArray().value("x").endArray();
+ *   w.endObject();
+ *   w.str();  // {"a":1,"b":["x"]}
+ */
+class Writer
+{
+  public:
+    Writer &beginObject();
+    Writer &endObject();
+    Writer &beginArray();
+    Writer &endArray();
+
+    /** Emit an object key; must be followed by a value/container. */
+    Writer &key(const std::string &k);
+
+    /** @name Values (position-checked by the container stack). @{ */
+    Writer &value(std::uint64_t v);
+    Writer &value(std::int64_t v);
+    Writer &value(int v) { return value(std::int64_t(v)); }
+    Writer &value(unsigned v) { return value(std::uint64_t(v)); }
+    Writer &value(double v);
+    Writer &value(bool v);
+    Writer &value(const char *v);
+    Writer &value(const std::string &v);
+    /** Splice a pre-rendered JSON fragment as one value. */
+    Writer &raw(const std::string &json);
+    /** @} */
+
+    /** key(k) + value(v) in one call. */
+    template <typename T>
+    Writer &
+    kv(const std::string &k, T v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    /** The document rendered so far. */
+    const std::string &str() const { return out_; }
+
+  private:
+    void beforeValue();
+
+    std::string out_;
+    /** One entry per open container: element count written so far. */
+    std::vector<int> stack_;
+    bool pendingKey_ = false;
+};
+
+} // namespace utm::json
+
+#endif // UFOTM_SIM_JSON_HH

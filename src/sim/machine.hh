@@ -20,6 +20,7 @@
 #include "sim/config.hh"
 #include "sim/stats.hh"
 #include "sim/thread_context.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace utm {
@@ -59,6 +60,7 @@ class Machine
     SimMemory &memory() { return mem_; }
     MemorySystem &memsys() { return *msys_; }
     StatsRegistry &stats() { return stats_; }
+    TxTracer &tracer() { return tracer_; }
 
     int numThreads() const { return static_cast<int>(threads_.size()); }
     ThreadContext &thread(ThreadId t) { return *threads_.at(t); }
@@ -70,6 +72,7 @@ class Machine
     MachineConfig cfg_;
     SimMemory mem_;
     StatsRegistry stats_;
+    TxTracer tracer_;
     std::unique_ptr<MemorySystem> msys_;
     std::vector<std::unique_ptr<ThreadContext>> threads_;
     std::unique_ptr<ThreadContext> initCtx_;

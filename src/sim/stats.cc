@@ -100,6 +100,19 @@ StatsRegistry::withPrefix(const std::string &prefix) const
     return out;
 }
 
+std::uint64_t
+StatsRegistry::sumWithPrefix(const std::string &prefix) const
+{
+    std::uint64_t sum = 0;
+    for (auto it = counters_.lower_bound(prefix);
+         it != counters_.end() && it->first.compare(0, prefix.size(),
+                                                    prefix) == 0;
+         ++it) {
+        sum += it->second;
+    }
+    return sum;
+}
+
 void
 StatsRegistry::clear()
 {

@@ -2,7 +2,7 @@
  * @file
  * Lightweight named-counter statistics registry.
  *
- * Components bump counters by name ("btm.aborts.overflow", ...); bench
+ * Components bump counters by name ("btm.aborts.set_overflow", ...); bench
  * harnesses read them back to print the paper's tables.  Counters are
  * created on first use.
  */
@@ -26,9 +26,24 @@ class Histogram
     void observe(std::uint64_t value);
 
     std::uint64_t samples() const { return samples_; }
+    std::uint64_t sum() const { return sum_; }
     std::uint64_t min() const { return samples_ ? min_ : 0; }
     std::uint64_t max() const { return max_; }
     double mean() const;
+
+    /** Count in bucket @p i (i in [0, kBuckets)). */
+    std::uint64_t
+    bucketCount(int i) const
+    {
+        return buckets_[i];
+    }
+
+    /** Upper bound (inclusive) of bucket @p i's value range. */
+    static std::uint64_t
+    bucketUpperBound(int i)
+    {
+        return i == 0 ? 0 : (std::uint64_t(1) << i) - 1;
+    }
 
     /** Bucketed quantile (upper bound of the bucket holding @p q). */
     std::uint64_t quantile(double q) const;
@@ -72,6 +87,23 @@ class StatsRegistry
 
     /** Render all counters, one "name value" line each. */
     std::string dump() const;
+
+    /** @name Whole-registry views (JSON export). @{ */
+    const std::map<std::string, std::uint64_t> &
+    counters() const
+    {
+        return counters_;
+    }
+
+    const std::map<std::string, Histogram> &
+    histograms() const
+    {
+        return histograms_;
+    }
+    /** @} */
+
+    /** Sum of every counter whose name starts with @p prefix. */
+    std::uint64_t sumWithPrefix(const std::string &prefix) const;
 
   private:
     std::map<std::string, std::uint64_t> counters_;

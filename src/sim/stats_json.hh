@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Structured stats export: serialize a StatsRegistry (or a whole
+ * Machine plus run metadata) as schema-stable JSON.
+ *
+ * The full document layout — `run_config`, `totals`, `counters`,
+ * `histograms`, `per_backend`, `per_thread` — is documented in
+ * docs/OBSERVABILITY.md and validated by tools/check_stats_json.py;
+ * keep the three in sync when changing any of them.
+ */
+
+#ifndef UFOTM_SIM_STATS_JSON_HH
+#define UFOTM_SIM_STATS_JSON_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace utm {
+class Machine;
+class StatsRegistry;
+} // namespace utm
+
+namespace utm::stats {
+
+/** Current value of the top-level "schema_version" field. */
+constexpr int kSchemaVersion = 1;
+
+/** Caller-supplied identification of one run (the run_config core). */
+struct RunMeta
+{
+    std::string workload; ///< e.g. "vacation-low"; empty = unknown.
+    std::string system;   ///< txSystemKindName(); empty = unknown.
+    int threads = 0;
+    std::uint64_t seed = 0;
+    double scale = 1.0;
+    bool valid = true;    ///< Workload validation outcome.
+    Cycles cycles = 0;    ///< Completion time.
+};
+
+/**
+ * Serialize just the registry: {"counters":{...},"histograms":{...}}.
+ * Counters are sorted by name; histograms carry samples/min/max/mean,
+ * the p50/p90/p99 bucketed quantiles, and the non-empty buckets.
+ */
+std::string dumpJson(const StatsRegistry &reg);
+
+/**
+ * Serialize the full documented schema for @p machine: run_config
+ * (meta + machine parameters), totals (cycles, commits, aborts,
+ * failovers), the flat counter map, histograms, counters re-grouped
+ * per backend prefix, and the per-thread clock/event table.
+ */
+std::string dumpJson(Machine &machine, const RunMeta &meta);
+
+/** Write @p text to @p path ("-" = stdout). Returns success. */
+bool writeFile(const std::string &path, const std::string &text);
+
+} // namespace utm::stats
+
+#endif // UFOTM_SIM_STATS_JSON_HH

@@ -1,0 +1,200 @@
+#include "sim/trace.hh"
+
+#include "sim/json.hh"
+#include "sim/logging.hh"
+
+namespace utm {
+
+const char *
+traceEventName(TraceEvent e)
+{
+    switch (e) {
+      case TraceEvent::TxBegin: return "tx_begin";
+      case TraceEvent::TxCommit: return "tx_commit";
+      case TraceEvent::TxAbort: return "tx_abort";
+      case TraceEvent::TxRetry: return "tx_retry";
+      case TraceEvent::Failover: return "failover";
+      case TraceEvent::UfoFault: return "ufo_fault";
+    }
+    return "unknown";
+}
+
+const char *
+tracePathName(TracePath p)
+{
+    switch (p) {
+      case TracePath::None: return "none";
+      case TracePath::Hardware: return "hw";
+      case TracePath::Software: return "sw";
+    }
+    return "unknown";
+}
+
+void
+TxTracer::setCapacity(std::size_t n)
+{
+    capacity_ = n;
+    for (auto &t : threads_) {
+        t.ring.clear();
+        t.ring.shrink_to_fit();
+        t.head = 0;
+    }
+}
+
+void
+TxTracer::record(ThreadId t, Cycles cycle, TraceEvent e, TracePath path,
+                 AbortReason reason)
+{
+    utm_assert(t >= 0 && t < kMaxThreads);
+    PerThread &pt = threads_[t];
+    ++pt.counts[static_cast<int>(e)];
+    ++pt.recorded;
+    if (capacity_ == 0)
+        return;
+    const TraceRecord rec{cycle, e, path, reason};
+    if (pt.ring.size() < capacity_) {
+        pt.ring.push_back(rec);
+    } else {
+        pt.ring[pt.head] = rec;
+        pt.head = (pt.head + 1) % capacity_;
+    }
+}
+
+std::vector<TraceRecord>
+TxTracer::snapshot(ThreadId t) const
+{
+    const PerThread &pt = threads_[t];
+    std::vector<TraceRecord> out;
+    out.reserve(pt.ring.size());
+    // head is the oldest element once the ring has wrapped.
+    for (std::size_t i = 0; i < pt.ring.size(); ++i)
+        out.push_back(pt.ring[(pt.head + i) % pt.ring.size()]);
+    return out;
+}
+
+std::size_t
+TxTracer::size(ThreadId t) const
+{
+    return threads_[t].ring.size();
+}
+
+std::uint64_t
+TxTracer::dropped(ThreadId t) const
+{
+    return threads_[t].recorded - threads_[t].ring.size();
+}
+
+std::uint64_t
+TxTracer::count(ThreadId t, TraceEvent e) const
+{
+    return threads_[t].counts[static_cast<int>(e)];
+}
+
+std::uint64_t
+TxTracer::total(TraceEvent e) const
+{
+    std::uint64_t n = 0;
+    for (const auto &t : threads_)
+        n += t.counts[static_cast<int>(e)];
+    return n;
+}
+
+void
+TxTracer::clear()
+{
+    for (auto &t : threads_) {
+        t.ring.clear();
+        t.head = 0;
+        t.recorded = 0;
+        t.counts.fill(0);
+    }
+}
+
+std::string
+TxTracer::dumpChromeTrace() const
+{
+    json::Writer w;
+    w.beginObject();
+    w.kv("displayTimeUnit", "ns");
+    w.key("otherData").beginObject();
+    w.kv("generator", "ufotm");
+    w.kv("time_unit", "simulated cycles (reported as us)");
+    w.endObject();
+    w.key("traceEvents").beginArray();
+
+    auto common = [&](const TraceRecord &r, int tid) {
+        w.kv("ts", r.cycle);
+        w.kv("pid", 0);
+        w.kv("tid", tid);
+    };
+
+    for (int tid = 0; tid < kMaxThreads; ++tid) {
+        if (threads_[tid].ring.empty())
+            continue;
+        // A ring that wrapped may start mid-transaction; skip leading
+        // events until the first TxBegin so B/E slices stay balanced.
+        bool open = false;
+        for (const TraceRecord &r : snapshot(static_cast<ThreadId>(tid))) {
+            switch (r.event) {
+              case TraceEvent::TxBegin:
+                w.beginObject();
+                w.kv("name", std::string("tx(") +
+                                 tracePathName(r.path) + ")");
+                w.kv("cat", "tx");
+                w.kv("ph", "B");
+                common(r, tid);
+                w.endObject();
+                open = true;
+                break;
+              case TraceEvent::TxCommit:
+                if (!open)
+                    break;
+                w.beginObject();
+                w.kv("name", std::string("tx(") +
+                                 tracePathName(r.path) + ")");
+                w.kv("cat", "tx");
+                w.kv("ph", "E");
+                common(r, tid);
+                w.endObject();
+                open = false;
+                break;
+              case TraceEvent::TxAbort:
+                if (open) {
+                    w.beginObject();
+                    w.kv("name", std::string("tx(") +
+                                     tracePathName(r.path) + ")");
+                    w.kv("cat", "tx");
+                    w.kv("ph", "E");
+                    common(r, tid);
+                    w.endObject();
+                    open = false;
+                }
+                w.beginObject();
+                w.kv("name", std::string("abort:") +
+                                 abortReasonName(r.reason));
+                w.kv("cat", "abort");
+                w.kv("ph", "i");
+                w.kv("s", "t");
+                common(r, tid);
+                w.endObject();
+                break;
+              case TraceEvent::TxRetry:
+              case TraceEvent::Failover:
+              case TraceEvent::UfoFault:
+                w.beginObject();
+                w.kv("name", traceEventName(r.event));
+                w.kv("cat", "tx");
+                w.kv("ph", "i");
+                w.kv("s", "t");
+                common(r, tid);
+                w.endObject();
+                break;
+            }
+        }
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace utm

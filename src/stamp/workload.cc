@@ -1,6 +1,8 @@
 #include "stamp/workload.hh"
 
 #include "sim/logging.hh"
+#include "sim/stats_json.hh"
+#include "sim/trace.hh"
 
 namespace utm {
 
@@ -50,6 +52,28 @@ runWorkload(Workload &w, const RunConfig &cfg)
     res.failovers = machine.stats().get("tm.failovers");
     for (const auto &kv : machine.stats().withPrefix(""))
         res.stats[kv.first] = kv.second;
+
+    // Export before the machine (and its stats/tracer) is destroyed.
+    if (!cfg.statsJsonPath.empty()) {
+        stats::RunMeta meta;
+        meta.workload = w.name();
+        meta.system = txSystemKindName(cfg.kind);
+        meta.threads = cfg.threads;
+        meta.seed = mc.seed;
+        meta.scale = cfg.scale;
+        meta.valid = res.valid;
+        meta.cycles = res.cycles;
+        if (!stats::writeFile(cfg.statsJsonPath,
+                              stats::dumpJson(machine, meta)))
+            utm_panic("cannot write stats JSON to '%s'",
+                      cfg.statsJsonPath.c_str());
+    }
+    if (!cfg.tracePath.empty()) {
+        if (!stats::writeFile(cfg.tracePath,
+                              machine.tracer().dumpChromeTrace()))
+            utm_panic("cannot write trace to '%s'",
+                      cfg.tracePath.c_str());
+    }
     return res;
 }
 

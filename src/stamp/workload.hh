@@ -66,6 +66,23 @@ struct RunConfig
     int threads = 4;
     MachineConfig machine;
     TmPolicy policy;
+
+    /**
+     * Problem-size multiplier already applied by the caller when
+     * constructing the Workload; recorded in the stats-JSON
+     * run_config for provenance only.
+     */
+    double scale = 1.0;
+
+    /**
+     * When non-empty, runWorkload() writes the full stats-JSON
+     * document (docs/OBSERVABILITY.md schema) here before tearing the
+     * machine down.  "-" writes to stdout.
+     */
+    std::string statsJsonPath;
+
+    /** When non-empty, write a chrome://tracing trace here. */
+    std::string tracePath;
 };
 
 /** One benchmark run's outcome. */

@@ -54,11 +54,14 @@ Tl2::txBegin(ThreadContext &tc)
     tx.writeBuf.clear();
     tx.writeOrder.clear();
     machine_.stats().inc("tl2.begins");
+    UTM_TRACE_EVENT(machine_, tc, TraceEvent::TxBegin,
+                    TracePath::Software, AbortReason::None);
     tc.advance(kBeginCost);
 }
 
 void
-Tl2::abortTx(ThreadContext &tc, const std::vector<Addr> &held)
+Tl2::abortTx(ThreadContext &tc, const std::vector<Addr> &held,
+             const char *why)
 {
     TxDesc &tx = txs_[tc.id()];
     // Release any commit-time locks we already hold (restore their
@@ -70,6 +73,9 @@ Tl2::abortTx(ThreadContext &tc, const std::vector<Addr> &held)
     }
     tx.active = false;
     machine_.stats().inc("tl2.aborts");
+    machine_.stats().inc(std::string("tl2.aborts.") + why);
+    UTM_TRACE_EVENT(machine_, tc, TraceEvent::TxAbort,
+                    TracePath::Software, AbortReason::Conflict);
     tc.advance(kAbortPenalty);
     throw Tl2AbortException{};
 }
@@ -90,11 +96,11 @@ Tl2::txRead(ThreadContext &tc, Addr a, unsigned size)
     const Addr slot = slotAddr(lineOf(a));
     std::uint64_t vl = tc.load(slot, 8);
     if (locked(vl) || version(vl) > tx.rv)
-        abortTx(tc, {});
+        abortTx(tc, {}, "read_validation");
     std::uint64_t v = tc.load(a, size);
     std::uint64_t vl2 = tc.load(slot, 8);
     if (vl2 != vl)
-        abortTx(tc, {});
+        abortTx(tc, {}, "read_validation");
     tx.readSet.emplace_back(slot, vl);
     return v;
 }
@@ -121,6 +127,8 @@ Tl2::txEnd(ThreadContext &tc)
         // Read-only transactions commit immediately under TL2.
         tx.active = false;
         machine_.stats().inc("tl2.commits");
+        UTM_TRACE_EVENT(machine_, tc, TraceEvent::TxCommit,
+                        TracePath::Software, AbortReason::None);
         tc.advance(2);
         return;
     }
@@ -138,9 +146,9 @@ Tl2::txEnd(ThreadContext &tc)
     for (Addr slot : slots) {
         std::uint64_t vl = tc.load(slot, 8);
         if (locked(vl) || version(vl) > tx.rv)
-            abortTx(tc, held);
+            abortTx(tc, held, "lock_busy");
         if (!tc.cas(slot, 8, vl, vl | 1))
-            abortTx(tc, held);
+            abortTx(tc, held, "lock_busy");
         held.push_back(slot);
     }
 
@@ -153,9 +161,9 @@ Tl2::txEnd(ThreadContext &tc)
             std::binary_search(slots.begin(), slots.end(), slot);
         if (held_by_me) {
             if ((cur & ~1ull) != (vl & ~1ull))
-                abortTx(tc, held);
+                abortTx(tc, held, "commit_validation");
         } else if (cur != vl) {
-            abortTx(tc, held);
+            abortTx(tc, held, "commit_validation");
         }
     }
 
@@ -169,6 +177,8 @@ Tl2::txEnd(ThreadContext &tc)
 
     tx.active = false;
     machine_.stats().inc("tl2.commits");
+    UTM_TRACE_EVENT(machine_, tc, TraceEvent::TxCommit,
+                    TracePath::Software, AbortReason::None);
 }
 
 } // namespace utm

@@ -74,8 +74,14 @@ class Tl2
     static bool locked(std::uint64_t vl) { return vl & 1; }
     static std::uint64_t version(std::uint64_t vl) { return vl >> 1; }
 
+    /**
+     * Abort, releasing @p held commit-time locks.  @p why names the
+     * failure mode for the tl2.aborts.&lt;why&gt; attribution counter:
+     * "read_validation", "lock_busy", or "commit_validation".
+     */
     [[noreturn]] void abortTx(ThreadContext &tc,
-                              const std::vector<Addr> &held);
+                              const std::vector<Addr> &held,
+                              const char *why);
 
     Machine &machine_;
     std::array<TxDesc, kMaxThreads> txs_;

@@ -94,6 +94,8 @@ Ustm::txBegin(ThreadContext &tc)
     if (strong_)
         tc.disableUfo();
     machine_.stats().inc("ustm.begins");
+    UTM_TRACE_EVENT(machine_, tc, TraceEvent::TxBegin,
+                    TracePath::Software, AbortReason::None);
     tc.advance(kBeginCost);
 }
 
@@ -116,6 +118,8 @@ Ustm::txEnd(ThreadContext &tc)
     if (strong_)
         tc.enableUfo();
     machine_.stats().inc("ustm.commits");
+    UTM_TRACE_EVENT(machine_, tc, TraceEvent::TxCommit,
+                    TracePath::Software, AbortReason::None);
     tc.advance(kCommitCost);
 }
 
@@ -156,7 +160,7 @@ Ustm::checkKill(ThreadContext &tc)
     TxDesc &tx = txs_[tc.id()];
     if (tx.status == TxDesc::Status::Active && tx.killedAge != 0 &&
         tx.killedAge == tx.age) {
-        unwindAbort(tc, tx);
+        unwindAbort(tc, tx, "killed");
     }
 }
 
@@ -626,6 +630,8 @@ Ustm::txRetryWait(ThreadContext &tc)
     utm_assert(tx.status == TxDesc::Status::Active);
     utm_assert(tx.depth == 1); // retry composes via flattening only
     machine_.stats().inc("ustm.retries");
+    UTM_TRACE_EVENT(machine_, tc, TraceEvent::TxRetry,
+                    TracePath::Software, AbortReason::None);
 
     // Undo speculative writes, then convert write ownership to read
     // ownership so future writers conflict with (and thereby wake)
@@ -649,14 +655,17 @@ Ustm::txRetryWait(ThreadContext &tc)
     // Woken: unwind (releases remaining read ownership) and let the
     // retry loop re-execute the body.
     tx.status = TxDesc::Status::Active;
-    unwindAbort(tc, tx);
+    unwindAbort(tc, tx, "retry_wakeup");
 }
 
 void
-Ustm::unwindAbort(ThreadContext &tc, TxDesc &tx)
+Ustm::unwindAbort(ThreadContext &tc, TxDesc &tx, const char *why)
 {
     tx.status = TxDesc::Status::Aborting;
     machine_.stats().inc("ustm.aborts");
+    machine_.stats().inc(std::string("ustm.aborts.") + why);
+    UTM_TRACE_EVENT(machine_, tc, TraceEvent::TxAbort,
+                    TracePath::Software, AbortReason::Conflict);
     // Eager versioning: restore logged values, newest first, before
     // releasing write ownership.
     for (auto it = tx.undo.rbegin(); it != tx.undo.rend(); ++it)

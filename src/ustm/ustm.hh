@@ -207,7 +207,14 @@ class Ustm
     /** Downgrade a held write entry to read ownership (for retry). */
     void downgradeEntry(ThreadContext &tc, TxDesc::Owned &o);
 
-    [[noreturn]] void unwindAbort(ThreadContext &tc, TxDesc &tx);
+    /**
+     * Undo + release + throw.  @p why names the abort cause for the
+     * ustm.aborts.&lt;why&gt; attribution counter: "killed" (lost a
+     * conflict to another transaction) or "retry_wakeup" (parked in
+     * txRetryWait and woken by a writer).
+     */
+    [[noreturn]] void unwindAbort(ThreadContext &tc, TxDesc &tx,
+                                  const char *why);
 
     void installUfo(ThreadContext &tc, LineAddr line, bool write);
     void clearUfo(ThreadContext &tc, LineAddr line);

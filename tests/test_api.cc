@@ -134,7 +134,7 @@ TEST(Api, LoggingFormatsLikePrintf)
 
 TEST(Api, FatalOnBadConfigIsUserError)
 {
-    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     MachineConfig mc;
     mc.numCores = kMaxThreads + 5;
     EXPECT_DEATH({ Machine m(mc); }, "assertion");

@@ -198,7 +198,7 @@ TEST(CoherenceCm, MachinesAreIsolated)
 
 TEST(CoherenceCmDeath, CrossLineAccessAsserts)
 {
-    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     Machine m(quiet(1));
     ThreadContext &tc = m.initContext();
     EXPECT_DEATH(tc.load(kLineSize - 4, 8), "assertion");

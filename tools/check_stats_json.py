@@ -1,0 +1,256 @@
+#!/usr/bin/env python3
+"""Validate ufotm observability artifacts.
+
+Three modes:
+
+  check_stats_json.py FILE            validate a ufotm-stats document
+  check_stats_json.py --bench FILE    validate a ufotm-bench document
+  check_stats_json.py --check-docs    every counter emitted by src/
+                                      must appear in
+                                      docs/OBSERVABILITY.md
+
+Used by CI (.github/workflows/ci.yml) and usable standalone.  Exits
+non-zero with a list of problems on any failure.
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+# Reason vocabularies for dynamically-composed counter names
+# (`inc(std::string("PREFIX") + reason)` sites).  Keep in sync with
+# abortReasonName() in src/mem/memory_system.cc and the unwind/abort
+# call sites in src/ustm/ustm.cc and src/tl2/tl2.cc.
+ABORT_REASONS = [
+    "none", "conflict", "set_overflow", "explicit", "interrupt",
+    "exception", "syscall", "io", "uncacheable", "page_fault",
+    "nesting_overflow", "ufo_fault", "ufo_bit_set", "nont_conflict",
+]
+REASON_FAMILIES = {
+    "btm.aborts.": ABORT_REASONS,
+    "tm.failovers.hard.": ABORT_REASONS,
+    "ustm.aborts.": ["killed", "retry_wakeup"],
+    "tl2.aborts.": ["read_validation", "lock_busy",
+                    "commit_validation"],
+}
+
+STATS_TOTALS_KEYS = {
+    "cycles", "valid", "commits_hw", "commits_sw", "commits_raw",
+    "failovers", "aborts_hw", "aborts_sw",
+}
+MACHINE_KEYS = {
+    "num_cores", "l1_sets", "l1_ways", "l1_bytes", "l2_sets",
+    "l2_ways", "l1_hit_latency", "l2_hit_latency", "mem_latency",
+    "timer_quantum", "otable_buckets", "seed",
+}
+HIST_KEYS = {"samples", "sum", "min", "max", "mean", "p50", "p90",
+             "p99", "buckets"}
+
+
+def fail(problems):
+    for p in problems:
+        print(f"FAIL: {p}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_stats_doc(doc):
+    problems = []
+
+    def expect(cond, msg):
+        if not cond:
+            problems.append(msg)
+
+    expect(doc.get("schema") == "ufotm-stats",
+           f"schema is {doc.get('schema')!r}, want 'ufotm-stats'")
+    expect(doc.get("schema_version") == 1,
+           f"schema_version is {doc.get('schema_version')!r}, want 1")
+
+    rc = doc.get("run_config", {})
+    for k in ("workload", "system", "threads", "seed", "scale"):
+        expect(k in rc, f"run_config.{k} missing")
+    machine = rc.get("machine", {})
+    missing = MACHINE_KEYS - machine.keys()
+    expect(not missing, f"run_config.machine missing {sorted(missing)}")
+
+    totals = doc.get("totals", {})
+    missing = STATS_TOTALS_KEYS - totals.keys()
+    expect(not missing, f"totals missing {sorted(missing)}")
+
+    counters = doc.get("counters")
+    expect(isinstance(counters, dict), "counters missing")
+    counters = counters or {}
+    for name, v in counters.items():
+        expect(isinstance(v, int) and v >= 0,
+               f"counter {name} is not a non-negative integer: {v!r}")
+        expect(re.fullmatch(r"[a-z0-9_]+(\.[a-z0-9_]+)+", name),
+               f"counter name {name!r} violates the naming convention")
+
+    # The headline attribution invariant: hardware aborts are exactly
+    # the sum of the btm.aborts.<reason> family.
+    aborts_hw = sum(v for n, v in counters.items()
+                    if n.startswith("btm.aborts."))
+    expect(totals.get("aborts_hw") == aborts_hw,
+           f"totals.aborts_hw={totals.get('aborts_hw')} != "
+           f"sum(btm.aborts.*)={aborts_hw}")
+    aborts_sw = counters.get("ustm.aborts", 0) + \
+        counters.get("tl2.aborts", 0)
+    expect(totals.get("aborts_sw") == aborts_sw,
+           f"totals.aborts_sw={totals.get('aborts_sw')} != "
+           f"ustm.aborts+tl2.aborts={aborts_sw}")
+    # Reason families must sum to their aggregate where one exists.
+    for prefix, agg in (("ustm.aborts.", "ustm.aborts"),
+                        ("tl2.aborts.", "tl2.aborts"),
+                        ("tm.failovers.hard.", "tm.failovers.hard")):
+        fam = sum(v for n, v in counters.items()
+                  if n.startswith(prefix))
+        if agg in counters or fam:
+            expect(counters.get(agg, 0) == fam,
+                   f"{agg}={counters.get(agg, 0)} != "
+                   f"sum({prefix}*)={fam}")
+
+    for name, h in doc.get("histograms", {}).items():
+        missing = HIST_KEYS - h.keys()
+        expect(not missing, f"histogram {name} missing {sorted(missing)}")
+        buckets = h.get("buckets", [])
+        expect(sum(b.get("count", 0) for b in buckets) ==
+               h.get("samples"),
+               f"histogram {name}: bucket counts do not sum to samples")
+
+    # per_backend must re-group exactly the counters map.
+    per_backend = doc.get("per_backend")
+    if isinstance(per_backend, dict):
+        regrouped = {f"{be}.{rest}": v
+                     for be, sub in per_backend.items()
+                     for rest, v in sub.items()}
+        expect(regrouped == counters,
+               "per_backend does not regroup the counters map")
+
+    for t in doc.get("per_thread", []):
+        for k in ("id", "cycles", "events"):
+            expect(k in t, f"per_thread entry missing {k}")
+
+    return problems
+
+
+def check_bench_doc(doc):
+    problems = []
+    if doc.get("schema") != "ufotm-bench":
+        problems.append(f"schema is {doc.get('schema')!r}, "
+                        "want 'ufotm-bench'")
+    if doc.get("schema_version") != 1:
+        problems.append("schema_version != 1")
+    if not doc.get("bench"):
+        problems.append("bench name missing")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        problems.append("rows missing or empty")
+        return problems
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            problems.append(f"rows[{i}] is not an object")
+            continue
+        # figure6 rows embed the abort breakdown; verify the sum.
+        if "aborts" in row and "aborts_total" in row:
+            s = sum(row["aborts"].values())
+            if s != row["aborts_total"]:
+                problems.append(
+                    f"rows[{i}]: aborts_total={row['aborts_total']} "
+                    f"!= sum(aborts)={s}")
+        if "counters" in row:
+            hw = sum(v for n, v in row["counters"].items()
+                     if n.startswith("btm.aborts."))
+            if "aborts_total" in row and hw != row["aborts_total"]:
+                problems.append(
+                    f"rows[{i}]: aborts_total != sum of the "
+                    f"btm.aborts.* counters ({hw})")
+    return problems
+
+
+# Matches both single-line inc("x")/observe("x", ...) and the
+# argument spilling to the next line.
+LITERAL_RE = re.compile(
+    r'\b(?:inc|observe|get|histogram)\s*\(\s*\n?\s*"([a-z0-9_.]+)"')
+TERNARY_RE = re.compile(r'"([a-z0-9_.]+\.[a-z0-9_.]+)"')
+DYNAMIC_RE = re.compile(r'std::string\("([a-z0-9_.]+\.)"\)\s*\+')
+
+
+def emitted_counters():
+    """All counter names (and dynamic prefixes) emitted by src/."""
+    names, prefixes = set(), set()
+    for path in sorted((REPO / "src").rglob("*.[ch][ch]")):
+        text = path.read_text()
+        for m in LITERAL_RE.finditer(text):
+            names.add(m.group(1))
+        for m in DYNAMIC_RE.finditer(text):
+            prefixes.add(m.group(1))
+        # inc(cond ? "a" : "b") — grab quoted dotted names near incs.
+        for stmt in re.findall(r'inc\s*\(([^;]*?)\)\s*;', text,
+                               re.DOTALL):
+            if '?' in stmt:
+                names.update(TERNARY_RE.findall(stmt))
+    return names, prefixes
+
+
+def check_docs():
+    problems = []
+    doc_text = (REPO / "docs" / "OBSERVABILITY.md").read_text()
+    names, prefixes = emitted_counters()
+    def family_documented(prefix):
+        # Either the <reason> placeholder or every name in the
+        # family's vocabulary, enumerated explicitly.
+        if f"{prefix}<reason>" in doc_text:
+            return True
+        vocab = REASON_FAMILIES.get(prefix)
+        return bool(vocab) and all(f"{prefix}{r}" in doc_text
+                                   for r in vocab
+                                   if r != "none")
+
+    for name in sorted(names):
+        covered = name in doc_text or any(
+            name.startswith(p) and family_documented(p)
+            for p in prefixes)
+        if not covered:
+            problems.append(
+                f"counter {name!r} is emitted by src/ but not "
+                "documented in docs/OBSERVABILITY.md")
+    for prefix in sorted(prefixes):
+        if not family_documented(prefix):
+            problems.append(
+                f"dynamic counter family {prefix!r}<reason> is "
+                "emitted by src/ but not documented in "
+                "docs/OBSERVABILITY.md")
+        if prefix not in REASON_FAMILIES:
+            problems.append(
+                f"dynamic counter family {prefix!r} has no reason "
+                "vocabulary in tools/check_stats_json.py")
+    return problems
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("files", nargs="*", help="JSON documents to check")
+    ap.add_argument("--bench", action="store_true",
+                    help="validate ufotm-bench documents")
+    ap.add_argument("--check-docs", action="store_true",
+                    help="check docs/OBSERVABILITY.md counter coverage")
+    args = ap.parse_args()
+
+    problems = []
+    if args.check_docs:
+        problems += check_docs()
+    for f in args.files:
+        doc = json.load(open(f))
+        check = check_bench_doc if args.bench else check_stats_doc
+        problems += [f"{f}: {p}" for p in check(doc)]
+    if problems:
+        fail(problems)
+    checked = len(args.files) + (1 if args.check_docs else 0)
+    print(f"OK ({checked} check(s) passed)")
+
+
+if __name__ == "__main__":
+    main()
