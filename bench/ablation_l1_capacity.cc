@@ -21,6 +21,7 @@ int
 main(int argc, char **argv)
 {
     JsonReport report("ablation_l1_capacity", argc, argv);
+    parseSchedArgs(argc, argv);
     std::printf("Ablation: vacation-low vs. L1 capacity "
                 "(8 threads; UFO hybrid relative to unbounded HTM)\n\n");
     std::printf("%-10s %12s %14s %16s %18s\n", "L1-KiB", "sets",
@@ -31,7 +32,7 @@ main(int argc, char **argv)
     for (unsigned sets : {32u, 64u, 128u, 256u, 512u}) {
         auto run = [&](TxSystemKind kind) {
             auto w = makeStampWorkload(spec);
-            RunConfig cfg;
+            RunConfig cfg = baseRunConfig();
             cfg.kind = kind;
             cfg.threads = 8;
             cfg.machine.seed = 42;
@@ -43,7 +44,7 @@ main(int argc, char **argv)
         };
         const Cycles seq = [&] {
             auto w = makeStampWorkload(spec);
-            RunConfig cfg;
+            RunConfig cfg = baseRunConfig();
             cfg.kind = TxSystemKind::NoTm;
             cfg.threads = 1;
             cfg.machine.seed = 42;

@@ -21,6 +21,7 @@ int
 main(int argc, char **argv)
 {
     JsonReport report("ablation_otable", argc, argv);
+    parseSchedArgs(argc, argv);
     std::printf("Ablation: otable buckets vs. aliasing "
                 "(vacation-low, 8 threads)\n\n");
     std::printf("%-10s %16s %18s %18s %14s\n", "buckets",
@@ -31,7 +32,7 @@ main(int argc, char **argv)
 
     auto seq = [&](unsigned buckets) {
         auto w = makeStampWorkload(spec);
-        RunConfig cfg;
+        RunConfig cfg = baseRunConfig();
         cfg.kind = TxSystemKind::NoTm;
         cfg.threads = 1;
         cfg.machine.seed = 42;
@@ -40,7 +41,7 @@ main(int argc, char **argv)
     };
     auto run = [&](TxSystemKind kind, unsigned buckets) {
         auto w = makeStampWorkload(spec);
-        RunConfig cfg;
+        RunConfig cfg = baseRunConfig();
         cfg.kind = kind;
         cfg.threads = 8;
         cfg.machine.seed = 42;

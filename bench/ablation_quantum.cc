@@ -22,6 +22,7 @@ int
 main(int argc, char **argv)
 {
     JsonReport report("ablation_quantum", argc, argv);
+    parseSchedArgs(argc, argv);
     std::printf("Ablation: timer quantum vs. interrupt aborts "
                 "(vacation-low, 8 threads, UFO hybrid)\n\n");
     std::printf("%-14s %16s %18s %14s\n", "quantum", "intr-aborts",
@@ -31,7 +32,7 @@ main(int argc, char **argv)
 
     auto seq = [&](Cycles q) {
         auto w = makeStampWorkload(spec);
-        RunConfig cfg;
+        RunConfig cfg = baseRunConfig();
         cfg.kind = TxSystemKind::NoTm;
         cfg.threads = 1;
         cfg.machine.seed = 42;
@@ -42,7 +43,7 @@ main(int argc, char **argv)
     for (Cycles q : {Cycles(0), Cycles(200000), Cycles(50000),
                      Cycles(10000), Cycles(2000)}) {
         auto w = makeStampWorkload(spec);
-        RunConfig cfg;
+        RunConfig cfg = baseRunConfig();
         cfg.kind = TxSystemKind::UfoHybrid;
         cfg.threads = 8;
         cfg.machine.seed = 42;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sim/json.hh"
+#include "sim/scheduler.hh"
 #include "sim/stats_json.hh"
 #include "stamp/failover_ubench.hh"
 #include "stamp/genome.hh"
@@ -85,13 +86,51 @@ figure5Systems()
     };
 }
 
+/**
+ * Process-wide scheduler selection for bench runs.  Every bench main
+ * calls parseSchedArgs(); `--sched=POLICY` (minclock, maxclock,
+ * random, pct, roundrobin) then applies to every simulated run, so
+ * any reported figure shape can be re-checked under an exploratory
+ * schedule rather than only the min-clock default.
+ */
+inline SchedulerConfig &
+benchSched()
+{
+    static SchedulerConfig sc;
+    return sc;
+}
+
+inline void
+parseSchedArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strncmp(argv[i], "--sched=", 8)) {
+            if (!parseSchedPolicy(argv[i] + 8, &benchSched().policy)) {
+                std::fprintf(stderr,
+                             "unknown scheduler policy '%s'\n",
+                             argv[i] + 8);
+                std::exit(2);
+            }
+        }
+    }
+}
+
+/** A RunConfig with the process-wide scheduler selection applied. */
+inline RunConfig
+baseRunConfig()
+{
+    RunConfig cfg;
+    cfg.machine.sched = benchSched();
+    return cfg;
+}
+
 /** Run one configuration and return the result (dies if invalid). */
 inline RunResult
 runOnce(const BenchSpec &spec, TxSystemKind kind, int threads,
         double scale = 1.0, std::uint64_t seed = 42)
 {
     auto w = makeStampWorkload(spec, scale);
-    RunConfig cfg;
+    RunConfig cfg = baseRunConfig();
     cfg.kind = kind;
     cfg.threads = threads;
     cfg.machine.seed = seed;

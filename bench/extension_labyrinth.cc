@@ -23,6 +23,7 @@ int
 main(int argc, char **argv)
 {
     bench::JsonReport report("extension_labyrinth", argc, argv);
+    bench::parseSchedArgs(argc, argv);
     std::printf("Extension: labyrinth (always-overflow transactions), "
                 "speedup vs sequential\n\n");
     std::printf("%-8s %14s %14s %14s %14s %16s\n", "threads",
@@ -32,7 +33,7 @@ main(int argc, char **argv)
     auto run = [&](TxSystemKind kind, int threads) {
         LabyrinthParams p;
         LabyrinthWorkload w(p);
-        RunConfig cfg;
+        RunConfig cfg = bench::baseRunConfig();
         cfg.kind = kind;
         cfg.threads = threads;
         cfg.machine.seed = 42;

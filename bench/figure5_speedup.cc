@@ -28,6 +28,7 @@ main(int argc, char **argv)
     double scale = 1.0;
     std::vector<int> threads = {1, 2, 4, 8, 16};
     JsonReport report("figure5_speedup", argc, argv);
+    parseSchedArgs(argc, argv);
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--quick")) {
             scale = 0.5;

@@ -33,6 +33,7 @@ main(int argc, char **argv)
     double scale = 1.0;
     int threads = 8;
     JsonReport report("figure6_aborts", argc, argv);
+    parseSchedArgs(argc, argv);
     for (int i = 1; i < argc; ++i)
         if (!std::strcmp(argv[i], "--quick"))
             scale = 0.5;

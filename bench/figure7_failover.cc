@@ -33,7 +33,7 @@ throughput(TxSystemKind kind, double rate, int threads, int tx_per_thread)
     p.txPerThread = tx_per_thread;
     p.failoverRate = rate;
     FailoverUbench w(p);
-    RunConfig cfg;
+    RunConfig cfg = baseRunConfig();
     cfg.kind = kind;
     cfg.threads = threads;
     cfg.machine.seed = 42;
@@ -55,6 +55,7 @@ main(int argc, char **argv)
     int threads = 8;
     int tx_per_thread = 256;
     JsonReport report("figure7_failover", argc, argv);
+    parseSchedArgs(argc, argv);
     for (int i = 1; i < argc; ++i)
         if (!std::strcmp(argv[i], "--quick"))
             tx_per_thread = 96;

@@ -67,6 +67,7 @@ main(int argc, char **argv)
     double scale = 1.0;
     int threads = 8;
     JsonReport report("figure8_sensitivity", argc, argv);
+    parseSchedArgs(argc, argv);
     for (int i = 1; i < argc; ++i)
         if (!std::strcmp(argv[i], "--quick"))
             scale = 0.5;
@@ -91,7 +92,7 @@ main(int argc, char **argv)
     std::vector<Cycles> baseline(std::size(benches));
     for (std::size_t i = 0; i < std::size(benches); ++i) {
         auto w = makeStampWorkload(benches[i], scale);
-        RunConfig cfg;
+        RunConfig cfg = baseRunConfig();
         cfg.kind = TxSystemKind::UfoHybrid;
         cfg.threads = threads;
         cfg.machine.seed = 42;
@@ -106,7 +107,7 @@ main(int argc, char **argv)
         std::printf("%-26s", pc.label);
         for (std::size_t i = 0; i < std::size(benches); ++i) {
             auto w = makeStampWorkload(benches[i], scale);
-            RunConfig cfg;
+            RunConfig cfg = baseRunConfig();
             cfg.kind = TxSystemKind::UfoHybrid;
             cfg.threads = threads;
             cfg.machine.seed = 42;

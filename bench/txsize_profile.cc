@@ -24,7 +24,7 @@ namespace {
 void
 profile(const char *label, Workload &w, JsonReport &report)
 {
-    RunConfig cfg;
+    RunConfig cfg = baseRunConfig();
     cfg.kind = TxSystemKind::UnboundedHtm;
     cfg.threads = 8;
     cfg.machine.seed = 42;
@@ -79,6 +79,7 @@ int
 main(int argc, char **argv)
 {
     JsonReport report("txsize_profile", argc, argv);
+    parseSchedArgs(argc, argv);
     std::printf("Transaction footprint profile (lines touched; "
                 "unbounded HTM, 8 threads)\n\n");
     std::printf("%-16s %10s %8s %8s %8s %8s %11s\n", "benchmark",

@@ -84,6 +84,9 @@ BtmUnit::txEnd()
     tc_.yield();
     if (doomed_)
         takePendingAbort(); // throws
+    // Commit linearization point: past the doom check nothing can
+    // fail, so the speculative writes are final.
+    machine_.notifyCommitPoint(tc_);
     // Commit: flash-clear SR/SW, discard the checkpoint. Speculative
     // data becomes architectural (it already sits in SimMemory).
     machine_.memsys().clearSpec(tc_.id(), readLines_, writeLines_,

@@ -92,6 +92,22 @@ class BtmUnit : public BtmClient
     [[noreturn]] void onTimerInterrupt() override;
     /** @} */
 
+    /**
+     * tmtorture oracle hook: outside a transaction, every piece of
+     * speculative state (undo log, spec sets, UFO clears, wakeup
+     * tokens, doom flag) must have been drained — the hardware
+     * analogue of USTM's undo-log balance invariant.
+     */
+    bool
+    idleStateClean() const
+    {
+        return inTx_ ||
+               (undo_.empty() && specUfoClears_.empty() &&
+                pendingWakeups_.empty() && readLines_.empty() &&
+                writeLines_.empty() && readSet_.empty() &&
+                writeSet_.empty() && !doomed_ && depth_ == 0);
+    }
+
     /** @name Lifetime statistics. @{ */
     std::uint64_t commits() const { return commits_; }
     std::uint64_t aborts() const { return aborts_; }

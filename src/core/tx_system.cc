@@ -120,6 +120,18 @@ TxSystem::onRequireSoftware(ThreadContext &, TxHandle::Path)
     // Systems with no (distinct) software path ignore the request.
 }
 
+bool
+TxSystem::oracleInvariantsHold(std::string *) const
+{
+    return true;
+}
+
+bool
+TxSystem::oracleLineBusy(LineAddr) const
+{
+    return false;
+}
+
 void
 TxSystem::onRetryWait(ThreadContext &, TxHandle::Path)
 {
@@ -184,12 +196,24 @@ class NoTmSystem final : public TxSystem
         beginAttempt(tc);
         TxHandle h = makeHandle(tc, TxHandle::Path::Raw);
         body(h);
+        machine_.notifyCommitPoint(tc); // Trivial commit point.
         machine_.stats().inc("tm.commits.raw");
         commitAttempt(tc);
         --depth_[tc.id()];
     }
 
     const char *name() const override { return "no-tm"; }
+
+    bool
+    oracleLineBusy(LineAddr) const override
+    {
+        // Raw in-place writes: mid-body state is legitimately ahead
+        // of any committed-state model while a body is running.
+        for (int d : depth_)
+            if (d > 0)
+                return true;
+        return false;
+    }
 
   private:
     std::array<int, kMaxThreads> depth_{};
@@ -249,6 +273,20 @@ class UstmSystem final : public TxSystem
     {
         ustm_.txRetryWait(tc); // throws after wakeup
     }
+
+    bool
+    oracleInvariantsHold(std::string *why) const override
+    {
+        return ustm_.verifyOracleInvariants(why);
+    }
+
+    bool
+    oracleLineBusy(LineAddr line) const override
+    {
+        return ustm_.lineBusy(line);
+    }
+
+    Ustm *ustmRuntime() override { return &ustm_; }
 
   protected:
     std::uint64_t
@@ -312,6 +350,18 @@ class Tl2System final : public TxSystem
     }
 
     const char *name() const override { return "tl2"; }
+
+    bool
+    oracleInvariantsHold(std::string *why) const override
+    {
+        return tl2_.verifyOracleInvariants(why);
+    }
+
+    bool
+    oracleLineBusy(LineAddr line) const override
+    {
+        return tl2_.lineBusy(line);
+    }
 
   protected:
     std::uint64_t

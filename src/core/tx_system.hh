@@ -29,6 +29,7 @@
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "hybrid/policy.hh"
@@ -39,6 +40,7 @@ namespace utm {
 
 class Machine;
 class TxSystem;
+class Ustm;
 
 /** The TM configurations evaluated in the paper (Section 5). */
 enum class TxSystemKind
@@ -179,6 +181,28 @@ class TxSystem
     TxSystemKind kind() const { return kind_; }
     Machine &machine() { return machine_; }
     const TmPolicy &policy() const { return policy_; }
+
+    /**
+     * @name tmtorture oracle hooks (sim/oracle.hh).
+     *
+     * Functional machine-state predicates evaluated by the torture
+     * harness at preemption points (no thread is mid-event).
+     * @{
+     */
+
+    /** Backend-internal invariants (lockstep, undo balance, ...). */
+    virtual bool oracleInvariantsHold(std::string *why) const;
+
+    /**
+     * May @p line legitimately differ from serially-committed state
+     * right now (speculative writer, eager in-flight writes, commit
+     * write-back, or abort unwinding touching the line)?
+     */
+    virtual bool oracleLineBusy(LineAddr line) const;
+
+    /** The USTM runtime behind this system, if it has one. */
+    virtual Ustm *ustmRuntime() { return nullptr; }
+    /** @} */
 
   protected:
     TxSystem(TxSystemKind kind, Machine &machine,

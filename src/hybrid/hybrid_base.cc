@@ -142,4 +142,26 @@ HybridTmBase::onRetryWait(ThreadContext &tc, TxHandle::Path p)
     ustm_->txRetryWait(tc); // throws after wakeup
 }
 
+bool
+HybridTmBase::oracleInvariantsHold(std::string *why) const
+{
+    if (!ustm_->verifyOracleInvariants(why))
+        return false;
+    for (ThreadId t = 0; t < machine_.numThreads(); ++t) {
+        if (btms_[t] && !btms_[t]->idleStateClean()) {
+            *why = "thread " + std::to_string(t) +
+                   " BTM unit idle with undrained speculative state";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+HybridTmBase::oracleLineBusy(LineAddr line) const
+{
+    return machine_.memsys().lineHasSpecWriter(line) ||
+           ustm_->lineBusy(line);
+}
+
 } // namespace utm

@@ -28,6 +28,12 @@ class HybridTmBase : public TxSystem
 
     Ustm &ustm() { return *ustm_; }
 
+    /** @name tmtorture oracle hooks. @{ */
+    bool oracleInvariantsHold(std::string *why) const override;
+    bool oracleLineBusy(LineAddr line) const override;
+    Ustm *ustmRuntime() override { return ustm_.get(); }
+    /** @} */
+
   protected:
     HybridTmBase(TxSystemKind kind, Machine &machine,
                  const TmPolicy &policy, bool strong_atomic_stm,

@@ -75,4 +75,23 @@ UnboundedHtm::atomic(ThreadContext &tc, const Body &body)
     }
 }
 
+bool
+UnboundedHtm::oracleInvariantsHold(std::string *why) const
+{
+    for (ThreadId t = 0; t < machine_.numThreads(); ++t) {
+        if (btms_[t] && !btms_[t]->idleStateClean()) {
+            *why = "thread " + std::to_string(t) +
+                   " BTM unit idle with undrained speculative state";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+UnboundedHtm::oracleLineBusy(LineAddr line) const
+{
+    return machine_.memsys().lineHasSpecWriter(line);
+}
+
 } // namespace utm

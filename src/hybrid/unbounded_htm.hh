@@ -26,6 +26,11 @@ class UnboundedHtm : public TxSystem
     void atomic(ThreadContext &tc, const Body &body) override;
     const char *name() const override { return "unbounded-htm"; }
 
+    /** @name tmtorture oracle hooks. @{ */
+    bool oracleInvariantsHold(std::string *why) const override;
+    bool oracleLineBusy(LineAddr line) const override;
+    /** @} */
+
   private:
     BtmUnit &btm(ThreadContext &tc);
 

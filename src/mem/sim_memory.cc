@@ -92,6 +92,24 @@ SimMemory::materializePage(Addr a)
     pageFor(a);
 }
 
+void
+SimMemory::forEachUfoLine(
+    const std::function<void(LineAddr, UfoBits)> &fn) const
+{
+    for (const auto &[idx, page] : pages_) {
+        if (page->ufoSetCount == 0)
+            continue;
+        for (unsigned i = 0; i < kLinesPerPage; ++i) {
+            std::uint8_t raw = page->ufo[i];
+            if (!raw)
+                continue;
+            LineAddr line = (idx << kPageBits) +
+                            (std::uint64_t(i) << kLineBits);
+            fn(line, UfoBits{(raw & 1) != 0, (raw & 2) != 0});
+        }
+    }
+}
+
 bool
 SimMemory::pageHasUfoBits(Addr a) const
 {

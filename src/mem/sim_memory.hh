@@ -13,6 +13,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 
@@ -55,6 +56,14 @@ class SimMemory
 
     /** Number of pages materialized so far. */
     std::size_t pageCount() const { return pages_.size(); }
+
+    /**
+     * Invoke @p fn for every line with any UFO bit set.  Page
+     * enumeration order is unspecified (hash-map order) — callers that
+     * need deterministic output must aggregate, not early-exit.
+     */
+    void forEachUfoLine(
+        const std::function<void(LineAddr, UfoBits)> &fn) const;
 
   private:
     struct Page

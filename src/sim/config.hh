@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/scheduler.hh"
 #include "sim/types.hh"
 
 namespace utm {
@@ -56,6 +57,9 @@ struct MachineConfig
 
     /** Global RNG seed; every per-thread Rng derives from it. */
     std::uint64_t seed = 1;
+
+    /** Scheduling policy (sim/scheduler.hh); MinClock by default. */
+    SchedulerConfig sched;
 
     /** USTM ownership-table bucket count (paper: 65536). */
     unsigned otableBuckets = 65536;

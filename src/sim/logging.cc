@@ -40,9 +40,21 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
     std::exit(1);
 }
 
+namespace {
+bool warningsSuppressed = false;
+} // namespace
+
+void
+setWarningsSuppressed(bool on)
+{
+    warningsSuppressed = on;
+}
+
 void
 warnImpl(const char *fmt, ...)
 {
+    if (warningsSuppressed)
+        return;
     va_list ap;
     va_start(ap, fmt);
     std::string msg = vformatString(fmt, ap);

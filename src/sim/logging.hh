@@ -23,6 +23,14 @@ namespace utm {
 void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/**
+ * Globally suppress warn() output.  Used by the torture harness while
+ * tearing down a machine abandoned mid-run after an oracle violation,
+ * where "destroying a fiber that has not finished" warnings are
+ * expected and would drown the report.
+ */
+void setWarningsSuppressed(bool on);
+
 /** Format a printf-style message into a std::string. */
 std::string vformatString(const char *fmt, va_list ap);
 

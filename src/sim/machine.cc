@@ -1,7 +1,10 @@
 #include "sim/machine.hh"
 
+#include <array>
+
 #include "mem/memory_system.hh"
 #include "sim/logging.hh"
+#include "sim/oracle.hh"
 
 namespace utm {
 
@@ -39,22 +42,72 @@ Machine::initContext()
 }
 
 void
+Machine::setSchedulerPolicy(std::unique_ptr<SchedulerPolicy> policy)
+{
+    utm_assert(!running_);
+    sched_ = std::move(policy);
+}
+
+void
 Machine::run()
 {
     running_ = true;
-    for (;;) {
-        ThreadContext *next = nullptr;
-        for (auto &t : threads_) {
-            if (t->done())
-                continue;
-            if (!next || t->now() < next->now())
-                next = t.get();
+    if (!sched_)
+        sched_ = makeSchedulerPolicy(cfg_.sched, cfg_.seed);
+    std::array<SchedulerView::Runnable, kMaxThreads> runnable;
+    // On an oracle violation, leave the machine in a state the harness
+    // can still inspect (recorded schedule, stats) before rethrowing.
+    try {
+        for (;;) {
+            int n = 0;
+            for (auto &t : threads_)
+                if (!t->done())
+                    runnable[n++] = {t->id(), t->now()};
+            if (n == 0)
+                break;
+            ThreadId pick =
+                sched_->pick(SchedulerView{runnable.data(), n, steps_});
+            bool valid = false;
+            for (int i = 0; i < n && !valid; ++i)
+                valid = runnable[i].id == pick;
+            if (!valid)
+                utm_fatal("scheduler '%s' picked non-runnable thread %d",
+                          sched_->name(), pick);
+            if (recording_)
+                schedule_.append(pick);
+            if (lastPick_ >= 0 && pick != lastPick_)
+                ++preemptions_;
+            lastPick_ = pick;
+            ++steps_;
+            threads_[pick]->resume();
+            if (!oracles_.empty() && steps_ % oracleInterval_ == 0)
+                runOracles();
         }
-        if (!next)
-            break;
-        next->resume();
+    } catch (...) {
+        running_ = false;
+        throw;
     }
+    sched_->onRunEnd(stats_);
+    // Hot-path scheduler counters are accumulated in plain members and
+    // exported once here, keeping the per-step cost to integer adds.
+    stats_.set("sched.steps", steps_);
+    stats_.set("sched.preemptions", preemptions_);
+    if (oracleChecks_)
+        stats_.set("torture.oracle_checks", oracleChecks_);
     running_ = false;
+}
+
+void
+Machine::runOracles()
+{
+    for (InvariantOracle *oracle : oracles_) {
+        ++oracleChecks_;
+        std::string why;
+        if (!oracle->check(&why)) {
+            stats_.inc("torture.oracle_violations");
+            throw OracleViolation{oracle->name(), why, steps_};
+        }
+    }
 }
 
 Cycles

@@ -3,21 +3,28 @@
  * The top-level simulated machine: memory hierarchy, cores/threads,
  * and the deterministic cooperative scheduler.
  *
- * Scheduling rule: always resume the unfinished thread with the
- * smallest local clock (ties broken by thread id).  Combined with the
- * rule that every shared-memory access is a single atomic event, this
- * makes runs bit-reproducible for a given seed.
+ * Scheduling is delegated to a pluggable SchedulerPolicy
+ * (sim/scheduler.hh).  The default, MinClock, always resumes the
+ * unfinished thread with the smallest local clock (ties broken by
+ * thread id); combined with the rule that every shared-memory access
+ * is a single atomic event, this makes runs bit-reproducible for a
+ * given seed.  Alternative policies (random-walk, PCT, max-clock,
+ * round-robin) deliberately explore other interleavings — equally
+ * deterministically — for the tmtorture harness, which also uses the
+ * schedule record/replay and invariant-oracle hooks here.
  */
 
 #ifndef UFOTM_SIM_MACHINE_HH
 #define UFOTM_SIM_MACHINE_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "mem/sim_memory.hh"
 #include "sim/config.hh"
+#include "sim/scheduler.hh"
 #include "sim/stats.hh"
 #include "sim/thread_context.hh"
 #include "sim/trace.hh"
@@ -25,6 +32,7 @@
 
 namespace utm {
 
+class InvariantOracle;
 class MemorySystem;
 
 /** A simulated multicore machine. */
@@ -45,6 +53,61 @@ class Machine
 
     /** Run the scheduler until every thread's entry fn returns. */
     void run();
+
+    /**
+     * Override the scheduling policy (default: built from
+     * config().sched).  Must be called before run().
+     */
+    void setSchedulerPolicy(std::unique_ptr<SchedulerPolicy> policy);
+
+    /** @name Schedule recording (tmtorture record/replay). @{ */
+    void recordSchedule(bool on) { recording_ = on; }
+    const ScheduleTrace &recordedSchedule() const { return schedule_; }
+    /** @} */
+
+    /**
+     * @name Invariant oracles (sim/oracle.hh).
+     *
+     * Registered oracles are evaluated every @p interval scheduling
+     * steps, at preemption points only; a failed check throws
+     * OracleViolation out of run().  Oracles are borrowed, not owned.
+     * @{
+     */
+    void addOracle(InvariantOracle *oracle) { oracles_.push_back(oracle); }
+    void clearOracles() { oracles_.clear(); }
+    void setOracleInterval(std::uint64_t interval)
+    {
+        oracleInterval_ = interval ? interval : 1;
+    }
+    /** @} */
+
+    /**
+     * @name Commit-publication hook.
+     *
+     * Every backend calls notifyCommitPoint() at its commit
+     * linearization point — the moment an attempt's writes become
+     * logically final (USTM: status ➔ Committing; BTM: past the doom
+     * check, before clearing speculative state; TL2: after read-set
+     * validation passes).  The torture harness uses this to publish
+     * the attempt's pending writes into its shadow memory in commit
+     * order.  No-op unless a hook is installed.
+     * @{
+     */
+    void setCommitPublishHook(std::function<void(ThreadContext &)> fn)
+    {
+        commitPublish_ = std::move(fn);
+    }
+
+    void
+    notifyCommitPoint(ThreadContext &tc)
+    {
+        if (commitPublish_)
+            commitPublish_(tc);
+    }
+    /** @} */
+
+    /** Scheduling steps taken so far (== shared-memory-event slices). */
+    std::uint64_t schedSteps() const { return steps_; }
 
     /**
      * A context for untimed-ish setup/verification performed outside
@@ -69,6 +132,8 @@ class Machine
     Cycles completionTime() const;
 
   private:
+    void runOracles();
+
     MachineConfig cfg_;
     SimMemory mem_;
     StatsRegistry stats_;
@@ -76,7 +141,17 @@ class Machine
     std::unique_ptr<MemorySystem> msys_;
     std::vector<std::unique_ptr<ThreadContext>> threads_;
     std::unique_ptr<ThreadContext> initCtx_;
+    std::unique_ptr<SchedulerPolicy> sched_;
+    ScheduleTrace schedule_;
+    std::vector<InvariantOracle *> oracles_;
+    std::function<void(ThreadContext &)> commitPublish_;
+    std::uint64_t oracleInterval_ = 1;
+    std::uint64_t oracleChecks_ = 0;
+    std::uint64_t steps_ = 0;
+    std::uint64_t preemptions_ = 0;
+    ThreadId lastPick_ = -1;
     std::uint64_t txSeq_ = 1;
+    bool recording_ = false;
     bool running_ = false;
 };
 

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Invariant oracles for the tmtorture schedule-exploration harness.
+ *
+ * An oracle is a predicate over the whole simulated machine state that
+ * must hold at every preemption point (i.e. between any two scheduling
+ * steps, when no thread is mid-shared-memory-event).  Machine::run()
+ * evaluates the registered oracles after each resume; a violation
+ * aborts the run by throwing OracleViolation from the scheduler stack
+ * (never across a fiber boundary), leaving the recorded schedule
+ * available for replay and minimization.
+ *
+ * The oracles themselves live next to what they check: backends expose
+ * TxSystem::oracleInvariantsHold() / oracleLineBusy(), and the
+ * torture harness (src/torture) builds the shadow-memory
+ * strong-atomicity oracle on top of Machine's commit-publication hook.
+ */
+
+#ifndef UFOTM_SIM_ORACLE_HH
+#define UFOTM_SIM_ORACLE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace utm {
+
+/** A machine-state invariant checked at preemption points. */
+class InvariantOracle
+{
+  public:
+    virtual ~InvariantOracle() = default;
+
+    /** Stable identifier, e.g. "ustm-lockstep"; used in reports. */
+    virtual const char *name() const = 0;
+
+    /**
+     * @return true if the invariant holds; on failure fill @p why
+     * with a one-line deterministic description of the violation.
+     */
+    virtual bool check(std::string *why) = 0;
+};
+
+/**
+ * Thrown by Machine::run() when an oracle check fails.  Deliberately
+ * not a std::exception subclass: backend code catches those (e.g.
+ * UstmAbortException handling) and must never swallow a violation.
+ */
+struct OracleViolation
+{
+    std::string oracle; ///< InvariantOracle::name() of the failed check.
+    std::string why;    ///< Human-readable description.
+    std::uint64_t step; ///< Scheduling step at which the check failed.
+};
+
+} // namespace utm
+
+#endif // UFOTM_SIM_ORACLE_HH

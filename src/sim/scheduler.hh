@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Pluggable scheduling policies for the deterministic fiber scheduler.
+ *
+ * Machine::run() resumes one thread at a time; a thread runs until its
+ * next shared-memory event (every simulated access yields first), so
+ * one "scheduling step" is exactly one shared-memory-event-granular
+ * slice.  The policy decides which runnable thread takes the next
+ * slice.  All policies are deterministic functions of their seed and
+ * the observed sequence of runnable sets, which keeps every run
+ * bit-reproducible and replayable.
+ *
+ * Policies:
+ *   MinClock   - resume the unfinished thread with the smallest local
+ *                clock (ties: lowest id).  The default; preserves the
+ *                seed repository's bit-exact behaviour, and is the only
+ *                policy under which events complete in
+ *                simulated-timestamp order.
+ *   MaxClock   - adversarial inversion of MinClock: always run the
+ *                thread that is furthest ahead, maximizing timestamp
+ *                disorder.  A starvation bound forces one MinClock pick
+ *                after `starvationBound` consecutive slices of the same
+ *                thread so blocking waits still terminate.
+ *   RandomWalk - uniformly random runnable thread each step.
+ *   Pct        - PCT-style priority scheduling (Burckhardt et al.,
+ *                ASPLOS 2010): random distinct priorities, highest
+ *                runnable priority runs; at `pctChangePoints` seeded
+ *                step numbers the running thread's priority drops to
+ *                lowest.  The same starvation bound as MaxClock demotes
+ *                a thread that spins too long, so blocking STM waits
+ *                cannot livelock the schedule.
+ *   RoundRobin - cycle through runnable threads by id, preempting the
+ *                current thread every `quantum` shared-memory events.
+ *
+ * Record/replay: Machine can record the picked-thread sequence as a
+ * run-length-encoded ScheduleTrace; ReplayScheduler re-issues a trace
+ * verbatim (falling back to MinClock past its end or across removed
+ * blocks), which makes any recorded run -- in particular a failing
+ * torture run -- bit-identical on replay.
+ */
+
+#ifndef UFOTM_SIM_SCHEDULER_HH
+#define UFOTM_SIM_SCHEDULER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace utm {
+
+class StatsRegistry;
+
+/** Which SchedulerPolicy Machine::run() uses. */
+enum class SchedPolicy
+{
+    MinClock,
+    MaxClock,
+    RandomWalk,
+    Pct,
+    RoundRobin,
+};
+
+const char *schedPolicyName(SchedPolicy p);
+
+/** Parse a policy name ("minclock", "random", ...); false if unknown. */
+bool parseSchedPolicy(const std::string &name, SchedPolicy *out);
+
+/** Scheduler selection + knobs; part of MachineConfig. */
+struct SchedulerConfig
+{
+    SchedPolicy policy = SchedPolicy::MinClock;
+
+    /** Policy RNG seed; 0 derives one from MachineConfig::seed. */
+    std::uint64_t seed = 0;
+
+    /** RoundRobin: shared-memory events per slice before preempting. */
+    unsigned quantum = 8;
+
+    /** Pct: number of seeded priority change points. */
+    unsigned pctChangePoints = 8;
+
+    /** Pct: change points are sampled uniformly in [1, this]. */
+    std::uint64_t pctExpectedSteps = 1u << 18;
+
+    /**
+     * MaxClock/Pct: after this many consecutive slices of one thread
+     * while others are runnable, force a fairness pick so blocking
+     * waits (stall polls, victim-unwind loops) still terminate.
+     */
+    unsigned starvationBound = 256;
+};
+
+/** What a policy sees when asked for the next thread. */
+struct SchedulerView
+{
+    struct Runnable
+    {
+        ThreadId id;
+        Cycles clock;
+    };
+
+    const Runnable *runnable; ///< In ascending id order.
+    int n;                    ///< Always >= 1.
+    std::uint64_t step;       ///< Global scheduling step number.
+};
+
+/** Abstract scheduling policy. */
+class SchedulerPolicy
+{
+  public:
+    virtual ~SchedulerPolicy() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Pick the id of one of view.runnable. */
+    virtual ThreadId pick(const SchedulerView &view) = 0;
+
+    /** End-of-run hook for policy-specific counters. */
+    virtual void onRunEnd(StatsRegistry &stats);
+};
+
+/** Build a policy from config; @p machine_seed feeds derived seeding. */
+std::unique_ptr<SchedulerPolicy>
+makeSchedulerPolicy(const SchedulerConfig &cfg,
+                    std::uint64_t machine_seed);
+
+/**
+ * A recorded schedule: the sequence of thread ids picked by the
+ * scheduler, run-length encoded.  Compact, diffable, and serializable
+ * ("ufotm-sched v1" text format) for failure reports and replay files.
+ */
+class ScheduleTrace
+{
+  public:
+    struct Block
+    {
+        ThreadId tid;
+        std::uint64_t count;
+
+        bool operator==(const Block &) const = default;
+    };
+
+    void
+    append(ThreadId tid)
+    {
+        if (!blocks_.empty() && blocks_.back().tid == tid)
+            ++blocks_.back().count;
+        else
+            blocks_.push_back({tid, 1});
+        ++steps_;
+    }
+
+    void appendBlock(ThreadId tid, std::uint64_t count);
+
+    std::uint64_t steps() const { return steps_; }
+    bool empty() const { return blocks_.empty(); }
+    const std::vector<Block> &blocks() const { return blocks_; }
+
+    void clear();
+
+    /** Rebuild from a block list (normalizes adjacent same-tid runs). */
+    static ScheduleTrace fromBlocks(const std::vector<Block> &blocks);
+
+    /** One-line "ufotm-sched v1 <tid>x<count> ..." rendering. */
+    std::string serialize() const;
+    static bool parse(const std::string &text, ScheduleTrace *out);
+
+    bool saveFile(const std::string &path) const;
+    static bool loadFile(const std::string &path, ScheduleTrace *out);
+
+    bool operator==(const ScheduleTrace &) const = default;
+
+  private:
+    std::vector<Block> blocks_;
+    std::uint64_t steps_ = 0;
+};
+
+/**
+ * Replays a recorded ScheduleTrace.  Each step resumes the next
+ * recorded thread; a recorded thread that is no longer runnable (a
+ * minimization removed the block that would have kept it alive, or the
+ * trace came from a divergent run) has its remaining block skipped and
+ * counted as a divergence.  Past the end of the trace the policy
+ * degrades to MinClock, so truncated traces remain executable.
+ */
+class ReplayScheduler final : public SchedulerPolicy
+{
+  public:
+    explicit ReplayScheduler(ScheduleTrace trace);
+
+    const char *name() const override { return "replay"; }
+    ThreadId pick(const SchedulerView &view) override;
+    void onRunEnd(StatsRegistry &stats) override;
+
+    std::uint64_t divergences() const { return divergences_; }
+
+  private:
+    ScheduleTrace trace_;
+    std::size_t block_ = 0;
+    std::uint64_t used_ = 0; ///< Steps consumed from current block.
+    std::uint64_t divergences_ = 0;
+};
+
+} // namespace utm
+
+#endif // UFOTM_SIM_SCHEDULER_HH

@@ -125,6 +125,7 @@ Tl2::txEnd(ThreadContext &tc)
 
     if (tx.writeBuf.empty()) {
         // Read-only transactions commit immediately under TL2.
+        machine_.notifyCommitPoint(tc);
         tx.active = false;
         machine_.stats().inc("tl2.commits");
         UTM_TRACE_EVENT(machine_, tc, TraceEvent::TxCommit,
@@ -167,6 +168,11 @@ Tl2::txEnd(ThreadContext &tc)
         }
     }
 
+    // Commit linearization point: validation passed while holding
+    // every write lock, so the transaction is now irrevocable.
+    tx.committing = true;
+    machine_.notifyCommitPoint(tc);
+
     // Write back and release with the new version.
     for (Addr a : tx.writeOrder) {
         const WriteRec &w = tx.writeBuf.at(a);
@@ -175,10 +181,44 @@ Tl2::txEnd(ThreadContext &tc)
     for (Addr slot : held)
         tc.store(slot, wv << 1, 8);
 
+    tx.committing = false;
     tx.active = false;
     machine_.stats().inc("tl2.commits");
     UTM_TRACE_EVENT(machine_, tc, TraceEvent::TxCommit,
                     TracePath::Software, AbortReason::None);
+}
+
+bool
+Tl2::verifyOracleInvariants(std::string *why) const
+{
+    for (ThreadId t = 0; t < machine_.numThreads(); ++t) {
+        const TxDesc &tx = txs_[t];
+        if (!tx.active && tx.committing) {
+            *why = "thread " + std::to_string(t) +
+                   " committing while not active";
+            return false;
+        }
+        if (tx.writeBuf.size() != tx.writeOrder.size()) {
+            *why = "thread " + std::to_string(t) +
+                   " writeBuf/writeOrder size mismatch";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+Tl2::lineBusy(LineAddr line) const
+{
+    for (ThreadId t = 0; t < machine_.numThreads(); ++t) {
+        const TxDesc &tx = txs_[t];
+        if (!tx.committing)
+            continue;
+        for (Addr a : tx.writeOrder)
+            if (lineOf(a) == line)
+                return true;
+    }
+    return false;
 }
 
 } // namespace utm

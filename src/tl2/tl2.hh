@@ -13,6 +13,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -52,6 +53,19 @@ class Tl2
 
     bool inTx(ThreadId t) const { return txs_[t].active; }
 
+    /** @name tmtorture oracle hooks (sim/oracle.hh). @{ */
+
+    /** Descriptor sanity at preemption points (quiescent ⇒ clean). */
+    bool verifyOracleInvariants(std::string *why) const;
+
+    /**
+     * Is @p line in the redo log of a transaction past its commit
+     * point (validation passed, write-back in flight)?  Lazy
+     * versioning keeps memory clean at all other times.
+     */
+    bool lineBusy(LineAddr line) const;
+    /** @} */
+
   private:
     struct WriteRec
     {
@@ -62,6 +76,7 @@ class Tl2
     struct TxDesc
     {
         bool active = false;
+        bool committing = false; ///< Past validation, writing back.
         std::uint64_t rv = 0; ///< Read version (clock snapshot).
         std::vector<std::pair<Addr, std::uint64_t>> readSet; ///< slot,ver
         std::unordered_map<Addr, WriteRec> writeBuf;

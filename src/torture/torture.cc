@@ -1,0 +1,306 @@
+#include "torture/torture.hh"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "mem/sim_memory.hh"
+#include "rt/heap.hh"
+#include "sim/logging.hh"
+#include "sim/machine.hh"
+#include "sim/oracle.hh"
+#include "sim/rng.hh"
+#include "ustm/ustm.hh"
+
+namespace utm::torture {
+namespace {
+
+/** Per-thread workload RNG seed (decoupled from the machine seed
+ *  stream so the op sequence is identical across policies). */
+std::uint64_t
+workloadSeed(std::uint64_t seed, int tid)
+{
+    return (seed + 1) * 0x9e3779b97f4a7c15ull + std::uint64_t(tid) * 0xbf58476d1ce4e5b9ull;
+}
+
+/** Strong atomicity against the sequential shadow array. */
+class ShadowOracle final : public InvariantOracle
+{
+  public:
+    ShadowOracle(Machine &machine, TxSystem &sys, Addr base,
+                 const std::vector<std::uint64_t> &shadow)
+        : machine_(machine), sys_(sys), base_(base), shadow_(shadow)
+    {
+    }
+
+    const char *name() const override { return "shadow-memory"; }
+
+    bool
+    check(std::string *why) override
+    {
+        for (std::size_t i = 0; i < shadow_.size(); ++i) {
+            const Addr a = base_ + Addr(i) * 8;
+            const std::uint64_t got = machine_.memory().read(a, 8);
+            if (got == shadow_[i])
+                continue;
+            if (sys_.oracleLineBusy(lineOf(a)))
+                continue; // Legitimate in-flight speculative state.
+            *why = "cell " + std::to_string(i) + " = " +
+                   std::to_string(got) + ", shadow = " +
+                   std::to_string(shadow_[i]) +
+                   " (line not busy: committed state diverged "
+                   "from serial replay)";
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    Machine &machine_;
+    TxSystem &sys_;
+    Addr base_;
+    const std::vector<std::uint64_t> &shadow_;
+};
+
+/** Backend-internal invariants (lockstep, undo balance, ...). */
+class BackendOracle final : public InvariantOracle
+{
+  public:
+    explicit BackendOracle(TxSystem &sys) : sys_(sys) {}
+
+    const char *name() const override { return "backend-invariants"; }
+
+    bool check(std::string *why) override
+    {
+        return sys_.oracleInvariantsHold(why);
+    }
+
+  private:
+    TxSystem &sys_;
+};
+
+} // namespace
+
+TortureResult
+runTorture(const TortureConfig &cfg)
+{
+    // NoTm has no concurrency control; racing it is not a TM bug.
+    const int threads = cfg.kind == TxSystemKind::NoTm ? 1 : cfg.threads;
+    // h.syscall() in a hardware transaction aborts it; the unbounded
+    // HTM has no software fallback for Syscall aborts, by design.
+    const bool syscalls = cfg.kind != TxSystemKind::UnboundedHtm;
+
+    MachineConfig mc;
+    mc.numCores = threads;
+    mc.timerQuantum = 0;
+    mc.seed = cfg.seed;
+    mc.sched = cfg.sched;
+    mc.otableBuckets = cfg.otableBuckets;
+
+    auto machine = std::make_unique<Machine>(mc);
+    Machine &m = *machine;
+    TxHeap heap(m);
+    auto sys = TxSystem::create(cfg.kind, m);
+    sys->setup();
+    if (cfg.injectLockstepBug)
+        if (Ustm *ustm = sys->ustmRuntime())
+            ustm->testOnlyBreakUfoLockstep(true);
+
+    const int cells = cfg.cells;
+    const Addr base =
+        heap.allocZeroed(m.initContext(), std::uint64_t(cells) * 8,
+                         /*line_aligned=*/true);
+    const auto cellAddr = [base](int i) { return base + Addr(i) * 8; };
+
+    // Sequential shadow + per-thread per-attempt pending writes.
+    std::vector<std::uint64_t> shadow(cells, 0);
+    std::vector<std::vector<std::pair<int, std::uint64_t>>> pending(
+        threads);
+    std::uint64_t commits = 0;
+    m.setCommitPublishHook([&](ThreadContext &tc) {
+        ++commits;
+        auto &mine = pending[tc.id()];
+        for (const auto &[cell, value] : mine)
+            shadow[cell] = value;
+        mine.clear();
+    });
+
+    BackendOracle backendOracle(*sys);
+    ShadowOracle shadowOracle(m, *sys, base, shadow);
+    if (cfg.oraclesEnabled) {
+        m.addOracle(&backendOracle);
+        m.addOracle(&shadowOracle);
+        m.setOracleInterval(cfg.oracleInterval);
+    }
+
+    if (cfg.replay)
+        m.setSchedulerPolicy(
+            std::make_unique<ReplayScheduler>(*cfg.replay));
+    m.recordSchedule(cfg.record || cfg.replay);
+
+    for (int t = 0; t < threads; ++t) {
+        m.addThread([&, t, cells, syscalls](ThreadContext &tc) {
+            Rng rng(workloadSeed(cfg.seed, t));
+            for (int op = 0; op < cfg.opsPerThread; ++op) {
+                // Draw every parameter BEFORE atomic(): the body is
+                // re-executed on abort and must behave identically.
+                const unsigned mix = unsigned(rng.nextBounded(100));
+                const int i = int(rng.nextBounded(cells));
+                int j = int(rng.nextBounded(cells));
+                if (j == i)
+                    j = (j + 1) % cells;
+                const std::uint64_t amount = rng.nextBounded(1000);
+                const std::uint64_t fresh = rng.next() | 1;
+
+                auto &mine = pending[t];
+                sys->atomic(tc, [&](TxHandle &h) {
+                    mine.clear(); // Idempotent across re-execution.
+                    if (mix < 40) {
+                        // Transfer: moves `amount` from cell i to j.
+                        const std::uint64_t vi = h.read(cellAddr(i), 8);
+                        const std::uint64_t vj = h.read(cellAddr(j), 8);
+                        h.write(cellAddr(i), vi - amount, 8);
+                        h.write(cellAddr(j), vj + amount, 8);
+                        mine.emplace_back(i, vi - amount);
+                        mine.emplace_back(j, vj + amount);
+                    } else if (mix < 65) {
+                        const std::uint64_t v =
+                            h.read(cellAddr(i), 8) + 1;
+                        h.write(cellAddr(i), v, 8);
+                        mine.emplace_back(i, v);
+                    } else if (mix < 80) {
+                        h.write(cellAddr(i), fresh, 8);
+                        mine.emplace_back(i, fresh);
+                    } else if (mix < 90) {
+                        // Read-only scan of a short cell stripe.
+                        for (int k = 0; k < 4; ++k)
+                            (void)h.read(cellAddr((i + k) % cells), 8);
+                    } else if (mix < 95) {
+                        // Forced software path (no-op where there is
+                        // no distinct software path).
+                        h.requireSoftware();
+                        const std::uint64_t v =
+                            h.read(cellAddr(j), 8) + 1;
+                        h.write(cellAddr(j), v, 8);
+                        mine.emplace_back(j, v);
+                    } else {
+                        if (syscalls)
+                            h.syscall();
+                        const std::uint64_t v =
+                            h.read(cellAddr(i), 8) ^ amount;
+                        h.write(cellAddr(i), v, 8);
+                        mine.emplace_back(i, v);
+                    }
+                });
+                tc.advance(10 + rng.nextBounded(40));
+            }
+        });
+    }
+
+    TortureResult res;
+    try {
+        m.run();
+    } catch (const OracleViolation &v) {
+        res.violated = true;
+        res.oracle = v.oracle;
+        res.why = v.why;
+        res.violationStep = v.step;
+    }
+
+    res.steps = m.schedSteps();
+    res.cycles = m.completionTime();
+    res.commits = commits;
+    res.schedule = m.recordedSchedule();
+    res.stats = m.stats().counters();
+
+    if (!res.violated) {
+        res.validated = true;
+        for (int i = 0; i < cells; ++i) {
+            if (m.memory().read(cellAddr(i), 8) != shadow[i]) {
+                res.validated = false;
+                res.oracle = "final-state";
+                res.why = "cell " + std::to_string(i) +
+                          " diverged from shadow after completion";
+                break;
+            }
+        }
+    } else {
+        // Abandoned mid-run: unfinished fibers and in-flight BTM
+        // transactions are expected, not suspicious.
+        setWarningsSuppressed(true);
+        sys.reset();
+        machine.reset();
+        setWarningsSuppressed(false);
+    }
+    return res;
+}
+
+namespace {
+
+/** Replay @p trace under @p base; true if the same oracle fails. */
+bool
+failsSame(const TortureConfig &base, const ScheduleTrace &trace,
+          const std::string &oracle)
+{
+    TortureConfig cfg = base;
+    cfg.replay = &trace;
+    cfg.record = false;
+    TortureResult r = runTorture(cfg);
+    return r.violated && r.oracle == oracle;
+}
+
+/** The first @p steps scheduling steps of @p trace. */
+ScheduleTrace
+truncateTrace(const ScheduleTrace &trace, std::uint64_t steps)
+{
+    ScheduleTrace out;
+    std::uint64_t left = steps;
+    for (const auto &b : trace.blocks()) {
+        if (left == 0)
+            break;
+        const std::uint64_t take = std::min(b.count, left);
+        out.appendBlock(b.tid, take);
+        left -= take;
+    }
+    return out;
+}
+
+} // namespace
+
+MinimizeResult
+minimizeSchedule(const TortureConfig &cfg, const ScheduleTrace &failing,
+                 const std::string &oracle,
+                 std::uint64_t violation_step, int budget)
+{
+    MinimizeResult res;
+    res.schedule = failing;
+
+    // Everything after the violation step was never consumed.
+    ScheduleTrace best = truncateTrace(failing, violation_step);
+    ++res.runs;
+    if (!failsSame(cfg, best, oracle)) {
+        // Try the untruncated trace as a sanity fallback.
+        ++res.runs;
+        if (!failsSame(cfg, failing, oracle))
+            return res; // Not reproducible; keep the original.
+        best = failing;
+    }
+    res.reproduced = true;
+
+    // Greedy single pass, back to front: drop whole RLE blocks while
+    // the replay (with divergence fallback) still fails identically.
+    for (int i = int(best.blocks().size()) - 1;
+         i >= 0 && res.runs < budget; --i) {
+        std::vector<ScheduleTrace::Block> blocks = best.blocks();
+        blocks.erase(blocks.begin() + i);
+        ScheduleTrace candidate = ScheduleTrace::fromBlocks(blocks);
+        ++res.runs;
+        if (failsSame(cfg, candidate, oracle))
+            best = std::move(candidate);
+    }
+
+    res.schedule = std::move(best);
+    return res;
+}
+
+} // namespace utm::torture

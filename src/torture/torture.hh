@@ -1,0 +1,124 @@
+/**
+ * @file
+ * tmtorture: schedule-exploration torture harness.
+ *
+ * One torture run builds a Machine with a chosen SchedulerPolicy,
+ * spins up a randomized multi-threaded workload over a small array of
+ * contended cells, and checks invariant oracles at every preemption
+ * point:
+ *
+ *  - "shadow-memory": strong atomicity against a sequential shadow.
+ *    Each transaction records the (cell, value) pairs it writes; the
+ *    Machine commit-publication hook flushes them into a host-side
+ *    shadow array at the backend's commit linearization point, i.e.
+ *    in commit order.  At every preemption point each cell must equal
+ *    its shadow value unless the backend declares the line busy
+ *    (speculative writer, eager in-flight writes, commit write-back,
+ *    abort unwind) via TxSystem::oracleLineBusy().
+ *  - "backend-invariants": TxSystem::oracleInvariantsHold() — the
+ *    USTM otable<->UFO-bit lockstep invariant, undo-log balance, BTM
+ *    idle-state cleanliness, TL2 write-set consistency.
+ *
+ * A failing run throws OracleViolation out of Machine::run(); the
+ * recorded ScheduleTrace replays it bit-identically, and
+ * minimizeSchedule() greedily shrinks it while preserving the failure.
+ */
+
+#ifndef UFOTM_TORTURE_TORTURE_HH
+#define UFOTM_TORTURE_TORTURE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/tx_system.hh"
+#include "sim/scheduler.hh"
+#include "sim/types.hh"
+
+namespace utm::torture {
+
+/** Parameters of one torture run. */
+struct TortureConfig
+{
+    TxSystemKind kind = TxSystemKind::UfoHybrid;
+    int threads = 4;      ///< Forced to 1 for NoTm (no concurrency control).
+    int opsPerThread = 60;
+    int cells = 48;       ///< 8-byte cells, line-aligned base: ~6 hot lines.
+    std::uint64_t seed = 1;
+
+    /**
+     * Otable buckets for the machine.  Deliberately tiny (vs. the
+     * 65536 default) so distinct hot lines collide in buckets and the
+     * USTM chain-insert / tombstone-reclaim paths get exercised under
+     * adversarial schedules.
+     */
+    unsigned otableBuckets = 4;
+
+    /** Scheduling policy + knobs (ignored when @p replay is set). */
+    SchedulerConfig sched;
+
+    /** Record the schedule (always on when @p replay is set). */
+    bool record = false;
+
+    /** Replay this trace instead of running @p sched. Borrowed. */
+    const ScheduleTrace *replay = nullptr;
+
+    std::uint64_t oracleInterval = 1;
+    bool oraclesEnabled = true;
+
+    /**
+     * Mutation self-test: disable Ustm::installUfo via the test-only
+     * hook, deliberately breaking otable<->UFO lockstep.  Only
+     * meaningful for systems with a strongly-atomic USTM (ufo-hybrid,
+     * ustm-ufo); the harness must then report a
+     * "backend-invariants" violation.
+     */
+    bool injectLockstepBug = false;
+};
+
+/** Outcome of one torture run. */
+struct TortureResult
+{
+    bool violated = false; ///< An oracle threw during the run.
+    std::string oracle;    ///< Failed oracle name (when violated).
+    std::string why;       ///< Violation description.
+    std::uint64_t violationStep = 0;
+
+    bool validated = false; ///< End-of-run shadow equality (when !violated).
+    std::uint64_t steps = 0;
+    Cycles cycles = 0;
+    std::uint64_t commits = 0; ///< Total committed transactions.
+
+    ScheduleTrace schedule; ///< Recorded schedule (when recording).
+    std::map<std::string, std::uint64_t> stats; ///< Final counter map.
+
+    bool ok() const { return !violated && validated; }
+};
+
+/** Run one torture configuration to completion (or first violation). */
+TortureResult runTorture(const TortureConfig &cfg);
+
+/** Outcome of minimizeSchedule(). */
+struct MinimizeResult
+{
+    ScheduleTrace schedule; ///< Smallest schedule still failing.
+    bool reproduced = false;///< Original failure replayed at all.
+    int runs = 0;           ///< Replay runs spent.
+};
+
+/**
+ * Greedily shrink @p failing while the replay still violates oracle
+ * @p oracle: first truncate everything after @p violation_step, then
+ * repeatedly try dropping whole RLE blocks (back to front), keeping
+ * each removal that preserves the failure.  Spends at most @p budget
+ * replay runs.
+ */
+MinimizeResult minimizeSchedule(const TortureConfig &cfg,
+                                const ScheduleTrace &failing,
+                                const std::string &oracle,
+                                std::uint64_t violation_step,
+                                int budget = 200);
+
+} // namespace utm::torture
+
+#endif // UFOTM_TORTURE_TORTURE_HH

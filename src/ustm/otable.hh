@@ -64,6 +64,7 @@ class Otable
     Addr bucketAddr(LineAddr line) const;
     unsigned bucketIndex(LineAddr line) const;
     Addr base() const { return base_; }
+    unsigned buckets() const { return buckets_; }
     Addr end() const { return poolBase_ + poolNodes_ * kEntryBytes; }
     /** @} */
 

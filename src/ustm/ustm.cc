@@ -1,5 +1,7 @@
 #include "ustm/ustm.hh"
 
+#include <sstream>
+
 #include "mem/memory_system.hh"
 #include "sim/logging.hh"
 #include "sim/machine.hh"
@@ -110,6 +112,9 @@ Ustm::txEnd(ThreadContext &tc)
     }
     checkKill(tc); // Last chance to observe a kill.
     tx.status = TxDesc::Status::Committing;
+    // Commit linearization point: past the final kill check, before
+    // ownership release, the eager writes are final.
+    machine_.notifyCommitPoint(tc);
     releaseAll(tc, tx);
     tx.status = TxDesc::Status::Inactive;
     tx.depth = 0;
@@ -180,7 +185,7 @@ Ustm::record(TxDesc &tx, LineAddr line, Addr entry, bool write)
 void
 Ustm::installUfo(ThreadContext &tc, LineAddr line, bool write)
 {
-    if (!strong_)
+    if (!strong_ || breakUfoLockstep_)
         return;
     tc.setUfoBits(line, write ? kUfoBoth : kUfoWriteOnly);
 }
@@ -213,6 +218,20 @@ Ustm::acquire(ThreadContext &tc, TxDesc &tx, LineAddr line,
               bool want_write)
 {
     utm_assert(tx.status == TxDesc::Status::Active);
+    // Jittered backoff between probes of the same row.  A fixed
+    // re-probe cadence can phase-lock with the fixed-cadence lock poll
+    // of an Aborting/Committing thread's releaseEntry() under a
+    // deterministic schedule: every probe (or its lockedAcquire
+    // critical section) lands exactly inside the releaser's
+    // load-to-CAS window, the releaser never wins the row lock, and
+    // the transaction waiting for that victim to unwind spins forever
+    // (found by tmtorture, ustm/minclock seed 4; see
+    // tests/test_tmtorture.cc ReleaseStarvation).  A pseudo-random
+    // probe gap makes the cadence aperiodic, so the releaser's
+    // load-to-CAS window eventually lands with no competing probe in
+    // it.  The mean gap stays at ~1.5x lockBackoff, so overall
+    // contention timing is barely perturbed (same idiom as the TL2
+    // retry backoff).
     for (;;) {
         checkKill(tc); // throws if this transaction was killed
         AcquireStep step = acquireStep(tc, tx, line, want_write);
@@ -220,12 +239,13 @@ Ustm::acquire(ThreadContext &tc, TxDesc &tx, LineAddr line,
           case AcquireStep::Kind::Done:
             return;
           case AcquireStep::Kind::Retry:
-            tc.advance(policy_.lockBackoff);
-            tc.yield();
-            break;
           case AcquireStep::Kind::Conflict:
-            resolveConflict(tc, tx, step.conflictOwners,
-                            otable_.bucketAddr(line));
+            if (step.kind == AcquireStep::Kind::Conflict)
+                resolveConflict(tc, tx, step.conflictOwners,
+                                otable_.bucketAddr(line));
+            tc.advance(policy_.lockBackoff +
+                       tc.rng().nextBounded(policy_.lockBackoff + 1));
+            tc.yield();
             break;
         }
     }
@@ -706,11 +726,179 @@ Ustm::peekOwners(LineAddr line) const
     return 0;
 }
 
+Ustm::PeekedEntry
+Ustm::peekEntry(LineAddr line) const
+{
+    const SimMemory &mem = machine_.memory();
+    const std::uint64_t tag = Otable::tagOf(line);
+    const Addr head = otable_.bucketAddr(line);
+    std::uint64_t w0 = mem.read(head, 8);
+    if (Otable::used(w0) && Otable::tag(w0) == tag) {
+        return {true, Otable::writeState(w0),
+                Otable::multi(w0) ? mem.read(head + 8, 8)
+                                  : 1ull << Otable::owner(w0)};
+    }
+    if (Otable::hasChain(w0)) {
+        Addr node = mem.read(head + 16, 8);
+        while (node != 0) {
+            std::uint64_t nw0 = mem.read(node, 8);
+            if (Otable::used(nw0) && Otable::tag(nw0) == tag) {
+                return {true, Otable::writeState(nw0),
+                        Otable::multi(nw0)
+                            ? mem.read(node + 8, 8)
+                            : 1ull << Otable::owner(nw0)};
+            }
+            node = mem.read(node + 16, 8);
+        }
+    }
+    return {};
+}
+
+bool
+Ustm::rowLocked(LineAddr line) const
+{
+    return Otable::locked(
+        machine_.memory().read(otable_.bucketAddr(line), 8));
+}
+
+bool
+Ustm::anyOwnerRetrying(std::uint64_t owners) const
+{
+    for (int o = 0; owners != 0; ++o, owners >>= 1)
+        if ((owners & 1) &&
+            txs_[o].status == TxDesc::Status::Retrying)
+            return true;
+    return false;
+}
+
+bool
+Ustm::verifyOracleInvariants(std::string *why) const
+{
+    std::ostringstream os;
+
+    // Undo-log balance: outside a transaction (and while parked in
+    // txRetryWait, which restores before parking) the undo log must
+    // be empty, and a quiescent descriptor must hold no ownership.
+    for (ThreadId t = 0; t < machine_.numThreads(); ++t) {
+        const TxDesc &tx = txs_[t];
+        if (tx.status == TxDesc::Status::Inactive &&
+            (!tx.undo.empty() || !tx.owned.empty() || tx.depth != 0)) {
+            os << "thread " << t << " inactive but undo="
+               << tx.undo.size() << " owned=" << tx.owned.size()
+               << " depth=" << tx.depth;
+            *why = os.str();
+            return false;
+        }
+        if (tx.status == TxDesc::Status::Retrying && !tx.undo.empty()) {
+            os << "thread " << t << " parked in retry with "
+               << tx.undo.size() << " unrestored undo records";
+            *why = os.str();
+            return false;
+        }
+    }
+
+    if (!strong_)
+        return true;
+
+    const SimMemory &mem = machine_.memory();
+
+    // Lockstep, direction 1: every owned, published (row unlocked)
+    // otable entry has the protection bits Algorithm 2 installed with
+    // it — fault-on-read+write for write ownership, fault-on-write
+    // for read ownership.
+    for (ThreadId t = 0; t < machine_.numThreads(); ++t) {
+        const TxDesc &tx = txs_[t];
+        if (tx.status == TxDesc::Status::Inactive)
+            continue;
+        for (const auto &o : tx.owned) {
+            if (rowLocked(o.line))
+                continue; // Mid-update under the Algorithm 2 row lock.
+            PeekedEntry e = peekEntry(o.line);
+            if (!e.found || !(e.owners & (1ull << t)))
+                continue; // Already released (mid-releaseAll).
+            if (anyOwnerRetrying(e.owners))
+                continue; // BTM Section 6 may have spec-cleared bits.
+            UfoBits expect = e.write ? kUfoBoth : kUfoWriteOnly;
+            UfoBits got = mem.ufoBits(o.line);
+            if (!(got == expect)) {
+                os << "line 0x" << std::hex << o.line << std::dec
+                   << ": otable " << (e.write ? "write" : "read")
+                   << "-owned (thread " << t << ") but UFO bits are"
+                   << " {r=" << got.faultOnRead
+                   << ",w=" << got.faultOnWrite << "}";
+                *why = os.str();
+                return false;
+            }
+        }
+    }
+
+    // Lockstep, direction 2: every line with UFO protection has a
+    // matching published otable entry.  forEachUfoLine enumerates in
+    // hash order, so aggregate to the lowest violating line to keep
+    // the report deterministic.
+    bool bad = false;
+    LineAddr bad_line = 0;
+    UfoBits bad_bits = kUfoNone;
+    const char *bad_what = nullptr;
+    mem.forEachUfoLine([&](LineAddr line, UfoBits bits) {
+        if (rowLocked(line))
+            return;
+        PeekedEntry e = peekEntry(line);
+        const char *what = nullptr;
+        if (!e.found || e.owners == 0) {
+            what = "no otable owner";
+        } else if (!anyOwnerRetrying(e.owners)) {
+            UfoBits expect = e.write ? kUfoBoth : kUfoWriteOnly;
+            if (!(bits == expect))
+                what = "an otable entry of the other ownership kind";
+        }
+        if (what && (!bad || line < bad_line)) {
+            bad = true;
+            bad_line = line;
+            bad_bits = bits;
+            bad_what = what;
+        }
+    });
+    if (bad) {
+        os << "line 0x" << std::hex << bad_line << std::dec
+           << ": UFO bits {r=" << bad_bits.faultOnRead
+           << ",w=" << bad_bits.faultOnWrite << "} but " << bad_what;
+        *why = os.str();
+        return false;
+    }
+    return true;
+}
+
+bool
+Ustm::lineBusy(LineAddr line) const
+{
+    for (ThreadId t = 0; t < machine_.numThreads(); ++t) {
+        const TxDesc &tx = txs_[t];
+        if (tx.status == TxDesc::Status::Inactive)
+            continue;
+        if (tx.ownedIndex.count(line))
+            return true;
+        for (const auto &u : tx.undo)
+            if (lineOf(u.addr) == line)
+                return true;
+    }
+    return false;
+}
+
 bool
 Ustm::inspectForRetryers(ThreadContext &tc, LineAddr line,
                          std::vector<RetryWakeupHooks::Token> *tokens)
 {
     tc.advance(30); // In-BTM handler execution cost.
+    // A locked row is mid-update and must not be trusted: the
+    // chain-insert and tombstone-reclaim paths of lockedAcquire()
+    // install UFO protection *before* publishing the entry at unlock,
+    // so "no owner" here may really be an about-to-be-published Active
+    // owner.  Clearing the bits in that window would leave a published
+    // entry unprotected (found by tmtorture; see
+    // tests/test_tmtorture.cc InspectRowLockWindow).
+    if (rowLocked(line))
+        return false;
     std::uint64_t owners = peekOwners(line);
     if (owners == 0)
         return true; // Bits mid-release: safe to clear.

@@ -31,6 +31,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -131,6 +132,37 @@ class Ustm
     /** Functional (untimed) owner-set lookup for @p line; used by the
      *  Section 6 hooks and by tests. */
     std::uint64_t peekOwners(LineAddr line) const;
+
+    /**
+     * @name tmtorture oracle hooks (sim/oracle.hh).
+     *
+     * Functional machine-state predicates evaluated at preemption
+     * points only (no thread is mid-shared-memory-event, but a thread
+     * may hold an otable row lock — transient windows under a held
+     * row lock are skipped).
+     * @{
+     */
+
+    /**
+     * Check the otable↔UFO-bit lockstep invariant of Algorithm 2
+     * (every unlocked owned entry has matching protection bits and
+     * vice versa; lines whose owner set includes a parked Retrying
+     * transaction are exempt, since a BTM Section 6 inspect may have
+     * speculatively cleared their bits) and undo-log balance (a
+     * quiescent descriptor holds no undo records and no ownership).
+     */
+    bool verifyOracleInvariants(std::string *why) const;
+
+    /** Is @p line owned by, or in the undo log of, any live tx? */
+    bool lineBusy(LineAddr line) const;
+
+    /**
+     * Test-only mutation hook: skip the UFO-bit install that
+     * Algorithm 2 couples to otable insertion, so the lockstep oracle
+     * can prove it still detects the breakage (harness self-test).
+     */
+    void testOnlyBreakUfoLockstep(bool on) { breakUfoLockstep_ = on; }
+    /** @} */
 
   private:
     struct TxDesc
@@ -238,11 +270,23 @@ class Ustm
     /** Lock the row; returns the locked w0 or 0 on failure. */
     bool lockRow(ThreadContext &tc, Addr head, std::uint64_t w0);
 
+    /** Functional (untimed) otable entry lookup for the oracles. */
+    struct PeekedEntry
+    {
+        bool found = false;
+        bool write = false;
+        std::uint64_t owners = 0;
+    };
+    PeekedEntry peekEntry(LineAddr line) const;
+    bool rowLocked(LineAddr line) const;
+    bool anyOwnerRetrying(std::uint64_t owners) const;
+
     Machine &machine_;
     bool strong_;
     UstmPolicy policy_;
     Otable otable_;
     std::array<TxDesc, kMaxThreads> txs_;
+    bool breakUfoLockstep_ = false;
 };
 
 } // namespace utm

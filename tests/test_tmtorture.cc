@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for the tmtorture schedule-exploration harness (src/torture):
+ *
+ *  - clean runs: the torture workload passes its oracles on every
+ *    backend under every scheduler policy;
+ *  - double-run determinism: the same TortureConfig produces an
+ *    identical result (cycles, steps, counters, schedule) twice, for
+ *    every TxSystemKind;
+ *  - record/replay bit-identity: replaying a recorded schedule
+ *    reproduces the run exactly;
+ *  - mutation self-test: breaking the Algorithm 2 otable<->UFO-bit
+ *    lockstep (via the test-only hook) is caught by the
+ *    backend-invariants oracle, and the failing schedule minimizes to
+ *    a smaller reproducer;
+ *  - regressions for the two organic bugs tmtorture found (the BTM
+ *    inspect row-lock window and the releaseEntry starvation
+ *    livelock).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/tx_system.hh"
+#include "sim/scheduler.hh"
+#include "torture/torture.hh"
+
+namespace utm {
+namespace {
+
+using torture::MinimizeResult;
+using torture::TortureConfig;
+using torture::TortureResult;
+
+/** Small-but-contended config that keeps each run under a second. */
+TortureConfig
+smallConfig(TxSystemKind kind, SchedPolicy policy, std::uint64_t seed)
+{
+    TortureConfig cfg;
+    cfg.kind = kind;
+    cfg.threads = 4;
+    cfg.opsPerThread = 20;
+    cfg.cells = 24;
+    cfg.seed = seed;
+    cfg.sched.policy = policy;
+    cfg.sched.pctExpectedSteps = 1u << 11;
+    return cfg;
+}
+
+constexpr TxSystemKind kAllKinds[] = {
+    TxSystemKind::NoTm,       TxSystemKind::UnboundedHtm,
+    TxSystemKind::UfoHybrid,  TxSystemKind::HyTm,
+    TxSystemKind::PhTm,       TxSystemKind::Ustm,
+    TxSystemKind::UstmStrong, TxSystemKind::Tl2,
+};
+
+constexpr SchedPolicy kAllPolicies[] = {
+    SchedPolicy::MinClock, SchedPolicy::MaxClock,
+    SchedPolicy::RandomWalk, SchedPolicy::Pct, SchedPolicy::RoundRobin,
+};
+
+// ------------------------------------------------ Clean clean sweeps
+
+TEST(TmTorture, EveryBackendEveryPolicyPassesOracles)
+{
+    for (TxSystemKind kind : kAllKinds) {
+        for (SchedPolicy policy : kAllPolicies) {
+            TortureConfig cfg = smallConfig(kind, policy, 3);
+            TortureResult res = torture::runTorture(cfg);
+            EXPECT_TRUE(res.ok())
+                << txSystemKindName(kind) << "/"
+                << schedPolicyName(policy) << ": oracle '" << res.oracle
+                << "' at step " << res.violationStep << ": " << res.why;
+            EXPECT_GT(res.commits, 0u)
+                << txSystemKindName(kind) << "/"
+                << schedPolicyName(policy);
+        }
+    }
+}
+
+// --------------------------------------- Double-run determinism
+
+TEST(TmTorture, DoubleRunDeterminismEveryBackend)
+{
+    // Same config twice => identical timing, counters, and schedule,
+    // for every TxSystemKind.  Catches hidden host-state leaks
+    // (iteration over pointer-keyed containers, uninitialized
+    // values, ...) that would make failing schedules unreplayable.
+    for (TxSystemKind kind : kAllKinds) {
+        TortureConfig cfg =
+            smallConfig(kind, SchedPolicy::RandomWalk, 11);
+        cfg.record = true;
+        TortureResult a = torture::runTorture(cfg);
+        TortureResult b = torture::runTorture(cfg);
+        EXPECT_TRUE(a.ok()) << txSystemKindName(kind) << ": " << a.why;
+        EXPECT_EQ(a.cycles, b.cycles) << txSystemKindName(kind);
+        EXPECT_EQ(a.steps, b.steps) << txSystemKindName(kind);
+        EXPECT_EQ(a.commits, b.commits) << txSystemKindName(kind);
+        EXPECT_EQ(a.stats, b.stats) << txSystemKindName(kind);
+        EXPECT_EQ(a.schedule.serialize(), b.schedule.serialize())
+            << txSystemKindName(kind);
+    }
+}
+
+// ------------------------------------------- Record/replay identity
+
+TEST(TmTorture, ReplayReproducesRunBitIdentically)
+{
+    TortureConfig cfg =
+        smallConfig(TxSystemKind::UfoHybrid, SchedPolicy::RandomWalk, 9);
+    cfg.record = true;
+    TortureResult recorded = torture::runTorture(cfg);
+    ASSERT_TRUE(recorded.ok()) << recorded.why;
+    ASSERT_GT(recorded.schedule.steps(), 0u);
+
+    // Round-trip the trace through its text format, then replay.
+    ScheduleTrace trace;
+    ASSERT_TRUE(
+        ScheduleTrace::parse(recorded.schedule.serialize(), &trace));
+
+    TortureConfig replay_cfg = cfg;
+    replay_cfg.record = false;
+    replay_cfg.replay = &trace;
+    TortureResult replayed = torture::runTorture(replay_cfg);
+    EXPECT_TRUE(replayed.ok()) << replayed.why;
+    EXPECT_EQ(replayed.cycles, recorded.cycles);
+    EXPECT_EQ(replayed.steps, recorded.steps);
+    EXPECT_EQ(replayed.commits, recorded.commits);
+    EXPECT_EQ(replayed.schedule.serialize(),
+              recorded.schedule.serialize());
+
+    // Bit-identity extends to every counter except the scheduler's
+    // own (the replayed run uses ReplayScheduler, not RandomWalk).
+    std::map<std::string, std::uint64_t> a = recorded.stats;
+    std::map<std::string, std::uint64_t> b = replayed.stats;
+    auto drop_sched = [](std::map<std::string, std::uint64_t> *m) {
+        for (auto it = m->begin(); it != m->end();)
+            it = it->first.rfind("sched.", 0) == 0 ? m->erase(it)
+                                                   : std::next(it);
+    };
+    drop_sched(&a);
+    drop_sched(&b);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(replayed.stats.count("sched.replay_divergences"),
+              std::size_t(0));
+}
+
+// --------------------------------------------- Mutation self-test
+
+TEST(TmTorture, LockstepMutationIsCaughtAndMinimized)
+{
+    // Break installUfo via the test-only hook: the lockstep oracle
+    // must fire, and the failing schedule must minimize to a (not
+    // larger) reproducer that still fails the same oracle on replay.
+    TortureConfig cfg =
+        smallConfig(TxSystemKind::UstmStrong, SchedPolicy::MinClock, 1);
+    cfg.record = true;
+    cfg.injectLockstepBug = true;
+    TortureResult res = torture::runTorture(cfg);
+    ASSERT_TRUE(res.violated);
+    EXPECT_EQ(res.oracle, "backend-invariants");
+    EXPECT_NE(res.why.find("UFO bits"), std::string::npos) << res.why;
+
+    MinimizeResult min = torture::minimizeSchedule(
+        cfg, res.schedule, res.oracle, res.violationStep,
+        /*budget=*/60);
+    ASSERT_TRUE(min.reproduced);
+    EXPECT_LE(min.schedule.steps(), res.schedule.steps());
+
+    TortureConfig replay_cfg = cfg;
+    replay_cfg.record = false;
+    replay_cfg.replay = &min.schedule;
+    TortureResult replayed = torture::runTorture(replay_cfg);
+    EXPECT_TRUE(replayed.violated);
+    EXPECT_EQ(replayed.oracle, res.oracle);
+}
+
+TEST(TmTorture, MutationNotInjectedPassesSameConfig)
+{
+    // Control for the self-test: identical config, hook off => green.
+    TortureConfig cfg =
+        smallConfig(TxSystemKind::UstmStrong, SchedPolicy::MinClock, 1);
+    TortureResult res = torture::runTorture(cfg);
+    EXPECT_TRUE(res.ok()) << res.oracle << ": " << res.why;
+}
+
+// ------------------------------------------------ Found-bug pinning
+
+TEST(TmTorture, InspectRowLockWindow)
+{
+    // Regression for an organic tmtorture find: BTM's UFO-fault
+    // inspect hook (Ustm::inspectForRetryers) used to trust
+    // peekOwners() == 0 while the otable row lock was held.  The
+    // chain-insert / tombstone-reclaim paths of lockedAcquire()
+    // install UFO bits *before* publishing the entry at unlock, so the
+    // hook could speculatively clear another transaction's protection
+    // in that window, leaving a published entry unprotected (lockstep
+    // oracle violation).  Needs bucket collisions: tiny otable, many
+    // lines, hybrid backend, write-heavy interleavings.
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        TortureConfig cfg = smallConfig(TxSystemKind::UfoHybrid,
+                                        SchedPolicy::RandomWalk, seed);
+        cfg.threads = 8;
+        cfg.opsPerThread = 40;
+        cfg.cells = 64;
+        cfg.otableBuckets = 2;
+        TortureResult res = torture::runTorture(cfg);
+        EXPECT_TRUE(res.ok())
+            << "seed " << seed << ": oracle '" << res.oracle
+            << "' at step " << res.violationStep << ": " << res.why;
+    }
+}
+
+TEST(TmTorture, ReleaseStarvation)
+{
+    // Regression for the second organic find: with a fixed re-probe
+    // cadence in Ustm::acquire(), the deterministic MinClock schedule
+    // phase-locked two acquirers' row-lock probes over an Aborting
+    // thread's releaseEntry() load-to-CAS window.  The releaser never
+    // won the row lock, and its killer spun forever in the
+    // victim-unwind wait ("victim-unwind wait did not terminate").
+    // Exact original reproducer: ustm (weak), minclock, seed 4,
+    // 4 threads x 60 ops over 48 cells in 4 otable buckets.
+    TortureConfig cfg;
+    cfg.kind = TxSystemKind::Ustm;
+    cfg.threads = 4;
+    cfg.opsPerThread = 60;
+    cfg.cells = 48;
+    cfg.otableBuckets = 4;
+    cfg.seed = 4;
+    cfg.sched.policy = SchedPolicy::MinClock;
+    TortureResult res = torture::runTorture(cfg);
+    EXPECT_TRUE(res.ok()) << res.oracle << ": " << res.why;
+}
+
+} // namespace
+} // namespace utm

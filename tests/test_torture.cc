@@ -16,12 +16,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <map>
+#include <sstream>
 
 #include "core/tx_system.hh"
 #include "rt/heap.hh"
 #include "rt/tx_map.hh"
 #include "sim/machine.hh"
+#include "sim/scheduler.hh"
 #include "stamp/genome.hh"
 #include "stamp/workload.hh"
 
@@ -76,6 +80,88 @@ TEST(Determinism, DifferentSeedDifferentSchedule)
     };
     EXPECT_NE(run(1).cycles, run(2).cycles);
 }
+
+TEST(Determinism, StatsJsonByteIdenticalEveryKind)
+{
+    // Same seed => byte-identical --stats-json output, twice, for
+    // every TxSystemKind.  Guards the whole export path (counters,
+    // histograms, run_config) against hidden nondeterminism.
+    auto slurp = [](const std::string &path) {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        return ss.str();
+    };
+    for (TxSystemKind kind :
+         {TxSystemKind::NoTm, TxSystemKind::UnboundedHtm,
+          TxSystemKind::UfoHybrid, TxSystemKind::HyTm,
+          TxSystemKind::PhTm, TxSystemKind::Ustm,
+          TxSystemKind::UstmStrong, TxSystemKind::Tl2}) {
+        auto run = [&](const std::string &path) {
+            GenomeParams p;
+            p.segments = 128;
+            p.uniquePool = 64;
+            GenomeWorkload w(p);
+            RunConfig cfg;
+            cfg.kind = kind;
+            cfg.threads = kind == TxSystemKind::NoTm ? 1 : 4;
+            cfg.machine.seed = 13;
+            cfg.statsJsonPath = path;
+            return runWorkload(w, cfg);
+        };
+        const std::string pa = "det_stats_a.json";
+        const std::string pb = "det_stats_b.json";
+        RunResult a = run(pa);
+        RunResult b = run(pb);
+        EXPECT_TRUE(a.valid && b.valid) << txSystemKindName(kind);
+        const std::string ja = slurp(pa);
+        const std::string jb = slurp(pb);
+        ASSERT_FALSE(ja.empty()) << txSystemKindName(kind);
+        EXPECT_EQ(ja, jb) << txSystemKindName(kind);
+        std::remove(pa.c_str());
+        std::remove(pb.c_str());
+    }
+}
+
+// ------------------------------------- Scheduler-policy workload sweep
+
+class PolicySweep : public ::testing::TestWithParam<SchedPolicy>
+{
+};
+
+TEST_P(PolicySweep, GenomeValidAndDeterministic)
+{
+    // The Genome workload must stay serializable under every
+    // scheduler policy, and each policy must itself be a
+    // deterministic function of the seed.
+    auto run = [&](std::uint64_t seed) {
+        GenomeParams p;
+        p.segments = 192;
+        p.uniquePool = 96;
+        GenomeWorkload w(p);
+        RunConfig cfg;
+        cfg.kind = TxSystemKind::UfoHybrid;
+        cfg.threads = 4;
+        cfg.machine.seed = seed;
+        cfg.machine.sched.policy = GetParam();
+        cfg.machine.sched.pctExpectedSteps = 1u << 13;
+        return runWorkload(w, cfg);
+    };
+    RunResult a = run(5);
+    RunResult b = run(5);
+    EXPECT_TRUE(a.valid);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.stats, b.stats);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, PolicySweep,
+    ::testing::Values(SchedPolicy::MinClock, SchedPolicy::MaxClock,
+                      SchedPolicy::RandomWalk, SchedPolicy::Pct,
+                      SchedPolicy::RoundRobin),
+    [](const ::testing::TestParamInfo<SchedPolicy> &info) {
+        return std::string(schedPolicyName(info.param));
+    });
 
 // ------------------------------------------- Shadow-model map stress
 

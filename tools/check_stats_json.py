@@ -170,10 +170,10 @@ def check_bench_doc(doc):
     return problems
 
 
-# Matches both single-line inc("x")/observe("x", ...) and the
-# argument spilling to the next line.
+# Matches both single-line inc("x")/set("x", ...)/observe("x", ...)
+# and the argument spilling to the next line.
 LITERAL_RE = re.compile(
-    r'\b(?:inc|observe|get|histogram)\s*\(\s*\n?\s*"([a-z0-9_.]+)"')
+    r'\b(?:inc|set|observe|get|histogram)\s*\(\s*\n?\s*"([a-z0-9_.]+)"')
 TERNARY_RE = re.compile(r'"([a-z0-9_.]+\.[a-z0-9_.]+)"')
 DYNAMIC_RE = re.compile(r'std::string\("([a-z0-9_.]+\.)"\)\s*\+')
 

@@ -1,0 +1,382 @@
+/**
+ * @file
+ * tmtorture CLI: sweep seeds x scheduler policies x TM backends over
+ * the torture workload (src/torture), with invariant oracles enabled,
+ * and emit a "ufotm-torture" JSON report (docs/OBSERVABILITY.md).
+ *
+ *   tmtorture --seeds 50 --policies minclock,random,pct --backends all
+ *
+ * Every failing run's recorded schedule is replayed and greedily
+ * minimized; the report carries both the original and the minimized
+ * trace in the "ufotm-sched v1" format, so
+ *
+ *   tmtorture --backend ufo-hybrid --seed 7 --replay failing.sched
+ *
+ * reproduces it bit-identically.  Exit status is nonzero when any run
+ * violates an oracle or fails end-of-run validation.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/tx_system.hh"
+#include "sim/json.hh"
+#include "sim/scheduler.hh"
+#include "sim/stats_json.hh"
+#include "torture/torture.hh"
+
+namespace {
+
+using namespace utm;
+
+struct Options
+{
+    int seeds = 10;            ///< Number of seeds to sweep.
+    std::uint64_t seed = 1;    ///< First sweep seed / replay seed.
+    std::vector<SchedPolicy> policies{SchedPolicy::MinClock,
+                                      SchedPolicy::RandomWalk,
+                                      SchedPolicy::Pct};
+    std::vector<TxSystemKind> backends;
+    int threads = 4;
+    int ops = 60;
+    int cells = 48;
+    unsigned otableBuckets = 4;
+    std::uint64_t oracleInterval = 1;
+    std::uint64_t pctSteps = 1u << 12; ///< ~ observed steps per run.
+    int minimizeBudget = 200;
+    bool injectLockstepBug = false;
+    std::string out = "tmtorture.json";
+    std::string replayPath; ///< Replay mode when non-empty.
+    TxSystemKind replayBackend = TxSystemKind::UfoHybrid;
+};
+
+const std::vector<TxSystemKind> kAllBackends = {
+    TxSystemKind::UnboundedHtm, TxSystemKind::UfoHybrid,
+    TxSystemKind::HyTm,         TxSystemKind::PhTm,
+    TxSystemKind::Ustm,         TxSystemKind::UstmStrong,
+    TxSystemKind::Tl2,
+};
+
+bool
+parseBackend(std::string name, TxSystemKind *out)
+{
+    for (auto &c : name)
+        if (c == '_')
+            c = '-';
+    if (name == "btm") { // Paper's name for the unbounded-HTM config.
+        *out = TxSystemKind::UnboundedHtm;
+        return true;
+    }
+    for (TxSystemKind k :
+         {TxSystemKind::NoTm, TxSystemKind::UnboundedHtm,
+          TxSystemKind::UfoHybrid, TxSystemKind::HyTm,
+          TxSystemKind::PhTm, TxSystemKind::Ustm,
+          TxSystemKind::UstmStrong, TxSystemKind::Tl2}) {
+        if (name == txSystemKindName(k)) {
+            *out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        std::size_t comma = s.find(',', start);
+        if (comma == std::string::npos)
+            comma = s.size();
+        if (comma > start)
+            out.push_back(s.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --seeds N            sweep N machine seeds from --seed\n"
+        "                       (default 10, i.e. seeds 1..10)\n"
+        "  --policies LIST      csv of minclock,maxclock,random,pct,\n"
+        "                       roundrobin, or 'all'\n"
+        "  --backends LIST      csv of btm,ufo-hybrid,hytm,phtm,ustm,\n"
+        "                       ustm-ufo,tl2,no-tm, or 'all'\n"
+        "  --threads N          workload threads (default 4)\n"
+        "  --ops N              transactions per thread (default 60)\n"
+        "  --cells N            contended 8-byte cells (default 48)\n"
+        "  --otable-buckets N   otable buckets; small values force\n"
+        "                       bucket collisions (default 4)\n"
+        "  --oracle-interval N  check oracles every N steps (default 1)\n"
+        "  --pct-steps N        PCT change-point range (default 4096)\n"
+        "  --minimize-budget N  replay runs for minimization (default 200)\n"
+        "  --inject-lockstep-bug  mutation self-test: break installUfo\n"
+        "  --out PATH           JSON report path ('-' = stdout;\n"
+        "                       default tmtorture.json)\n"
+        "  --replay FILE        replay one recorded schedule (with\n"
+        "                       --backend and --seed)\n"
+        "  --backend NAME       backend for --replay\n"
+        "  --seed N             first sweep seed / replay seed "
+        "(default 1)\n",
+        argv0);
+    std::exit(2);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--seeds") {
+            opt.seeds = std::atoi(need(i));
+        } else if (a == "--seed") {
+            opt.seed = std::strtoull(need(i), nullptr, 0);
+        } else if (a == "--policies") {
+            const std::string v = need(i);
+            opt.policies.clear();
+            if (v == "all") {
+                opt.policies = {SchedPolicy::MinClock,
+                                SchedPolicy::MaxClock,
+                                SchedPolicy::RandomWalk,
+                                SchedPolicy::Pct,
+                                SchedPolicy::RoundRobin};
+            } else {
+                for (const auto &name : splitCsv(v)) {
+                    SchedPolicy p;
+                    if (!parseSchedPolicy(name, &p)) {
+                        std::fprintf(stderr,
+                                     "unknown policy '%s'\n",
+                                     name.c_str());
+                        usage(argv[0]);
+                    }
+                    opt.policies.push_back(p);
+                }
+            }
+        } else if (a == "--backends") {
+            const std::string v = need(i);
+            opt.backends.clear();
+            if (v == "all") {
+                opt.backends = kAllBackends;
+            } else {
+                for (const auto &name : splitCsv(v)) {
+                    TxSystemKind k;
+                    if (!parseBackend(name, &k)) {
+                        std::fprintf(stderr,
+                                     "unknown backend '%s'\n",
+                                     name.c_str());
+                        usage(argv[0]);
+                    }
+                    opt.backends.push_back(k);
+                }
+            }
+        } else if (a == "--backend") {
+            if (!parseBackend(need(i), &opt.replayBackend))
+                usage(argv[0]);
+        } else if (a == "--threads") {
+            opt.threads = std::atoi(need(i));
+        } else if (a == "--ops") {
+            opt.ops = std::atoi(need(i));
+        } else if (a == "--cells") {
+            opt.cells = std::atoi(need(i));
+        } else if (a == "--otable-buckets") {
+            opt.otableBuckets = unsigned(std::atoi(need(i)));
+        } else if (a == "--oracle-interval") {
+            opt.oracleInterval = std::strtoull(need(i), nullptr, 0);
+        } else if (a == "--pct-steps") {
+            opt.pctSteps = std::strtoull(need(i), nullptr, 0);
+        } else if (a == "--minimize-budget") {
+            opt.minimizeBudget = std::atoi(need(i));
+        } else if (a == "--inject-lockstep-bug") {
+            opt.injectLockstepBug = true;
+        } else if (a == "--out") {
+            opt.out = need(i);
+        } else if (a == "--replay") {
+            opt.replayPath = need(i);
+        } else if (a == "--help" || a == "-h") {
+            usage(argv[0]);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            usage(argv[0]);
+        }
+    }
+    if (opt.backends.empty())
+        opt.backends = kAllBackends;
+    return opt;
+}
+
+torture::TortureConfig
+makeConfig(const Options &opt, TxSystemKind kind, SchedPolicy policy,
+           std::uint64_t seed)
+{
+    torture::TortureConfig cfg;
+    cfg.kind = kind;
+    cfg.threads = opt.threads;
+    cfg.opsPerThread = opt.ops;
+    cfg.cells = opt.cells;
+    cfg.otableBuckets = opt.otableBuckets;
+    cfg.seed = seed;
+    cfg.sched.policy = policy;
+    cfg.sched.pctExpectedSteps = opt.pctSteps;
+    cfg.oracleInterval = opt.oracleInterval;
+    cfg.record = true;
+    cfg.injectLockstepBug = opt.injectLockstepBug;
+    return cfg;
+}
+
+void
+writeRun(json::Writer &w, const torture::TortureConfig &cfg,
+         const torture::TortureResult &res,
+         const torture::MinimizeResult *minimized)
+{
+    w.beginObject();
+    w.kv("backend", txSystemKindName(cfg.kind));
+    w.kv("policy", schedPolicyName(cfg.sched.policy));
+    w.kv("seed", cfg.seed);
+    w.kv("ok", res.ok());
+    w.kv("steps", res.steps);
+    w.kv("cycles", res.cycles);
+    w.kv("commits", res.commits);
+    auto it = res.stats.find("torture.oracle_checks");
+    w.kv("oracle_checks",
+         it == res.stats.end() ? std::uint64_t(0) : it->second);
+    if (!res.ok()) {
+        w.key("violation").beginObject();
+        w.kv("oracle", res.oracle);
+        w.kv("why", res.why);
+        w.kv("step", res.violationStep);
+        w.endObject();
+        w.kv("schedule", res.schedule.serialize());
+        if (minimized) {
+            w.kv("minimized", minimized->reproduced);
+            w.kv("minimized_schedule",
+                 minimized->schedule.serialize());
+            w.kv("minimized_steps", minimized->schedule.steps());
+            w.kv("minimize_runs", minimized->runs);
+        }
+    }
+    w.endObject();
+}
+
+int
+replayMode(const Options &opt)
+{
+    ScheduleTrace trace;
+    if (!ScheduleTrace::loadFile(opt.replayPath, &trace)) {
+        std::fprintf(stderr, "cannot load schedule '%s'\n",
+                     opt.replayPath.c_str());
+        return 2;
+    }
+    torture::TortureConfig cfg = makeConfig(
+        opt, opt.replayBackend, SchedPolicy::MinClock, opt.seed);
+    cfg.replay = &trace;
+    const torture::TortureResult res = torture::runTorture(cfg);
+    if (res.ok()) {
+        std::printf("replay OK: %s seed %llu, %llu steps, "
+                    "%llu commits\n",
+                    txSystemKindName(cfg.kind),
+                    (unsigned long long)cfg.seed,
+                    (unsigned long long)res.steps,
+                    (unsigned long long)res.commits);
+        return 0;
+    }
+    std::printf("replay FAILED: oracle '%s' at step %llu: %s\n",
+                res.oracle.c_str(),
+                (unsigned long long)res.violationStep,
+                res.why.c_str());
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+    if (!opt.replayPath.empty())
+        return replayMode(opt);
+
+    json::Writer w;
+    w.beginObject();
+    w.kv("schema", "ufotm-torture");
+    w.kv("schema_version", 1);
+    w.key("config").beginObject();
+    w.kv("seeds", opt.seeds);
+    w.kv("threads", opt.threads);
+    w.kv("ops_per_thread", opt.ops);
+    w.kv("cells", opt.cells);
+    w.kv("otable_buckets", opt.otableBuckets);
+    w.kv("oracle_interval", opt.oracleInterval);
+    w.kv("inject_lockstep_bug", opt.injectLockstepBug);
+    w.endObject();
+    w.key("runs").beginArray();
+
+    int total = 0, failures = 0;
+    for (TxSystemKind kind : opt.backends) {
+        for (SchedPolicy policy : opt.policies) {
+            for (int i = 0; i < opt.seeds; ++i) {
+                const std::uint64_t s = opt.seed + std::uint64_t(i);
+                torture::TortureConfig cfg =
+                    makeConfig(opt, kind, policy, s);
+                const torture::TortureResult res =
+                    torture::runTorture(cfg);
+                ++total;
+                if (res.ok()) {
+                    writeRun(w, cfg, res, nullptr);
+                    continue;
+                }
+                ++failures;
+                std::fprintf(
+                    stderr,
+                    "FAIL %s/%s seed %llu: %s at step %llu: %s\n",
+                    txSystemKindName(kind), schedPolicyName(policy),
+                    (unsigned long long)s, res.oracle.c_str(),
+                    (unsigned long long)res.violationStep,
+                    res.why.c_str());
+                torture::MinimizeResult min = torture::minimizeSchedule(
+                    cfg, res.schedule, res.oracle, res.violationStep,
+                    opt.minimizeBudget);
+                std::fprintf(
+                    stderr,
+                    "  minimized %llu -> %llu steps (%d replays)\n",
+                    (unsigned long long)res.schedule.steps(),
+                    (unsigned long long)min.schedule.steps(),
+                    min.runs);
+                writeRun(w, cfg, res, &min);
+            }
+        }
+        std::fprintf(stderr, "%-13s done (%d policies x %d seeds)\n",
+                     txSystemKindName(kind), int(opt.policies.size()),
+                     opt.seeds);
+    }
+
+    w.endArray();
+    w.key("summary").beginObject();
+    w.kv("runs", total);
+    w.kv("failures", failures);
+    w.endObject();
+    w.endObject();
+
+    if (!stats::writeFile(opt.out, w.str() + "\n")) {
+        std::fprintf(stderr, "cannot write report '%s'\n",
+                     opt.out.c_str());
+        return 2;
+    }
+    std::fprintf(stderr, "tmtorture: %d runs, %d failures -> %s\n",
+                 total, failures, opt.out.c_str());
+    return failures ? 1 : 0;
+}
