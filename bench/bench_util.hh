@@ -30,6 +30,14 @@
 
 namespace utm::bench {
 
+/**
+ * The "ufotm-bench" document's own schema version — decoupled from
+ * stats::kSchemaVersion so stats-schema revisions don't silently
+ * re-version the bench documents (tools/benchdiff.py and committed
+ * bench/baselines/ depend on this staying stable).
+ */
+constexpr int kBenchSchemaVersion = 1;
+
 /** The STAMP-like benchmark set of Figure 5/6. */
 struct BenchSpec
 {
@@ -199,7 +207,7 @@ class JsonReport
         json::Writer w;
         w.beginObject();
         w.kv("schema", "ufotm-bench");
-        w.kv("schema_version", stats::kSchemaVersion);
+        w.kv("schema_version", kBenchSchemaVersion);
         w.kv("bench", bench_);
         w.key("rows").beginArray();
         for (const std::string &r : rows_)

@@ -79,6 +79,7 @@ BtmUnit::txEnd()
         --depth_;
         return;
     }
+    UTM_PROF_PHASE(machine_, tc_, ProfComp::Btm, ProfPhase::Commit);
     // Commit is a coherence event (flash clear): let lower-clock
     // threads act first -- they may still wound us.
     tc_.yield();
@@ -166,6 +167,8 @@ BtmUnit::wound(AbortReason r, ThreadId killer)
 void
 BtmUnit::takePendingAbort()
 {
+    UTM_PROF_PHASE(machine_, tc_, ProfComp::Btm,
+                   ProfPhase::AbortUnwind);
     utm_assert(inTx_ && doomed_);
     AbortReason r = doomReason_;
     Addr a = doomAddr_;
@@ -185,6 +188,8 @@ BtmUnit::takePendingAbort()
 void
 BtmUnit::raiseAbort(AbortReason r, Addr a)
 {
+    UTM_PROF_PHASE(machine_, tc_, ProfComp::Btm,
+                   ProfPhase::AbortUnwind);
     utm_assert(inTx_);
     if (!doomed_)
         rollback(/*invalidate_writes=*/true);
@@ -204,6 +209,8 @@ BtmUnit::raiseAbort(AbortReason r, Addr a)
 void
 BtmUnit::onUfoFault(Addr a, AccessType t)
 {
+    UTM_PROF_PHASE(machine_, tc_, ProfComp::Btm,
+                   ProfPhase::UfoHandler);
     utm_assert(inTx_);
     machine_.stats().inc("btm.ufo_faults");
     UTM_TRACE_EVENT(machine_, tc_, TraceEvent::UfoFault,
@@ -236,6 +243,7 @@ BtmUnit::onUfoFault(Addr a, AccessType t)
     // Stall policy (Figure 8, bar 3): hold the access until the STM
     // clears the protection, aborting only if wounded meanwhile.
     machine_.stats().inc("btm.ufo_stalls");
+    UTM_PROF_PHASE(machine_, tc_, ProfComp::Btm, ProfPhase::Stall);
     for (;;) {
         if (doomed_)
             takePendingAbort();

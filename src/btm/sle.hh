@@ -78,6 +78,7 @@ elideLock(ThreadContext &tc, BtmUnit &btm, SimSpinLock &lock, Fn &&body,
             return true;
         } catch (const BtmAbortException &) {
             m.stats().inc("sle.speculation_failed");
+            UTM_PROF_PHASE(m, tc, ProfComp::Sle, ProfPhase::Backoff);
             tc.advance(Cycles(40) << attempt);
             tc.yield();
         }

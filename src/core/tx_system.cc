@@ -343,6 +343,8 @@ class Tl2System final : public TxSystem
                 ++attempts;
                 const int exp = std::min(attempts, policy_.backoffMaxExp);
                 const Cycles base = policy_.backoffBase << exp;
+                UTM_PROF_PHASE(machine_, tc, ProfComp::Tm,
+                               ProfPhase::Backoff);
                 tc.advance(base + tc.rng().nextBounded(base + 1));
                 tc.yield();
             }

@@ -21,6 +21,7 @@ BtmAbortHandler::backoff(ThreadContext &tc, int attempt)
     const int exp = std::min(attempt, policy_.backoffMaxExp);
     const Cycles base = policy_.backoffBase << exp;
     const Cycles jitter = tc.rng().nextBounded(base + 1);
+    UTM_PROF_PHASE(machine_, tc, ProfComp::Tm, ProfPhase::Backoff);
     tc.advance(base + jitter);
     tc.yield();
 }

@@ -32,6 +32,8 @@ HyTm::atomic(ThreadContext &tc, const Body &body)
 void
 HyTm::hwBarrier(ThreadContext &tc, LineAddr line, bool is_write)
 {
+    UTM_PROF_PHASE(machine_, tc, ProfComp::HyTm,
+                   ProfPhase::OtableWalk);
     auto &memo = checked_[tc.id()];
     const int need = is_write ? 2 : 1;
     auto mit = memo.find(line);

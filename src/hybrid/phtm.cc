@@ -68,6 +68,8 @@ PhTm::atomic(ThreadContext &tc, const Body &body)
                 (e.reason == AbortReason::Explicit ||
                  e.reason == AbortReason::NonTConflict)) {
                 machine_.stats().inc("phtm.phase_aborts");
+                UTM_PROF_PHASE(machine_, tc, ProfComp::PhTm,
+                               ProfPhase::Stall);
                 while (tc.load(kNeedStmAddr, 8) == 0 &&
                        tc.load(kStmCountAddr, 8) != 0) {
                     machine_.stats().inc("phtm.phase_stalls");

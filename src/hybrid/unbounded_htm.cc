@@ -62,6 +62,8 @@ UnboundedHtm::atomic(ThreadContext &tc, const Body &body)
                 const int exp =
                     std::min(conflicts, policy_.backoffMaxExp);
                 const Cycles base = policy_.backoffBase << exp;
+                UTM_PROF_PHASE(machine_, tc, ProfComp::Tm,
+                               ProfPhase::Backoff);
                 tc.advance(base + tc.rng().nextBounded(base + 1));
                 tc.yield();
                 continue;

@@ -238,10 +238,13 @@ MemorySystem::resolveSpecConflicts(ThreadContext &tc, LineAddr line,
             requester_wins = me->txAge() < vc->txAge();
             reason = AbortReason::Conflict;
         }
-        if (requester_wins)
+        if (requester_wins) {
+            if (!vc->doomed())
+                machine_.contention().btmHotLines().observe(line);
             vc->wound(reason, self);
-        else
+        } else {
             return false; // NACKed; retry after the delay.
+        }
     }
     return true;
 }
@@ -369,6 +372,8 @@ MemorySystem::ufoSet(ThreadContext &tc, LineAddr line, UfoBits bits)
                     continue;
                 }
             }
+            if (!vc->doomed())
+                machine_.contention().btmHotLines().observe(line);
             vc->wound(AbortReason::UfoBitSet, tc.id());
         }
     }

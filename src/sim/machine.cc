@@ -88,6 +88,7 @@ Machine::run()
         throw;
     }
     sched_->onRunEnd(stats_);
+    prof_.finalize(*this);
     // Hot-path scheduler counters are accumulated in plain members and
     // exported once here, keeping the per-step cost to integer adds.
     stats_.set("sched.steps", steps_);

@@ -24,6 +24,7 @@
 
 #include "mem/sim_memory.hh"
 #include "sim/config.hh"
+#include "sim/prof.hh"
 #include "sim/scheduler.hh"
 #include "sim/stats.hh"
 #include "sim/thread_context.hh"
@@ -124,6 +125,8 @@ class Machine
     MemorySystem &memsys() { return *msys_; }
     StatsRegistry &stats() { return stats_; }
     TxTracer &tracer() { return tracer_; }
+    CycleProfiler &profiler() { return prof_; }
+    ContentionTracker &contention() { return contention_; }
 
     int numThreads() const { return static_cast<int>(threads_.size()); }
     ThreadContext &thread(ThreadId t) { return *threads_.at(t); }
@@ -138,6 +141,8 @@ class Machine
     SimMemory mem_;
     StatsRegistry stats_;
     TxTracer tracer_;
+    CycleProfiler prof_;
+    ContentionTracker contention_;
     std::unique_ptr<MemorySystem> msys_;
     std::vector<std::unique_ptr<ThreadContext>> threads_;
     std::unique_ptr<ThreadContext> initCtx_;

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Deterministic cycle-accounting profiler and contention attribution.
+ *
+ * The stats layer counts *events*; the paper's Section 5 claims are
+ * about *cycles* — barrier overhead, commit cost, stall time.  The
+ * profiler charges every simulated cycle of every worker thread to a
+ * phase via scoped annotations (UTM_PROF_PHASE) placed in the TM
+ * backends.  Attribution is exclusive: a cycle is charged to the
+ * innermost open phase scope, and cycles outside any scope accrue to
+ * the `app` residual, so for each thread
+ *
+ *     sum over phases(cycles) + app == thread total cycles
+ *
+ * holds exactly.  Aggregates are exported as
+ * `prof.cycles.<component>.<phase>` counters and surfaced in the
+ * stats-JSON `profile` section; per-thread breakdowns appear as
+ * `per_thread[].phase_cycles`.
+ *
+ * The profiler is purely observational — it never advances simulated
+ * time — so enabling it cannot perturb an execution.  Configuring
+ * with -DUFOTM_PROFILING=OFF defines UTM_PROFILING=0 and compiles
+ * every UTM_PROF_PHASE site away, mirroring UFOTM_TRACING.
+ *
+ * This header also hosts the contention-attribution helpers: a
+ * Misra–Gries top-K hot-line table (space-capped heavy hitters over
+ * conflicting cache lines) and the otable chain-length /
+ * row-lock-wait histograms, surfaced as the stats-JSON `contention`
+ * section.  These are always compiled in (they are plain observation
+ * calls, not scopes) so the schema does not vary across builds.
+ */
+
+#ifndef UFOTM_SIM_PROF_HH
+#define UFOTM_SIM_PROF_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+#ifndef UTM_PROFILING
+#define UTM_PROFILING 1
+#endif
+
+namespace utm {
+
+class Machine;
+class ThreadContext;
+
+/** Which TM layer a phase scope belongs to. */
+enum class ProfComp : std::uint8_t {
+    Ustm,
+    Btm,
+    Tl2,
+    HyTm,
+    PhTm,
+    Sle,
+    Tm, ///< The hybrid dispatch layer (failover, retry backoff).
+};
+constexpr int kNumProfComps = 7;
+
+/** What the thread is doing inside the scope. */
+enum class ProfPhase : std::uint8_t {
+    BarrierRead,
+    BarrierWrite,
+    Commit,
+    AbortUnwind,
+    Stall,
+    Backoff,
+    RetryWait,
+    UfoHandler,
+    OtableWalk,
+    NonTx,
+};
+constexpr int kNumProfPhases = 10;
+
+const char *profCompName(ProfComp c);
+const char *profPhaseName(ProfPhase p);
+
+/** "<component>.<phase>" for a flattened slot index. */
+std::string profSlotName(int slot);
+
+/**
+ * Per-thread phase-cycle accounting.
+ *
+ * Each thread carries a stack of open phase scopes and a low-water
+ * mark (the thread-local cycle count at the last attribution event).
+ * Every push/pop flushes the cycles since the mark to the scope that
+ * was on top — or to the `app` residual when the stack is empty —
+ * which makes attribution exclusive and the per-thread sum exact by
+ * construction.
+ */
+class CycleProfiler
+{
+  public:
+    static constexpr int kNumSlots = kNumProfComps * kNumProfPhases;
+    static constexpr int kMaxDepth = 16;
+
+    static constexpr int
+    slot(ProfComp c, ProfPhase p)
+    {
+        return static_cast<int>(c) * kNumProfPhases +
+               static_cast<int>(p);
+    }
+
+    /** Open a phase scope for thread @p t at thread-local time @p now. */
+    void push(ThreadId t, Cycles now, ProfComp c, ProfPhase p);
+
+    /** Close the innermost scope for thread @p t. */
+    void pop(ThreadId t, Cycles now);
+
+    /**
+     * A thread's attribution with the pending span (cycles since the
+     * last push/pop) charged, without mutating profiler state.  Safe
+     * to call at any point; at @p now == the thread's final clock the
+     * invariant sum(cycles) + app == total holds.
+     */
+    struct Snapshot
+    {
+        std::array<Cycles, kNumSlots> cycles{};
+        Cycles app = 0;
+    };
+    Snapshot snapshot(ThreadId t, Cycles now) const;
+
+    /**
+     * Flush every worker thread at its final clock and export the
+     * aggregate `prof.cycles.<component>.<phase>` (+ `prof.cycles.app`)
+     * counters.  Called once by Machine::run() after the scheduler
+     * loop drains.  No-op when compiled with UTM_PROFILING=0.
+     */
+    void finalize(Machine &machine);
+
+  private:
+    struct PerThread
+    {
+        std::array<Cycles, kNumSlots> cycles{};
+        Cycles app = 0;
+        Cycles lastMark = 0;
+        std::array<std::int8_t, kMaxDepth> stack{};
+        int depth = 0;
+    };
+
+    /** Charge [lastMark, now) to the innermost scope (or app). */
+    void flushTo(PerThread &pt, Cycles now);
+
+    std::array<PerThread, kMaxThreads> threads_{};
+};
+
+/**
+ * RAII phase scope; create via UTM_PROF_PHASE.  Exception-safe: TM
+ * abort paths throw through these, and stack unwinding closes the
+ * scopes in LIFO order, keeping attribution consistent.
+ */
+class ProfScope
+{
+  public:
+    ProfScope(Machine &machine, ThreadContext &tc, ProfComp c,
+              ProfPhase p);
+    ~ProfScope();
+
+    ProfScope(const ProfScope &) = delete;
+    ProfScope &operator=(const ProfScope &) = delete;
+
+  private:
+    CycleProfiler &prof_;
+    ThreadContext &tc_;
+};
+
+#if UTM_PROFILING
+#define UTM_PROF_CONCAT2(a, b) a##b
+#define UTM_PROF_CONCAT(a, b) UTM_PROF_CONCAT2(a, b)
+#define UTM_PROF_PHASE(machine, tc, comp, phase)                        \
+    ::utm::ProfScope UTM_PROF_CONCAT(utm_prof_scope_, __LINE__)(        \
+        (machine), (tc), (comp), (phase))
+#else
+#define UTM_PROF_PHASE(machine, tc, comp, phase) ((void)0)
+#endif
+
+/**
+ * Misra–Gries heavy-hitters table over cache-line addresses: at most
+ * @p k candidate lines are tracked regardless of how many distinct
+ * lines conflict.  Guarantees sum(stored counts) <= observed(), and
+ * any line with true frequency > observed()/(k+1) is present — which
+ * is exactly the "which lines are hot" question with bounded space.
+ */
+class HotLineTable
+{
+  public:
+    static constexpr int kDefaultK = 16;
+
+    explicit HotLineTable(int k = kDefaultK) : k_(k) {}
+
+    void observe(LineAddr line);
+
+    struct Entry
+    {
+        LineAddr line;
+        std::uint64_t count;
+    };
+
+    /** Tracked lines, count-descending (ties by ascending line). */
+    std::vector<Entry> top() const;
+
+    std::uint64_t observed() const { return observed_; }
+
+  private:
+    int k_;
+    std::uint64_t observed_ = 0;
+    std::unordered_map<LineAddr, std::uint64_t> counts_;
+};
+
+/**
+ * Contention attribution owned by the Machine: per-backend hot-line
+ * tables plus otable shape/wait histograms, exported as the
+ * stats-JSON `contention` section.
+ */
+class ContentionTracker
+{
+  public:
+    /** Lines observed at USTM conflict resolution (<= ustm.conflicts). */
+    HotLineTable &ustmHotLines() { return ustm_; }
+    const HotLineTable &ustmHotLines() const { return ustm_; }
+
+    /** Lines observed at BTM spec-conflict wounds (<= btm.wounds). */
+    HotLineTable &btmHotLines() { return btm_; }
+    const HotLineTable &btmHotLines() const { return btm_; }
+
+    /** Otable chain length after each chain insert (aliasing depth). */
+    Histogram &chainLen() { return chainLen_; }
+    const Histogram &chainLen() const { return chainLen_; }
+
+    /** Cycles spent waiting on contended otable rows per barrier. */
+    Histogram &rowLockWait() { return rowLockWait_; }
+    const Histogram &rowLockWait() const { return rowLockWait_; }
+
+  private:
+    HotLineTable ustm_;
+    HotLineTable btm_;
+    Histogram chainLen_;
+    Histogram rowLockWait_;
+};
+
+} // namespace utm
+
+#endif // UFOTM_SIM_PROF_HH

@@ -5,6 +5,7 @@
 
 #include "sim/json.hh"
 #include "sim/machine.hh"
+#include "sim/prof.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 
@@ -123,6 +124,50 @@ dumpJson(Machine &machine, const RunMeta &meta)
     emitCounters(w, reg);
     emitHistograms(w, reg);
 
+    // Schema v2: the profiler's aggregate phase-cycle breakdown,
+    // mirrored from the prof.cycles.* counters (so the two can never
+    // disagree).  Empty when compiled with UTM_PROFILING=0.
+    w.key("profile").beginObject();
+    {
+        const std::string prefix = "prof.cycles.";
+        for (const auto &[name, value] : reg.counters())
+            if (name.compare(0, prefix.size(), prefix) == 0)
+                w.kv(name.substr(prefix.size()), value);
+    }
+    w.endObject();
+
+    // Schema v2: contention attribution — per-backend hot-line tables
+    // (Misra–Gries top-K; count sums are a lower bound on the owning
+    // backend's conflict counter) and the otable shape/wait
+    // histograms.
+    w.key("contention").beginObject();
+    {
+        const ContentionTracker &ct = machine.contention();
+        w.key("hot_lines").beginObject();
+        const std::pair<const char *, const HotLineTable *> tables[] = {
+            {"ustm", &ct.ustmHotLines()},
+            {"btm", &ct.btmHotLines()},
+        };
+        for (const auto &[backend, table] : tables) {
+            w.key(backend).beginArray();
+            for (const auto &e : table->top()) {
+                w.beginObject();
+                w.kv("line", e.line);
+                w.kv("count", e.count);
+                w.endObject();
+            }
+            w.endArray();
+        }
+        w.endObject();
+        w.key("otable").beginObject();
+        w.key("chain_len");
+        emitHistogram(w, ct.chainLen());
+        w.key("row_lock_wait");
+        emitHistogram(w, ct.rowLockWait());
+        w.endObject();
+    }
+    w.endObject();
+
     // The same counters, re-grouped by backend prefix (the text
     // before the first '.'), with the prefix stripped.
     w.key("per_backend").beginObject();
@@ -145,9 +190,11 @@ dumpJson(Machine &machine, const RunMeta &meta)
     // tracer's per-thread event counts.
     w.key("per_thread").beginArray();
     for (int t = 0; t < machine.numThreads(); ++t) {
+        const Cycles cycles =
+            machine.thread(static_cast<ThreadId>(t)).now();
         w.beginObject();
         w.kv("id", t);
-        w.kv("cycles", machine.thread(static_cast<ThreadId>(t)).now());
+        w.kv("cycles", cycles);
         w.key("events").beginObject();
 #if UTM_TRACING
         const TxTracer &tracer = machine.tracer();
@@ -157,6 +204,22 @@ dumpJson(Machine &machine, const RunMeta &meta)
                 tracer.count(static_cast<ThreadId>(t), ev);
             if (n != 0)
                 w.kv(traceEventName(ev), n);
+        }
+#endif
+        w.endObject();
+        // Schema v2: per-thread phase cycles.  The `app` residual is
+        // always present so the values sum to `cycles` exactly; empty
+        // when compiled with UTM_PROFILING=0.
+        w.key("phase_cycles").beginObject();
+#if UTM_PROFILING
+        {
+            const CycleProfiler::Snapshot snap =
+                machine.profiler().snapshot(static_cast<ThreadId>(t),
+                                            cycles);
+            for (int s = 0; s < CycleProfiler::kNumSlots; ++s)
+                if (snap.cycles[s] != 0)
+                    w.kv(profSlotName(s), snap.cycles[s]);
+            w.kv("app", snap.app);
         }
 #endif
         w.endObject();

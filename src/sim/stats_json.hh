@@ -24,8 +24,12 @@ class StatsRegistry;
 
 namespace utm::stats {
 
-/** Current value of the top-level "schema_version" field. */
-constexpr int kSchemaVersion = 1;
+/**
+ * Current value of the top-level "schema_version" field.  v2 added
+ * the `profile` and `contention` sections and
+ * `per_thread[].phase_cycles` (docs/OBSERVABILITY.md).
+ */
+constexpr int kSchemaVersion = 2;
 
 /** Caller-supplied identification of one run (the run_config core). */
 struct RunMeta

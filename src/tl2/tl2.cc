@@ -63,6 +63,8 @@ void
 Tl2::abortTx(ThreadContext &tc, const std::vector<Addr> &held,
              const char *why)
 {
+    UTM_PROF_PHASE(machine_, tc, ProfComp::Tl2,
+                   ProfPhase::AbortUnwind);
     TxDesc &tx = txs_[tc.id()];
     // Release any commit-time locks we already hold (restore their
     // pre-lock version).
@@ -83,6 +85,8 @@ Tl2::abortTx(ThreadContext &tc, const std::vector<Addr> &held,
 std::uint64_t
 Tl2::txRead(ThreadContext &tc, Addr a, unsigned size)
 {
+    UTM_PROF_PHASE(machine_, tc, ProfComp::Tl2,
+                   ProfPhase::BarrierRead);
     TxDesc &tx = txs_[tc.id()];
     utm_assert(tx.active);
 
@@ -108,6 +112,8 @@ Tl2::txRead(ThreadContext &tc, Addr a, unsigned size)
 void
 Tl2::txWrite(ThreadContext &tc, Addr a, std::uint64_t v, unsigned size)
 {
+    UTM_PROF_PHASE(machine_, tc, ProfComp::Tl2,
+                   ProfPhase::BarrierWrite);
     TxDesc &tx = txs_[tc.id()];
     utm_assert(tx.active);
     auto [it, fresh] = tx.writeBuf.insert_or_assign(a, WriteRec{v, size});
@@ -120,6 +126,7 @@ Tl2::txWrite(ThreadContext &tc, Addr a, std::uint64_t v, unsigned size)
 void
 Tl2::txEnd(ThreadContext &tc)
 {
+    UTM_PROF_PHASE(machine_, tc, ProfComp::Tl2, ProfPhase::Commit);
     TxDesc &tx = txs_[tc.id()];
     utm_assert(tx.active);
 

@@ -75,6 +75,7 @@ Ustm::txBegin(ThreadContext &tc)
     // Livelock avoidance: wait until the transaction that killed us
     // has retired before reissuing (Section 4.1).
     if (tx.killerTid >= 0) {
+        UTM_PROF_PHASE(machine_, tc, ProfComp::Ustm, ProfPhase::Stall);
         TxDesc &k = txs_[tx.killerTid];
         long spins = 0;
         while (k.status == TxDesc::Status::Active &&
@@ -110,6 +111,7 @@ Ustm::txEnd(ThreadContext &tc)
         --tx.depth;
         return;
     }
+    UTM_PROF_PHASE(machine_, tc, ProfComp::Ustm, ProfPhase::Commit);
     checkKill(tc); // Last chance to observe a kill.
     tx.status = TxDesc::Status::Committing;
     // Commit linearization point: past the final kill check, before
@@ -148,6 +150,8 @@ Ustm::txWrite(ThreadContext &tc, Addr a, std::uint64_t v, unsigned size)
 void
 Ustm::readBarrier(ThreadContext &tc, Addr a)
 {
+    UTM_PROF_PHASE(machine_, tc, ProfComp::Ustm,
+                   ProfPhase::BarrierRead);
     machine_.stats().inc("ustm.read_barriers");
     acquire(tc, txs_[tc.id()], lineOf(a), /*want_write=*/false);
 }
@@ -155,6 +159,8 @@ Ustm::readBarrier(ThreadContext &tc, Addr a)
 void
 Ustm::writeBarrier(ThreadContext &tc, Addr a)
 {
+    UTM_PROF_PHASE(machine_, tc, ProfComp::Ustm,
+                   ProfPhase::BarrierWrite);
     machine_.stats().inc("ustm.write_barriers");
     acquire(tc, txs_[tc.id()], lineOf(a), /*want_write=*/true);
 }
@@ -232,20 +238,33 @@ Ustm::acquire(ThreadContext &tc, TxDesc &tx, LineAddr line,
     // it.  The mean gap stays at ~1.5x lockBackoff, so overall
     // contention timing is barely perturbed (same idiom as the TL2
     // retry backoff).
+    bool waited = false;
+    Cycles wait_start = 0;
     for (;;) {
         checkKill(tc); // throws if this transaction was killed
         AcquireStep step = acquireStep(tc, tx, line, want_write);
         switch (step.kind) {
           case AcquireStep::Kind::Done:
+            if (waited)
+                machine_.contention().rowLockWait().observe(
+                    tc.now() - wait_start);
             return;
           case AcquireStep::Kind::Retry:
           case AcquireStep::Kind::Conflict:
+            if (!waited) {
+                waited = true;
+                wait_start = tc.now();
+            }
             if (step.kind == AcquireStep::Kind::Conflict)
-                resolveConflict(tc, tx, step.conflictOwners,
-                                otable_.bucketAddr(line));
-            tc.advance(policy_.lockBackoff +
-                       tc.rng().nextBounded(policy_.lockBackoff + 1));
-            tc.yield();
+                resolveConflict(tc, tx, step.conflictOwners, line);
+            {
+                UTM_PROF_PHASE(machine_, tc, ProfComp::Ustm,
+                               ProfPhase::Backoff);
+                tc.advance(policy_.lockBackoff +
+                           tc.rng().nextBounded(policy_.lockBackoff +
+                                                1));
+                tc.yield();
+            }
             break;
         }
     }
@@ -337,6 +356,8 @@ Ustm::AcquireStep
 Ustm::lockedAcquire(ThreadContext &tc, TxDesc &tx, LineAddr line,
                     bool want_write, Addr head, std::uint64_t w0_locked)
 {
+    UTM_PROF_PHASE(machine_, tc, ProfComp::Ustm,
+                   ProfPhase::OtableWalk);
     const ThreadId self = tc.id();
     const std::uint64_t my_bit = 1ull << self;
     const std::uint64_t tag = Otable::tagOf(line);
@@ -385,7 +406,9 @@ Ustm::lockedAcquire(ThreadContext &tc, TxDesc &tx, LineAddr line,
 
     // Case 2: walk the chain for a node matching our line.
     Addr node = tc.load(head + 16, 8);
+    int chain_len = 0;
     while (node != 0) {
+        ++chain_len;
         std::uint64_t nw0 = tc.load(node, 8);
         if (Otable::used(nw0) && Otable::tag(nw0) == tag) {
             if (Otable::writeState(nw0)) {
@@ -448,20 +471,24 @@ Ustm::lockedAcquire(ThreadContext &tc, TxDesc &tx, LineAddr line,
     unlock(w0 | Otable::kHasChain);
     record(tx, line, n, want_write);
     machine_.stats().inc("ustm.chain_inserts");
+    machine_.contention().chainLen().observe(chain_len + 1);
     return {AcquireStep::Kind::Done, 0};
 }
 
 void
 Ustm::resolveConflict(ThreadContext &tc, TxDesc &tx,
-                      std::uint64_t owners, Addr head)
+                      std::uint64_t owners, LineAddr line)
 {
     machine_.stats().inc("ustm.conflicts");
+    machine_.contention().ustmHotLines().observe(line);
     if (killOwners(tc, owners, tx.age, &tx))
         return; // All younger conflictors were killed; retry.
 
     // Some conflictor is older: stall until the entry changes (or
     // give up after a bounded spin and retry the barrier anyway).
     machine_.stats().inc("ustm.stalls");
+    UTM_PROF_PHASE(machine_, tc, ProfComp::Ustm, ProfPhase::Stall);
+    const Addr head = otable_.bucketAddr(line);
     std::uint64_t w0 = tc.load(head, 8);
     for (int i = 0; i < kStallPolls; ++i) {
         checkKill(tc);
@@ -522,6 +549,7 @@ Ustm::killOwners(ThreadContext &tc, std::uint64_t owners,
 
     // Blocking STM: wait for each victim to unwind itself before
     // touching the otable again (Section 4.1).
+    UTM_PROF_PHASE(machine_, tc, ProfComp::Ustm, ProfPhase::Stall);
     for (int i = 0; i < n_victims; ++i) {
         TxDesc &ot = txs_[victims[i].tid];
         long spins = 0;
@@ -556,13 +584,24 @@ Ustm::releaseEntry(ThreadContext &tc, TxDesc &tx,
     const std::uint64_t my_bit = 1ull << self;
     const Addr head = otable_.bucketAddr(o.line);
 
+    bool waited = false;
+    Cycles wait_start = 0;
     for (;;) {
         std::uint64_t w0 = tc.load(head, 8);
         if (Otable::locked(w0) || !lockRow(tc, head, w0)) {
+            if (!waited) {
+                waited = true;
+                wait_start = tc.now();
+            }
+            UTM_PROF_PHASE(machine_, tc, ProfComp::Ustm,
+                           ProfPhase::Backoff);
             tc.advance(policy_.lockBackoff);
             tc.yield();
             continue;
         }
+        if (waited)
+            machine_.contention().rowLockWait().observe(tc.now() -
+                                                        wait_start);
 
         if (o.entry == head) {
             utm_assert(Otable::used(w0) &&
@@ -618,13 +657,24 @@ Ustm::downgradeEntry(ThreadContext &tc, TxDesc::Owned &o)
 {
     utm_assert(o.write);
     const Addr head = otable_.bucketAddr(o.line);
+    bool waited = false;
+    Cycles wait_start = 0;
     for (;;) {
         std::uint64_t w0 = tc.load(head, 8);
         if (Otable::locked(w0) || !lockRow(tc, head, w0)) {
+            if (!waited) {
+                waited = true;
+                wait_start = tc.now();
+            }
+            UTM_PROF_PHASE(machine_, tc, ProfComp::Ustm,
+                           ProfPhase::Backoff);
             tc.advance(policy_.lockBackoff);
             tc.yield();
             continue;
         }
+        if (waited)
+            machine_.contention().rowLockWait().observe(tc.now() -
+                                                        wait_start);
         if (o.entry == head) {
             utm_assert(Otable::writeState(w0));
             if (strong_)
@@ -649,6 +699,8 @@ Ustm::txRetryWait(ThreadContext &tc)
     TxDesc &tx = txs_[tc.id()];
     utm_assert(tx.status == TxDesc::Status::Active);
     utm_assert(tx.depth == 1); // retry composes via flattening only
+    UTM_PROF_PHASE(machine_, tc, ProfComp::Ustm,
+                   ProfPhase::RetryWait);
     machine_.stats().inc("ustm.retries");
     UTM_TRACE_EVENT(machine_, tc, TraceEvent::TxRetry,
                     TracePath::Software, AbortReason::None);
@@ -681,6 +733,8 @@ Ustm::txRetryWait(ThreadContext &tc)
 void
 Ustm::unwindAbort(ThreadContext &tc, TxDesc &tx, const char *why)
 {
+    UTM_PROF_PHASE(machine_, tc, ProfComp::Ustm,
+                   ProfPhase::AbortUnwind);
     tx.status = TxDesc::Status::Aborting;
     machine_.stats().inc("ustm.aborts");
     machine_.stats().inc(std::string("ustm.aborts.") + why);
@@ -930,6 +984,7 @@ Ustm::wakeRetryers(const std::vector<RetryWakeupHooks::Token> &tokens)
 void
 Ustm::nonTFaultHandler(ThreadContext &tc, Addr a, AccessType t)
 {
+    UTM_PROF_PHASE(machine_, tc, ProfComp::Ustm, ProfPhase::NonTx);
     const LineAddr line = lineOf(a);
     machine_.stats().inc("ustm.nont_faults");
 

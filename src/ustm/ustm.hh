@@ -221,7 +221,7 @@ class Ustm
                            std::uint64_t w0);
 
     void resolveConflict(ThreadContext &tc, TxDesc &tx,
-                         std::uint64_t owners, Addr head);
+                         std::uint64_t owners, LineAddr line);
 
     /** Kill every active transaction in @p owners younger than
      *  @p my_age (~0 for non-transactional requesters) and wait for

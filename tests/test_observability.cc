@@ -337,9 +337,11 @@ TEST(StatsJson, RunWorkloadWritesSchemaValidDocument)
     std::fclose(f);
 
     for (const char *key :
-         {"\"schema\":\"ufotm-stats\"", "\"schema_version\":1",
+         {"\"schema\":\"ufotm-stats\"", "\"schema_version\":2",
           "\"run_config\"", "\"totals\"", "\"counters\"",
-          "\"histograms\"", "\"per_backend\"", "\"per_thread\"",
+          "\"histograms\"", "\"profile\"", "\"contention\"",
+          "\"hot_lines\"", "\"chain_len\"", "\"row_lock_wait\"",
+          "\"phase_cycles\"", "\"per_backend\"", "\"per_thread\"",
           "\"workload\":\"failover-ubench\""}) {
         EXPECT_NE(doc.find(key), std::string::npos) << key;
     }
@@ -361,6 +363,62 @@ TEST(StatsJson, RunWorkloadWritesSchemaValidDocument)
     std::fclose(tf);
     EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
 }
+
+// The committed example document stays in lockstep with the emitter:
+// re-running the exact configuration that produced it (see
+// docs/OBSERVABILITY.md: `tmsim -w ubench -s ufo-hybrid -t 2
+// --failover-rate 0.25 --stats-json ...`) must reproduce the file
+// byte for byte.  Only meaningful in the default build — the example
+// was generated with tracing and profiling compiled in.
+#if UTM_TRACING && UTM_PROFILING
+
+namespace {
+
+std::string
+readWholeFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return {};
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return text;
+}
+
+} // namespace
+
+TEST(StatsJson, CommittedExampleDocumentIsReproducible)
+{
+    FailoverParams p;
+    p.failoverRate = 0.25;
+    p.seed = 42;
+    FailoverUbench w(p);
+    RunConfig cfg;
+    cfg.kind = TxSystemKind::UfoHybrid;
+    cfg.threads = 2;
+    cfg.machine.seed = 42;
+    cfg.statsJsonPath =
+        ::testing::TempDir() + "/utm_stats_example_test.json";
+    RunResult r = runWorkload(w, cfg);
+    ASSERT_TRUE(r.valid);
+
+    const std::string fresh = readWholeFile(cfg.statsJsonPath);
+    const std::string committed = readWholeFile(
+        std::string(UFOTM_REPO_DIR) +
+        "/docs/examples/stats.example.json");
+    ASSERT_FALSE(fresh.empty());
+    ASSERT_FALSE(committed.empty())
+        << "docs/examples/stats.example.json missing";
+    EXPECT_EQ(fresh, committed)
+        << "docs/examples/stats.example.json is stale; regenerate it "
+           "with the command in docs/OBSERVABILITY.md";
+}
+
+#endif // UTM_TRACING && UTM_PROFILING
 
 } // namespace
 } // namespace utm

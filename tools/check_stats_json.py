@@ -30,12 +30,28 @@ ABORT_REASONS = [
     "exception", "syscall", "io", "uncacheable", "page_fault",
     "nesting_overflow", "ufo_fault", "ufo_bit_set", "nont_conflict",
 ]
+# Keep in sync with profCompName()/profPhaseName() in src/sim/prof.cc.
+PROF_COMPONENTS = ["ustm", "btm", "tl2", "hytm", "phtm", "sle", "tm"]
+PROF_PHASES = [
+    "barrier_read", "barrier_write", "commit", "abort_unwind",
+    "stall", "backoff", "retry_wait", "ufo_handler", "otable_walk",
+    "nontx",
+]
+PROF_CYCLE_NAMES = [f"{c}.{p}" for c in PROF_COMPONENTS
+                    for p in PROF_PHASES] + ["app"]
+
 REASON_FAMILIES = {
     "btm.aborts.": ABORT_REASONS,
     "tm.failovers.hard.": ABORT_REASONS,
     "ustm.aborts.": ["killed", "retry_wakeup"],
     "tl2.aborts.": ["read_validation", "lock_busy",
                     "commit_validation"],
+    "prof.cycles.": PROF_CYCLE_NAMES,
+}
+# Families whose docs coverage is via a structured placeholder rather
+# than the generic "<prefix><reason>" form or full enumeration.
+FAMILY_PLACEHOLDERS = {
+    "prof.cycles.": "prof.cycles.<component>.<phase>",
 }
 
 STATS_TOTALS_KEYS = {
@@ -66,8 +82,10 @@ def check_stats_doc(doc):
 
     expect(doc.get("schema") == "ufotm-stats",
            f"schema is {doc.get('schema')!r}, want 'ufotm-stats'")
-    expect(doc.get("schema_version") == 1,
-           f"schema_version is {doc.get('schema_version')!r}, want 1")
+    version = doc.get("schema_version")
+    expect(version in (1, 2),
+           f"schema_version is {version!r}, want 1 or 2")
+    v2 = version == 2
 
     rc = doc.get("run_config", {})
     for k in ("workload", "system", "threads", "seed", "scale"):
@@ -129,9 +147,92 @@ def check_stats_doc(doc):
         expect(regrouped == counters,
                "per_backend does not regroup the counters map")
 
-    for t in doc.get("per_thread", []):
+    per_thread = doc.get("per_thread", [])
+    for t in per_thread:
         for k in ("id", "cycles", "events"):
             expect(k in t, f"per_thread entry missing {k}")
+
+    if v2:
+        problems += check_stats_v2(doc, counters, per_thread)
+
+    return problems
+
+
+def check_stats_v2(doc, counters, per_thread):
+    """Schema-v2 sections: profile, contention, phase_cycles."""
+    problems = []
+
+    def expect(cond, msg):
+        if not cond:
+            problems.append(msg)
+
+    # The profile section mirrors the prof.cycles.* counters exactly
+    # (both are empty in a UTM_PROFILING=0 build).
+    profile = doc.get("profile")
+    expect(isinstance(profile, dict), "profile section missing")
+    profile = profile if isinstance(profile, dict) else {}
+    mirrored = {n[len("prof.cycles."):]: v
+                for n, v in counters.items()
+                if n.startswith("prof.cycles.")}
+    expect(profile == mirrored,
+           "profile section does not mirror the prof.cycles.* "
+           "counters")
+    for name in profile:
+        expect(name in PROF_CYCLE_NAMES,
+               f"profile entry {name!r} is not a known "
+               "component.phase")
+
+    # Per-thread phase cycles must sum exactly to the thread's total.
+    profiling = bool(profile)
+    for t in per_thread:
+        pc = t.get("phase_cycles")
+        expect(isinstance(pc, dict),
+               f"per_thread entry {t.get('id')} missing phase_cycles")
+        if not isinstance(pc, dict) or not profiling:
+            continue
+        total = sum(pc.values())
+        expect(total == t.get("cycles"),
+               f"per_thread[{t.get('id')}]: sum(phase_cycles)={total} "
+               f"!= cycles={t.get('cycles')}")
+        expect("app" in pc,
+               f"per_thread[{t.get('id')}]: phase_cycles missing the "
+               "app residual")
+    if profiling:
+        agg = sum(profile.values())
+        thread_total = sum(t.get("cycles", 0) for t in per_thread)
+        expect(agg == thread_total,
+               f"sum(profile.*)={agg} != sum(per_thread.cycles)="
+               f"{thread_total}")
+
+    # Contention: hot-line counts are Misra–Gries lower bounds, so
+    # each backend's sum may not exceed its conflict counter.
+    cont = doc.get("contention")
+    expect(isinstance(cont, dict), "contention section missing")
+    cont = cont if isinstance(cont, dict) else {}
+    limits = {
+        "ustm": counters.get("ustm.conflicts", 0),
+        "btm": counters.get("btm.wounds", 0),
+    }
+    for backend, entries in cont.get("hot_lines", {}).items():
+        expect(backend in limits,
+               f"contention.hot_lines has unknown backend "
+               f"{backend!r}")
+        total = sum(e.get("count", 0) for e in entries)
+        expect(total <= limits.get(backend, 0),
+               f"contention.hot_lines.{backend}: counts sum to "
+               f"{total} > {limits.get(backend, 0)} conflicts")
+        got = [e.get("count", 0) for e in entries]
+        expect(got == sorted(got, reverse=True),
+               f"contention.hot_lines.{backend} not count-sorted")
+    for name, h in cont.get("otable", {}).items():
+        missing = HIST_KEYS - h.keys()
+        expect(not missing,
+               f"contention.otable.{name} missing {sorted(missing)}")
+        buckets = h.get("buckets", [])
+        expect(sum(b.get("count", 0) for b in buckets) ==
+               h.get("samples"),
+               f"contention.otable.{name}: bucket counts do not sum "
+               "to samples")
 
     return problems
 
@@ -200,9 +301,11 @@ def check_docs():
     doc_text = (REPO / "docs" / "OBSERVABILITY.md").read_text()
     names, prefixes = emitted_counters()
     def family_documented(prefix):
-        # Either the <reason> placeholder or every name in the
+        # Either the family's placeholder or every name in the
         # family's vocabulary, enumerated explicitly.
-        if f"{prefix}<reason>" in doc_text:
+        placeholder = FAMILY_PLACEHOLDERS.get(prefix,
+                                              f"{prefix}<reason>")
+        if placeholder in doc_text:
             return True
         vocab = REASON_FAMILIES.get(prefix)
         return bool(vocab) and all(f"{prefix}{r}" in doc_text

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Regenerate the committed benchmark baselines (bench/baselines/) at
+# the pinned smoke scale, or produce a fresh set for benchdiff.py.
+#
+#   tools/runbench.sh [--build-dir DIR] [--out DIR]
+#
+# Runs the three figure benches that back the regression gate
+# (figure5_speedup, figure6_aborts, figure7_failover) with --quick
+# (the pinned smoke scale: figure5/6 at scale 0.5, figure7 at 96
+# tx/thread) and writes BENCH_<name>.json into --out (default
+# bench/baselines/, i.e. refresh the committed baselines in place).
+#
+# The simulator is deterministic, so two runs of the same tree produce
+# byte-identical rows; CI diffs a fresh --out against the committed
+# baselines with tools/benchdiff.py.
+
+set -euo pipefail
+
+repo_dir="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_dir/build"
+out_dir="$repo_dir/bench/baselines"
+
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --build-dir) build_dir="$2"; shift 2 ;;
+        --out) out_dir="$2"; shift 2 ;;
+        *) echo "usage: $0 [--build-dir DIR] [--out DIR]" >&2; exit 2 ;;
+    esac
+done
+
+mkdir -p "$out_dir"
+
+for bench in figure5_speedup figure6_aborts figure7_failover; do
+    bin="$build_dir/bench/$bench"
+    if [ ! -x "$bin" ]; then
+        echo "runbench: $bin not built (cmake --build $build_dir)" >&2
+        exit 2
+    fi
+    echo "runbench: $bench --quick -> $out_dir/BENCH_$bench.json" >&2
+    "$bin" --quick "--json=$out_dir/BENCH_$bench.json" > /dev/null
+done
+echo "runbench: done" >&2
