@@ -1,0 +1,153 @@
+/**
+ * @file
+ * bench_svc: tmserve throughput + tail-latency benchmark.
+ *
+ * Runs the transactional KV service (src/svc) under every compared
+ * TxSystemKind, in closed-loop (think-time) and open-loop
+ * (arrival-rate + admission control) modes, over a Zipfian-skewed key
+ * space with a raw non-transactional GET fraction, and reports:
+ *
+ *  - per (system, mode): served/shed request counts and throughput in
+ *    requests per million cycles;
+ *  - per (system, mode, request type): p50/p99/p99.9 latency in
+ *    cycles, from the svc.latency.<type> histograms (open-loop
+ *    latency is measured from arrival, so queueing delay lands in the
+ *    tail).
+ *
+ * `--json` emits a "ufotm-svc" document (docs/OBSERVABILITY.md) to
+ * BENCH_svc_latency.json; tools/benchdiff.py gates the committed
+ * baseline in bench/baselines/ on the throughput and p99 rows.
+ * `--quick` shrinks the request count for CI smoke runs.
+ */
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+
+#include "bench_util.hh"
+#include "svc/service.hh"
+
+namespace {
+
+using namespace utm;
+
+svc::SvcParams
+benchParams(bool open_loop, bool quick)
+{
+    svc::SvcParams p;
+    p.load.keyspace = 128;
+    p.load.zipfTheta = 0.8; // Skewed: a few hot keys carry the load.
+    p.load.requestsPerClient = quick ? 24 : 96;
+    p.load.scanLen = 8;
+    p.load.seed = 7;
+    p.load.openLoop = open_loop;
+    // Open loop: arrivals faster than the contended service rate, so
+    // queues build and the admission bound sheds under pressure.
+    p.load.meanInterarrival = 150;
+    p.load.meanThink = 200;
+    p.mapBuckets = 32;
+    p.maxQueueDepth = 16;
+    return p;
+}
+
+const std::array<svc::ReqType, svc::kNumReqTypes> kReqTypes = {
+    svc::ReqType::Get, svc::ReqType::Put, svc::ReqType::Scan,
+    svc::ReqType::Rmw, svc::ReqType::RawGet,
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    for (int i = 1; i < argc; ++i)
+        if (!std::strcmp(argv[i], "--quick"))
+            quick = true;
+    bench::parseSchedArgs(argc, argv);
+    bench::JsonReport report("svc_latency", argc, argv, "ufotm-svc");
+
+    const int threads = 4;
+    std::printf("tmserve: KV service, %d clients, Zipfian(0.8) keys, "
+                "%d requests/client%s\n",
+                threads, benchParams(false, quick).load.requestsPerClient,
+                quick ? " (quick)" : "");
+    std::printf("%-13s %-6s %9s %6s %11s %9s %9s %9s\n", "system",
+                "mode", "requests", "shed", "req/Mcyc", "p50", "p99",
+                "p99.9");
+
+    for (const bool open_loop : {false, true}) {
+        const char *mode = open_loop ? "open" : "closed";
+        for (TxSystemKind kind : bench::figure5Systems()) {
+            svc::SvcParams p = benchParams(open_loop, quick);
+            RunConfig cfg = bench::baseRunConfig();
+            cfg.kind = kind;
+            cfg.threads = threads;
+            cfg.machine.seed = 42;
+            const RunResult res = svc::runService(p, cfg);
+            if (!res.valid) {
+                std::fprintf(stderr,
+                             "VALIDATION FAILED: svc on %s (%s loop)\n",
+                             txSystemKindName(kind), mode);
+                return 1;
+            }
+
+            const std::uint64_t served = res.stat("svc.requests");
+            const std::uint64_t shed = res.stat("svc.shed");
+            const Histogram &lat = res.hist("svc.latency");
+            const double throughput =
+                res.cycles ? double(served) * 1e6 / double(res.cycles)
+                           : 0.0;
+            std::printf("%-13s %-6s %9llu %6llu %11.1f %9llu %9llu "
+                        "%9llu\n",
+                        txSystemKindName(kind), mode,
+                        (unsigned long long)served,
+                        (unsigned long long)shed, throughput,
+                        (unsigned long long)lat.quantile(0.50),
+                        (unsigned long long)lat.quantile(0.99),
+                        (unsigned long long)lat.quantile(0.999));
+
+            if (!report.enabled())
+                continue;
+
+            // One throughput row per (system, mode)...
+            json::Writer w;
+            w.beginObject();
+            w.kv("benchmark", "svc-latency");
+            w.kv("system", txSystemKindName(kind));
+            w.kv("mode", mode);
+            w.kv("threads", threads);
+            w.kv("requests", served);
+            w.kv("shed", shed);
+            w.kv("queued", res.stat("svc.queued"));
+            w.kv("aborts", res.stat("svc.request_aborts"));
+            w.kv("run_cycles", res.cycles);
+            w.kv("throughput_req_per_mcycle", throughput);
+            w.endObject();
+            report.row(w);
+
+            // ...and one p50/p99/p99.9 row per request type.
+            for (svc::ReqType t : kReqTypes) {
+                const char *tname = svc::reqTypeName(t);
+                const Histogram &h = res.hist(
+                    std::string("svc.latency.") + tname);
+                json::Writer r;
+                r.beginObject();
+                r.kv("benchmark", "svc-latency");
+                r.kv("system", txSystemKindName(kind));
+                r.kv("mode", mode);
+                r.kv("threads", threads);
+                r.kv("request", tname);
+                r.kv("requests",
+                     res.stat(std::string("svc.requests.") + tname));
+                r.kv("p50_cycles", h.quantile(0.50));
+                r.kv("p99_cycles", h.quantile(0.99));
+                r.kv("p999_cycles", h.quantile(0.999));
+                r.endObject();
+                report.row(r);
+            }
+        }
+    }
+
+    return report.write() ? 0 : 1;
+}

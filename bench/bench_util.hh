@@ -168,6 +168,8 @@ sequentialBaseline(const BenchSpec &spec, double scale = 1.0,
  *   {"schema": "ufotm-bench", "schema_version": 1,
  *    "bench": "<name>", "rows": [...]}
  *
+ * (bench_svc passes "ufotm-svc" as the schema override)
+ *
  * to BENCH_<name>.json (or the --json=PATH override) by write(),
  * which each bench main calls once after its last row.  Rows are
  * bench-specific objects, pre-serialized with json::Writer.
@@ -175,8 +177,9 @@ sequentialBaseline(const BenchSpec &spec, double scale = 1.0,
 class JsonReport
 {
   public:
-    JsonReport(std::string bench, int argc, char **argv)
-        : bench_(std::move(bench))
+    JsonReport(std::string bench, int argc, char **argv,
+               std::string schema = "ufotm-bench")
+        : bench_(std::move(bench)), schema_(std::move(schema))
     {
         for (int i = 1; i < argc; ++i) {
             if (!std::strcmp(argv[i], "--json")) {
@@ -206,7 +209,7 @@ class JsonReport
             return true;
         json::Writer w;
         w.beginObject();
-        w.kv("schema", "ufotm-bench");
+        w.kv("schema", schema_);
         w.kv("schema_version", kBenchSchemaVersion);
         w.kv("bench", bench_);
         w.key("rows").beginArray();
@@ -224,6 +227,7 @@ class JsonReport
 
   private:
     std::string bench_;
+    std::string schema_;
     std::string path_;
     std::vector<std::string> rows_;
     bool enabled_ = false;

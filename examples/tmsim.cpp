@@ -23,6 +23,7 @@
 #include "stamp/ssca2.hh"
 #include "stamp/vacation.hh"
 #include "stamp/workload.hh"
+#include "svc/service.hh"
 
 using namespace utm;
 
@@ -47,7 +48,7 @@ struct Options
 const char *kWorkloads[] = {
     "kmeans-high", "kmeans-low",   "vacation-high", "vacation-low",
     "genome",      "labyrinth",    "intruder",      "ssca2",
-    "ubench",
+    "ubench",      "kv-service",   "kv-service-open",
 };
 
 const std::pair<const char *, TxSystemKind> kSystems[] = {
@@ -186,6 +187,14 @@ makeWorkload(const Options &o)
         p.failoverRate = o.failoverRate;
         p.seed = o.seed;
         return std::make_unique<FailoverUbench>(p);
+    }
+    if (w == "kv-service" || w == "kv-service-open") {
+        svc::SvcParams p;
+        p.load.openLoop = (w == "kv-service-open");
+        p.load.zipfTheta = 0.8;
+        p.load.requestsPerClient = scaled(p.load.requestsPerClient);
+        p.load.seed = o.seed;
+        return std::make_unique<svc::KvServiceWorkload>(p);
     }
     std::fprintf(stderr, "unknown workload '%s'\n", w.c_str());
     std::exit(1);

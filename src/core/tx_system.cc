@@ -29,6 +29,24 @@ txSystemKindName(TxSystemKind k)
     return "unknown";
 }
 
+bool
+txSystemKindStronglyAtomic(TxSystemKind k)
+{
+    switch (k) {
+      case TxSystemKind::NoTm:
+      case TxSystemKind::UnboundedHtm:
+      case TxSystemKind::UfoHybrid:
+      case TxSystemKind::UstmStrong:
+        return true;
+      case TxSystemKind::HyTm:
+      case TxSystemKind::PhTm:
+      case TxSystemKind::Ustm:
+      case TxSystemKind::Tl2:
+        return false;
+    }
+    return false;
+}
+
 // ---------------------------------------------------------------------
 // TxHandle
 

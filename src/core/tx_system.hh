@@ -57,6 +57,16 @@ enum class TxSystemKind
 
 const char *txSystemKindName(TxSystemKind k);
 
+/**
+ * Does this configuration guarantee strong atomicity — i.e. are plain
+ * (non-transactional) accesses isolated from in-flight transactions?
+ * True for the paper's UFO-protected systems and for HTM-only
+ * configurations (hardware transactions are invisible until commit);
+ * false wherever an uninstrumented read can observe speculative STM
+ * state (HyTM, PhTM, plain USTM, TL2).
+ */
+bool txSystemKindStronglyAtomic(TxSystemKind k);
+
 /** Handle passed to a transaction body; routes accesses per path. */
 class TxHandle
 {

@@ -79,6 +79,27 @@ TxMap::valueAddr(TxHandle &h, std::uint64_t key)
 }
 
 bool
+TxMap::rawLookup(ThreadContext &tc, std::uint64_t key,
+                 std::uint64_t *value_out, int max_hops)
+{
+    const std::uint64_t buckets = tc.load(base_, 8);
+    Addr node = tc.load(bucketHead(buckets, key), 8);
+    for (int hops = 0; node != 0 && hops < max_hops; ++hops) {
+        const std::uint64_t nkey = tc.load(node + kKeyOff, 8);
+        if (nkey == key) {
+            const std::uint64_t v = tc.load(node + kValOff, 8);
+            if (value_out)
+                *value_out = v;
+            return true;
+        }
+        if (nkey > key)
+            return false;
+        node = tc.load(node + kNextOff, 8);
+    }
+    return false;
+}
+
+bool
 TxMap::lookup(TxHandle &h, std::uint64_t key, std::uint64_t *value_out)
 {
     Addr va = valueAddr(h, key);

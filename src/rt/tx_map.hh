@@ -51,6 +51,19 @@ class TxMap
      *  0 when absent.  The chain walk is transactional. */
     Addr valueAddr(TxHandle &h, std::uint64_t key);
 
+    /**
+     * Non-transactional lookup: walks the chain with plain timed
+     * loads, outside any transaction.  On strongly-atomic backends
+     * such reads serialize against in-flight transactions (UFO
+     * faults / coherence); on weakly-atomic ones they may observe
+     * speculative values — which is exactly what the svc raw-GET
+     * traffic exists to exercise.  The walk is bounded by
+     * @p max_hops so a torn next pointer can never loop it forever.
+     */
+    bool rawLookup(ThreadContext &tc, std::uint64_t key,
+                   std::uint64_t *value_out = nullptr,
+                   int max_hops = 128);
+
     /** Total entries (verification helper; walks everything). */
     std::uint64_t size(TxHandle &h);
 

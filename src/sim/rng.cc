@@ -1,5 +1,7 @@
 #include "sim/rng.hh"
 
+#include <cmath>
+
 #include "sim/logging.hh"
 
 namespace utm {
@@ -84,6 +86,44 @@ bool
 Rng::nextBool(double p)
 {
     return nextDouble() < p;
+}
+
+namespace {
+
+/** ζ(n, θ) = Σ_{i=1..n} i^-θ. */
+double
+zeta(std::uint64_t n, double theta)
+{
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+        sum += std::pow(1.0 / double(i), theta);
+    return sum;
+}
+
+} // namespace
+
+Zipfian::Zipfian(std::uint64_t n, double theta) : n_(n), theta_(theta)
+{
+    utm_assert(n >= 1);
+    utm_assert(theta >= 0.0 && theta < 1.0);
+    alpha_ = 1.0 / (1.0 - theta);
+    zetan_ = zeta(n, theta);
+    eta_ = (1.0 - std::pow(2.0 / double(n), 1.0 - theta)) /
+           (1.0 - zeta(2, theta) / zetan_);
+}
+
+std::uint64_t
+Zipfian::sample(Rng &rng) const
+{
+    const double u = rng.nextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (n_ >= 2 && uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    const auto rank = std::uint64_t(
+        double(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank; // Clamp FP rounding at the tail.
 }
 
 } // namespace utm

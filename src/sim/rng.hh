@@ -41,6 +41,36 @@ class Rng
     std::uint64_t s_[4];
 };
 
+/**
+ * Zipfian(θ) rank sampler over [0, n) (Gray et al., "Quickly
+ * Generating Billion-Record Synthetic Databases", SIGMOD '94 — the
+ * YCSB generator).  Rank 0 is the hottest item; θ = 0 degenerates to
+ * uniform, θ → 1 concentrates mass on the head of the distribution.
+ *
+ * Construction precomputes the harmonic normalizers in O(n); the
+ * sample path is allocation-free and draws exactly one uniform
+ * variate from the caller's Rng, so interleavings stay reproducible.
+ */
+class Zipfian
+{
+  public:
+    /** @p n items, skew @p theta in [0, 1). */
+    Zipfian(std::uint64_t n, double theta);
+
+    /** Draw a rank in [0, n); hotter ranks are smaller. */
+    std::uint64_t sample(Rng &rng) const;
+
+    std::uint64_t range() const { return n_; }
+    double theta() const { return theta_; }
+
+  private:
+    std::uint64_t n_;
+    double theta_;
+    double alpha_; ///< 1 / (1 - θ).
+    double zetan_; ///< ζ(n, θ).
+    double eta_;
+};
+
 } // namespace utm
 
 #endif // UFOTM_SIM_RNG_HH

@@ -52,6 +52,7 @@ runWorkload(Workload &w, const RunConfig &cfg)
     res.failovers = machine.stats().get("tm.failovers");
     for (const auto &kv : machine.stats().withPrefix(""))
         res.stats[kv.first] = kv.second;
+    res.hists = machine.stats().histograms();
 
     // Export before the machine (and its stats/tracer) is destroyed.
     if (!cfg.statsJsonPath.empty()) {

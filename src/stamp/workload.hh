@@ -96,11 +96,23 @@ struct RunResult
     /** Full counter snapshot (abort reasons etc.). */
     std::map<std::string, std::uint64_t> stats;
 
+    /** Full histogram snapshot (latency distributions etc.). */
+    std::map<std::string, Histogram> hists;
+
     std::uint64_t
     stat(const std::string &name) const
     {
         auto it = stats.find(name);
         return it == stats.end() ? 0 : it->second;
+    }
+
+    /** Read a histogram by name; an empty one if never observed. */
+    const Histogram &
+    hist(const std::string &name) const
+    {
+        static const Histogram kEmpty;
+        auto it = hists.find(name);
+        return it == hists.end() ? kEmpty : it->second;
     }
 };
 

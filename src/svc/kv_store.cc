@@ -1,0 +1,124 @@
+#include "svc/kv_store.hh"
+
+#include "rt/heap.hh"
+#include "sim/logging.hh"
+#include "sim/machine.hh"
+
+namespace utm::svc {
+
+namespace {
+
+/** Smallest power of two >= 2 * keyspace (linear-probe headroom). */
+std::uint64_t
+indexCapacity(std::uint64_t keyspace)
+{
+    std::uint64_t cap = 4;
+    while (cap < 2 * keyspace)
+        cap <<= 1;
+    return cap;
+}
+
+} // namespace
+
+KvStore
+KvStore::create(ThreadContext &init, TxHeap &heap, std::uint64_t buckets,
+                std::uint64_t keyspace)
+{
+    TxMap map = TxMap::create(init, heap, buckets);
+    TxHashSet keys = TxHashSet::create(init, heap,
+                                       indexCapacity(keyspace));
+    return KvStore(map, keys);
+}
+
+void
+KvStore::populate(ThreadContext &init, std::uint64_t keyspace)
+{
+    auto no_tm = TxSystem::create(TxSystemKind::NoTm, init.machine());
+    no_tm->atomic(init, [&](TxHandle &h) {
+        for (std::uint64_t k = 1; k <= keyspace; ++k) {
+            const bool fresh_map = map_.insert(h, k, k * 100);
+            const bool fresh_idx = keys_.insert(h, k);
+            utm_assert(fresh_map && fresh_idx);
+        }
+    });
+}
+
+bool
+KvStore::get(TxHandle &h, std::uint64_t key, std::uint64_t *value_out)
+{
+    if (!keys_.contains(h, key))
+        return false;
+    return map_.lookup(h, key, value_out);
+}
+
+bool
+KvStore::put(TxHandle &h, std::uint64_t key, std::uint64_t value)
+{
+    if (!keys_.contains(h, key))
+        return false;
+    return map_.update(h, key, value);
+}
+
+int
+KvStore::scan(TxHandle &h, std::uint64_t start, int len,
+              std::uint64_t keyspace)
+{
+    int found = 0;
+    for (int i = 0; i < len; ++i) {
+        const std::uint64_t key = 1 + (start - 1 + i) % keyspace;
+        if (map_.lookup(h, key))
+            ++found;
+    }
+    return found;
+}
+
+bool
+KvStore::rmw(TxHandle &h, std::uint64_t key, std::uint64_t delta,
+             std::uint64_t *new_out)
+{
+    const Addr va = map_.valueAddr(h, key);
+    if (va == 0)
+        return false;
+    const std::uint64_t nv = h.read(va, 8) + delta;
+    h.write(va, nv, 8);
+    if (new_out)
+        *new_out = nv;
+    return true;
+}
+
+bool
+KvStore::rawGet(ThreadContext &tc, std::uint64_t key,
+                std::uint64_t *value_out)
+{
+    return map_.rawLookup(tc, key, value_out);
+}
+
+Addr
+KvStore::valueAddr(TxHandle &h, std::uint64_t key)
+{
+    return map_.valueAddr(h, key);
+}
+
+bool
+KvStore::check(ThreadContext &init, std::uint64_t keyspace)
+{
+    auto no_tm = TxSystem::create(TxSystemKind::NoTm, init.machine());
+    bool ok = true;
+    no_tm->atomic(init, [&](TxHandle &h) {
+        if (keys_.count(h) != keyspace) {
+            ok = false;
+            return;
+        }
+        for (std::uint64_t k = 1; k <= keyspace; ++k) {
+            std::uint64_t tx_v = 0, raw_v = 0;
+            if (!get(h, k, &tx_v) || !rawGet(h.ctx(), k, &raw_v) ||
+                tx_v != raw_v) {
+                ok = false;
+                return;
+            }
+        }
+    });
+    return ok;
+}
+
+} // namespace utm::svc

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The service's transactional key-value store: a TxMap (key → value)
+ * paired with a TxHashSet membership index, both over simulated
+ * memory, shared by every client thread and parameterized over every
+ * TxSystemKind through the TxHandle it is driven with.
+ *
+ * The key space is fixed at populate() time (keys 1..keyspace); the
+ * request mix only reads and overwrites, never inserts or removes.
+ * That makes the chain *structure* immutable during serving, which is
+ * what lets raw (non-transactional) GETs walk the chains safely on
+ * every backend: only value words are concurrently written, so a raw
+ * walk can at worst observe a speculative value — never a torn
+ * pointer into freed memory.  Whether a speculative value can
+ * actually be observed is the strong-atomicity property under test
+ * (see docs/DESIGN.md §"The KV service model").
+ */
+
+#ifndef UFOTM_SVC_KV_STORE_HH
+#define UFOTM_SVC_KV_STORE_HH
+
+#include <cstdint>
+
+#include "core/tx_system.hh"
+#include "rt/tx_hashset.hh"
+#include "rt/tx_map.hh"
+
+namespace utm {
+class TxHeap;
+} // namespace utm
+
+namespace utm::svc {
+
+/** Fixed-keyspace transactional KV store (TxMap + TxHashSet index). */
+class KvStore
+{
+  public:
+    /** Allocate an empty store: @p buckets power-of-two chains, with
+     *  the membership index sized for @p keyspace keys. */
+    static KvStore create(ThreadContext &init, TxHeap &heap,
+                          std::uint64_t buckets, std::uint64_t keyspace);
+
+    /** Insert keys 1..@p keyspace (init context, raw NoTm handle). */
+    void populate(ThreadContext &init, std::uint64_t keyspace);
+
+    /** Point lookup via the membership index then the map. */
+    bool get(TxHandle &h, std::uint64_t key,
+             std::uint64_t *value_out = nullptr);
+
+    /** Overwrite an existing key; false if absent. */
+    bool put(TxHandle &h, std::uint64_t key, std::uint64_t value);
+
+    /**
+     * Read @p len consecutive keys starting at @p start (wrapping at
+     * the keyspace); returns how many were present.
+     */
+    int scan(TxHandle &h, std::uint64_t start, int len,
+             std::uint64_t keyspace);
+
+    /** In-place read-modify-write: value += delta. False if absent;
+     *  on success optionally reports the written value. */
+    bool rmw(TxHandle &h, std::uint64_t key, std::uint64_t delta,
+             std::uint64_t *new_out = nullptr);
+
+    /**
+     * NON-transactional point lookup (plain timed loads, no TM
+     * instrumentation).  Safe structurally on every backend (see file
+     * comment); value-correct only under strong atomicity.
+     */
+    bool rawGet(ThreadContext &tc, std::uint64_t key,
+                std::uint64_t *value_out = nullptr);
+
+    /** Value-word address of a present key; 0 if absent. */
+    Addr valueAddr(TxHandle &h, std::uint64_t key);
+
+    /**
+     * Post-run structural check (init context): every key 1..keyspace
+     * present in both the map and the index, the index holds exactly
+     * keyspace keys, and rawGet agrees with the transactional lookup
+     * (trivially true once the machine is quiescent).
+     */
+    bool check(ThreadContext &init, std::uint64_t keyspace);
+
+    TxMap &map() { return map_; }
+
+  private:
+    KvStore(TxMap map, TxHashSet keys) : map_(map), keys_(keys) {}
+
+    TxMap map_;
+    TxHashSet keys_;
+};
+
+} // namespace utm::svc
+
+#endif // UFOTM_SVC_KV_STORE_HH

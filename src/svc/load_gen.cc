@@ -1,0 +1,92 @@
+#include "svc/load_gen.hh"
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace utm::svc {
+
+const char *
+reqTypeName(ReqType t)
+{
+    switch (t) {
+      case ReqType::Get: return "get";
+      case ReqType::Put: return "put";
+      case ReqType::Scan: return "scan";
+      case ReqType::Rmw: return "rmw";
+      case ReqType::RawGet: return "raw_get";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Per-client stream seed, decoupled from the machine seed stream. */
+std::uint64_t
+streamSeed(std::uint64_t seed, int client)
+{
+    return (seed + 1) * 0x9e3779b97f4a7c15ull +
+           std::uint64_t(client) * 0xbf58476d1ce4e5b9ull;
+}
+
+ReqType
+drawType(Rng &rng, const RequestMix &mix)
+{
+    const int p = int(rng.nextBounded(100));
+    if (p < mix.getPct)
+        return ReqType::Get;
+    if (p < mix.getPct + mix.putPct)
+        return ReqType::Put;
+    if (p < mix.getPct + mix.putPct + mix.scanPct)
+        return ReqType::Scan;
+    if (p < mix.getPct + mix.putPct + mix.scanPct + mix.rmwPct)
+        return ReqType::Rmw;
+    return ReqType::RawGet;
+}
+
+/** Uniform in [mean/2, 3*mean/2] (never zero for mean >= 2). */
+Cycles
+drawGap(Rng &rng, Cycles mean)
+{
+    if (mean == 0)
+        return 0;
+    return mean / 2 + rng.nextBounded(mean + 1);
+}
+
+} // namespace
+
+std::vector<Request>
+generateClientStream(const LoadGenConfig &cfg, int client)
+{
+    utm_assert(cfg.keyspace >= 1);
+    utm_assert(cfg.mix.getPct + cfg.mix.putPct + cfg.mix.scanPct +
+                   cfg.mix.rmwPct + cfg.mix.rawGetPct ==
+               100);
+
+    Rng rng(streamSeed(cfg.seed, client));
+    const Zipfian zipf(cfg.keyspace,
+                       cfg.zipfTheta > 0.0 ? cfg.zipfTheta : 0.0);
+
+    std::vector<Request> stream;
+    stream.reserve(cfg.requestsPerClient);
+    Cycles arrival = 0;
+    for (int i = 0; i < cfg.requestsPerClient; ++i) {
+        Request r;
+        r.type = drawType(rng, cfg.mix);
+        // Keys are 1-based (TxHashSet reserves 0 as its empty
+        // sentinel); rank 0 is the hottest key under skew.
+        r.key = 1 + (cfg.zipfTheta > 0.0
+                         ? zipf.sample(rng)
+                         : rng.nextBounded(cfg.keyspace));
+        r.value = rng.next() | 1;
+        if (cfg.openLoop) {
+            arrival += drawGap(rng, cfg.meanInterarrival);
+            r.arrival = arrival;
+        } else {
+            r.think = drawGap(rng, cfg.meanThink);
+        }
+        stream.push_back(r);
+    }
+    return stream;
+}
+
+} // namespace utm::svc

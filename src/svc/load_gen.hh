@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Deterministic request-stream generation for the transactional KV
+ * service (src/svc/service.hh).
+ *
+ * Each simulated client gets its own pre-generated stream of typed
+ * requests (GET/PUT/SCAN/RMW plus raw non-transactional GETs), with
+ * keys drawn uniformly or Zipfian-skewed.  Streams are generated
+ * host-side before the scheduler starts, from a seed derived only
+ * from (config seed, client id) — so the offered load is identical
+ * across TM backends and scheduler policies, and any difference in
+ * the measured latencies is attributable to the TM system alone.
+ *
+ * Two load models:
+ *  - closed-loop: a client issues a request, waits for completion,
+ *    thinks for a drawn think time, repeats.  Offered load adapts to
+ *    service rate; queueing never builds up and nothing is shed.
+ *  - open-loop: each request carries an absolute arrival cycle
+ *    (drawn interarrival gaps, accumulated).  A client serves its
+ *    queue in arrival order; when the backlog of already-due
+ *    requests exceeds the admission bound the due request is shed.
+ *    Latency is measured from *arrival*, so queueing delay is part
+ *    of the tail — the regime where TM contention costs surface.
+ */
+
+#ifndef UFOTM_SVC_LOAD_GEN_HH
+#define UFOTM_SVC_LOAD_GEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace utm::svc {
+
+/** Request verbs served by the KV service. */
+enum class ReqType
+{
+    Get,    ///< Transactional point lookup.
+    Put,    ///< Transactional overwrite of an existing key.
+    Scan,   ///< Transactional lookup of a run of consecutive keys.
+    Rmw,    ///< Transactional read-modify-write (in-place add).
+    RawGet, ///< NON-transactional point lookup (strong-atomicity probe).
+};
+constexpr int kNumReqTypes = 5;
+
+/** Stable snake_case name ("get", ..., "raw_get") for svc.* counters. */
+const char *reqTypeName(ReqType t);
+
+/** One request in a client's stream. */
+struct Request
+{
+    ReqType type = ReqType::Get;
+    std::uint64_t key = 1;   ///< In [1, keyspace].
+    std::uint64_t value = 0; ///< Payload for Put, delta for Rmw.
+    Cycles arrival = 0;      ///< Open-loop: absolute arrival cycle.
+    Cycles think = 0;        ///< Closed-loop: think time before issuing.
+};
+
+/** Request mix in percent of offered load; must sum to 100. */
+struct RequestMix
+{
+    int getPct = 50;
+    int putPct = 20;
+    int scanPct = 10;
+    int rmwPct = 10;
+    int rawGetPct = 10; ///< Raw non-transactional reads.
+};
+
+/** Load-generation parameters (one stream per client). */
+struct LoadGenConfig
+{
+    std::uint64_t keyspace = 256; ///< Keys 1..keyspace, pre-populated.
+    double zipfTheta = 0.0;       ///< 0 = uniform; →1 = heavily skewed.
+    RequestMix mix;
+    int requestsPerClient = 64;
+    int scanLen = 8; ///< Consecutive keys per Scan.
+
+    bool openLoop = false;
+    /** Open-loop: mean per-client interarrival gap (cycles); gaps are
+     *  drawn uniformly from [mean/2, 3*mean/2]. */
+    Cycles meanInterarrival = 2000;
+    /** Closed-loop: mean think time (cycles), same drawn range. */
+    Cycles meanThink = 200;
+
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Generate client @p client's full request stream.  Depends only on
+ * (cfg, client) — not on the machine, backend, or scheduler.
+ */
+std::vector<Request> generateClientStream(const LoadGenConfig &cfg,
+                                          int client);
+
+} // namespace utm::svc
+
+#endif // UFOTM_SVC_LOAD_GEN_HH

@@ -1,0 +1,183 @@
+#include "svc/service.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "rt/heap.hh"
+#include "sim/logging.hh"
+#include "sim/machine.hh"
+
+namespace utm::svc {
+
+void
+KvServiceWorkload::setup(ThreadContext &init, TxHeap &heap, int nthreads)
+{
+    store_ = std::make_unique<KvStore>(KvStore::create(
+        init, heap, p_.mapBuckets, p_.load.keyspace));
+    store_->populate(init, p_.load.keyspace);
+
+    streams_.clear();
+    for (int c = 0; c < nthreads; ++c)
+        streams_.push_back(generateClientStream(p_.load, c));
+}
+
+/**
+ * Per-request attempt accounting.  The transaction body re-executes
+ * once per abort (and once more after a hardware→software failover),
+ * so counting body entries per path — host-local, exactly the
+ * re-execution-tolerant pattern the TxSystem contract allows — yields
+ * the request's own abort count without touching global counters.
+ */
+struct KvServiceWorkload::Attempts
+{
+    std::uint64_t hw = 0; ///< Hardware (or raw) body executions.
+    std::uint64_t sw = 0; ///< Software body executions.
+    bool finalSw = false; ///< Path of the latest (committed) attempt.
+
+    void
+    note(TxHandle &h)
+    {
+        if (h.path() == TxHandle::Path::Software) {
+            ++sw;
+            finalSw = true;
+        } else {
+            ++hw;
+            finalSw = false;
+        }
+    }
+
+    /** Hardware attempts that aborted (incl. those that failed over). */
+    std::uint64_t
+    hwAborts() const
+    {
+        return hw - (hw && !finalSw ? 1 : 0);
+    }
+
+    /** Software attempts that aborted and re-ran. */
+    std::uint64_t
+    swAborts() const
+    {
+        return sw - (sw && finalSw ? 1 : 0);
+    }
+};
+
+void
+KvServiceWorkload::serve(ThreadContext &tc, TxSystem &sys,
+                         const Request &r, Attempts *att)
+{
+    switch (r.type) {
+      case ReqType::Get:
+        sys.atomic(tc, [&](TxHandle &h) {
+            att->note(h);
+            std::uint64_t v = 0;
+            const bool hit = store_->get(h, r.key, &v);
+            utm_assert(hit);
+        });
+        break;
+      case ReqType::Put:
+        sys.atomic(tc, [&](TxHandle &h) {
+            att->note(h);
+            const bool hit = store_->put(h, r.key, r.value);
+            utm_assert(hit);
+        });
+        break;
+      case ReqType::Scan:
+        sys.atomic(tc, [&](TxHandle &h) {
+            att->note(h);
+            store_->scan(h, r.key, p_.load.scanLen, p_.load.keyspace);
+        });
+        break;
+      case ReqType::Rmw:
+        sys.atomic(tc, [&](TxHandle &h) {
+            att->note(h);
+            const bool hit = store_->rmw(h, r.key, r.value);
+            utm_assert(hit);
+        });
+        break;
+      case ReqType::RawGet: {
+        // Outside any transaction, on purpose: the strong-atomicity
+        // probe.  The walk is structurally safe (fixed key set); the
+        // value is meaningful only on strongly-atomic backends.
+        std::uint64_t v = 0;
+        const bool hit = store_->rawGet(tc, r.key, &v);
+        utm_assert(hit);
+        break;
+      }
+    }
+}
+
+void
+KvServiceWorkload::threadBody(ThreadContext &tc, TxSystem &sys, int tid,
+                              int nthreads)
+{
+    (void)nthreads;
+    StatsRegistry &st = tc.stats();
+    const std::vector<Request> &stream = streams_.at(tid);
+
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        const Request &r = stream[i];
+        Cycles start;
+        if (p_.load.openLoop) {
+            // Wait for the request's arrival, in bounded slices so
+            // other clients keep interleaving deterministically.
+            while (tc.now() < r.arrival) {
+                tc.advance(std::min<Cycles>(r.arrival - tc.now(), 64));
+                tc.yield();
+            }
+            // Admission control over this client's backlog: every
+            // stream request already due but not yet completed.
+            std::uint64_t depth = 0;
+            for (std::size_t j = i;
+                 j < stream.size() && stream[j].arrival <= tc.now(); ++j)
+                ++depth;
+            st.observe("svc.queue_depth", depth);
+            if (depth > p_.maxQueueDepth) {
+                st.inc("svc.shed");
+                st.inc(std::string("svc.shed.") + reqTypeName(r.type));
+                tc.advance(p_.shedCost);
+                continue;
+            }
+            if (tc.now() > r.arrival)
+                st.inc("svc.queued");
+            start = r.arrival; // Queueing delay counts toward latency.
+        } else {
+            tc.advance(r.think);
+            start = tc.now();
+        }
+
+        Attempts att;
+        serve(tc, sys, r, &att);
+        const Cycles latency = tc.now() - start;
+
+        st.inc("svc.requests");
+        st.inc(std::string("svc.requests.") + reqTypeName(r.type));
+        st.observe("svc.latency", latency);
+        st.observe(std::string("svc.latency.") + reqTypeName(r.type),
+                   latency);
+
+        const std::uint64_t hw_aborts = att.hwAborts();
+        const std::uint64_t sw_aborts = att.swAborts();
+        if (hw_aborts)
+            st.inc("svc.request_aborts.hw", hw_aborts);
+        if (sw_aborts)
+            st.inc("svc.request_aborts.sw", sw_aborts);
+        if (hw_aborts + sw_aborts)
+            st.inc("svc.request_aborts", hw_aborts + sw_aborts);
+        st.observe("svc.aborts_per_request", hw_aborts + sw_aborts);
+    }
+}
+
+bool
+KvServiceWorkload::validate(ThreadContext &init)
+{
+    return store_->check(init, p_.load.keyspace);
+}
+
+RunResult
+runService(const SvcParams &params, const RunConfig &cfg)
+{
+    KvServiceWorkload w(params);
+    return runWorkload(w, cfg);
+}
+
+} // namespace utm::svc

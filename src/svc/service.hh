@@ -1,0 +1,89 @@
+/**
+ * @file
+ * tmserve: the transactional KV request-serving workload.
+ *
+ * A KvServiceWorkload drives one KvStore (src/svc/kv_store.hh) with
+ * per-client request streams from the load generator
+ * (src/svc/load_gen.hh), under any TxSystemKind, through the standard
+ * Workload/runWorkload machinery — so stats-JSON export, tracing, and
+ * scheduler-policy selection all apply unchanged.
+ *
+ * What it measures (the `svc.*` family, docs/OBSERVABILITY.md):
+ *  - per-request latency histograms, whole-service and per verb
+ *    (`svc.latency`, `svc.latency.<type>`) — open-loop latency is
+ *    measured from *arrival*, so queueing delay lands in the tail;
+ *  - served/shed/queued request counts (`svc.requests[.<type>]`,
+ *    `svc.shed[.<type>]`, `svc.queued`);
+ *  - per-request abort attribution: how many hardware and software
+ *    aborts each served request absorbed
+ *    (`svc.request_aborts[.hw|.sw]`, `svc.aborts_per_request`);
+ *  - open-loop admission-queue depth (`svc.queue_depth`).
+ *
+ * Raw (non-transactional) GET traffic rides in the same streams; it
+ * is the service-shaped probe of the paper's headline property —
+ * strong atomicity — and is checked against the sequential shadow
+ * oracle by the tmtorture kv workload (src/torture).
+ */
+
+#ifndef UFOTM_SVC_SERVICE_HH
+#define UFOTM_SVC_SERVICE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "stamp/workload.hh"
+#include "svc/kv_store.hh"
+#include "svc/load_gen.hh"
+
+namespace utm::svc {
+
+/** Service shape: store geometry, load model, admission control. */
+struct SvcParams
+{
+    LoadGenConfig load;
+
+    /** TxMap bucket count (power of two); small values lengthen the
+     *  chain walks, modelling a deeper index. */
+    std::uint64_t mapBuckets = 64;
+
+    /** Open-loop admission bound: a due request is shed when the
+     *  client's backlog of already-due requests exceeds this. */
+    std::uint64_t maxQueueDepth = 16;
+
+    /** Cycles charged for rejecting (shedding) one request. */
+    Cycles shedCost = 20;
+};
+
+/** The request-serving workload; one simulated thread per client. */
+class KvServiceWorkload final : public Workload
+{
+  public:
+    explicit KvServiceWorkload(const SvcParams &p) : p_(p) {}
+
+    const char *name() const override { return "kv-service"; }
+
+    void setup(ThreadContext &init, TxHeap &heap, int nthreads) override;
+    void threadBody(ThreadContext &tc, TxSystem &sys, int tid,
+                    int nthreads) override;
+    bool validate(ThreadContext &init) override;
+
+    const SvcParams &params() const { return p_; }
+
+  private:
+    struct Attempts;
+
+    void serve(ThreadContext &tc, TxSystem &sys, const Request &r,
+               Attempts *att);
+
+    SvcParams p_;
+    std::unique_ptr<KvStore> store_;
+    std::vector<std::vector<Request>> streams_; ///< One per client.
+};
+
+/** runWorkload() with a KvServiceWorkload built from @p params. */
+RunResult runService(const SvcParams &params, const RunConfig &cfg);
+
+} // namespace utm::svc
+
+#endif // UFOTM_SVC_SERVICE_HH

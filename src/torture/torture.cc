@@ -1,6 +1,7 @@
 #include "torture/torture.hh"
 
 #include <memory>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -10,9 +11,21 @@
 #include "sim/machine.hh"
 #include "sim/oracle.hh"
 #include "sim/rng.hh"
+#include "svc/kv_store.hh"
 #include "ustm/ustm.hh"
 
 namespace utm::torture {
+
+const char *
+tortureWorkloadName(TortureWorkload w)
+{
+    switch (w) {
+      case TortureWorkload::Cells: return "cells";
+      case TortureWorkload::Kv: return "kv";
+    }
+    return "?";
+}
+
 namespace {
 
 /** Per-thread workload RNG seed (decoupled from the machine seed
@@ -23,13 +36,18 @@ workloadSeed(std::uint64_t seed, int tid)
     return (seed + 1) * 0x9e3779b97f4a7c15ull + std::uint64_t(tid) * 0xbf58476d1ce4e5b9ull;
 }
 
-/** Strong atomicity against the sequential shadow array. */
+/**
+ * Strong atomicity against the sequential shadow.  Watches one 8-byte
+ * word per shadow slot; the slots need not be contiguous (the Kv
+ * workload watches the map's scattered value words).
+ */
 class ShadowOracle final : public InvariantOracle
 {
   public:
-    ShadowOracle(Machine &machine, TxSystem &sys, Addr base,
+    ShadowOracle(Machine &machine, TxSystem &sys,
+                 const std::vector<Addr> &addrs,
                  const std::vector<std::uint64_t> &shadow)
-        : machine_(machine), sys_(sys), base_(base), shadow_(shadow)
+        : machine_(machine), sys_(sys), addrs_(addrs), shadow_(shadow)
     {
     }
 
@@ -39,7 +57,7 @@ class ShadowOracle final : public InvariantOracle
     check(std::string *why) override
     {
         for (std::size_t i = 0; i < shadow_.size(); ++i) {
-            const Addr a = base_ + Addr(i) * 8;
+            const Addr a = addrs_[i];
             const std::uint64_t got = machine_.memory().read(a, 8);
             if (got == shadow_[i])
                 continue;
@@ -58,8 +76,38 @@ class ShadowOracle final : public InvariantOracle
   private:
     Machine &machine_;
     TxSystem &sys_;
-    Addr base_;
+    const std::vector<Addr> &addrs_;
     const std::vector<std::uint64_t> &shadow_;
+};
+
+/**
+ * Reports a violation a workload fiber detected host-side.  Fibers
+ * must never throw OracleViolation themselves (it would unwind across
+ * the fiber boundary); they set the flag and the scheduler-side check
+ * at the next preemption point raises it.
+ */
+class HostFlagOracle final : public InvariantOracle
+{
+  public:
+    HostFlagOracle(const char *name, const std::string &flag)
+        : name_(name), flag_(flag)
+    {
+    }
+
+    const char *name() const override { return name_; }
+
+    bool
+    check(std::string *why) override
+    {
+        if (flag_.empty())
+            return true;
+        *why = flag_;
+        return false;
+    }
+
+  private:
+    const char *name_;
+    const std::string &flag_;
 };
 
 /** Backend-internal invariants (lockstep, undo balance, ...). */
@@ -106,30 +154,75 @@ runTorture(const TortureConfig &cfg)
         if (Ustm *ustm = sys->ustmRuntime())
             ustm->testOnlyBreakUfoLockstep(true);
 
+    const bool kv = cfg.workload == TortureWorkload::Kv;
     const int cells = cfg.cells;
-    const Addr base =
-        heap.allocZeroed(m.initContext(), std::uint64_t(cells) * 8,
-                         /*line_aligned=*/true);
-    const auto cellAddr = [base](int i) { return base + Addr(i) * 8; };
 
-    // Sequential shadow + per-thread per-attempt pending writes.
-    std::vector<std::uint64_t> shadow(cells, 0);
+    // The watched 8-byte words and their sequential shadow.  For
+    // Cells these are the contended array; for Kv, the map's value
+    // words (the chain structure is fixed after populate, so only the
+    // value words change during the run).
+    std::vector<Addr> addrs;
+    std::vector<std::uint64_t> shadow;
+    // Every value ever committed per watched word (raw-read oracle).
+    std::vector<std::unordered_set<std::uint64_t>> history;
+    std::unique_ptr<svc::KvStore> store;
+
+    if (!kv) {
+        const Addr base =
+            heap.allocZeroed(m.initContext(), std::uint64_t(cells) * 8,
+                             /*line_aligned=*/true);
+        for (int i = 0; i < cells; ++i)
+            addrs.push_back(base + Addr(i) * 8);
+        shadow.assign(std::size_t(cells), 0);
+    } else {
+        store = std::make_unique<svc::KvStore>(svc::KvStore::create(
+            m.initContext(), heap, cfg.kvBuckets, cfg.kvKeyspace));
+        store->populate(m.initContext(), cfg.kvKeyspace);
+        auto no_tm = TxSystem::create(TxSystemKind::NoTm, m);
+        no_tm->atomic(m.initContext(), [&](TxHandle &h) {
+            for (std::uint64_t k = 1; k <= cfg.kvKeyspace; ++k) {
+                const Addr va = store->valueAddr(h, k);
+                utm_assert(va != 0);
+                addrs.push_back(va);
+                shadow.push_back(k * 100); // populate() value.
+            }
+        });
+    }
+    history.resize(shadow.size());
+    for (std::size_t i = 0; i < shadow.size(); ++i)
+        history[i].insert(shadow[i]);
+    const auto cellAddr = [&addrs](int i) { return addrs[std::size_t(i)]; };
+
+    // Per-thread per-attempt pending writes, published into the
+    // shadow (and the per-word commit history) in commit order.
     std::vector<std::vector<std::pair<int, std::uint64_t>>> pending(
         threads);
     std::uint64_t commits = 0;
     m.setCommitPublishHook([&](ThreadContext &tc) {
         ++commits;
         auto &mine = pending[tc.id()];
-        for (const auto &[cell, value] : mine)
+        for (const auto &[cell, value] : mine) {
             shadow[cell] = value;
+            history[cell].insert(value);
+        }
         mine.clear();
     });
 
+    // Raw-read strong-atomicity flag: set host-side by Kv fibers,
+    // raised by the oracle at the next preemption point (fibers must
+    // never throw OracleViolation across the fiber boundary).
+    std::string rawFlag;
+    std::uint64_t rawReads = 0;
+    const bool checkRaw = kv && txSystemKindStronglyAtomic(cfg.kind);
+
     BackendOracle backendOracle(*sys);
-    ShadowOracle shadowOracle(m, *sys, base, shadow);
+    ShadowOracle shadowOracle(m, *sys, addrs, shadow);
+    HostFlagOracle rawOracle("raw-read", rawFlag);
     if (cfg.oraclesEnabled) {
         m.addOracle(&backendOracle);
         m.addOracle(&shadowOracle);
+        if (kv)
+            m.addOracle(&rawOracle);
         m.setOracleInterval(cfg.oracleInterval);
     }
 
@@ -138,7 +231,75 @@ runTorture(const TortureConfig &cfg)
             std::make_unique<ReplayScheduler>(*cfg.replay));
     m.recordSchedule(cfg.record || cfg.replay);
 
-    for (int t = 0; t < threads; ++t) {
+    for (int t = 0; t < threads && kv; ++t) {
+        m.addThread([&, t](ThreadContext &tc) {
+            Rng rng(workloadSeed(cfg.seed, t));
+            const Zipfian zipf(cfg.kvKeyspace, cfg.kvTheta);
+            for (int op = 0; op < cfg.opsPerThread; ++op) {
+                // Draw every parameter BEFORE atomic(): the body is
+                // re-executed on abort and must behave identically.
+                const int mix = int(rng.nextBounded(100));
+                const std::uint64_t key = 1 + zipf.sample(rng);
+                const std::uint64_t key2 = 1 + zipf.sample(rng);
+                const std::uint64_t fresh = rng.next() | 1;
+                const std::uint64_t delta = rng.nextBounded(1000);
+                const int idx = int(key) - 1;
+
+                if (mix < cfg.kvRawPct) {
+                    // Raw (non-transactional) GET: the strong-atomicity
+                    // probe.  Every observed value must have been
+                    // committed for that key at some point.
+                    std::uint64_t v = 0;
+                    const bool hit = store->rawGet(tc, key, &v);
+                    ++rawReads;
+                    if (checkRaw && rawFlag.empty()) {
+                        if (!hit)
+                            rawFlag = "raw GET missed key " +
+                                      std::to_string(key) +
+                                      " (fixed keyspace: chain "
+                                      "structure damaged)";
+                        else if (!history[idx].count(v))
+                            rawFlag =
+                                "raw GET of key " + std::to_string(key) +
+                                " returned " + std::to_string(v) +
+                                ", never committed for that key "
+                                "(speculative state leaked to a "
+                                "non-transactional read)";
+                    }
+                    tc.advance(5 + rng.nextBounded(20));
+                    continue;
+                }
+
+                auto &mine = pending[t];
+                sys->atomic(tc, [&](TxHandle &h) {
+                    mine.clear(); // Idempotent across re-execution.
+                    if (mix < 45) {
+                        std::uint64_t v = 0;
+                        (void)store->get(h, key, &v);
+                    } else if (mix < 65) {
+                        store->put(h, key, fresh);
+                        mine.emplace_back(idx, fresh);
+                    } else if (mix < 80) {
+                        std::uint64_t nv = 0;
+                        if (store->rmw(h, key, delta, &nv))
+                            mine.emplace_back(idx, nv);
+                    } else if (mix < 90) {
+                        store->scan(h, key, 4, cfg.kvKeyspace);
+                    } else {
+                        // Forced software path against key2: stresses
+                        // mixed hardware/software raw-read windows.
+                        h.requireSoftware();
+                        std::uint64_t nv = 0;
+                        if (store->rmw(h, key2, delta, &nv))
+                            mine.emplace_back(int(key2) - 1, nv);
+                    }
+                });
+                tc.advance(10 + rng.nextBounded(40));
+            }
+        });
+    }
+
+    for (int t = 0; t < threads && !kv; ++t) {
         m.addThread([&, t, cells, syscalls](ThreadContext &tc) {
             Rng rng(workloadSeed(cfg.seed, t));
             for (int op = 0; op < cfg.opsPerThread; ++op) {
@@ -210,13 +371,14 @@ runTorture(const TortureConfig &cfg)
     res.steps = m.schedSteps();
     res.cycles = m.completionTime();
     res.commits = commits;
+    res.rawReads = rawReads;
     res.schedule = m.recordedSchedule();
     res.stats = m.stats().counters();
 
     if (!res.violated) {
         res.validated = true;
-        for (int i = 0; i < cells; ++i) {
-            if (m.memory().read(cellAddr(i), 8) != shadow[i]) {
+        for (std::size_t i = 0; i < addrs.size(); ++i) {
+            if (m.memory().read(addrs[i], 8) != shadow[i]) {
                 res.validated = false;
                 res.oracle = "final-state";
                 res.why = "cell " + std::to_string(i) +

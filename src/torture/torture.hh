@@ -3,9 +3,10 @@
  * tmtorture: schedule-exploration torture harness.
  *
  * One torture run builds a Machine with a chosen SchedulerPolicy,
- * spins up a randomized multi-threaded workload over a small array of
- * contended cells, and checks invariant oracles at every preemption
- * point:
+ * spins up a randomized multi-threaded workload — either over a small
+ * array of contended cells, or over the tmserve KV store (skewed
+ * GET/PUT/RMW/SCAN plus raw non-transactional GETs; src/svc) — and
+ * checks invariant oracles at every preemption point:
  *
  *  - "shadow-memory": strong atomicity against a sequential shadow.
  *    Each transaction records the (cell, value) pairs it writes; the
@@ -18,6 +19,10 @@
  *  - "backend-invariants": TxSystem::oracleInvariantsHold() — the
  *    USTM otable<->UFO-bit lockstep invariant, undo-log balance, BTM
  *    idle-state cleanliness, TL2 write-set consistency.
+ *  - "raw-read" (Kv workload, strongly-atomic backends only): every
+ *    raw GET must return a value that was committed for that key at
+ *    some point — a non-transactional read observing a speculative
+ *    (never-committed) value is exactly a strong-atomicity hole.
  *
  * A failing run throws OracleViolation out of Machine::run(); the
  * recorded ScheduleTrace replays it bit-identically, and
@@ -37,14 +42,31 @@
 
 namespace utm::torture {
 
+/** Which data structure + op mix the torture run drives. */
+enum class TortureWorkload
+{
+    Cells, ///< Randomized ops over a contended cell array (default).
+    Kv,    ///< The tmserve KV store: skewed GET/PUT/RMW/SCAN + raw GETs.
+};
+
+const char *tortureWorkloadName(TortureWorkload w);
+
 /** Parameters of one torture run. */
 struct TortureConfig
 {
     TxSystemKind kind = TxSystemKind::UfoHybrid;
+    TortureWorkload workload = TortureWorkload::Cells;
     int threads = 4;      ///< Forced to 1 for NoTm (no concurrency control).
     int opsPerThread = 60;
     int cells = 48;       ///< 8-byte cells, line-aligned base: ~6 hot lines.
     std::uint64_t seed = 1;
+
+    /** @name Kv-workload shape (ignored for Cells). @{ */
+    std::uint64_t kvKeyspace = 24; ///< Keys 1..keyspace, fixed at setup.
+    std::uint64_t kvBuckets = 8;   ///< TxMap buckets: short, shared chains.
+    double kvTheta = 0.6;          ///< Zipfian skew of key choice.
+    int kvRawPct = 20;             ///< Percent of ops that are raw GETs.
+    /** @} */
 
     /**
      * Otable buckets for the machine.  Deliberately tiny (vs. the
@@ -87,7 +109,8 @@ struct TortureResult
     bool validated = false; ///< End-of-run shadow equality (when !violated).
     std::uint64_t steps = 0;
     Cycles cycles = 0;
-    std::uint64_t commits = 0; ///< Total committed transactions.
+    std::uint64_t commits = 0;  ///< Total committed transactions.
+    std::uint64_t rawReads = 0; ///< Non-transactional GETs issued (Kv).
 
     ScheduleTrace schedule; ///< Recorded schedule (when recording).
     std::map<std::string, std::uint64_t> stats; ///< Final counter map.

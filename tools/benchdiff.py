@@ -1,15 +1,16 @@
 #!/usr/bin/env python3
-"""Diff two ufotm-bench documents for performance regressions.
+"""Diff two ufotm-bench (or ufotm-svc) documents for regressions.
 
   benchdiff.py BASELINE CURRENT [--threshold 0.10] [--report PATH]
 
 Rows are matched by their identity fields (benchmark/system/threads/
-series/failover_rate/tx_per_thread); the compared metric is `cycles`
-where a row has one (figure5/figure6 rows, lower is better), else
-`throughput_tx_per_mcycle` (figure7 rows, higher is better).  The
-simulator is deterministic, so on an unchanged tree every delta is
-exactly zero; any per-row change worse than --threshold (relative)
-fails the diff.
+series/failover_rate/tx_per_thread, plus mode/request for svc rows);
+the compared metric is `cycles` where a row has one (figure5/figure6
+rows, lower is better), `p99_cycles` (svc latency rows, lower is
+better), else `throughput_tx_per_mcycle` / `throughput_req_per_mcycle`
+(figure7 / svc throughput rows, higher is better).  The simulator is
+deterministic, so on an unchanged tree every delta is exactly zero;
+any per-row change worse than --threshold (relative) fails the diff.
 
 Exit status: 0 = no regression, 1 = regression or row mismatch,
 2 = unusable input.  --report writes a machine-readable JSON diff
@@ -21,10 +22,14 @@ import json
 import sys
 
 KEY_FIELDS = ("benchmark", "system", "threads", "series",
-              "failover_rate", "tx_per_thread")
+              "failover_rate", "tx_per_thread", "mode", "request")
 
 # (metric, direction): +1 means larger-is-worse, -1 larger-is-better.
-METRICS = (("cycles", 1), ("throughput_tx_per_mcycle", -1))
+METRICS = (("cycles", 1), ("p99_cycles", 1),
+           ("throughput_tx_per_mcycle", -1),
+           ("throughput_req_per_mcycle", -1))
+
+SCHEMAS = ("ufotm-bench", "ufotm-svc")
 
 
 def row_key(row):
@@ -48,9 +53,9 @@ def load_doc(path):
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"benchdiff: cannot read {path}: {e}")
-    if doc.get("schema") != "ufotm-bench":
+    if doc.get("schema") not in SCHEMAS:
         sys.exit(f"benchdiff: {path}: schema is {doc.get('schema')!r},"
-                 " want 'ufotm-bench'")
+                 f" want one of {SCHEMAS}")
     rows = doc.get("rows")
     if not isinstance(rows, list) or not rows:
         sys.exit(f"benchdiff: {path}: no rows")
@@ -108,6 +113,10 @@ def main():
 
     base_doc = load_doc(args.baseline)
     cur_doc = load_doc(args.current)
+    if base_doc.get("schema") != cur_doc.get("schema"):
+        sys.exit(f"benchdiff: schema mismatch: "
+                 f"{base_doc.get('schema')!r} vs "
+                 f"{cur_doc.get('schema')!r}")
     if base_doc.get("bench") != cur_doc.get("bench"):
         sys.exit(f"benchdiff: bench mismatch: "
                  f"{base_doc.get('bench')!r} vs {cur_doc.get('bench')!r}")
@@ -131,7 +140,8 @@ def main():
             f.write("\n")
 
     compared = [r for r in rows if "delta" in r]
-    worst = max((r["delta"] * (1 if r["metric"] == "cycles" else -1)
+    direction = dict(METRICS)
+    worst = max((r["delta"] * direction.get(r["metric"], 1)
                  for r in compared), default=0.0)
     print(f"benchdiff: {base_doc.get('bench')}: {len(compared)} rows "
           f"compared, worst delta {worst:+.2%}")

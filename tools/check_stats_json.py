@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
 """Validate ufotm observability artifacts.
 
-Three modes:
+Four modes:
 
   check_stats_json.py FILE            validate a ufotm-stats document
   check_stats_json.py --bench FILE    validate a ufotm-bench document
+  check_stats_json.py --svc FILE      validate a ufotm-svc document
+                                      (bench_svc --json output)
   check_stats_json.py --check-docs    every counter emitted by src/
                                       must appear in
                                       docs/OBSERVABILITY.md
@@ -40,6 +42,9 @@ PROF_PHASES = [
 PROF_CYCLE_NAMES = [f"{c}.{p}" for c in PROF_COMPONENTS
                     for p in PROF_PHASES] + ["app"]
 
+# Keep in sync with reqTypeName() in src/svc/load_gen.cc.
+SVC_REQ_TYPES = ["get", "put", "scan", "rmw", "raw_get"]
+
 REASON_FAMILIES = {
     "btm.aborts.": ABORT_REASONS,
     "tm.failovers.hard.": ABORT_REASONS,
@@ -47,11 +52,17 @@ REASON_FAMILIES = {
     "tl2.aborts.": ["read_validation", "lock_busy",
                     "commit_validation"],
     "prof.cycles.": PROF_CYCLE_NAMES,
+    "svc.requests.": SVC_REQ_TYPES,
+    "svc.shed.": SVC_REQ_TYPES,
+    "svc.latency.": SVC_REQ_TYPES,
 }
 # Families whose docs coverage is via a structured placeholder rather
 # than the generic "<prefix><reason>" form or full enumeration.
 FAMILY_PLACEHOLDERS = {
     "prof.cycles.": "prof.cycles.<component>.<phase>",
+    "svc.requests.": "svc.requests.<type>",
+    "svc.shed.": "svc.shed.<type>",
+    "svc.latency.": "svc.latency.<type>",
 }
 
 STATS_TOTALS_KEYS = {
@@ -122,7 +133,10 @@ def check_stats_doc(doc):
     # Reason families must sum to their aggregate where one exists.
     for prefix, agg in (("ustm.aborts.", "ustm.aborts"),
                         ("tl2.aborts.", "tl2.aborts"),
-                        ("tm.failovers.hard.", "tm.failovers.hard")):
+                        ("tm.failovers.hard.", "tm.failovers.hard"),
+                        ("svc.requests.", "svc.requests"),
+                        ("svc.shed.", "svc.shed"),
+                        ("svc.request_aborts.", "svc.request_aborts")):
         fam = sum(v for n, v in counters.items()
                   if n.startswith(prefix))
         if agg in counters or fam:
@@ -137,6 +151,26 @@ def check_stats_doc(doc):
         expect(sum(b.get("count", 0) for b in buckets) ==
                h.get("samples"),
                f"histogram {name}: bucket counts do not sum to samples")
+        bounds = [b.get("le", 0) for b in buckets]
+        expect(bounds == sorted(set(bounds)),
+               f"histogram {name}: bucket bounds not strictly "
+               "increasing")
+        expect(h.get("p50", 0) <= h.get("p90", 0) <= h.get("p99", 0),
+               f"histogram {name}: quantiles not monotone")
+
+    # svc latency histograms: per-type samples sum to the aggregate,
+    # which counts exactly the served requests.
+    hists = doc.get("histograms", {})
+    if "svc.latency" in hists:
+        agg = hists["svc.latency"].get("samples")
+        per_type = sum(h.get("samples", 0) for n, h in hists.items()
+                       if n.startswith("svc.latency."))
+        expect(per_type == agg,
+               f"sum(svc.latency.<type> samples)={per_type} != "
+               f"svc.latency samples={agg}")
+        expect(counters.get("svc.requests", 0) == agg,
+               f"svc.requests={counters.get('svc.requests', 0)} != "
+               f"svc.latency samples={agg}")
 
     # per_backend must re-group exactly the counters map.
     per_backend = doc.get("per_backend")
@@ -271,6 +305,62 @@ def check_bench_doc(doc):
     return problems
 
 
+def check_svc_doc(doc):
+    """Validate a ufotm-svc document (bench_svc --json output)."""
+    problems = []
+
+    def expect(cond, msg):
+        if not cond:
+            problems.append(msg)
+
+    expect(doc.get("schema") == "ufotm-svc",
+           f"schema is {doc.get('schema')!r}, want 'ufotm-svc'")
+    expect(doc.get("schema_version") == 1, "schema_version != 1")
+    expect(doc.get("bench") == "svc_latency",
+           f"bench is {doc.get('bench')!r}, want 'svc_latency'")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        problems.append("rows missing or empty")
+        return problems
+
+    # Split into throughput rows (no "request" key) and per-request
+    # latency rows; every (system, mode) needs one of the former and
+    # five of the latter whose request counts sum to the aggregate.
+    agg = {}
+    per_req = {}
+    for i, row in enumerate(rows):
+        for k in ("benchmark", "system", "mode", "threads"):
+            expect(k in row, f"rows[{i}] missing {k!r}")
+        group = (row.get("system"), row.get("mode"))
+        if "request" in row:
+            expect(row["request"] in SVC_REQ_TYPES,
+                   f"rows[{i}]: unknown request type "
+                   f"{row['request']!r}")
+            expect(row.get("p50_cycles", 0) <= row.get("p99_cycles", 0)
+                   <= row.get("p999_cycles", 0),
+                   f"rows[{i}] ({group[0]}/{group[1]}/"
+                   f"{row.get('request')}): latency quantiles not "
+                   "monotone")
+            per_req.setdefault(group, 0)
+            per_req[group] += row.get("requests", 0)
+        else:
+            expect("throughput_req_per_mcycle" in row,
+                   f"rows[{i}]: throughput row missing "
+                   "throughput_req_per_mcycle")
+            expect(group not in agg,
+                   f"rows[{i}]: duplicate throughput row for {group}")
+            agg[group] = row.get("requests", 0)
+
+    expect(set(agg) == set(per_req),
+           f"throughput/latency row groups differ: "
+           f"{sorted(set(agg) ^ set(per_req))}")
+    for group in agg:
+        expect(agg[group] == per_req.get(group, 0),
+               f"{group[0]}/{group[1]}: per-request counts sum to "
+               f"{per_req.get(group, 0)} != aggregate {agg[group]}")
+    return problems
+
+
 # Matches both single-line inc("x")/set("x", ...)/observe("x", ...)
 # and the argument spilling to the next line.
 LITERAL_RE = re.compile(
@@ -338,6 +428,8 @@ def main():
     ap.add_argument("files", nargs="*", help="JSON documents to check")
     ap.add_argument("--bench", action="store_true",
                     help="validate ufotm-bench documents")
+    ap.add_argument("--svc", action="store_true",
+                    help="validate ufotm-svc documents")
     ap.add_argument("--check-docs", action="store_true",
                     help="check docs/OBSERVABILITY.md counter coverage")
     args = ap.parse_args()
@@ -347,7 +439,8 @@ def main():
         problems += check_docs()
     for f in args.files:
         doc = json.load(open(f))
-        check = check_bench_doc if args.bench else check_stats_doc
+        check = check_svc_doc if args.svc else \
+            check_bench_doc if args.bench else check_stats_doc
         problems += [f"{f}: {p}" for p in check(doc)]
     if problems:
         fail(problems)

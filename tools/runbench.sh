@@ -4,10 +4,11 @@
 #
 #   tools/runbench.sh [--build-dir DIR] [--out DIR]
 #
-# Runs the three figure benches that back the regression gate
-# (figure5_speedup, figure6_aborts, figure7_failover) with --quick
-# (the pinned smoke scale: figure5/6 at scale 0.5, figure7 at 96
-# tx/thread) and writes BENCH_<name>.json into --out (default
+# Runs the four benches that back the regression gate
+# (figure5_speedup, figure6_aborts, figure7_failover, and the
+# bench_svc service-latency bench) with --quick (the pinned smoke
+# scale: figure5/6 at scale 0.5, figure7 at 96 tx/thread, svc at 24
+# requests/client) and writes BENCH_<name>.json into --out (default
 # bench/baselines/, i.e. refresh the committed baselines in place).
 #
 # The simulator is deterministic, so two runs of the same tree produce
@@ -30,13 +31,16 @@ done
 
 mkdir -p "$out_dir"
 
-for bench in figure5_speedup figure6_aborts figure7_failover; do
-    bin="$build_dir/bench/$bench"
+# binary:bench-name pairs (bench_svc reports as "svc_latency").
+for spec in figure5_speedup:figure5_speedup figure6_aborts:figure6_aborts \
+            figure7_failover:figure7_failover bench_svc:svc_latency; do
+    bin="$build_dir/bench/${spec%%:*}"
+    bench="${spec#*:}"
     if [ ! -x "$bin" ]; then
         echo "runbench: $bin not built (cmake --build $build_dir)" >&2
         exit 2
     fi
-    echo "runbench: $bench --quick -> $out_dir/BENCH_$bench.json" >&2
+    echo "runbench: ${spec%%:*} --quick -> $out_dir/BENCH_$bench.json" >&2
     "$bin" --quick "--json=$out_dir/BENCH_$bench.json" > /dev/null
 done
 echo "runbench: done" >&2

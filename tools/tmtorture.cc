@@ -40,6 +40,8 @@ struct Options
                                       SchedPolicy::RandomWalk,
                                       SchedPolicy::Pct};
     std::vector<TxSystemKind> backends;
+    std::vector<torture::TortureWorkload> workloads{
+        torture::TortureWorkload::Cells};
     int threads = 4;
     int ops = 60;
     int cells = 48;
@@ -83,6 +85,20 @@ parseBackend(std::string name, TxSystemKind *out)
     return false;
 }
 
+bool
+parseWorkload(const std::string &name, torture::TortureWorkload *out)
+{
+    if (name == "cells") {
+        *out = torture::TortureWorkload::Cells;
+        return true;
+    }
+    if (name == "kv") {
+        *out = torture::TortureWorkload::Kv;
+        return true;
+    }
+    return false;
+}
+
 std::vector<std::string>
 splitCsv(const std::string &s)
 {
@@ -111,6 +127,9 @@ usage(const char *argv0)
         "                       roundrobin, or 'all'\n"
         "  --backends LIST      csv of btm,ufo-hybrid,hytm,phtm,ustm,\n"
         "                       ustm-ufo,tl2,no-tm, or 'all'\n"
+        "  --workloads LIST     csv of cells,kv, or 'all' (default\n"
+        "                       cells; kv = tmserve KV store with raw\n"
+        "                       non-transactional GETs)\n"
         "  --threads N          workload threads (default 4)\n"
         "  --ops N              transactions per thread (default 60)\n"
         "  --cells N            contended 8-byte cells (default 48)\n"
@@ -187,6 +206,24 @@ parseArgs(int argc, char **argv)
         } else if (a == "--backend") {
             if (!parseBackend(need(i), &opt.replayBackend))
                 usage(argv[0]);
+        } else if (a == "--workloads" || a == "--workload") {
+            const std::string v = need(i);
+            opt.workloads.clear();
+            if (v == "all") {
+                opt.workloads = {torture::TortureWorkload::Cells,
+                                 torture::TortureWorkload::Kv};
+            } else {
+                for (const auto &name : splitCsv(v)) {
+                    torture::TortureWorkload wl;
+                    if (!parseWorkload(name, &wl)) {
+                        std::fprintf(stderr,
+                                     "unknown workload '%s'\n",
+                                     name.c_str());
+                        usage(argv[0]);
+                    }
+                    opt.workloads.push_back(wl);
+                }
+            }
         } else if (a == "--threads") {
             opt.threads = std::atoi(need(i));
         } else if (a == "--ops") {
@@ -220,11 +257,12 @@ parseArgs(int argc, char **argv)
 }
 
 torture::TortureConfig
-makeConfig(const Options &opt, TxSystemKind kind, SchedPolicy policy,
-           std::uint64_t seed)
+makeConfig(const Options &opt, torture::TortureWorkload workload,
+           TxSystemKind kind, SchedPolicy policy, std::uint64_t seed)
 {
     torture::TortureConfig cfg;
     cfg.kind = kind;
+    cfg.workload = workload;
     cfg.threads = opt.threads;
     cfg.opsPerThread = opt.ops;
     cfg.cells = opt.cells;
@@ -245,12 +283,14 @@ writeRun(json::Writer &w, const torture::TortureConfig &cfg,
 {
     w.beginObject();
     w.kv("backend", txSystemKindName(cfg.kind));
+    w.kv("workload", torture::tortureWorkloadName(cfg.workload));
     w.kv("policy", schedPolicyName(cfg.sched.policy));
     w.kv("seed", cfg.seed);
     w.kv("ok", res.ok());
     w.kv("steps", res.steps);
     w.kv("cycles", res.cycles);
     w.kv("commits", res.commits);
+    w.kv("raw_reads", res.rawReads);
     auto it = res.stats.find("torture.oracle_checks");
     w.kv("oracle_checks",
          it == res.stats.end() ? std::uint64_t(0) : it->second);
@@ -281,8 +321,9 @@ replayMode(const Options &opt)
                      opt.replayPath.c_str());
         return 2;
     }
-    torture::TortureConfig cfg = makeConfig(
-        opt, opt.replayBackend, SchedPolicy::MinClock, opt.seed);
+    torture::TortureConfig cfg =
+        makeConfig(opt, opt.workloads.front(), opt.replayBackend,
+                   SchedPolicy::MinClock, opt.seed);
     cfg.replay = &trace;
     const torture::TortureResult res = torture::runTorture(cfg);
     if (res.ok()) {
@@ -326,42 +367,51 @@ main(int argc, char **argv)
     w.key("runs").beginArray();
 
     int total = 0, failures = 0;
-    for (TxSystemKind kind : opt.backends) {
-        for (SchedPolicy policy : opt.policies) {
-            for (int i = 0; i < opt.seeds; ++i) {
-                const std::uint64_t s = opt.seed + std::uint64_t(i);
-                torture::TortureConfig cfg =
-                    makeConfig(opt, kind, policy, s);
-                const torture::TortureResult res =
-                    torture::runTorture(cfg);
-                ++total;
-                if (res.ok()) {
-                    writeRun(w, cfg, res, nullptr);
-                    continue;
+    for (torture::TortureWorkload workload : opt.workloads) {
+        for (TxSystemKind kind : opt.backends) {
+            for (SchedPolicy policy : opt.policies) {
+                for (int i = 0; i < opt.seeds; ++i) {
+                    const std::uint64_t s = opt.seed + std::uint64_t(i);
+                    torture::TortureConfig cfg =
+                        makeConfig(opt, workload, kind, policy, s);
+                    const torture::TortureResult res =
+                        torture::runTorture(cfg);
+                    ++total;
+                    if (res.ok()) {
+                        writeRun(w, cfg, res, nullptr);
+                        continue;
+                    }
+                    ++failures;
+                    std::fprintf(
+                        stderr,
+                        "FAIL %s/%s/%s seed %llu: %s at step %llu: "
+                        "%s\n",
+                        torture::tortureWorkloadName(workload),
+                        txSystemKindName(kind),
+                        schedPolicyName(policy), (unsigned long long)s,
+                        res.oracle.c_str(),
+                        (unsigned long long)res.violationStep,
+                        res.why.c_str());
+                    torture::MinimizeResult min =
+                        torture::minimizeSchedule(cfg, res.schedule,
+                                                  res.oracle,
+                                                  res.violationStep,
+                                                  opt.minimizeBudget);
+                    std::fprintf(
+                        stderr,
+                        "  minimized %llu -> %llu steps (%d replays)\n",
+                        (unsigned long long)res.schedule.steps(),
+                        (unsigned long long)min.schedule.steps(),
+                        min.runs);
+                    writeRun(w, cfg, res, &min);
                 }
-                ++failures;
-                std::fprintf(
-                    stderr,
-                    "FAIL %s/%s seed %llu: %s at step %llu: %s\n",
-                    txSystemKindName(kind), schedPolicyName(policy),
-                    (unsigned long long)s, res.oracle.c_str(),
-                    (unsigned long long)res.violationStep,
-                    res.why.c_str());
-                torture::MinimizeResult min = torture::minimizeSchedule(
-                    cfg, res.schedule, res.oracle, res.violationStep,
-                    opt.minimizeBudget);
-                std::fprintf(
-                    stderr,
-                    "  minimized %llu -> %llu steps (%d replays)\n",
-                    (unsigned long long)res.schedule.steps(),
-                    (unsigned long long)min.schedule.steps(),
-                    min.runs);
-                writeRun(w, cfg, res, &min);
             }
+            std::fprintf(
+                stderr, "%s/%-13s done (%d policies x %d seeds)\n",
+                torture::tortureWorkloadName(workload),
+                txSystemKindName(kind), int(opt.policies.size()),
+                opt.seeds);
         }
-        std::fprintf(stderr, "%-13s done (%d policies x %d seeds)\n",
-                     txSystemKindName(kind), int(opt.policies.size()),
-                     opt.seeds);
     }
 
     w.endArray();
