@@ -178,8 +178,10 @@ class JsonReport
 {
   public:
     JsonReport(std::string bench, int argc, char **argv,
-               std::string schema = "ufotm-bench")
-        : bench_(std::move(bench)), schema_(std::move(schema))
+               std::string schema = "ufotm-bench",
+               int version = kBenchSchemaVersion)
+        : bench_(std::move(bench)), schema_(std::move(schema)),
+          version_(version)
     {
         for (int i = 1; i < argc; ++i) {
             if (!std::strcmp(argv[i], "--json")) {
@@ -210,7 +212,7 @@ class JsonReport
         json::Writer w;
         w.beginObject();
         w.kv("schema", schema_);
-        w.kv("schema_version", kBenchSchemaVersion);
+        w.kv("schema_version", version_);
         w.kv("bench", bench_);
         w.key("rows").beginArray();
         for (const std::string &r : rows_)
@@ -228,6 +230,7 @@ class JsonReport
   private:
     std::string bench_;
     std::string schema_;
+    int version_ = kBenchSchemaVersion;
     std::string path_;
     std::vector<std::string> rows_;
     bool enabled_ = false;

@@ -40,7 +40,7 @@ HyTm::hwBarrier(ThreadContext &tc, LineAddr line, bool is_write)
     if (mit != memo.end() && mit->second >= need)
         return; // Redundant barrier eliminated.
 
-    Otable &ot = ustm_->otable();
+    Otable &ot = ustm_->otableFor(line);
     const Addr head = ot.bucketAddr(line);
     const std::uint64_t tag = Otable::tagOf(line);
 

@@ -18,6 +18,14 @@ TxHeap::TxHeap(Machine &machine)
 {
 }
 
+TxHeap::TxHeap(Machine &machine, Addr base, std::uint64_t size)
+    : machine_(machine), base_(base), limit_(base + size), bump_(base)
+{
+    utm_assert(base >= machine.config().heapBase &&
+               limit_ <= machine.config().heapBase +
+                             machine.config().heapSize);
+}
+
 int
 TxHeap::classOf(std::uint64_t bytes, bool line_aligned)
 {

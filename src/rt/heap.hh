@@ -34,6 +34,16 @@ class TxHeap
     explicit TxHeap(Machine &machine);
 
     /**
+     * Allocator over the sub-region [@p base, @p base + @p size) of
+     * the machine's heap; used by the sharded KV store to give each
+     * shard its own address stripe (and thereby its own otable shard,
+     * MachineConfig::shardOfAddr).  Regions must not overlap another
+     * live allocator — including the whole-heap one runWorkload()
+     * hands to Workload::setup.
+     */
+    TxHeap(Machine &machine, Addr base, std::uint64_t size);
+
+    /**
      * Allocate @p bytes (rounded to a size class).  Line-aligned when
      * @p line_aligned or when the size exceeds one line.
      */

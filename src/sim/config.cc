@@ -20,9 +20,31 @@ MachineConfig::describe() const
        << "cache-cache transfer  " << transferLatency << " cycles\n"
        << "NACK retry delay      " << nackRetryDelay << " cycles\n"
        << "timer quantum         " << timerQuantum << " cycles\n"
-       << "USTM otable buckets   " << otableBuckets << "\n"
+       << "USTM otable buckets   " << otableBuckets
+       << (otableShards > 1
+               ? " x " + std::to_string(otableShards) + " shards"
+               : "")
+       << "\n"
        << "rng seed              " << seed << "\n";
     return os.str();
+}
+
+MachineConfig
+MachineConfig::withCores(int cores)
+{
+    MachineConfig mc;
+    mc.numCores = cores;
+    // Scale the shared L2 set count with the core count (8 cores ->
+    // the 4 MiB baseline), rounded up to the power of two the cache
+    // indexing requires, keeping associativity and latency fixed.
+    if (cores > 8) {
+        const unsigned scaled = mc.l2Sets * unsigned(cores) / 8;
+        unsigned sets = mc.l2Sets;
+        while (sets < scaled)
+            sets <<= 1;
+        mc.l2Sets = sets;
+    }
+    return mc;
 }
 
 } // namespace utm

@@ -61,12 +61,58 @@ struct MachineConfig
     /** Scheduling policy (sim/scheduler.hh); MinClock by default. */
     SchedulerConfig sched;
 
-    /** USTM ownership-table bucket count (paper: 65536). */
+    /** USTM ownership-table bucket count (paper: 65536).  With
+     *  sharding this is the bucket count of *each* shard's otable. */
     unsigned otableBuckets = 65536;
+
+    /**
+     * Number of otable shards.  1 (the default) reproduces the
+     * paper's single process-global table.  With N > 1 the heap is
+     * partitioned into N equal address stripes and each stripe gets
+     * its own otable (own head array and chain-node pool), so otable
+     * row-lock and CAS traffic for independent stripes never collides.
+     * Cross-stripe transactions still work: ownership spans shards
+     * through the per-transaction descriptor; commit releases drain
+     * shard by shard in canonical (ascending) shard-index order.
+     */
+    unsigned otableShards = 1;
 
     /** Simulated-heap base address and size. */
     Addr heapBase = 0x10000000;
     std::uint64_t heapSize = 512ull << 20;
+
+    /** @name Heap-stripe → otable-shard routing.
+     *  Shared by the USTM runtime (per-line otable selection) and the
+     *  svc layer (per-shard heap placement), so both always agree on
+     *  which shard owns an address. @{ */
+    std::uint64_t shardHeapSize() const { return heapSize / otableShards; }
+
+    Addr
+    shardHeapBase(unsigned shard) const
+    {
+        return heapBase + std::uint64_t(shard) * shardHeapSize();
+    }
+
+    /** Shard owning @p a; addresses outside the heap map to shard 0. */
+    unsigned
+    shardOfAddr(Addr a) const
+    {
+        if (otableShards <= 1 || a < heapBase)
+            return 0;
+        const std::uint64_t off = a - heapBase;
+        const std::uint64_t stripe = off / shardHeapSize();
+        return stripe >= otableShards ? otableShards - 1
+                                      : unsigned(stripe);
+    }
+    /** @} */
+
+    /**
+     * A config scaled to @p cores cores (16/32/64-core scaling runs):
+     * the shared L2 grows with the core count so per-core L2 share
+     * stays at the 8-core baseline, leaving otable/data contention —
+     * not capacity — as the variable under test.
+     */
+    static MachineConfig withCores(int cores);
 
     /** Render as the Table 4 parameter dump. */
     std::string describe() const;

@@ -102,6 +102,7 @@ dumpJson(Machine &machine, const RunMeta &meta)
     w.kv("mem_latency", mc.memLatency);
     w.kv("timer_quantum", mc.timerQuantum);
     w.kv("otable_buckets", mc.otableBuckets);
+    w.kv("otable_shards", mc.otableShards);
     w.kv("seed", mc.seed);
     w.endObject();
     w.endObject();

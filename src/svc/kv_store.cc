@@ -33,9 +33,20 @@ KvStore::create(ThreadContext &init, TxHeap &heap, std::uint64_t buckets,
 void
 KvStore::populate(ThreadContext &init, std::uint64_t keyspace)
 {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(keyspace);
+    for (std::uint64_t k = 1; k <= keyspace; ++k)
+        keys.push_back(k);
+    populateKeys(init, keys);
+}
+
+void
+KvStore::populateKeys(ThreadContext &init,
+                      const std::vector<std::uint64_t> &keys)
+{
     auto no_tm = TxSystem::create(TxSystemKind::NoTm, init.machine());
     no_tm->atomic(init, [&](TxHandle &h) {
-        for (std::uint64_t k = 1; k <= keyspace; ++k) {
+        for (const std::uint64_t k : keys) {
             const bool fresh_map = map_.insert(h, k, k * 100);
             const bool fresh_idx = keys_.insert(h, k);
             utm_assert(fresh_map && fresh_idx);
@@ -102,14 +113,25 @@ KvStore::valueAddr(TxHandle &h, std::uint64_t key)
 bool
 KvStore::check(ThreadContext &init, std::uint64_t keyspace)
 {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(keyspace);
+    for (std::uint64_t k = 1; k <= keyspace; ++k)
+        keys.push_back(k);
+    return checkKeys(init, keys);
+}
+
+bool
+KvStore::checkKeys(ThreadContext &init,
+                   const std::vector<std::uint64_t> &keys)
+{
     auto no_tm = TxSystem::create(TxSystemKind::NoTm, init.machine());
     bool ok = true;
     no_tm->atomic(init, [&](TxHandle &h) {
-        if (keys_.count(h) != keyspace) {
+        if (keys_.count(h) != keys.size()) {
             ok = false;
             return;
         }
-        for (std::uint64_t k = 1; k <= keyspace; ++k) {
+        for (const std::uint64_t k : keys) {
             std::uint64_t tx_v = 0, raw_v = 0;
             if (!get(h, k, &tx_v) || !rawGet(h.ctx(), k, &raw_v) ||
                 tx_v != raw_v) {

@@ -20,6 +20,7 @@
 #define UFOTM_SVC_KV_STORE_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "core/tx_system.hh"
 #include "rt/tx_hashset.hh"
@@ -42,6 +43,11 @@ class KvStore
 
     /** Insert keys 1..@p keyspace (init context, raw NoTm handle). */
     void populate(ThreadContext &init, std::uint64_t keyspace);
+
+    /** Insert exactly @p keys (each with value key*100); used by the
+     *  sharded store to give each shard its key subset. */
+    void populateKeys(ThreadContext &init,
+                      const std::vector<std::uint64_t> &keys);
 
     /** Point lookup via the membership index then the map. */
     bool get(TxHandle &h, std::uint64_t key,
@@ -80,6 +86,11 @@ class KvStore
      * (trivially true once the machine is quiescent).
      */
     bool check(ThreadContext &init, std::uint64_t keyspace);
+
+    /** check() over an explicit key set (sharded stores hold a hashed
+     *  subset of the keyspace rather than a 1..N prefix). */
+    bool checkKeys(ThreadContext &init,
+                   const std::vector<std::uint64_t> &keys);
 
     TxMap &map() { return map_; }
 

@@ -13,6 +13,7 @@ reqTypeName(ReqType t)
       case ReqType::Put: return "put";
       case ReqType::Scan: return "scan";
       case ReqType::Rmw: return "rmw";
+      case ReqType::Xfer: return "xfer";
       case ReqType::RawGet: return "raw_get";
     }
     return "?";
@@ -40,6 +41,9 @@ drawType(Rng &rng, const RequestMix &mix)
         return ReqType::Scan;
     if (p < mix.getPct + mix.putPct + mix.scanPct + mix.rmwPct)
         return ReqType::Rmw;
+    if (p < mix.getPct + mix.putPct + mix.scanPct + mix.rmwPct +
+                mix.xferPct)
+        return ReqType::Xfer;
     return ReqType::RawGet;
 }
 
@@ -59,7 +63,8 @@ generateClientStream(const LoadGenConfig &cfg, int client)
 {
     utm_assert(cfg.keyspace >= 1);
     utm_assert(cfg.mix.getPct + cfg.mix.putPct + cfg.mix.scanPct +
-                   cfg.mix.rmwPct + cfg.mix.rawGetPct ==
+                   cfg.mix.rmwPct + cfg.mix.xferPct +
+                   cfg.mix.rawGetPct ==
                100);
 
     Rng rng(streamSeed(cfg.seed, client));
@@ -77,6 +82,15 @@ generateClientStream(const LoadGenConfig &cfg, int client)
         r.key = 1 + (cfg.zipfTheta > 0.0
                          ? zipf.sample(rng)
                          : rng.nextBounded(cfg.keyspace));
+        if (r.type == ReqType::Xfer && cfg.keyspace >= 2) {
+            // Destination key must differ from the source; nudge a
+            // collision to the next key (keeps the draw count fixed).
+            r.key2 = 1 + (cfg.zipfTheta > 0.0
+                              ? zipf.sample(rng)
+                              : rng.nextBounded(cfg.keyspace));
+            if (r.key2 == r.key)
+                r.key2 = 1 + r.key % cfg.keyspace;
+        }
         r.value = rng.next() | 1;
         if (cfg.openLoop) {
             arrival += drawGap(rng, cfg.meanInterarrival);

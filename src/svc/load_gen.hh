@@ -40,9 +40,12 @@ enum class ReqType
     Put,    ///< Transactional overwrite of an existing key.
     Scan,   ///< Transactional lookup of a run of consecutive keys.
     Rmw,    ///< Transactional read-modify-write (in-place add).
+    Xfer,   ///< Transactional transfer between two keys — the
+            ///< cross-shard multi-shard RMW when the keys hash to
+            ///< different shards (svc/sharded_store.hh).
     RawGet, ///< NON-transactional point lookup (strong-atomicity probe).
 };
-constexpr int kNumReqTypes = 5;
+constexpr int kNumReqTypes = 6;
 
 /** Stable snake_case name ("get", ..., "raw_get") for svc.* counters. */
 const char *reqTypeName(ReqType t);
@@ -52,7 +55,8 @@ struct Request
 {
     ReqType type = ReqType::Get;
     std::uint64_t key = 1;   ///< In [1, keyspace].
-    std::uint64_t value = 0; ///< Payload for Put, delta for Rmw.
+    std::uint64_t key2 = 0;  ///< Xfer only: destination key (!= key).
+    std::uint64_t value = 0; ///< Payload for Put, delta for Rmw/Xfer.
     Cycles arrival = 0;      ///< Open-loop: absolute arrival cycle.
     Cycles think = 0;        ///< Closed-loop: think time before issuing.
 };
@@ -64,6 +68,7 @@ struct RequestMix
     int putPct = 20;
     int scanPct = 10;
     int rmwPct = 10;
+    int xferPct = 0; ///< Two-key transfers (cross-shard when sharded).
     int rawGetPct = 10; ///< Raw non-transactional reads.
 };
 

@@ -12,13 +12,52 @@ namespace utm::svc {
 void
 KvServiceWorkload::setup(ThreadContext &init, TxHeap &heap, int nthreads)
 {
-    store_ = std::make_unique<KvStore>(KvStore::create(
-        init, heap, p_.mapBuckets, p_.load.keyspace));
-    store_->populate(init, p_.load.keyspace);
+    // The sharded store carves its own per-stripe heaps; the
+    // workload-level allocator is deliberately unused (nothing else
+    // allocates in this workload, so the address ranges stay
+    // disjoint).
+    (void)heap;
+    store_ = std::make_unique<ShardedKvStore>(ShardedKvStore::create(
+        init, p_.mapBuckets, p_.load.keyspace, p_.shards));
+    store_->populate(init);
+
+    shardReqName_.clear();
+    shardShedName_.clear();
+    shardDepthName_.clear();
+    if (p_.shards > 1) {
+        for (unsigned s = 0; s < p_.shards; ++s) {
+            const std::string suffix = std::to_string(s);
+            shardReqName_.push_back(
+                std::string("shard.requests.") + suffix);
+            shardShedName_.push_back(std::string("shard.shed.") + suffix);
+            shardDepthName_.push_back(
+                std::string("shard.queue_depth.") + suffix);
+        }
+    }
 
     streams_.clear();
     for (int c = 0; c < nthreads; ++c)
         streams_.push_back(generateClientStream(p_.load, c));
+}
+
+unsigned
+KvServiceWorkload::homeShard(const Request &r) const
+{
+    return store_->shardOf(r.key);
+}
+
+unsigned
+KvServiceWorkload::participants(const Request &r) const
+{
+    switch (r.type) {
+      case ReqType::Scan:
+        return store_->scanParticipants(r.key, p_.load.scanLen);
+      case ReqType::Xfer:
+        return store_->shardOf(r.key) == store_->shardOf(r.key2) ? 1
+                                                                 : 2;
+      default:
+        return 1;
+    }
 }
 
 /**
@@ -84,13 +123,23 @@ KvServiceWorkload::serve(ThreadContext &tc, TxSystem &sys,
       case ReqType::Scan:
         sys.atomic(tc, [&](TxHandle &h) {
             att->note(h);
-            store_->scan(h, r.key, p_.load.scanLen, p_.load.keyspace);
+            store_->scan(h, r.key, p_.load.scanLen);
         });
         break;
       case ReqType::Rmw:
         sys.atomic(tc, [&](TxHandle &h) {
             att->note(h);
             const bool hit = store_->rmw(h, r.key, r.value);
+            utm_assert(hit);
+        });
+        break;
+      case ReqType::Xfer:
+        // The multi-shard RMW: moves `value` from key to key2 in one
+        // transaction, acquiring shards in canonical order
+        // (sharded_store.cc).
+        sys.atomic(tc, [&](TxHandle &h) {
+            att->note(h);
+            const bool hit = store_->xfer(h, r.key, r.key2, r.value);
             utm_assert(hit);
         });
         break;
@@ -114,8 +163,11 @@ KvServiceWorkload::threadBody(ThreadContext &tc, TxSystem &sys, int tid,
     StatsRegistry &st = tc.stats();
     const std::vector<Request> &stream = streams_.at(tid);
 
+    const bool sharded = p_.shards > 1;
+
     for (std::size_t i = 0; i < stream.size(); ++i) {
         const Request &r = stream[i];
+        const unsigned home = sharded ? homeShard(r) : 0;
         Cycles start;
         if (p_.load.openLoop) {
             // Wait for the request's arrival, in bounded slices so
@@ -125,15 +177,24 @@ KvServiceWorkload::threadBody(ThreadContext &tc, TxSystem &sys, int tid,
                 tc.yield();
             }
             // Admission control over this client's backlog: every
-            // stream request already due but not yet completed.
+            // stream request already due but not yet completed.  When
+            // sharded, each client keeps one logical queue per home
+            // shard, so only backlog bound for the same shard counts.
             std::uint64_t depth = 0;
             for (std::size_t j = i;
                  j < stream.size() && stream[j].arrival <= tc.now(); ++j)
-                ++depth;
+                if (!sharded || homeShard(stream[j]) == home)
+                    ++depth;
             st.observe("svc.queue_depth", depth);
+            if (sharded)
+                st.observe(shardDepthName_[home], depth);
             if (depth > p_.maxQueueDepth) {
                 st.inc("svc.shed");
                 st.inc(std::string("svc.shed.") + reqTypeName(r.type));
+                if (sharded) {
+                    st.inc("shard.shed");
+                    st.inc(shardShedName_[home]);
+                }
                 tc.advance(p_.shedCost);
                 continue;
             }
@@ -164,20 +225,40 @@ KvServiceWorkload::threadBody(ThreadContext &tc, TxSystem &sys, int tid,
         if (hw_aborts + sw_aborts)
             st.inc("svc.request_aborts", hw_aborts + sw_aborts);
         st.observe("svc.aborts_per_request", hw_aborts + sw_aborts);
+
+        if (sharded) {
+            st.inc("shard.requests");
+            st.inc(shardReqName_[home]);
+            const unsigned parts = participants(r);
+            st.observe("shard.participants", parts);
+            if (parts > 1) {
+                // Cross-shard attribution: one committed attempt plus
+                // however many aborted attempts this request absorbed.
+                st.inc("shard.cross", 1 + hw_aborts + sw_aborts);
+                st.inc("shard.cross.commits");
+                if (hw_aborts + sw_aborts)
+                    st.inc("shard.cross.aborts", hw_aborts + sw_aborts);
+            }
+        }
     }
 }
 
 bool
 KvServiceWorkload::validate(ThreadContext &init)
 {
-    return store_->check(init, p_.load.keyspace);
+    return store_->check(init);
 }
 
 RunResult
 runService(const SvcParams &params, const RunConfig &cfg)
 {
+    // The machine's otable partition must match the store's key
+    // partition (sharded_store.cc asserts it).
+    RunConfig shard_cfg = cfg;
+    if (params.shards > 1)
+        shard_cfg.machine.otableShards = params.shards;
     KvServiceWorkload w(params);
-    return runWorkload(w, cfg);
+    return runWorkload(w, shard_cfg);
 }
 
 } // namespace utm::svc

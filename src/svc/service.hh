@@ -2,11 +2,12 @@
  * @file
  * tmserve: the transactional KV request-serving workload.
  *
- * A KvServiceWorkload drives one KvStore (src/svc/kv_store.hh) with
- * per-client request streams from the load generator
- * (src/svc/load_gen.hh), under any TxSystemKind, through the standard
- * Workload/runWorkload machinery — so stats-JSON export, tracing, and
- * scheduler-policy selection all apply unchanged.
+ * A KvServiceWorkload drives a (possibly sharded) KV store
+ * (src/svc/sharded_store.hh) with per-client request streams from the
+ * load generator (src/svc/load_gen.hh), under any TxSystemKind,
+ * through the standard Workload/runWorkload machinery — so stats-JSON
+ * export, tracing, and scheduler-policy selection all apply
+ * unchanged.
  *
  * What it measures (the `svc.*` family, docs/OBSERVABILITY.md):
  *  - per-request latency histograms, whole-service and per verb
@@ -17,7 +18,11 @@
  *  - per-request abort attribution: how many hardware and software
  *    aborts each served request absorbed
  *    (`svc.request_aborts[.hw|.sw]`, `svc.aborts_per_request`);
- *  - open-loop admission-queue depth (`svc.queue_depth`).
+ *  - open-loop admission-queue depth (`svc.queue_depth`);
+ *  - with shards > 1, per-shard routing/queueing and cross-shard
+ *    commit/abort attribution (`shard.requests[.<i>]`,
+ *    `shard.shed[.<i>]`, `shard.queue_depth.<i>`,
+ *    `shard.participants`, `shard.cross[.commits|.aborts]`).
  *
  * Raw (non-transactional) GET traffic rides in the same streams; it
  * is the service-shaped probe of the paper's headline property —
@@ -33,8 +38,8 @@
 #include <vector>
 
 #include "stamp/workload.hh"
-#include "svc/kv_store.hh"
 #include "svc/load_gen.hh"
+#include "svc/sharded_store.hh"
 
 namespace utm::svc {
 
@@ -43,12 +48,24 @@ struct SvcParams
 {
     LoadGenConfig load;
 
-    /** TxMap bucket count (power of two); small values lengthen the
-     *  chain walks, modelling a deeper index. */
+    /** TxMap bucket count (power of two) — per shard when sharded;
+     *  small values lengthen the chain walks, modelling a deeper
+     *  index. */
     std::uint64_t mapBuckets = 64;
 
+    /**
+     * Store shards.  1 = the unsharded paper configuration.  N > 1
+     * partitions the store across N per-shard heaps/otables
+     * (svc/sharded_store.hh); runService() forces the machine's
+     * otableShards to match.
+     */
+    unsigned shards = 1;
+
     /** Open-loop admission bound: a due request is shed when the
-     *  client's backlog of already-due requests exceeds this. */
+     *  client's backlog of already-due requests exceeds this.  When
+     *  sharded, the backlog is counted per home shard — each client
+     *  keeps one logical queue per shard, so a saturated shard sheds
+     *  without starving traffic routed to idle shards. */
     std::uint64_t maxQueueDepth = 16;
 
     /** Cycles charged for rejecting (shedding) one request. */
@@ -76,9 +93,20 @@ class KvServiceWorkload final : public Workload
     void serve(ThreadContext &tc, TxSystem &sys, const Request &r,
                Attempts *att);
 
+    /** Home shard of a request (shard of its primary key). */
+    unsigned homeShard(const Request &r) const;
+
+    /** Distinct shards the request's transaction touches. */
+    unsigned participants(const Request &r) const;
+
     SvcParams p_;
-    std::unique_ptr<KvStore> store_;
+    std::unique_ptr<ShardedKvStore> store_;
     std::vector<std::vector<Request>> streams_; ///< One per client.
+    /** Precomputed per-shard counter names (sharded configs only). @{ */
+    std::vector<std::string> shardReqName_;
+    std::vector<std::string> shardShedName_;
+    std::vector<std::string> shardDepthName_;
+    /** @} */
 };
 
 /** runWorkload() with a KvServiceWorkload built from @p params. */

@@ -1,0 +1,157 @@
+#include "svc/sharded_store.hh"
+
+#include "rt/heap.hh"
+#include "sim/logging.hh"
+#include "sim/machine.hh"
+#include "sim/thread_context.hh"
+
+namespace utm::svc {
+
+ShardedKvStore
+ShardedKvStore::create(ThreadContext &init,
+                       std::uint64_t buckets_per_shard,
+                       std::uint64_t keyspace, unsigned shards)
+{
+    Machine &machine = init.machine();
+    const MachineConfig &mc = machine.config();
+    utm_assert(shards >= 1);
+    // Heap striping and otable routing must be the same partition,
+    // otherwise a shard's data would land in another shard's otable.
+    utm_assert(shards == 1 || shards == mc.otableShards);
+
+    ShardedKvStore st;
+    st.keyspace_ = keyspace;
+    st.shardKeys_.resize(shards);
+    for (std::uint64_t k = 1; k <= keyspace; ++k)
+        st.shardKeys_[shardOfKey(k, shards)].push_back(k);
+
+    st.heaps_.reserve(shards);
+    st.stores_.reserve(shards);
+    for (unsigned s = 0; s < shards; ++s) {
+        st.heaps_.push_back(std::make_unique<TxHeap>(
+            machine, mc.shardHeapBase(s),
+            shards == 1 ? mc.heapSize : mc.shardHeapSize()));
+        // Size each shard's membership index for its actual key count
+        // (never zero; TxHashSet needs a non-trivial capacity).
+        const std::uint64_t shard_keys =
+            st.shardKeys_[s].empty() ? 1 : st.shardKeys_[s].size();
+        st.stores_.push_back(KvStore::create(
+            init, *st.heaps_[s], buckets_per_shard, shard_keys));
+    }
+    return st;
+}
+
+void
+ShardedKvStore::populate(ThreadContext &init)
+{
+    for (unsigned s = 0; s < shards(); ++s)
+        stores_[s].populateKeys(init, shardKeys_[s]);
+}
+
+bool
+ShardedKvStore::get(TxHandle &h, std::uint64_t key,
+                    std::uint64_t *value_out)
+{
+    return stores_[shardOf(key)].get(h, key, value_out);
+}
+
+bool
+ShardedKvStore::put(TxHandle &h, std::uint64_t key, std::uint64_t value)
+{
+    return stores_[shardOf(key)].put(h, key, value);
+}
+
+bool
+ShardedKvStore::rmw(TxHandle &h, std::uint64_t key, std::uint64_t delta,
+                    std::uint64_t *new_out)
+{
+    return stores_[shardOf(key)].rmw(h, key, delta, new_out);
+}
+
+bool
+ShardedKvStore::rawGet(ThreadContext &tc, std::uint64_t key,
+                       std::uint64_t *value_out)
+{
+    return stores_[shardOf(key)].rawGet(tc, key, value_out);
+}
+
+Addr
+ShardedKvStore::valueAddr(TxHandle &h, std::uint64_t key)
+{
+    return stores_[shardOf(key)].valueAddr(h, key);
+}
+
+int
+ShardedKvStore::scan(TxHandle &h, std::uint64_t start, int len)
+{
+    // Group the wrapped key run by owning shard, then visit shards in
+    // canonical (ascending) index order — the cross-shard acquisition
+    // order every multi-shard transaction follows.
+    std::vector<std::vector<std::uint64_t>> by_shard(shards());
+    for (int i = 0; i < len; ++i) {
+        const std::uint64_t key = 1 + (start - 1 + i) % keyspace_;
+        by_shard[shardOf(key)].push_back(key);
+    }
+    int found = 0;
+    for (unsigned s = 0; s < shards(); ++s)
+        for (const std::uint64_t key : by_shard[s])
+            if (stores_[s].map().lookup(h, key))
+                ++found;
+    return found;
+}
+
+bool
+ShardedKvStore::xfer(TxHandle &h, std::uint64_t from, std::uint64_t to,
+                     std::uint64_t delta, std::uint64_t *new_from,
+                     std::uint64_t *new_to)
+{
+    utm_assert(from != to);
+    // Canonical-order acquisition: walk the lower (shard index, key)
+    // side first.  The later reads/writes only touch lines already
+    // owned by this transaction, so the *first* acquisition of every
+    // line follows canonical order.
+    const unsigned sf = shardOf(from), st = shardOf(to);
+    const bool from_first = sf < st || (sf == st && from < to);
+    const std::uint64_t k1 = from_first ? from : to;
+    const std::uint64_t k2 = from_first ? to : from;
+    const Addr a1 = valueAddr(h, k1);
+    const Addr a2 = valueAddr(h, k2);
+    if (a1 == 0 || a2 == 0)
+        return false;
+    const Addr a_from = from_first ? a1 : a2;
+    const Addr a_to = from_first ? a2 : a1;
+    const std::uint64_t nf = h.read(a_from, 8) - delta;
+    const std::uint64_t nt = h.read(a_to, 8) + delta;
+    h.write(a_from, nf, 8);
+    h.write(a_to, nt, 8);
+    if (new_from)
+        *new_from = nf;
+    if (new_to)
+        *new_to = nt;
+    return true;
+}
+
+bool
+ShardedKvStore::check(ThreadContext &init)
+{
+    for (unsigned s = 0; s < shards(); ++s)
+        if (!stores_[s].checkKeys(init, shardKeys_[s]))
+            return false;
+    return true;
+}
+
+unsigned
+ShardedKvStore::scanParticipants(std::uint64_t start, int len) const
+{
+    std::uint64_t mask = 0;
+    for (int i = 0; i < len; ++i) {
+        const std::uint64_t key = 1 + (start - 1 + i) % keyspace_;
+        mask |= 1ull << (shardOf(key) & 63);
+    }
+    unsigned n = 0;
+    for (; mask != 0; mask &= mask - 1)
+        ++n;
+    return n;
+}
+
+} // namespace utm::svc

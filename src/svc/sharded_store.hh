@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Sharded transactional KV store: N per-shard KvStores, each over its
+ * own heap address stripe — and therefore its own otable shard
+ * (MachineConfig::shardOfAddr routes every line of stripe s to otable
+ * shard s).  Keys are routed by a stable hash, so the per-key request
+ * distribution spreads across shards regardless of key skew shape.
+ *
+ * Single-key requests (GET/PUT/RMW/raw GET) touch exactly one shard.
+ * Two operations cross shards:
+ *
+ *  - SCAN of a consecutive key run: the run is grouped by owning
+ *    shard and the groups are visited in canonical (ascending)
+ *    shard-index order;
+ *  - XFER (multi-shard read-modify-write): moves a delta between two
+ *    keys, acquiring the lower-canonical (shard index, then key)
+ *    side first.  Sum over all values is invariant, which is what the
+ *    torture shadow oracle checks across abort/unwind.
+ *
+ * Canonical-order acquisition plus the USTM commit protocol (release
+ * drains shard by shard in the same canonical order,
+ * Ustm::releaseAll) keeps cross-shard transactions deadlock-free by
+ * construction; the age-based kill/stall contention manager remains
+ * the safety net for data conflicts.  With shards == 1 this class
+ * degenerates exactly to a single KvStore over the whole heap.
+ */
+
+#ifndef UFOTM_SVC_SHARDED_STORE_HH
+#define UFOTM_SVC_SHARDED_STORE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "svc/kv_store.hh"
+
+namespace utm {
+class Machine;
+class TxHeap;
+} // namespace utm
+
+namespace utm::svc {
+
+/**
+ * Key → shard routing hash (splitmix-style finalizer).  One stable
+ * definition shared by the store, the service layer's per-shard
+ * accounting, and the tests — all three must agree on key ownership.
+ */
+inline unsigned
+shardOfKey(std::uint64_t key, unsigned shards)
+{
+    if (shards <= 1)
+        return 0;
+    std::uint64_t x = key;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return unsigned(x % shards);
+}
+
+/** N-shard partitioned KvStore with cross-shard SCAN/XFER. */
+class ShardedKvStore
+{
+  public:
+    /**
+     * Build @p shards empty per-shard stores, each with
+     * @p buckets_per_shard TxMap buckets, over per-shard heap stripes
+     * of @p init's machine.  @p shards must match the machine's
+     * otableShards (the heap striping and the otable routing are the
+     * same partition).
+     */
+    static ShardedKvStore create(ThreadContext &init,
+                                 std::uint64_t buckets_per_shard,
+                                 std::uint64_t keyspace,
+                                 unsigned shards);
+
+    /** Insert keys 1..keyspace, each into its owning shard. */
+    void populate(ThreadContext &init);
+
+    /** @name Single-shard requests (route by key hash). @{ */
+    bool get(TxHandle &h, std::uint64_t key,
+             std::uint64_t *value_out = nullptr);
+    bool put(TxHandle &h, std::uint64_t key, std::uint64_t value);
+    bool rmw(TxHandle &h, std::uint64_t key, std::uint64_t delta,
+             std::uint64_t *new_out = nullptr);
+    bool rawGet(ThreadContext &tc, std::uint64_t key,
+                std::uint64_t *value_out = nullptr);
+    Addr valueAddr(TxHandle &h, std::uint64_t key);
+    /** @} */
+
+    /**
+     * Read @p len consecutive keys starting at @p start (wrapping at
+     * the keyspace), visiting the owning shards in canonical order;
+     * returns how many keys were present.
+     */
+    int scan(TxHandle &h, std::uint64_t start, int len);
+
+    /**
+     * Multi-shard RMW: value[from] -= delta, value[to] += delta, with
+     * canonical-order acquisition.  False if either key is absent;
+     * on success optionally reports both written values.  @p from and
+     * @p to must differ.
+     */
+    bool xfer(TxHandle &h, std::uint64_t from, std::uint64_t to,
+              std::uint64_t delta, std::uint64_t *new_from = nullptr,
+              std::uint64_t *new_to = nullptr);
+
+    /** Post-run structural check of every shard (init context). */
+    bool check(ThreadContext &init);
+
+    /** @name Routing introspection (service accounting, tests). @{ */
+    unsigned shards() const { return unsigned(stores_.size()); }
+    std::uint64_t keyspace() const { return keyspace_; }
+
+    unsigned
+    shardOf(std::uint64_t key) const
+    {
+        return shardOfKey(key, shards());
+    }
+
+    /** Distinct shards a scan of @p len keys from @p start touches. */
+    unsigned scanParticipants(std::uint64_t start, int len) const;
+
+    KvStore &shard(unsigned s) { return stores_[s]; }
+    const std::vector<std::uint64_t> &shardKeys(unsigned s) const
+    {
+        return shardKeys_[s];
+    }
+    /** @} */
+
+  private:
+    ShardedKvStore() = default;
+
+    std::uint64_t keyspace_ = 0;
+    std::vector<std::unique_ptr<TxHeap>> heaps_; ///< One per stripe.
+    std::vector<KvStore> stores_;
+    std::vector<std::vector<std::uint64_t>> shardKeys_;
+};
+
+} // namespace utm::svc
+
+#endif // UFOTM_SVC_SHARDED_STORE_HH

@@ -11,7 +11,7 @@
 #include "sim/machine.hh"
 #include "sim/oracle.hh"
 #include "sim/rng.hh"
-#include "svc/kv_store.hh"
+#include "svc/sharded_store.hh"
 #include "ustm/ustm.hh"
 
 namespace utm::torture {
@@ -144,6 +144,9 @@ runTorture(const TortureConfig &cfg)
     mc.seed = cfg.seed;
     mc.sched = cfg.sched;
     mc.otableBuckets = cfg.otableBuckets;
+    const bool kv_cfg = cfg.workload == TortureWorkload::Kv;
+    if (kv_cfg && cfg.kvShards > 1)
+        mc.otableShards = cfg.kvShards;
 
     auto machine = std::make_unique<Machine>(mc);
     Machine &m = *machine;
@@ -165,7 +168,7 @@ runTorture(const TortureConfig &cfg)
     std::vector<std::uint64_t> shadow;
     // Every value ever committed per watched word (raw-read oracle).
     std::vector<std::unordered_set<std::uint64_t>> history;
-    std::unique_ptr<svc::KvStore> store;
+    std::unique_ptr<svc::ShardedKvStore> store;
 
     if (!kv) {
         const Addr base =
@@ -175,9 +178,13 @@ runTorture(const TortureConfig &cfg)
             addrs.push_back(base + Addr(i) * 8);
         shadow.assign(std::size_t(cells), 0);
     } else {
-        store = std::make_unique<svc::KvStore>(svc::KvStore::create(
-            m.initContext(), heap, cfg.kvBuckets, cfg.kvKeyspace));
-        store->populate(m.initContext(), cfg.kvKeyspace);
+        // The sharded store carves its own per-stripe heaps (with one
+        // shard it spans the whole heap, bit-identical to the old
+        // direct KvStore); the local `heap` stays unused for Kv.
+        store = std::make_unique<svc::ShardedKvStore>(
+            svc::ShardedKvStore::create(m.initContext(), cfg.kvBuckets,
+                                        cfg.kvKeyspace, cfg.kvShards));
+        store->populate(m.initContext());
         auto no_tm = TxSystem::create(TxSystemKind::NoTm, m);
         no_tm->atomic(m.initContext(), [&](TxHandle &h) {
             for (std::uint64_t k = 1; k <= cfg.kvKeyspace; ++k) {
@@ -273,25 +280,65 @@ runTorture(const TortureConfig &cfg)
                 auto &mine = pending[t];
                 sys->atomic(tc, [&](TxHandle &h) {
                     mine.clear(); // Idempotent across re-execution.
+                    if (cfg.kvShards <= 1) {
+                        if (mix < 45) {
+                            std::uint64_t v = 0;
+                            (void)store->get(h, key, &v);
+                        } else if (mix < 65) {
+                            store->put(h, key, fresh);
+                            mine.emplace_back(idx, fresh);
+                        } else if (mix < 80) {
+                            std::uint64_t nv = 0;
+                            if (store->rmw(h, key, delta, &nv))
+                                mine.emplace_back(idx, nv);
+                        } else if (mix < 90) {
+                            store->scan(h, key, 4);
+                        } else {
+                            // Forced software path against key2:
+                            // stresses mixed hardware/software
+                            // raw-read windows.
+                            h.requireSoftware();
+                            std::uint64_t nv = 0;
+                            if (store->rmw(h, key2, delta, &nv))
+                                mine.emplace_back(int(key2) - 1, nv);
+                        }
+                        return;
+                    }
+                    // Sharded mix: same single-key ops plus two-key
+                    // transfers, which become multi-shard commits when
+                    // key and xkey hash to different shards.  xkey
+                    // differs from key so xfer's canonical (shard,
+                    // key) acquisition order is always well-defined.
+                    const std::uint64_t xkey =
+                        key2 == key ? 1 + key % cfg.kvKeyspace : key2;
                     if (mix < 45) {
                         std::uint64_t v = 0;
                         (void)store->get(h, key, &v);
-                    } else if (mix < 65) {
+                    } else if (mix < 60) {
                         store->put(h, key, fresh);
                         mine.emplace_back(idx, fresh);
-                    } else if (mix < 80) {
+                    } else if (mix < 72) {
                         std::uint64_t nv = 0;
                         if (store->rmw(h, key, delta, &nv))
                             mine.emplace_back(idx, nv);
-                    } else if (mix < 90) {
-                        store->scan(h, key, 4, cfg.kvKeyspace);
+                    } else if (mix < 82) {
+                        store->scan(h, key, 4);
+                    } else if (mix < 92) {
+                        std::uint64_t nf = 0, nt = 0;
+                        if (store->xfer(h, key, xkey, delta, &nf, &nt)) {
+                            mine.emplace_back(idx, nf);
+                            mine.emplace_back(int(xkey) - 1, nt);
+                        }
                     } else {
-                        // Forced software path against key2: stresses
-                        // mixed hardware/software raw-read windows.
+                        // Forced-software cross-shard transfer: the
+                        // multi-shard commit drains shard otables in
+                        // canonical order on the software path too.
                         h.requireSoftware();
-                        std::uint64_t nv = 0;
-                        if (store->rmw(h, key2, delta, &nv))
-                            mine.emplace_back(int(key2) - 1, nv);
+                        std::uint64_t nf = 0, nt = 0;
+                        if (store->xfer(h, key, xkey, delta, &nf, &nt)) {
+                            mine.emplace_back(idx, nf);
+                            mine.emplace_back(int(xkey) - 1, nt);
+                        }
                     }
                 });
                 tc.advance(10 + rng.nextBounded(40));

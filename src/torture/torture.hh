@@ -66,6 +66,15 @@ struct TortureConfig
     std::uint64_t kvBuckets = 8;   ///< TxMap buckets: short, shared chains.
     double kvTheta = 0.6;          ///< Zipfian skew of key choice.
     int kvRawPct = 20;             ///< Percent of ops that are raw GETs.
+    /**
+     * Store shards (also forced onto the machine's otableShards).
+     * With > 1 the op mix adds two-key transfers — the cross-shard
+     * transactions whose canonical-order acquisition the sharded
+     * commit protocol relies on — while every oracle (shadow,
+     * backend invariants incl. per-shard otable<->UFO lockstep and
+     * undo-log balance, raw reads) stays armed.
+     */
+    unsigned kvShards = 1;
     /** @} */
 
     /**

@@ -1,5 +1,6 @@
 #include "ustm/ustm.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "mem/memory_system.hh"
@@ -23,15 +24,52 @@ constexpr long kWaitSanityBound = 50'000'000;
 } // namespace
 
 Ustm::Ustm(Machine &machine, bool strong_atomic, const UstmPolicy &policy)
-    : machine_(machine), strong_(strong_atomic), policy_(policy),
-      otable_(machine.config().otableBuckets, kDefaultOtableBase)
+    : machine_(machine), strong_(strong_atomic), policy_(policy)
 {
+    const MachineConfig &mc = machine.config();
+    const unsigned shards = mc.otableShards ? mc.otableShards : 1;
+    sharded_ = shards > 1;
+    // Stagger the per-shard tables (head array + chain-node pool) at
+    // page-aligned bases below the heap.  Otable's layout puts the
+    // pool right after the head array, so one table spans
+    // (buckets + pool) * kEntryBytes.
+    const std::uint64_t span =
+        (std::uint64_t(mc.otableBuckets) + 4096) * Otable::kEntryBytes;
+    const std::uint64_t stride = (span + 0xfff) & ~0xfffull;
+    otables_.reserve(shards);
+    for (unsigned s = 0; s < shards; ++s)
+        otables_.emplace_back(mc.otableBuckets,
+                              kDefaultOtableBase + Addr(s) * stride);
+    if (otables_.back().end() > mc.heapBase)
+        utm_fatal("otable shards (%u x %u buckets) overflow the "
+                  "pre-heap window; shrink otableBuckets",
+                  shards, mc.otableBuckets);
+}
+
+unsigned
+Ustm::shardOfAddr_(Addr a) const
+{
+    return sharded_ ? machine_.config().shardOfAddr(a) : 0;
 }
 
 void
 Ustm::setup(ThreadContext &init)
 {
-    otable_.initialize(init);
+    for (Otable &ot : otables_)
+        ot.initialize(init);
+    if (sharded_) {
+        for (unsigned s = 0; s < otables_.size(); ++s) {
+            const std::string suffix = std::to_string(s);
+            shardAcquiresName_.push_back(
+                std::string("shard.acquires.") + suffix);
+            shardChainInsertsName_.push_back(
+                std::string("shard.chain_inserts.") + suffix);
+            shardChainLenName_.push_back(
+                std::string("shard.chain_len.") + suffix);
+            shardRowLockWaitName_.push_back(
+                std::string("shard.row_lock_wait.") + suffix);
+        }
+    }
     if (strong_) {
         machine_.memsys().setUfoFaultHandler(
             [this](ThreadContext &tc, Addr a, AccessType t) {
@@ -245,9 +283,18 @@ Ustm::acquire(ThreadContext &tc, TxDesc &tx, LineAddr line,
         AcquireStep step = acquireStep(tc, tx, line, want_write);
         switch (step.kind) {
           case AcquireStep::Kind::Done:
-            if (waited)
+            if (waited) {
                 machine_.contention().rowLockWait().observe(
                     tc.now() - wait_start);
+                if (sharded_)
+                    machine_.stats().observe(
+                        shardRowLockWaitName_[shardOf(line)],
+                        tc.now() - wait_start);
+            }
+            if (sharded_) {
+                machine_.stats().inc("shard.acquires");
+                machine_.stats().inc(shardAcquiresName_[shardOf(line)]);
+            }
             return;
           case AcquireStep::Kind::Retry:
           case AcquireStep::Kind::Conflict:
@@ -277,7 +324,7 @@ Ustm::acquireStep(ThreadContext &tc, TxDesc &tx, LineAddr line,
     const ThreadId self = tc.id();
     const std::uint64_t my_bit = 1ull << self;
     const std::uint64_t tag = Otable::tagOf(line);
-    const Addr head = otable_.bucketAddr(line);
+    const Addr head = otableFor(line).bucketAddr(line);
 
     std::uint64_t w0 = tc.load(head, 8);
     if (Otable::locked(w0))
@@ -460,7 +507,7 @@ Ustm::lockedAcquire(ThreadContext &tc, TxDesc &tx, LineAddr line,
         record(tx, line, head, want_write);
         return {AcquireStep::Kind::Done, 0};
     }
-    Addr n = otable_.allocNode();
+    Addr n = otableFor(line).allocNode();
     tc.store(n, Otable::pack(true, false, want_write, false, false,
                              self, tag),
              8);
@@ -472,6 +519,12 @@ Ustm::lockedAcquire(ThreadContext &tc, TxDesc &tx, LineAddr line,
     record(tx, line, n, want_write);
     machine_.stats().inc("ustm.chain_inserts");
     machine_.contention().chainLen().observe(chain_len + 1);
+    if (sharded_) {
+        machine_.stats().inc("shard.chain_inserts");
+        machine_.stats().inc(shardChainInsertsName_[shardOf(line)]);
+        machine_.stats().observe(shardChainLenName_[shardOf(line)],
+                                 chain_len + 1);
+    }
     return {AcquireStep::Kind::Done, 0};
 }
 
@@ -488,7 +541,7 @@ Ustm::resolveConflict(ThreadContext &tc, TxDesc &tx,
     // give up after a bounded spin and retry the barrier anyway).
     machine_.stats().inc("ustm.stalls");
     UTM_PROF_PHASE(machine_, tc, ProfComp::Ustm, ProfPhase::Stall);
-    const Addr head = otable_.bucketAddr(line);
+    const Addr head = otableFor(line).bucketAddr(line);
     std::uint64_t w0 = tc.load(head, 8);
     for (int i = 0; i < kStallPolls; ++i) {
         checkKill(tc);
@@ -569,6 +622,22 @@ Ustm::killOwners(ThreadContext &tc, std::uint64_t owners,
 void
 Ustm::releaseAll(ThreadContext &tc, TxDesc &tx)
 {
+    // Cross-shard commit/abort protocol: drain ownership shard by
+    // shard in canonical (ascending) shard-index order, preserving
+    // acquisition order within a shard.  Together with the svc
+    // layer's canonical-order acquisition this keeps cross-shard
+    // lock/release traffic deadlock-free, and the otable↔UFO lockstep
+    // invariant holds per shard throughout the drain (each entry is
+    // released under its own row lock, exactly as in the single-shard
+    // protocol).  Host-side sort: costs no simulated cycles, and is a
+    // no-op for single-shard configs.
+    if (sharded_) {
+        std::stable_sort(tx.owned.begin(), tx.owned.end(),
+                         [this](const TxDesc::Owned &a,
+                                const TxDesc::Owned &b) {
+                             return shardOf(a.line) < shardOf(b.line);
+                         });
+    }
     for (const auto &o : tx.owned)
         releaseEntry(tc, tx, o);
     tx.owned.clear();
@@ -582,7 +651,8 @@ Ustm::releaseEntry(ThreadContext &tc, TxDesc &tx,
     (void)tx;
     const ThreadId self = tc.id();
     const std::uint64_t my_bit = 1ull << self;
-    const Addr head = otable_.bucketAddr(o.line);
+    Otable &ot = otableFor(o.line);
+    const Addr head = ot.bucketAddr(o.line);
 
     bool waited = false;
     Cycles wait_start = 0;
@@ -599,9 +669,14 @@ Ustm::releaseEntry(ThreadContext &tc, TxDesc &tx,
             tc.yield();
             continue;
         }
-        if (waited)
+        if (waited) {
             machine_.contention().rowLockWait().observe(tc.now() -
                                                         wait_start);
+            if (sharded_)
+                machine_.stats().observe(
+                    shardRowLockWaitName_[shardOf(o.line)],
+                    tc.now() - wait_start);
+        }
 
         if (o.entry == head) {
             utm_assert(Otable::used(w0) &&
@@ -635,7 +710,7 @@ Ustm::releaseEntry(ThreadContext &tc, TxDesc &tx,
             clearUfo(tc, o.line);
             Addr next = tc.load(node + 16, 8);
             tc.store(prev_ptr, next, 8);
-            otable_.freeNode(node);
+            ot.freeNode(node);
             Addr first = tc.load(head + 16, 8);
             std::uint64_t neww0 = w0;
             if (first == 0)
@@ -656,7 +731,7 @@ void
 Ustm::downgradeEntry(ThreadContext &tc, TxDesc::Owned &o)
 {
     utm_assert(o.write);
-    const Addr head = otable_.bucketAddr(o.line);
+    const Addr head = otableFor(o.line).bucketAddr(o.line);
     bool waited = false;
     Cycles wait_start = 0;
     for (;;) {
@@ -672,9 +747,14 @@ Ustm::downgradeEntry(ThreadContext &tc, TxDesc::Owned &o)
             tc.yield();
             continue;
         }
-        if (waited)
+        if (waited) {
             machine_.contention().rowLockWait().observe(tc.now() -
                                                         wait_start);
+            if (sharded_)
+                machine_.stats().observe(
+                    shardRowLockWaitName_[shardOf(o.line)],
+                    tc.now() - wait_start);
+        }
         if (o.entry == head) {
             utm_assert(Otable::writeState(w0));
             if (strong_)
@@ -760,7 +840,7 @@ Ustm::peekOwners(LineAddr line) const
 {
     const SimMemory &mem = machine_.memory();
     const std::uint64_t tag = Otable::tagOf(line);
-    const Addr head = otable_.bucketAddr(line);
+    const Addr head = otableFor(line).bucketAddr(line);
     std::uint64_t w0 = mem.read(head, 8);
     if (Otable::used(w0) && Otable::tag(w0) == tag) {
         return Otable::multi(w0) ? mem.read(head + 8, 8)
@@ -785,7 +865,7 @@ Ustm::peekEntry(LineAddr line) const
 {
     const SimMemory &mem = machine_.memory();
     const std::uint64_t tag = Otable::tagOf(line);
-    const Addr head = otable_.bucketAddr(line);
+    const Addr head = otableFor(line).bucketAddr(line);
     std::uint64_t w0 = mem.read(head, 8);
     if (Otable::used(w0) && Otable::tag(w0) == tag) {
         return {true, Otable::writeState(w0),
@@ -812,7 +892,7 @@ bool
 Ustm::rowLocked(LineAddr line) const
 {
     return Otable::locked(
-        machine_.memory().read(otable_.bucketAddr(line), 8));
+        machine_.memory().read(otableFor(line).bucketAddr(line), 8));
 }
 
 bool
@@ -1014,7 +1094,7 @@ Ustm::nonTFaultHandler(ThreadContext &tc, Addr a, AccessType t)
 
     // AbortTx policy: look up the owners and kill them.
     const std::uint64_t tag = Otable::tagOf(line);
-    const Addr head = otable_.bucketAddr(line);
+    const Addr head = otableFor(line).bucketAddr(line);
     std::uint64_t w0 = tc.load(head, 8);
     std::uint64_t owners = 0;
     if (Otable::used(w0) && Otable::tag(w0) == tag) {

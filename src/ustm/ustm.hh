@@ -123,7 +123,38 @@ class Ustm
     bool inTx(ThreadId t) const;
 
     bool strongAtomic() const { return strong_; }
-    Otable &otable() { return otable_; }
+
+    /**
+     * @name Per-shard ownership tables.
+     *
+     * The otable is no longer a process-global singleton: the runtime
+     * holds one Otable per MachineConfig::otableShards, laid out at
+     * staggered simulated base addresses below the heap, and every
+     * barrier routes its line to the shard owning the line's heap
+     * stripe (MachineConfig::shardOfAddr).  With one shard (the
+     * default) this degenerates to the paper's single global table.
+     * @{
+     */
+    Otable &otableFor(LineAddr line) { return otables_[shardOf(line)]; }
+
+    const Otable &
+    otableFor(LineAddr line) const
+    {
+        return otables_[shardOf(line)];
+    }
+
+    unsigned
+    shardOf(LineAddr line) const
+    {
+        return shardOfAddr_(line);
+    }
+
+    unsigned numShards() const { return unsigned(otables_.size()); }
+
+    /** The first shard's table (tests; single-shard configs). */
+    Otable &otable() { return otables_[0]; }
+    /** @} */
+
     const UstmPolicy &policy() const { return policy_; }
 
     /** Transaction age of thread @p t (0 when inactive). */
@@ -281,10 +312,22 @@ class Ustm
     bool rowLocked(LineAddr line) const;
     bool anyOwnerRetrying(std::uint64_t owners) const;
 
+    /** shardOfAddr for the owning machine's config (avoids a
+     *  Machine include in the hot inline router above). */
+    unsigned shardOfAddr_(Addr a) const;
+
     Machine &machine_;
     bool strong_;
     UstmPolicy policy_;
-    Otable otable_;
+    std::vector<Otable> otables_; ///< One per otable shard.
+    bool sharded_ = false;        ///< otables_.size() > 1.
+    /** @name Precomputed per-shard stat names (hot-path friendly);
+     *  populated by setup(), only in sharded configs. @{ */
+    std::vector<std::string> shardAcquiresName_;
+    std::vector<std::string> shardChainInsertsName_;
+    std::vector<std::string> shardChainLenName_;
+    std::vector<std::string> shardRowLockWaitName_;
+    /** @} */
     std::array<TxDesc, kMaxThreads> txs_;
     bool breakUfoLockstep_ = false;
 };

@@ -1,0 +1,425 @@
+/**
+ * @file
+ * Tests for the sharded KV store and sharded tmserve configurations
+ * (src/svc/sharded_store.hh, MachineConfig::otableShards):
+ *
+ *  - shardOfKey routing: stable, in-range, and non-degenerate (every
+ *    shard owns keys) for the bench keyspaces;
+ *  - ShardedKvStore round-trips under NoTm: per-shard routing,
+ *    cross-shard scan counts, xfer value movement, structural check;
+ *  - xfer conservation: the sum over all values is invariant under
+ *    any sequence of transfers (the property the torture shadow
+ *    oracle checks across aborts);
+ *  - the sharded service runs valid on every TxSystemKind and its
+ *    shard.* counter families sum to their aggregates;
+ *  - double-run byte-identity of the exported stats-JSON for sharded
+ *    configs across TxSystemKind x scheduler policy;
+ *  - tmtorture kv with kvShards > 1: adversarial schedules against
+ *    the partitioned store, with the backend-invariant oracle armed
+ *    at every preemption point — a canonical-order violation would
+ *    deadlock (hang) and an unbalanced undo log after a multi-shard
+ *    RMW abort would fail the oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/tx_system.hh"
+#include "sim/machine.hh"
+#include "sim/scheduler.hh"
+#include "svc/service.hh"
+#include "torture/torture.hh"
+
+namespace utm {
+namespace {
+
+using svc::ShardedKvStore;
+using svc::SvcParams;
+
+constexpr TxSystemKind kAllKinds[] = {
+    TxSystemKind::NoTm,       TxSystemKind::UnboundedHtm,
+    TxSystemKind::UfoHybrid,  TxSystemKind::HyTm,
+    TxSystemKind::PhTm,       TxSystemKind::Ustm,
+    TxSystemKind::UstmStrong, TxSystemKind::Tl2,
+};
+
+std::string
+readWholeFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return {};
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return text;
+}
+
+/** Sharded service shape: xfer-heavy so cross-shard paths run. */
+SvcParams
+shardedParams(unsigned shards)
+{
+    SvcParams p;
+    p.shards = shards;
+    p.load.keyspace = 48;
+    p.load.requestsPerClient = 12;
+    p.load.seed = 3;
+    p.load.mix.getPct = 30;
+    p.load.mix.xferPct = 20;
+    p.mapBuckets = 8;
+    return p;
+}
+
+RunConfig
+shardedRunConfig(TxSystemKind kind, int threads = 3)
+{
+    RunConfig cfg;
+    cfg.kind = kind;
+    cfg.threads = threads;
+    cfg.machine.seed = 11;
+    cfg.machine.timerQuantum = 0;
+    return cfg;
+}
+
+// ----------------------------------------------------------- Routing
+
+TEST(ShardRouting, StableInRangeAndNonDegenerate)
+{
+    for (unsigned shards : {2u, 4u, 8u}) {
+        std::set<unsigned> seen;
+        for (std::uint64_t key = 1; key <= 128; ++key) {
+            const unsigned s = svc::shardOfKey(key, shards);
+            EXPECT_LT(s, shards);
+            EXPECT_EQ(s, svc::shardOfKey(key, shards)); // Stable.
+            seen.insert(s);
+        }
+        // Non-degenerate partition: every shard owns keys, so a
+        // "sharded" bench config cannot silently collapse to one.
+        EXPECT_EQ(seen.size(), shards) << shards << " shards";
+    }
+    // shards <= 1 routes everything to shard 0.
+    EXPECT_EQ(svc::shardOfKey(7, 1), 0u);
+    EXPECT_EQ(svc::shardOfKey(7, 0), 0u);
+}
+
+// ---------------------------------------------------- ShardedKvStore
+
+TEST(ShardedKvStore, RoundTripsAndRoutesUnderNoTm)
+{
+    constexpr unsigned kShards = 4;
+    MachineConfig mc;
+    mc.numCores = 1;
+    mc.otableShards = kShards;
+    Machine m(mc);
+    auto sys = TxSystem::create(TxSystemKind::NoTm, m);
+    sys->setup();
+
+    const std::uint64_t keyspace = 32;
+    ShardedKvStore store =
+        ShardedKvStore::create(m.initContext(), 4, keyspace, kShards);
+    store.populate(m.initContext());
+    ASSERT_EQ(store.shards(), kShards);
+
+    // populate() split the key set by the routing hash.
+    std::size_t total = 0;
+    for (unsigned s = 0; s < kShards; ++s) {
+        for (std::uint64_t key : store.shardKeys(s))
+            EXPECT_EQ(store.shardOf(key), s);
+        total += store.shardKeys(s).size();
+    }
+    EXPECT_EQ(total, keyspace);
+
+    sys->atomic(m.initContext(), [&](TxHandle &h) {
+        std::uint64_t v = 0;
+        EXPECT_TRUE(store.get(h, 5, &v));
+        EXPECT_EQ(v, 500u); // populate() value: key * 100.
+        EXPECT_FALSE(store.get(h, keyspace + 1, &v));
+
+        EXPECT_TRUE(store.put(h, 5, 777));
+        std::uint64_t nv = 0;
+        EXPECT_TRUE(store.rmw(h, 5, 3, &nv));
+        EXPECT_EQ(nv, 780u);
+
+        // A full wrap-around scan sees every key exactly once, across
+        // all shards.
+        EXPECT_EQ(store.scan(h, 10, int(keyspace)), int(keyspace));
+
+        std::uint64_t raw = 0;
+        EXPECT_TRUE(store.rawGet(h.ctx(), 5, &raw));
+        EXPECT_EQ(raw, 780u);
+    });
+    EXPECT_TRUE(store.check(m.initContext()));
+}
+
+TEST(ShardedKvStore, ScanParticipantsMatchesKeyOwnership)
+{
+    constexpr unsigned kShards = 4;
+    MachineConfig mc;
+    mc.numCores = 1;
+    mc.otableShards = kShards;
+    Machine m(mc);
+
+    const std::uint64_t keyspace = 24;
+    ShardedKvStore store =
+        ShardedKvStore::create(m.initContext(), 4, keyspace, kShards);
+    for (std::uint64_t start = 1; start <= keyspace; ++start) {
+        for (int len : {1, 3, 8}) {
+            std::set<unsigned> owners;
+            for (int i = 0; i < len; ++i)
+                owners.insert(
+                    store.shardOf(1 + (start - 1 + i) % keyspace));
+            EXPECT_EQ(store.scanParticipants(start, len), owners.size())
+                << "start " << start << " len " << len;
+        }
+    }
+}
+
+TEST(ShardedKvStore, XferMovesValueAndConservesSum)
+{
+    constexpr unsigned kShards = 4;
+    MachineConfig mc;
+    mc.numCores = 1;
+    mc.otableShards = kShards;
+    Machine m(mc);
+    auto sys = TxSystem::create(TxSystemKind::NoTm, m);
+    sys->setup();
+
+    const std::uint64_t keyspace = 16;
+    ShardedKvStore store =
+        ShardedKvStore::create(m.initContext(), 4, keyspace, kShards);
+    store.populate(m.initContext());
+
+    auto sumAll = [&] {
+        std::uint64_t sum = 0;
+        for (std::uint64_t key = 1; key <= keyspace; ++key) {
+            std::uint64_t v = 0;
+            EXPECT_TRUE(store.rawGet(m.initContext(), key, &v));
+            sum += v;
+        }
+        return sum;
+    };
+    const std::uint64_t sum0 = sumAll();
+
+    // Pick a cross-shard pair (the hash guarantees one exists for
+    // this keyspace: both non-degenerate by ShardRouting above).
+    std::uint64_t from = 1, to = 2;
+    while (store.shardOf(from) == store.shardOf(to))
+        ++to;
+
+    sys->atomic(m.initContext(), [&](TxHandle &h) {
+        std::uint64_t before_from = 0, before_to = 0;
+        EXPECT_TRUE(store.get(h, from, &before_from));
+        EXPECT_TRUE(store.get(h, to, &before_to));
+
+        std::uint64_t new_from = 0, new_to = 0;
+        EXPECT_TRUE(store.xfer(h, from, to, 25, &new_from, &new_to));
+        EXPECT_EQ(new_from, before_from - 25);
+        EXPECT_EQ(new_to, before_to + 25);
+
+        // Either key absent: no partial effect.
+        EXPECT_FALSE(store.xfer(h, from, keyspace + 1, 5));
+        std::uint64_t v = 0;
+        EXPECT_TRUE(store.get(h, from, &v));
+        EXPECT_EQ(v, new_from);
+    });
+
+    // Transfers in both canonical directions, same-shard included.
+    sys->atomic(m.initContext(), [&](TxHandle &h) {
+        EXPECT_TRUE(store.xfer(h, to, from, 7));
+        EXPECT_TRUE(store.xfer(h, from, to, 3));
+    });
+    EXPECT_EQ(sumAll(), sum0);
+    EXPECT_TRUE(store.check(m.initContext()));
+}
+
+// ----------------------------------------------------------- Service
+
+TEST(ShardedService, ServesEveryRequestOnEveryBackend)
+{
+    for (TxSystemKind kind : kAllKinds) {
+        const SvcParams p = shardedParams(4);
+        const RunResult res =
+            svc::runService(p, shardedRunConfig(kind));
+        ASSERT_TRUE(res.valid) << txSystemKindName(kind);
+        const std::uint64_t expect =
+            std::uint64_t(p.load.requestsPerClient) * 3;
+        EXPECT_EQ(res.stat("svc.requests"), expect)
+            << txSystemKindName(kind);
+        EXPECT_EQ(res.stat("shard.requests"), expect)
+            << txSystemKindName(kind);
+        // Cross-shard traffic actually ran (xfers are 20% of load and
+        // the hash spreads 48 keys over 4 shards).
+        EXPECT_GT(res.stat("shard.cross.commits"), 0u)
+            << txSystemKindName(kind);
+    }
+}
+
+TEST(ShardedService, ShardCounterFamiliesSumToAggregates)
+{
+    constexpr unsigned kShards = 4;
+    SvcParams p = shardedParams(kShards);
+    p.load.requestsPerClient = 30;
+    // UstmStrong: every transaction takes the software path, so the
+    // ustm-level shard.acquires family is guaranteed non-empty.
+    const RunResult res = svc::runService(
+        p, shardedRunConfig(TxSystemKind::UstmStrong, 4));
+    ASSERT_TRUE(res.valid);
+
+    std::uint64_t per_shard = 0;
+    for (unsigned s = 0; s < kShards; ++s)
+        per_shard +=
+            res.stat(std::string("shard.requests.") + std::to_string(s));
+    EXPECT_EQ(per_shard, res.stat("shard.requests"));
+    EXPECT_EQ(res.stat("shard.requests"), res.stat("svc.requests"));
+
+    // Cross-shard attempt attribution: total attempts on cross-shard
+    // requests = their commits + their aborts.
+    EXPECT_EQ(res.stat("shard.cross"),
+              res.stat("shard.cross.commits") +
+                  res.stat("shard.cross.aborts"));
+    // Every request has a participant sample; cross-shard requests
+    // are exactly the multi-participant ones.
+    EXPECT_EQ(res.hist("shard.participants").samples(),
+              res.stat("svc.requests"));
+    EXPECT_GE(res.hist("shard.participants").max(), 2u);
+
+    // The USTM-level per-shard acquisition family.
+    std::uint64_t acq = 0;
+    for (unsigned s = 0; s < kShards; ++s)
+        acq +=
+            res.stat(std::string("shard.acquires.") + std::to_string(s));
+    EXPECT_EQ(acq, res.stat("shard.acquires"));
+    EXPECT_GT(acq, 0u);
+}
+
+TEST(ShardedService, OpenLoopShedsPerShard)
+{
+    SvcParams p = shardedParams(4);
+    p.load.openLoop = true;
+    p.load.meanInterarrival = 8;
+    p.load.requestsPerClient = 60;
+    p.maxQueueDepth = 2;
+    const RunResult res =
+        svc::runService(p, shardedRunConfig(TxSystemKind::Ustm, 4));
+    ASSERT_TRUE(res.valid);
+    ASSERT_GT(res.stat("shard.shed"), 0u);
+
+    std::uint64_t per_shard = 0;
+    for (unsigned s = 0; s < 4; ++s)
+        per_shard +=
+            res.stat(std::string("shard.shed.") + std::to_string(s));
+    EXPECT_EQ(per_shard, res.stat("shard.shed"));
+    EXPECT_EQ(res.stat("shard.shed"), res.stat("svc.shed"));
+    EXPECT_EQ(res.stat("svc.requests") + res.stat("svc.shed"), 60u * 4);
+}
+
+TEST(ShardedService, DoubleRunStatsJsonByteIdentical)
+{
+    // The determinism contract extended to sharded configs: the
+    // adversarial policies (the ones tmtorture drives) plus the
+    // default, on every backend.
+    constexpr SchedPolicy kPolicies[] = {
+        SchedPolicy::MinClock, SchedPolicy::RandomWalk, SchedPolicy::Pct};
+    for (TxSystemKind kind : kAllKinds) {
+        for (SchedPolicy policy : kPolicies) {
+            SvcParams p = shardedParams(4);
+            p.load.requestsPerClient = 8;
+            std::string text[2];
+            for (int run = 0; run < 2; ++run) {
+                RunConfig cfg = shardedRunConfig(kind);
+                cfg.machine.sched.policy = policy;
+                cfg.statsJsonPath = ::testing::TempDir() +
+                                    "/utm_shard_det_" +
+                                    std::to_string(run) + ".json";
+                const RunResult res = svc::runService(p, cfg);
+                ASSERT_TRUE(res.valid)
+                    << txSystemKindName(kind) << "/"
+                    << schedPolicyName(policy);
+                text[run] = readWholeFile(cfg.statsJsonPath);
+            }
+            ASSERT_FALSE(text[0].empty());
+            EXPECT_EQ(text[0], text[1])
+                << "stats-JSON diverged across identical sharded runs: "
+                << txSystemKindName(kind) << "/"
+                << schedPolicyName(policy);
+        }
+    }
+}
+
+// ------------------------------------------------- sharded tmtorture
+
+torture::TortureConfig
+shardedKvTortureConfig(TxSystemKind kind, SchedPolicy policy,
+                       std::uint64_t seed)
+{
+    torture::TortureConfig cfg;
+    cfg.kind = kind;
+    cfg.workload = torture::TortureWorkload::Kv;
+    cfg.kvShards = 4;
+    cfg.threads = 4;
+    cfg.opsPerThread = 25;
+    cfg.seed = seed;
+    cfg.sched.policy = policy;
+    cfg.sched.pctExpectedSteps = 1u << 11;
+    return cfg;
+}
+
+TEST(ShardedKvTorture, CanonicalOrderSurvivesAdversarialSchedules)
+{
+    // Random-walk and PCT preempt inside cross-shard xfers at every
+    // shared-memory step.  A canonical-order violation would deadlock
+    // two xfers acquiring opposite shard orders; an unwind that left
+    // one shard's undo log unbalanced after a multi-shard RMW abort
+    // fails the backend-invariant oracle at the next preemption.
+    for (TxSystemKind kind :
+         {TxSystemKind::UfoHybrid, TxSystemKind::UstmStrong,
+          TxSystemKind::Tl2}) {
+        for (SchedPolicy policy :
+             {SchedPolicy::RandomWalk, SchedPolicy::Pct}) {
+            for (std::uint64_t seed : {1, 2, 3}) {
+                const auto res = torture::runTorture(
+                    shardedKvTortureConfig(kind, policy, seed));
+                EXPECT_TRUE(res.ok())
+                    << txSystemKindName(kind) << "/"
+                    << schedPolicyName(policy) << " seed " << seed
+                    << ": " << res.oracle << ": " << res.why;
+            }
+        }
+    }
+}
+
+TEST(ShardedKvTorture, StronglyAtomicBackendsPassRawReadOracle)
+{
+    for (TxSystemKind kind :
+         {TxSystemKind::UnboundedHtm, TxSystemKind::UfoHybrid,
+          TxSystemKind::UstmStrong}) {
+        const auto res = torture::runTorture(shardedKvTortureConfig(
+            kind, SchedPolicy::RandomWalk, 7));
+        EXPECT_TRUE(res.ok()) << txSystemKindName(kind) << ": "
+                              << res.oracle << ": " << res.why;
+        EXPECT_GT(res.rawReads, 0u) << txSystemKindName(kind);
+    }
+}
+
+TEST(ShardedKvTorture, DeterministicAcrossIdenticalRuns)
+{
+    const auto cfg = shardedKvTortureConfig(TxSystemKind::UfoHybrid,
+                                            SchedPolicy::Pct, 9);
+    const auto a = torture::runTorture(cfg);
+    const auto b = torture::runTorture(cfg);
+    ASSERT_TRUE(a.ok()) << a.oracle << ": " << a.why;
+    EXPECT_EQ(a.steps, b.steps);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.commits, b.commits);
+    EXPECT_EQ(a.stats, b.stats);
+}
+
+} // namespace
+} // namespace utm

@@ -165,11 +165,20 @@ TEST(LoadGen, CoversEveryRequestTypeAndKeyBounds)
     LoadGenConfig cfg;
     cfg.keyspace = 16;
     cfg.requestsPerClient = 300;
+    // The default mix has no transfers; shift 10% from gets so every
+    // verb (including xfer) appears.
+    cfg.mix.getPct = 40;
+    cfg.mix.xferPct = 10;
     int seen[svc::kNumReqTypes] = {};
     for (const Request &r : svc::generateClientStream(cfg, 0)) {
         ++seen[int(r.type)];
         EXPECT_GE(r.key, 1u);
         EXPECT_LE(r.key, cfg.keyspace);
+        if (r.type == ReqType::Xfer) {
+            EXPECT_NE(r.key2, r.key);
+            EXPECT_GE(r.key2, 1u);
+            EXPECT_LE(r.key2, cfg.keyspace);
+        }
     }
     for (int c : seen)
         EXPECT_GT(c, 0);

@@ -4,7 +4,8 @@
   benchdiff.py BASELINE CURRENT [--threshold 0.10] [--report PATH]
 
 Rows are matched by their identity fields (benchmark/system/threads/
-series/failover_rate/tx_per_thread, plus mode/request for svc rows);
+series/failover_rate/tx_per_thread, plus mode/request/shards for svc
+rows);
 the compared metric is `cycles` where a row has one (figure5/figure6
 rows, lower is better), `p99_cycles` (svc latency rows, lower is
 better), else `throughput_tx_per_mcycle` / `throughput_req_per_mcycle`
@@ -22,7 +23,8 @@ import json
 import sys
 
 KEY_FIELDS = ("benchmark", "system", "threads", "series",
-              "failover_rate", "tx_per_thread", "mode", "request")
+              "failover_rate", "tx_per_thread", "mode", "request",
+              "shards")
 
 # (metric, direction): +1 means larger-is-worse, -1 larger-is-better.
 METRICS = (("cycles", 1), ("p99_cycles", 1),

@@ -43,7 +43,11 @@ PROF_CYCLE_NAMES = [f"{c}.{p}" for c in PROF_COMPONENTS
                     for p in PROF_PHASES] + ["app"]
 
 # Keep in sync with reqTypeName() in src/svc/load_gen.cc.
-SVC_REQ_TYPES = ["get", "put", "scan", "rmw", "raw_get"]
+SVC_REQ_TYPES = ["get", "put", "scan", "rmw", "xfer", "raw_get"]
+
+# Per-shard counter families are suffixed with the decimal shard
+# index; kMaxThreads (64) bounds the shard count a machine can use.
+SHARD_IDS = [str(i) for i in range(64)]
 
 REASON_FAMILIES = {
     "btm.aborts.": ABORT_REASONS,
@@ -55,6 +59,13 @@ REASON_FAMILIES = {
     "svc.requests.": SVC_REQ_TYPES,
     "svc.shed.": SVC_REQ_TYPES,
     "svc.latency.": SVC_REQ_TYPES,
+    "shard.acquires.": SHARD_IDS,
+    "shard.chain_inserts.": SHARD_IDS,
+    "shard.chain_len.": SHARD_IDS,
+    "shard.row_lock_wait.": SHARD_IDS,
+    "shard.requests.": SHARD_IDS,
+    "shard.shed.": SHARD_IDS,
+    "shard.queue_depth.": SHARD_IDS,
 }
 # Families whose docs coverage is via a structured placeholder rather
 # than the generic "<prefix><reason>" form or full enumeration.
@@ -63,6 +74,13 @@ FAMILY_PLACEHOLDERS = {
     "svc.requests.": "svc.requests.<type>",
     "svc.shed.": "svc.shed.<type>",
     "svc.latency.": "svc.latency.<type>",
+    "shard.acquires.": "shard.acquires.<shard>",
+    "shard.chain_inserts.": "shard.chain_inserts.<shard>",
+    "shard.chain_len.": "shard.chain_len.<shard>",
+    "shard.row_lock_wait.": "shard.row_lock_wait.<shard>",
+    "shard.requests.": "shard.requests.<shard>",
+    "shard.shed.": "shard.shed.<shard>",
+    "shard.queue_depth.": "shard.queue_depth.<shard>",
 }
 
 STATS_TOTALS_KEYS = {
@@ -72,7 +90,7 @@ STATS_TOTALS_KEYS = {
 MACHINE_KEYS = {
     "num_cores", "l1_sets", "l1_ways", "l1_bytes", "l2_sets",
     "l2_ways", "l1_hit_latency", "l2_hit_latency", "mem_latency",
-    "timer_quantum", "otable_buckets", "seed",
+    "timer_quantum", "otable_buckets", "otable_shards", "seed",
 }
 HIST_KEYS = {"samples", "sum", "min", "max", "mean", "p50", "p90",
              "p99", "buckets"}
@@ -131,12 +149,22 @@ def check_stats_doc(doc):
            f"totals.aborts_sw={totals.get('aborts_sw')} != "
            f"ustm.aborts+tl2.aborts={aborts_sw}")
     # Reason families must sum to their aggregate where one exists.
+    # The shard.* rows enforce the per-shard -> aggregate identity of
+    # docs/OBSERVABILITY.md ("Sharded stores"): per-shard counters are
+    # only emitted on sharded configurations, and then must account
+    # for every aggregate event (shard.cross sums its commit/abort
+    # attribution).
     for prefix, agg in (("ustm.aborts.", "ustm.aborts"),
                         ("tl2.aborts.", "tl2.aborts"),
                         ("tm.failovers.hard.", "tm.failovers.hard"),
                         ("svc.requests.", "svc.requests"),
                         ("svc.shed.", "svc.shed"),
-                        ("svc.request_aborts.", "svc.request_aborts")):
+                        ("svc.request_aborts.", "svc.request_aborts"),
+                        ("shard.acquires.", "shard.acquires"),
+                        ("shard.chain_inserts.", "shard.chain_inserts"),
+                        ("shard.requests.", "shard.requests"),
+                        ("shard.shed.", "shard.shed"),
+                        ("shard.cross.", "shard.cross")):
         fam = sum(v for n, v in counters.items()
                   if n.startswith(prefix))
         if agg in counters or fam:
@@ -315,17 +343,46 @@ def check_svc_doc(doc):
 
     expect(doc.get("schema") == "ufotm-svc",
            f"schema is {doc.get('schema')!r}, want 'ufotm-svc'")
-    expect(doc.get("schema_version") == 1, "schema_version != 1")
-    expect(doc.get("bench") == "svc_latency",
-           f"bench is {doc.get('bench')!r}, want 'svc_latency'")
+    # v1: the original svc_latency document.  v2 adds the xfer request
+    # verb and the svc_scaling row family (docs/OBSERVABILITY.md has
+    # the migration note).
+    version = doc.get("schema_version")
+    expect(version in (1, 2),
+           f"schema_version is {version!r}, want 1 or 2")
+    expect(doc.get("bench") in ("svc_latency", "svc_scaling"),
+           f"bench is {doc.get('bench')!r}, want 'svc_latency' or "
+           "'svc_scaling'")
     rows = doc.get("rows")
     if not isinstance(rows, list) or not rows:
         problems.append("rows missing or empty")
         return problems
+    if doc.get("bench") == "svc_scaling":
+        expect(version == 2, "svc_scaling requires schema_version 2")
+        seen = set()
+        for i, row in enumerate(rows):
+            for k in ("benchmark", "system", "mode", "threads",
+                      "shards", "requests", "abort_rate",
+                      "throughput_req_per_mcycle"):
+                expect(k in row, f"rows[{i}] missing {k!r}")
+            expect(row.get("mode") == "scaling",
+                   f"rows[{i}]: mode is {row.get('mode')!r}, want "
+                   "'scaling'")
+            expect(isinstance(row.get("shards"), int) and
+                   row.get("shards", 0) >= 1,
+                   f"rows[{i}]: shards must be a positive integer")
+            expect(row.get("p50_cycles", 0) <= row.get("p99_cycles", 0)
+                   <= row.get("p999_cycles", 0),
+                   f"rows[{i}]: latency quantiles not monotone")
+            key = (row.get("system"), row.get("threads"),
+                   row.get("shards"))
+            expect(key not in seen, f"rows[{i}]: duplicate row {key}")
+            seen.add(key)
+        return problems
 
     # Split into throughput rows (no "request" key) and per-request
     # latency rows; every (system, mode) needs one of the former and
-    # five of the latter whose request counts sum to the aggregate.
+    # one per request verb of the latter whose request counts sum to
+    # the aggregate.
     agg = {}
     per_req = {}
     for i, row in enumerate(rows):

@@ -4,12 +4,13 @@
 #
 #   tools/runbench.sh [--build-dir DIR] [--out DIR]
 #
-# Runs the four benches that back the regression gate
-# (figure5_speedup, figure6_aborts, figure7_failover, and the
-# bench_svc service-latency bench) with --quick (the pinned smoke
-# scale: figure5/6 at scale 0.5, figure7 at 96 tx/thread, svc at 24
-# requests/client) and writes BENCH_<name>.json into --out (default
-# bench/baselines/, i.e. refresh the committed baselines in place).
+# Runs the five benches that back the regression gate
+# (figure5_speedup, figure6_aborts, figure7_failover, and bench_svc in
+# its service-latency and scaling-curve modes) with --quick (the
+# pinned smoke scale: figure5/6 at scale 0.5, figure7 at 96 tx/thread,
+# svc at 24 requests/client, scaling at 12 requests/client) and writes
+# BENCH_<name>.json into --out (default bench/baselines/, i.e. refresh
+# the committed baselines in place).
 #
 # The simulator is deterministic, so two runs of the same tree produce
 # byte-identical rows; CI diffs a fresh --out against the committed
@@ -31,16 +32,22 @@ done
 
 mkdir -p "$out_dir"
 
-# binary:bench-name pairs (bench_svc reports as "svc_latency").
+# binary:bench-name[:extra-arg] triples (bench_svc reports as
+# "svc_latency" by default and as "svc_scaling" with --scaling).
 for spec in figure5_speedup:figure5_speedup figure6_aborts:figure6_aborts \
-            figure7_failover:figure7_failover bench_svc:svc_latency; do
+            figure7_failover:figure7_failover bench_svc:svc_latency \
+            bench_svc:svc_scaling:--scaling; do
+    rest="${spec#*:}"
     bin="$build_dir/bench/${spec%%:*}"
-    bench="${spec#*:}"
+    bench="${rest%%:*}"
+    extra=""
+    case "$rest" in *:*) extra="${rest#*:}" ;; esac
     if [ ! -x "$bin" ]; then
         echo "runbench: $bin not built (cmake --build $build_dir)" >&2
         exit 2
     fi
-    echo "runbench: ${spec%%:*} --quick -> $out_dir/BENCH_$bench.json" >&2
-    "$bin" --quick "--json=$out_dir/BENCH_$bench.json" > /dev/null
+    echo "runbench: ${spec%%:*} --quick $extra -> $out_dir/BENCH_$bench.json" >&2
+    # shellcheck disable=SC2086
+    "$bin" --quick $extra "--json=$out_dir/BENCH_$bench.json" > /dev/null
 done
 echo "runbench: done" >&2

@@ -45,6 +45,7 @@ struct Options
     int threads = 4;
     int ops = 60;
     int cells = 48;
+    unsigned kvShards = 1;
     unsigned otableBuckets = 4;
     std::uint64_t oracleInterval = 1;
     std::uint64_t pctSteps = 1u << 12; ///< ~ observed steps per run.
@@ -133,6 +134,9 @@ usage(const char *argv0)
         "  --threads N          workload threads (default 4)\n"
         "  --ops N              transactions per thread (default 60)\n"
         "  --cells N            contended 8-byte cells (default 48)\n"
+        "  --shards N           kv-workload store shards (default 1;\n"
+        "                       > 1 adds cross-shard transfers to the\n"
+        "                       op mix and shards the otable)\n"
         "  --otable-buckets N   otable buckets; small values force\n"
         "                       bucket collisions (default 4)\n"
         "  --oracle-interval N  check oracles every N steps (default 1)\n"
@@ -230,6 +234,8 @@ parseArgs(int argc, char **argv)
             opt.ops = std::atoi(need(i));
         } else if (a == "--cells") {
             opt.cells = std::atoi(need(i));
+        } else if (a == "--shards") {
+            opt.kvShards = unsigned(std::atoi(need(i)));
         } else if (a == "--otable-buckets") {
             opt.otableBuckets = unsigned(std::atoi(need(i)));
         } else if (a == "--oracle-interval") {
@@ -266,6 +272,7 @@ makeConfig(const Options &opt, torture::TortureWorkload workload,
     cfg.threads = opt.threads;
     cfg.opsPerThread = opt.ops;
     cfg.cells = opt.cells;
+    cfg.kvShards = opt.kvShards;
     cfg.otableBuckets = opt.otableBuckets;
     cfg.seed = seed;
     cfg.sched.policy = policy;
@@ -284,6 +291,9 @@ writeRun(json::Writer &w, const torture::TortureConfig &cfg,
     w.beginObject();
     w.kv("backend", txSystemKindName(cfg.kind));
     w.kv("workload", torture::tortureWorkloadName(cfg.workload));
+    if (cfg.workload == torture::TortureWorkload::Kv &&
+        cfg.kvShards > 1)
+        w.kv("shards", std::uint64_t(cfg.kvShards));
     w.kv("policy", schedPolicyName(cfg.sched.policy));
     w.kv("seed", cfg.seed);
     w.kv("ok", res.ok());
