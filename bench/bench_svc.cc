@@ -23,11 +23,22 @@
  * throughput at 32 cores at a comparable abort rate, and the bench
  * exits nonzero if it does not (the CI-gated win criterion).
  *
+ * `--predictor` runs the path-predictor A/B (src/hybrid/
+ * path_predictor.hh): the ufo-hybrid serves a Zipfian-skewed mix whose
+ * SCANs are long enough to deterministically overflow the L1 read set,
+ * with the predictor off and on, in both loop modes.  The win
+ * criterion — predicted-software SCAN starts skip the doomed hardware
+ * attempt, improving p99.9 SCAN latency at equal-or-better
+ * throughput — is self-gated: the bench exits nonzero if the
+ * predictor-on run loses.
+ *
  * `--json` emits a "ufotm-svc" document (docs/OBSERVABILITY.md,
- * schema_version 2) to BENCH_svc_latency.json / BENCH_svc_scaling.json;
- * tools/benchdiff.py gates the committed baselines in bench/baselines/
- * on the throughput and p99 rows.  `--quick` shrinks the request count
- * for CI smoke runs.
+ * schema_version 2; the predictor bench emits schema_version 3, which
+ * adds the `series` row key and the pred.* row fields) to
+ * BENCH_svc_latency.json / BENCH_svc_scaling.json /
+ * BENCH_svc_predictor.json; tools/benchdiff.py gates the committed
+ * baselines in bench/baselines/ on the throughput and p99 rows.
+ * `--quick` shrinks the request count for CI smoke runs.
  */
 
 #include <algorithm>
@@ -51,6 +62,15 @@ using namespace utm;
  * the shard.* counters (docs/OBSERVABILITY.md has the migration note).
  */
 constexpr int kSvcSchemaVersion = 2;
+
+/**
+ * Schema of the svc_predictor document only.  v3: adds the `series`
+ * row key ("predictor-off" / "predictor-on") and the predictor row
+ * fields (predictions, predicted_sw, hits, mispredicts).  The latency
+ * and scaling documents stay at v2 — their committed baselines are
+ * byte-stable.
+ */
+constexpr int kSvcPredictorSchemaVersion = 3;
 
 svc::SvcParams
 benchParams(bool open_loop, bool quick)
@@ -161,6 +181,215 @@ runLatency(bool quick, bench::JsonReport &report)
         }
     }
     return 0;
+}
+
+/**
+ * Predictor A/B configuration: the latency-bench service shape with
+ * lengthened SCANs, on a capacity-bound L1 (kPredictorL1Sets x
+ * kPredictorL1Ways = 64 speculative lines; the default 64x8 geometry
+ * holds the whole 128-key store, so nothing ever overflows) — every
+ * hardware SCAN attempt deterministically SetOverflows its way to
+ * software, while the point requests still fit.  That
+ * re-discovered-every-time failover is exactly what the path
+ * predictor learns away.
+ */
+constexpr unsigned kPredictorL1Sets = 16;
+constexpr unsigned kPredictorL1Ways = 4;
+
+svc::SvcParams
+predictorParams(bool open_loop, bool quick)
+{
+    svc::SvcParams p = benchParams(open_loop, quick);
+    p.load.scanLen = 48;
+    // Scan-heavy, lightly-written mix: the SCAN tail then measures the
+    // serving path (is the doomed hardware attempt skipped?) rather
+    // than software-retry noise from writers on the hot keys.
+    p.load.mix.getPct = 45;
+    p.load.mix.putPct = 10;
+    p.load.mix.scanPct = 30;
+    p.load.mix.rmwPct = 5;
+    p.load.mix.xferPct = 0;
+    p.load.mix.rawGetPct = 10;
+    // Long scans make requests ~10x slower than the latency bench's
+    // but arrivals keep the 150-cycle spacing: the open-loop point is
+    // a deliberate overload probe — the predictor's win there is
+    // capacity (more requests served before the admission bound sheds),
+    // measured by the throughput gate below.
+    p.load.meanInterarrival = 1500;
+    return p;
+}
+
+int
+runPredictor(bool quick, bench::JsonReport &report)
+{
+    const TxSystemKind kind = TxSystemKind::UfoHybrid;
+    const int threads = 4;
+    std::printf("tmserve predictor A/B: %s, %d clients, Zipfian(0.8) "
+                "keys, scanLen %llu%s\n",
+                txSystemKindName(kind), threads,
+                (unsigned long long)predictorParams(false, quick)
+                    .load.scanLen,
+                quick ? " (quick)" : "");
+    std::printf("%-6s %-9s %9s %6s %11s %10s %10s %10s %12s %11s\n",
+                "mode", "predictor", "requests", "shed", "req/Mcyc",
+                "scan p50", "scan p99", "scan p99.9", "predictions",
+                "mispredicts");
+
+    struct Point
+    {
+        double throughput = 0.0;
+        std::uint64_t served = 0;
+        std::uint64_t p999Scan = 0;
+    };
+    // (open_loop, predictor_on) -> gate metrics.
+    std::map<std::pair<bool, bool>, Point> points;
+
+    for (const bool open_loop : {false, true}) {
+        const char *mode = open_loop ? "open" : "closed";
+        for (const bool pred_on : {false, true}) {
+            const char *series =
+                pred_on ? "predictor-on" : "predictor-off";
+            svc::SvcParams p = predictorParams(open_loop, quick);
+            RunConfig cfg = bench::baseRunConfig();
+            cfg.kind = kind;
+            cfg.threads = threads;
+            cfg.machine.seed = 42;
+            cfg.machine.l1Sets = kPredictorL1Sets;
+            cfg.machine.l1Ways = kPredictorL1Ways;
+            cfg.policy.predictor.enable = pred_on;
+            const RunResult res = svc::runService(p, cfg);
+            if (!res.valid) {
+                std::fprintf(stderr,
+                             "VALIDATION FAILED: svc-predictor %s "
+                             "(%s loop)\n",
+                             series, mode);
+                return 1;
+            }
+
+            const std::uint64_t served = res.stat("svc.requests");
+            const std::uint64_t shed = res.stat("svc.shed");
+            const double throughput =
+                res.cycles ? double(served) * 1e6 / double(res.cycles)
+                           : 0.0;
+            const Histogram &scan = res.hist("svc.latency.scan");
+            points[{open_loop, pred_on}] = {throughput, served,
+                                            scan.quantile(0.999)};
+
+            std::printf("%-6s %-9s %9llu %6llu %11.1f %10llu %10llu "
+                        "%10llu %12llu %11llu\n",
+                        mode, pred_on ? "on" : "off",
+                        (unsigned long long)served,
+                        (unsigned long long)shed, throughput,
+                        (unsigned long long)scan.quantile(0.50),
+                        (unsigned long long)scan.quantile(0.99),
+                        (unsigned long long)scan.quantile(0.999),
+                        (unsigned long long)res.stat("pred.predictions"),
+                        (unsigned long long)res.stat("pred.mispredicts"));
+
+            if (!report.enabled())
+                continue;
+
+            // One throughput row per (mode, series)...
+            json::Writer w;
+            w.beginObject();
+            w.kv("benchmark", "svc-predictor");
+            w.kv("system", txSystemKindName(kind));
+            w.kv("mode", mode);
+            w.kv("series", series);
+            w.kv("threads", threads);
+            w.kv("requests", served);
+            w.kv("shed", shed);
+            w.kv("aborts", res.stat("svc.request_aborts"));
+            w.kv("run_cycles", res.cycles);
+            w.kv("throughput_req_per_mcycle", throughput);
+            w.kv("predictions", res.stat("pred.predictions"));
+            w.kv("predicted_sw", res.stat("pred.predictions.sw"));
+            w.kv("hits", res.stat("pred.hits"));
+            w.kv("mispredicts", res.stat("pred.mispredicts"));
+            w.endObject();
+            report.row(w);
+
+            // ...and one latency row per request type.
+            for (svc::ReqType t : kReqTypes) {
+                const char *tname = svc::reqTypeName(t);
+                const Histogram &h =
+                    res.hist(std::string("svc.latency.") + tname);
+                json::Writer r;
+                r.beginObject();
+                r.kv("benchmark", "svc-predictor");
+                r.kv("system", txSystemKindName(kind));
+                r.kv("mode", mode);
+                r.kv("series", series);
+                r.kv("threads", threads);
+                r.kv("request", tname);
+                r.kv("requests",
+                     res.stat(std::string("svc.requests.") + tname));
+                r.kv("p50_cycles", h.quantile(0.50));
+                r.kv("p99_cycles", h.quantile(0.99));
+                r.kv("p999_cycles", h.quantile(0.999));
+                r.endObject();
+                report.row(r);
+            }
+        }
+    }
+
+    // The win criterion (ISSUE 7), self-gating so CI fails loudly if
+    // the predictor stops paying for itself:
+    //  - closed loop (the latency criterion): predicted-software SCAN
+    //    starts skip the doomed hardware attempt, so p99.9 SCAN
+    //    latency improves at equal-or-better throughput;
+    //  - open loop (the capacity criterion): under overload, the
+    //    cycles not wasted on doomed attempts serve more requests
+    //    before the admission bound sheds — served count and
+    //    throughput must both improve.
+    // Quick mode reports the same rows but does not gate: with 24
+    // requests per client the predictor's warm-up (one hard failover
+    // per site) is a large fraction of the whole run.
+    if (quick) {
+        std::printf("predictor gate: skipped in --quick (warm-up "
+                    "dominates the short streams)\n");
+        return 0;
+    }
+    int rc = 0;
+    const Point &c_off = points.at({false, false});
+    const Point &c_on = points.at({false, true});
+    std::printf("predictor gate (closed): scan p99.9 %llu -> %llu, "
+                "throughput %.1f -> %.1f req/Mcyc\n",
+                (unsigned long long)c_off.p999Scan,
+                (unsigned long long)c_on.p999Scan, c_off.throughput,
+                c_on.throughput);
+    if (c_on.p999Scan >= c_off.p999Scan) {
+        std::fprintf(stderr,
+                     "PREDICTOR GATE FAILED (closed): scan p99.9 "
+                     "%llu !< %llu\n",
+                     (unsigned long long)c_on.p999Scan,
+                     (unsigned long long)c_off.p999Scan);
+        rc = 1;
+    }
+    if (c_on.throughput < c_off.throughput) {
+        std::fprintf(stderr,
+                     "PREDICTOR GATE FAILED (closed): throughput "
+                     "%.2f < %.2f req/Mcyc\n",
+                     c_on.throughput, c_off.throughput);
+        rc = 1;
+    }
+    const Point &o_off = points.at({true, false});
+    const Point &o_on = points.at({true, true});
+    std::printf("predictor gate (open): served %llu -> %llu, "
+                "throughput %.1f -> %.1f req/Mcyc\n",
+                (unsigned long long)o_off.served,
+                (unsigned long long)o_on.served, o_off.throughput,
+                o_on.throughput);
+    if (o_on.served < o_off.served || o_on.throughput < o_off.throughput) {
+        std::fprintf(stderr,
+                     "PREDICTOR GATE FAILED (open): served %llu / "
+                     "throughput %.2f not better than %llu / %.2f\n",
+                     (unsigned long long)o_on.served, o_on.throughput,
+                     (unsigned long long)o_off.served,
+                     o_off.throughput);
+        rc = 1;
+    }
+    return rc;
 }
 
 /**
@@ -323,18 +552,26 @@ main(int argc, char **argv)
 {
     bool quick = false;
     bool scaling = false;
+    bool predictor = false;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--quick"))
             quick = true;
         else if (!std::strcmp(argv[i], "--scaling"))
             scaling = true;
+        else if (!std::strcmp(argv[i], "--predictor"))
+            predictor = true;
     }
     bench::parseSchedArgs(argc, argv);
-    bench::JsonReport report(scaling ? "svc_scaling" : "svc_latency",
-                             argc, argv, "ufotm-svc", kSvcSchemaVersion);
+    bench::JsonReport report(scaling     ? "svc_scaling"
+                             : predictor ? "svc_predictor"
+                                         : "svc_latency",
+                             argc, argv, "ufotm-svc",
+                             predictor ? kSvcPredictorSchemaVersion
+                                       : kSvcSchemaVersion);
 
-    const int rc = scaling ? runScaling(quick, report)
-                           : runLatency(quick, report);
+    const int rc = scaling     ? runScaling(quick, report)
+                   : predictor ? runPredictor(quick, report)
+                               : runLatency(quick, report);
     if (rc != 0)
         return rc;
     return report.write() ? 0 : 1;

@@ -202,7 +202,7 @@ class NoTmSystem final : public TxSystem
     }
 
     void
-    atomic(ThreadContext &tc, const Body &body) override
+    atomicAt(ThreadContext &tc, TxSiteId, const Body &body) override
     {
         if (depth_[tc.id()] > 0) {
             // Flattened nesting: stay in the enclosing "transaction".
@@ -251,7 +251,7 @@ class UstmSystem final : public TxSystem
     void setup() override { ustm_.setup(machine_.initContext()); }
 
     void
-    atomic(ThreadContext &tc, const Body &body) override
+    atomicAt(ThreadContext &tc, TxSiteId, const Body &body) override
     {
         if (ustm_.inTx(tc.id())) {
             // Flattened nesting.
@@ -336,7 +336,7 @@ class Tl2System final : public TxSystem
     void setup() override { tl2_.setup(machine_.initContext()); }
 
     void
-    atomic(ThreadContext &tc, const Body &body) override
+    atomicAt(ThreadContext &tc, TxSiteId, const Body &body) override
     {
         if (tl2_.inTx(tc.id())) {
             // Flattened nesting: run inside the enclosing attempt.

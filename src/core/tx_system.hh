@@ -185,7 +185,29 @@ class TxSystem
     virtual void setup();
 
     /** Run @p body as one transaction on thread @p tc. */
-    virtual void atomic(ThreadContext &tc, const Body &body) = 0;
+    void
+    atomic(ThreadContext &tc, const Body &body)
+    {
+        atomicAt(tc, kTxSiteNone, body);
+    }
+
+    /**
+     * As atomic(), tagged with a static transaction-site id
+     * (sim/types.hh) for the adaptive path predictor
+     * (src/hybrid/path_predictor.hh).  tmserve keys sites by request
+     * verb (optionally by key-range bucket); systems without a
+     * predictor — and any system with the predictor disabled, the
+     * default — treat the site as inert metadata.
+     */
+    void
+    atomic(ThreadContext &tc, TxSiteId site, const Body &body)
+    {
+        atomicAt(tc, site, body);
+    }
+
+    /** Implementation hook behind both atomic() overloads. */
+    virtual void atomicAt(ThreadContext &tc, TxSiteId site,
+                          const Body &body) = 0;
 
     virtual const char *name() const = 0;
     TxSystemKind kind() const { return kind_; }

@@ -9,9 +9,11 @@
 namespace utm {
 
 BtmAbortHandler::BtmAbortHandler(Machine &machine, const TmPolicy &policy,
-                                 bool explicit_means_conflict)
+                                 bool explicit_means_conflict,
+                                 PathPredictor *predictor)
     : machine_(machine), policy_(policy),
-      explicitMeansConflict_(explicit_means_conflict)
+      explicitMeansConflict_(explicit_means_conflict),
+      predictor_(predictor)
 {
 }
 
@@ -27,13 +29,36 @@ BtmAbortHandler::backoff(ThreadContext &tc, int attempt)
 }
 
 BtmAbortHandler::Decision
+BtmAbortHandler::failover(ThreadContext &tc, AbortHandlerState &st,
+                          bool hard)
+{
+    if (predictor_)
+        predictor_->onFailover(tc, st.site, st.prediction, hard);
+    return Decision::FailToSoftware;
+}
+
+BtmAbortHandler::Decision
+BtmAbortHandler::onContention(ThreadContext &tc, AbortHandlerState &st)
+{
+    ++st.conflictAborts;
+    if (policy_.conflictFailoverThreshold > 0 &&
+        st.conflictAborts >= policy_.conflictFailoverThreshold) {
+        machine_.stats().inc("tm.failovers.conflict");
+        return failover(tc, st, /*hard=*/false);
+    }
+    machine_.stats().inc("tm.retries.conflict");
+    backoff(tc, st.conflictAborts);
+    return Decision::RetryHardware;
+}
+
+BtmAbortHandler::Decision
 BtmAbortHandler::onAbort(ThreadContext &tc, AbortHandlerState &st,
                          const BtmAbortException &e)
 {
     StatsRegistry &stats = machine_.stats();
     if (st.forcedSoftware) {
         stats.inc("tm.failovers.forced");
-        return Decision::FailToSoftware;
+        return failover(tc, st, /*hard=*/true);
     }
 
     switch (e.reason) {
@@ -47,7 +72,7 @@ BtmAbortHandler::onAbort(ThreadContext &tc, AbortHandlerState &st,
         stats.inc("tm.failovers.hard");
         stats.inc(std::string("tm.failovers.hard.") +
                   abortReasonName(e.reason));
-        return Decision::FailToSoftware;
+        return failover(tc, st, /*hard=*/true);
 
       // Resolvable in software, then retry in hardware.
       case AbortReason::PageFault:
@@ -55,42 +80,33 @@ BtmAbortHandler::onAbort(ThreadContext &tc, AbortHandlerState &st,
         stats.inc("tm.retries.page_fault");
         return Decision::RetryHardware;
 
-      // Unlikely to repeat: retry in hardware.
+      // Unlikely to repeat: retry in hardware, failing over ON the
+      // Nth abort ("after this many aborts", policy.hh) — same
+      // comparison as the conflict threshold below.
       case AbortReason::Interrupt:
         ++st.interruptAborts;
-        if (st.interruptAborts > policy_.interruptFailoverThreshold) {
+        if (st.interruptAborts >= policy_.interruptFailoverThreshold) {
             stats.inc("tm.failovers.interrupt");
-            return Decision::FailToSoftware;
+            return failover(tc, st, /*hard=*/false);
         }
         stats.inc("tm.retries.interrupt");
         return Decision::RetryHardware;
 
       // Contention: back off and retry in hardware. The paper is
       // emphatic that contention must NOT push transactions to
-      // software (the STM's longer occupancy makes contention worse).
+      // software (the STM's longer occupancy makes contention worse);
+      // the threshold (0 = never, the default) exists for Figure 8.
       case AbortReason::Conflict:
       case AbortReason::UfoBitSet:
       case AbortReason::UfoFault:
       case AbortReason::NonTConflict:
-        ++st.conflictAborts;
-        if (policy_.conflictFailoverThreshold > 0 &&
-            st.conflictAborts >= policy_.conflictFailoverThreshold) {
-            stats.inc("tm.failovers.conflict");
-            return Decision::FailToSoftware;
-        }
-        stats.inc("tm.retries.conflict");
-        backoff(tc, st.conflictAborts);
-        return Decision::RetryHardware;
+        return onContention(tc, st);
 
       case AbortReason::Explicit:
-        if (explicitMeansConflict_) {
-            ++st.conflictAborts;
-            stats.inc("tm.retries.conflict");
-            backoff(tc, st.conflictAborts);
-            return Decision::RetryHardware;
-        }
+        if (explicitMeansConflict_)
+            return onContention(tc, st);
         stats.inc("tm.failovers.explicit");
-        return Decision::FailToSoftware;
+        return failover(tc, st, /*hard=*/true);
 
       case AbortReason::None:
         break;

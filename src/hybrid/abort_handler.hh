@@ -14,6 +14,7 @@
 #define UFOTM_HYBRID_ABORT_HANDLER_HH
 
 #include "btm/btm.hh"
+#include "hybrid/path_predictor.hh"
 #include "hybrid/policy.hh"
 #include "mem/tm_iface.hh"
 
@@ -28,13 +29,18 @@ struct AbortHandlerState
     int conflictAborts = 0;
     int interruptAborts = 0;
     bool forcedSoftware = false; ///< TxHandle::requireSoftware().
+    TxSiteId site = kTxSiteNone; ///< Static site of this transaction.
+    /** What the path predictor said at transaction start. */
+    PathPredictor::Prediction prediction = PathPredictor::Prediction::None;
 
     void
-    newTransaction()
+    newTransaction(TxSiteId s = kTxSiteNone)
     {
         conflictAborts = 0;
         interruptAborts = 0;
         forcedSoftware = false;
+        site = s;
+        prediction = PathPredictor::Prediction::None;
     }
 };
 
@@ -47,10 +53,14 @@ class BtmAbortHandler
     /**
      * @param explicit_means_conflict HyTM's barriers signal conflicts
      *        with btm_abort; treat Explicit as contention (retry in
-     *        hardware) instead of as failover.
+     *        hardware, subject to the same conflict-failover
+     *        threshold) instead of as failover.
+     * @param predictor When non-null, failover decisions feed the
+     *        adaptive path predictor.
      */
     BtmAbortHandler(Machine &machine, const TmPolicy &policy,
-                    bool explicit_means_conflict = false);
+                    bool explicit_means_conflict = false,
+                    PathPredictor *predictor = nullptr);
 
     Decision onAbort(ThreadContext &tc, AbortHandlerState &st,
                      const BtmAbortException &e);
@@ -58,9 +68,18 @@ class BtmAbortHandler
   private:
     void backoff(ThreadContext &tc, int attempt);
 
+    /** Shared contention handling (Conflict family and HyTM's
+     *  Explicit): threshold check, then backoff + hardware retry. */
+    Decision onContention(ThreadContext &tc, AbortHandlerState &st);
+
+    /** A FailToSoftware decision: feed the predictor, then return. */
+    Decision failover(ThreadContext &tc, AbortHandlerState &st,
+                      bool hard);
+
     Machine &machine_;
     const TmPolicy &policy_;
     bool explicitMeansConflict_;
+    PathPredictor *predictor_;
 };
 
 } // namespace utm

@@ -13,7 +13,9 @@ HybridTmBase::HybridTmBase(TxSystemKind kind, Machine &machine,
     : TxSystem(kind, machine, policy),
       ustm_(std::make_unique<Ustm>(machine, strong_atomic_stm,
                                    policy.ustm)),
-      abortHandler_(machine, policy_, explicit_means_conflict)
+      predictor_(machine, policy_.predictor),
+      abortHandler_(machine, policy_, explicit_means_conflict,
+                    &predictor_)
 {
     machine.memsys().setBtmPolicy(policy.btm);
 }
@@ -61,6 +63,20 @@ HybridTmBase::runNestedInline(ThreadContext &tc, const Body &body)
 }
 
 bool
+HybridTmBase::predictedSoftwareStart(ThreadContext &tc,
+                                     AbortHandlerState &st)
+{
+    st.prediction = predictor_.predict(tc, st.site);
+    if (st.prediction != PathPredictor::Prediction::Software)
+        return false;
+    // Counted alongside the abort-handler failover reasons: a
+    // predicted start is a failover taken before the first hardware
+    // attempt (runSoftware() bumps the tm.failovers aggregate).
+    machine_.stats().inc("tm.failovers.predicted");
+    return true;
+}
+
+bool
 HybridTmBase::tryHardware(ThreadContext &tc, const Body &body,
                           BtmAbortHandler::Decision *decision)
 {
@@ -74,6 +90,8 @@ HybridTmBase::tryHardware(ThreadContext &tc, const Body &body,
         ++hwCommits_;
         machine_.stats().inc("tm.commits.hw");
         commitAttempt(tc);
+        AbortHandlerState &st = handlerState(tc);
+        predictor_.onHardwareCommit(tc, st.site, st.prediction);
         return true;
     } catch (const BtmAbortException &e) {
         abortAttempt(tc);

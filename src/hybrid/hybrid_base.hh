@@ -14,6 +14,7 @@
 #include "btm/btm.hh"
 #include "core/tx_system.hh"
 #include "hybrid/abort_handler.hh"
+#include "hybrid/path_predictor.hh"
 #include "ustm/ustm.hh"
 
 namespace utm {
@@ -45,6 +46,15 @@ class HybridTmBase : public TxSystem
     BtmUnit &btm(ThreadContext &tc);
     AbortHandlerState &handlerState(ThreadContext &tc);
 
+    /**
+     * Consult the path predictor for the transaction just started in
+     * @p st (records the prediction there).  True when the site is
+     * predicted to fail over — the caller should skip hardware and
+     * call runSoftware() directly.
+     */
+    bool predictedSoftwareStart(ThreadContext &tc,
+                                AbortHandlerState &st);
+
     /** Run @p body to commit on the software path. */
     void runSoftware(ThreadContext &tc, const Body &body);
 
@@ -71,6 +81,7 @@ class HybridTmBase : public TxSystem
                                   TxHandle::Path p) override;
 
     std::unique_ptr<Ustm> ustm_;
+    PathPredictor predictor_; ///< Before abortHandler_ (it refers here).
     BtmAbortHandler abortHandler_;
     std::array<std::unique_ptr<BtmUnit>, kMaxThreads> btms_;
     std::array<AbortHandlerState, kMaxThreads> handlerState_;

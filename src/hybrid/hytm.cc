@@ -12,11 +12,16 @@ HyTm::HyTm(Machine &machine, const TmPolicy &policy)
 }
 
 void
-HyTm::atomic(ThreadContext &tc, const Body &body)
+HyTm::atomicAt(ThreadContext &tc, TxSiteId site, const Body &body)
 {
     if (runNestedInline(tc, body))
         return;
-    handlerState(tc).newTransaction();
+    AbortHandlerState &st = handlerState(tc);
+    st.newTransaction(site);
+    if (predictedSoftwareStart(tc, st)) {
+        runSoftware(tc, body);
+        return;
+    }
     for (;;) {
         BtmAbortHandler::Decision d;
         checked_[tc.id()].clear();

@@ -27,7 +27,8 @@ class HyTm : public HybridTmBase
   public:
     HyTm(Machine &machine, const TmPolicy &policy);
 
-    void atomic(ThreadContext &tc, const Body &body) override;
+    void atomicAt(ThreadContext &tc, TxSiteId site,
+                  const Body &body) override;
     const char *name() const override { return "hytm"; }
 
   protected:

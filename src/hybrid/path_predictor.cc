@@ -1,0 +1,92 @@
+#include "hybrid/path_predictor.hh"
+
+#include <algorithm>
+
+#include "sim/machine.hh"
+#include "sim/thread_context.hh"
+
+namespace utm {
+
+PathPredictor::PathPredictor(Machine &machine,
+                             const PredictorPolicy &policy)
+    : machine_(machine), policy_(policy)
+{
+}
+
+int &
+PathPredictor::scoreSlot(ThreadContext &tc, ThreadState &ts,
+                         TxSiteId site)
+{
+    auto [it, created] = ts.scores.try_emplace(site, 0);
+    if (created)
+        machine_.stats().inc("pred.sites");
+    (void)tc;
+    return it->second;
+}
+
+void
+PathPredictor::maybeDecay(ThreadContext &tc, ThreadState &ts)
+{
+    if (policy_.decayInterval == 0 ||
+        ts.sincePredictions < policy_.decayInterval)
+        return;
+    ts.sincePredictions = 0;
+    machine_.stats().inc("pred.decays");
+    (void)tc;
+    for (auto &[site, score] : ts.scores)
+        score /= 2;
+}
+
+PathPredictor::Prediction
+PathPredictor::predict(ThreadContext &tc, TxSiteId site)
+{
+    if (!policy_.enable || site == kTxSiteNone)
+        return Prediction::None;
+    ThreadState &ts = threads_[tc.id()];
+    ++ts.sincePredictions;
+    maybeDecay(tc, ts);
+    const int score = scoreSlot(tc, ts, site);
+    StatsRegistry &stats = machine_.stats();
+    stats.inc("pred.predictions");
+    if (score >= policy_.startBias) {
+        stats.inc("pred.predictions.sw");
+        return Prediction::Software;
+    }
+    stats.inc("pred.predictions.hw");
+    return Prediction::Hardware;
+}
+
+void
+PathPredictor::onHardwareCommit(ThreadContext &tc, TxSiteId site,
+                                Prediction prediction)
+{
+    if (prediction == Prediction::None)
+        return;
+    machine_.stats().inc("pred.hits");
+    int &score = scoreSlot(tc, threads_[tc.id()], site);
+    score = std::max(0, score - 1);
+}
+
+void
+PathPredictor::onFailover(ThreadContext &tc, TxSiteId site,
+                          Prediction prediction, bool hard)
+{
+    if (!policy_.enable || site == kTxSiteNone)
+        return;
+    if (prediction == Prediction::Hardware)
+        machine_.stats().inc("pred.mispredicts");
+    int &score = scoreSlot(tc, threads_[tc.id()], site);
+    score = std::min(policy_.maxScore,
+                     score + (hard ? policy_.hardWeight
+                                   : policy_.conflictWeight));
+}
+
+int
+PathPredictor::score(ThreadId tid, TxSiteId site) const
+{
+    const auto &scores = threads_[std::size_t(tid)].scores;
+    auto it = scores.find(site);
+    return it == scores.end() ? 0 : it->second;
+}
+
+} // namespace utm

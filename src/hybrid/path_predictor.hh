@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Adaptive path prediction for the hybrid abort handler.
+ *
+ * The paper's Algorithm 3 is static: every transaction starts in BTM
+ * and re-discovers, per execution, that it will overflow or conflict
+ * its way to software.  For serving workloads that re-run the same
+ * transaction shapes millions of times (a SCAN over a hot range
+ * overflows the L1 read set every time), that re-discovery is pure
+ * wasted work that lands on the tail latency.
+ *
+ * The predictor keeps a saturating score per (thread, transaction
+ * site).  Failover decisions feed it: hard reasons (SetOverflow,
+ * Syscall, ... — deterministic repeats) weigh heavily, contention
+ * lightly.  A site whose score reaches the start bias predicts a
+ * software start, taken through the same runSoftware() path as
+ * `TxHandle::requireSoftware()`.  Hardware commits decrement the
+ * score and periodic decay halves it, so mispredictions self-correct
+ * and a site can drift back to hardware.
+ *
+ * State is host-side, per-thread, and updated only at deterministic
+ * points of the simulation (transaction starts and abort-handler
+ * decisions), so runs stay bit-reproducible and schedule record /
+ * replay is unaffected.  Everything is gated on
+ * PredictorPolicy::enable (default off): disabled, the predictor does
+ * no work and emits no counters.
+ *
+ * Counters (`pred.*`, docs/OBSERVABILITY.md): predictions (split
+ * `.hw`/`.sw`), hits (hardware-predicted transactions that committed
+ * in hardware), mispredicts (hardware-predicted transactions that
+ * failed over), decays, and sites (tracking entries created).
+ */
+
+#ifndef UFOTM_HYBRID_PATH_PREDICTOR_HH
+#define UFOTM_HYBRID_PATH_PREDICTOR_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+
+#include "hybrid/policy.hh"
+#include "sim/types.hh"
+
+namespace utm {
+
+class Machine;
+class ThreadContext;
+
+/** Per-thread, per-site hardware/software start predictor. */
+class PathPredictor
+{
+  public:
+    /** What the predictor said when a transaction started. */
+    enum class Prediction
+    {
+        None,     ///< Not consulted (disabled, no site, or nested).
+        Hardware, ///< Start in hardware (the default path).
+        Software, ///< Start directly in software.
+    };
+
+    PathPredictor(Machine &machine, const PredictorPolicy &policy);
+
+    bool enabled() const { return policy_.enable; }
+
+    /**
+     * Consult the predictor for a transaction starting at @p site.
+     * Returns None (and does no work) when disabled or @p site is
+     * kTxSiteNone; otherwise counts the prediction and applies
+     * periodic decay.
+     */
+    Prediction predict(ThreadContext &tc, TxSiteId site);
+
+    /**
+     * The transaction predicted by @p prediction committed on the
+     * hardware path: count the hit and walk the site's score back
+     * toward hardware.
+     */
+    void onHardwareCommit(ThreadContext &tc, TxSiteId site,
+                          Prediction prediction);
+
+    /**
+     * The abort handler decided to fail the transaction over.
+     * @p hard distinguishes deterministic reasons (capacity,
+     * syscall, forced software — weighted policy.hardWeight) from
+     * contention-induced failovers (weighted policy.conflictWeight).
+     */
+    void onFailover(ThreadContext &tc, TxSiteId site,
+                    Prediction prediction, bool hard);
+
+    /** Current score of (thread, site); 0 when untracked (tests). */
+    int score(ThreadId tid, TxSiteId site) const;
+
+  private:
+    struct ThreadState
+    {
+        /** Ordered map: decay iterates it deterministically. */
+        std::map<TxSiteId, int> scores;
+        std::uint64_t sincePredictions = 0; ///< Predictions since decay.
+    };
+
+    void maybeDecay(ThreadContext &tc, ThreadState &ts);
+    int &scoreSlot(ThreadContext &tc, ThreadState &ts, TxSiteId site);
+
+    Machine &machine_;
+    const PredictorPolicy &policy_;
+    std::array<ThreadState, kMaxThreads> threads_;
+};
+
+} // namespace utm
+
+#endif // UFOTM_HYBRID_PATH_PREDICTOR_HH

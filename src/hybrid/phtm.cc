@@ -23,13 +23,13 @@ PhTm::setup()
 }
 
 void
-PhTm::atomic(ThreadContext &tc, const Body &body)
+PhTm::atomicAt(ThreadContext &tc, TxSiteId site, const Body &body)
 {
     if (runNestedInline(tc, body))
         return;
     AbortHandlerState &st = handlerState(tc);
-    st.newTransaction();
-    bool i_need_stm = false;
+    st.newTransaction(site);
+    bool i_need_stm = predictedSoftwareStart(tc, st);
 
     for (;;) {
         if (i_need_stm) {
@@ -57,6 +57,7 @@ PhTm::atomic(ThreadContext &tc, const Body &body)
             ++hwCommits_;
             machine_.stats().inc("tm.commits.hw");
             commitAttempt(tc);
+            predictor_.onHardwareCommit(tc, st.site, st.prediction);
             return;
         } catch (const BtmAbortException &e) {
             abortAttempt(tc);

@@ -32,7 +32,8 @@ class PhTm : public HybridTmBase
     PhTm(Machine &machine, const TmPolicy &policy);
 
     void setup() override;
-    void atomic(ThreadContext &tc, const Body &body) override;
+    void atomicAt(ThreadContext &tc, TxSiteId site,
+                  const Body &body) override;
     const char *name() const override { return "phtm"; }
 
   private:

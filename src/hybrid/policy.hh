@@ -21,6 +21,47 @@
 
 namespace utm {
 
+/**
+ * Adaptive path-prediction knobs (the abort handler's Algorithm 3
+ * extension): a per-thread, per-transaction-site saturating counter,
+ * fed by failover decisions, that starts predictably-failing sites
+ * directly in software.  Default OFF — every committed baseline is
+ * byte-identical with the predictor disabled.
+ */
+struct PredictorPolicy
+{
+    /** Master switch; when false the predictor is never consulted. */
+    bool enable = false;
+
+    /**
+     * Start bias: a site whose score reaches this predicts a software
+     * start.  Higher = more hardware attempts before conceding.
+     */
+    int startBias = 4;
+
+    /**
+     * Score added on a hard failover (SetOverflow, Syscall, ... —
+     * reasons that deterministically repeat in hardware).
+     */
+    int hardWeight = 4;
+
+    /**
+     * Score added on a contention-induced failover (conflict or
+     * interrupt threshold) — transient, so it weighs lightly.
+     */
+    int conflictWeight = 1;
+
+    /** Saturation cap on a site's score. */
+    int maxScore = 16;
+
+    /**
+     * Halve every site score of a thread after this many predicted
+     * transactions started on that thread (0 = never decay).  Decay
+     * is what lets a mispredicted site drift back to hardware.
+     */
+    std::uint64_t decayInterval = 64;
+};
+
 /** Every TM-system policy knob in one place. */
 struct TmPolicy
 {
@@ -39,6 +80,9 @@ struct TmPolicy
 
     /** Fail over after this many interrupt-induced aborts. */
     int interruptFailoverThreshold = 7;
+
+    /** Adaptive path prediction (off by default). */
+    PredictorPolicy predictor;
 
     /** Exponential-backoff base delay before hardware retries. */
     Cycles backoffBase = 20;

@@ -10,11 +10,16 @@ UfoHybridTm::UfoHybridTm(Machine &machine, const TmPolicy &policy)
 }
 
 void
-UfoHybridTm::atomic(ThreadContext &tc, const Body &body)
+UfoHybridTm::atomicAt(ThreadContext &tc, TxSiteId site, const Body &body)
 {
     if (runNestedInline(tc, body))
         return;
-    handlerState(tc).newTransaction();
+    AbortHandlerState &st = handlerState(tc);
+    st.newTransaction(site);
+    if (predictedSoftwareStart(tc, st)) {
+        runSoftware(tc, body);
+        return;
+    }
     for (;;) {
         BtmAbortHandler::Decision d;
         if (tryHardware(tc, body, &d))

@@ -22,7 +22,8 @@ class UfoHybridTm : public HybridTmBase
   public:
     UfoHybridTm(Machine &machine, const TmPolicy &policy);
 
-    void atomic(ThreadContext &tc, const Body &body) override;
+    void atomicAt(ThreadContext &tc, TxSiteId site,
+                  const Body &body) override;
     const char *name() const override { return "ufo-hybrid"; }
 };
 

@@ -24,7 +24,7 @@ UnboundedHtm::btm(ThreadContext &tc)
 }
 
 void
-UnboundedHtm::atomic(ThreadContext &tc, const Body &body)
+UnboundedHtm::atomicAt(ThreadContext &tc, TxSiteId, const Body &body)
 {
     BtmUnit &unit = btm(tc);
     if (unit.inTx()) {

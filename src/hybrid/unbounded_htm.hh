@@ -23,7 +23,8 @@ class UnboundedHtm : public TxSystem
   public:
     UnboundedHtm(Machine &machine, const TmPolicy &policy);
 
-    void atomic(ThreadContext &tc, const Body &body) override;
+    void atomicAt(ThreadContext &tc, TxSiteId site,
+                  const Body &body) override;
     const char *name() const override { return "unbounded-htm"; }
 
     /** @name tmtorture oracle hooks. @{ */

@@ -24,6 +24,17 @@ using Cycles = std::uint64_t;
 /** Simulated thread identifier; one thread per core in this model. */
 using ThreadId = int;
 
+/**
+ * Static transaction-site identifier: a stable label for an atomic()
+ * call site (tmserve keys it by request verb, optionally by key-range
+ * bucket).  The adaptive path predictor
+ * (src/hybrid/path_predictor.hh) keeps one outcome counter per
+ * (thread, site).  Site 0 means "no site": such transactions are
+ * never predicted.
+ */
+using TxSiteId = std::uint32_t;
+constexpr TxSiteId kTxSiteNone = 0;
+
 /** Log2 of the cache-line size; 64-byte lines as in the paper. */
 constexpr unsigned kLineBits = 6;
 

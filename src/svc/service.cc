@@ -100,13 +100,26 @@ struct KvServiceWorkload::Attempts
     }
 };
 
+TxSiteId
+KvServiceWorkload::txSite(const Request &r) const
+{
+    // Site 0 is kTxSiteNone; verbs start at 1.  With key-range sites,
+    // each (verb, routing bucket) pair gets its own id so a predictor
+    // can separate hot and cold ranges of the same verb.
+    TxSiteId site = 1 + static_cast<TxSiteId>(r.type);
+    if (p_.siteByKeyRange)
+        site += kNumReqTypes * store_->shardOf(r.key);
+    return site;
+}
+
 void
 KvServiceWorkload::serve(ThreadContext &tc, TxSystem &sys,
                          const Request &r, Attempts *att)
 {
+    const TxSiteId site = txSite(r);
     switch (r.type) {
       case ReqType::Get:
-        sys.atomic(tc, [&](TxHandle &h) {
+        sys.atomic(tc, site, [&](TxHandle &h) {
             att->note(h);
             std::uint64_t v = 0;
             const bool hit = store_->get(h, r.key, &v);
@@ -114,20 +127,20 @@ KvServiceWorkload::serve(ThreadContext &tc, TxSystem &sys,
         });
         break;
       case ReqType::Put:
-        sys.atomic(tc, [&](TxHandle &h) {
+        sys.atomic(tc, site, [&](TxHandle &h) {
             att->note(h);
             const bool hit = store_->put(h, r.key, r.value);
             utm_assert(hit);
         });
         break;
       case ReqType::Scan:
-        sys.atomic(tc, [&](TxHandle &h) {
+        sys.atomic(tc, site, [&](TxHandle &h) {
             att->note(h);
             store_->scan(h, r.key, p_.load.scanLen);
         });
         break;
       case ReqType::Rmw:
-        sys.atomic(tc, [&](TxHandle &h) {
+        sys.atomic(tc, site, [&](TxHandle &h) {
             att->note(h);
             const bool hit = store_->rmw(h, r.key, r.value);
             utm_assert(hit);
@@ -137,7 +150,7 @@ KvServiceWorkload::serve(ThreadContext &tc, TxSystem &sys,
         // The multi-shard RMW: moves `value` from key to key2 in one
         // transaction, acquiring shards in canonical order
         // (sharded_store.cc).
-        sys.atomic(tc, [&](TxHandle &h) {
+        sys.atomic(tc, site, [&](TxHandle &h) {
             att->note(h);
             const bool hit = store_->xfer(h, r.key, r.key2, r.value);
             utm_assert(hit);

@@ -70,6 +70,15 @@ struct SvcParams
 
     /** Cycles charged for rejecting (shedding) one request. */
     Cycles shedCost = 20;
+
+    /**
+     * Transaction-site granularity for the path predictor
+     * (src/hybrid/path_predictor.hh).  Requests always carry a static
+     * site id keyed by verb; with this set, the site is additionally
+     * keyed by the primary key's shard-routing bucket, so a predictor
+     * can separate hot and cold key ranges of the same verb.
+     */
+    bool siteByKeyRange = false;
 };
 
 /** The request-serving workload; one simulated thread per client. */
@@ -98,6 +107,9 @@ class KvServiceWorkload final : public Workload
 
     /** Distinct shards the request's transaction touches. */
     unsigned participants(const Request &r) const;
+
+    /** Static transaction-site id for a request (predictor key). */
+    TxSiteId txSite(const Request &r) const;
 
     SvcParams p_;
     std::unique_ptr<ShardedKvStore> store_;

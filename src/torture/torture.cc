@@ -151,7 +151,7 @@ runTorture(const TortureConfig &cfg)
     auto machine = std::make_unique<Machine>(mc);
     Machine &m = *machine;
     TxHeap heap(m);
-    auto sys = TxSystem::create(cfg.kind, m);
+    auto sys = TxSystem::create(cfg.kind, m, cfg.policy);
     sys->setup();
     if (cfg.injectLockstepBug)
         if (Ustm *ustm = sys->ustmRuntime())
@@ -277,8 +277,24 @@ runTorture(const TortureConfig &cfg)
                     continue;
                 }
 
+                // Per-op-class transaction site (mirrors the mix
+                // thresholds below): the predictor keys on it, and
+                // every class has a stable id across runs.
+                const TxSiteId site =
+                    cfg.kvShards <= 1
+                        ? (mix < 45   ? TxSiteId(1)
+                           : mix < 65 ? TxSiteId(2)
+                           : mix < 80 ? TxSiteId(3)
+                           : mix < 90 ? TxSiteId(4)
+                                      : TxSiteId(5))
+                        : (mix < 45   ? TxSiteId(1)
+                           : mix < 60 ? TxSiteId(2)
+                           : mix < 72 ? TxSiteId(3)
+                           : mix < 82 ? TxSiteId(4)
+                           : mix < 92 ? TxSiteId(5)
+                                      : TxSiteId(6));
                 auto &mine = pending[t];
-                sys->atomic(tc, [&](TxHandle &h) {
+                sys->atomic(tc, site, [&](TxHandle &h) {
                     mine.clear(); // Idempotent across re-execution.
                     if (cfg.kvShards <= 1) {
                         if (mix < 45) {
@@ -360,8 +376,16 @@ runTorture(const TortureConfig &cfg)
                 const std::uint64_t amount = rng.nextBounded(1000);
                 const std::uint64_t fresh = rng.next() | 1;
 
+                // Per-op-class transaction site (mirrors the mix
+                // thresholds below).
+                const TxSiteId site = mix < 40   ? TxSiteId(1)
+                                      : mix < 65 ? TxSiteId(2)
+                                      : mix < 80 ? TxSiteId(3)
+                                      : mix < 90 ? TxSiteId(4)
+                                      : mix < 95 ? TxSiteId(5)
+                                                 : TxSiteId(6);
                 auto &mine = pending[t];
-                sys->atomic(tc, [&](TxHandle &h) {
+                sys->atomic(tc, site, [&](TxHandle &h) {
                     mine.clear(); // Idempotent across re-execution.
                     if (mix < 40) {
                         // Transfer: moves `amount` from cell i to j.

@@ -56,6 +56,14 @@ struct TortureConfig
 {
     TxSystemKind kind = TxSystemKind::UfoHybrid;
     TortureWorkload workload = TortureWorkload::Cells;
+
+    /**
+     * TM policy for the backend under test.  Defaults preserve the
+     * historical torture behaviour; enable policy.predictor to torture
+     * the adaptive path predictor under adversarial schedules (ops
+     * carry per-op-class transaction sites).
+     */
+    TmPolicy policy;
     int threads = 4;      ///< Forced to 1 for NoTm (no concurrency control).
     int opsPerThread = 60;
     int cells = 48;       ///< 8-byte cells, line-aligned base: ~6 hot lines.

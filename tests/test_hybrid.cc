@@ -57,9 +57,11 @@ TEST(AbortHandler, DecisionTable)
             EXPECT_EQ(decide(AbortReason::UfoBitSet),
                       D::RetryHardware);
         }
-        // Interrupts: retry up to the threshold, then fail over.
+        // Interrupts: fail over *on* the Nth abort ("after this many
+        // aborts, fail over"), so N-1 retries precede the failover.
         st.newTransaction();
-        for (int i = 0; i < policy.interruptFailoverThreshold; ++i) {
+        for (int i = 0; i + 1 < policy.interruptFailoverThreshold;
+             ++i) {
             EXPECT_EQ(decide(AbortReason::Interrupt),
                       D::RetryHardware);
         }
@@ -94,6 +96,117 @@ TEST(AbortHandlerPolicy, ConflictFailoverThreshold)
         EXPECT_EQ(handler.onAbort(tc, st, e), D::FailToSoftware);
     });
     m.run();
+}
+
+// Regression: with explicit_means_conflict (HyTM's barrier aborts),
+// Explicit aborts must respect conflictFailoverThreshold exactly like
+// Conflict aborts.  The old code counted them but never checked the
+// threshold, so HyTM could spin in hardware forever.
+TEST(AbortHandlerPolicy, ExplicitAsConflictRespectsThreshold)
+{
+    Machine m(quiet(1));
+    TmPolicy policy;
+    policy.conflictFailoverThreshold = 2;
+    BtmAbortHandler handler(m, policy,
+                            /*explicit_means_conflict=*/true);
+    AbortHandlerState st;
+    m.addThread([&](ThreadContext &tc) {
+        using D = BtmAbortHandler::Decision;
+        BtmAbortException e{AbortReason::Explicit, 0};
+        EXPECT_EQ(handler.onAbort(tc, st, e), D::RetryHardware);
+        EXPECT_EQ(handler.onAbort(tc, st, e), D::FailToSoftware);
+        EXPECT_EQ(m.stats().get("tm.failovers.conflict"), 1u);
+    });
+    m.run();
+}
+
+// Regression: interruptFailoverThreshold means "fail over on the Nth
+// interrupt abort", matching the conflict threshold's semantics.  The
+// old code used '>' and failed over one abort late.
+TEST(AbortHandlerPolicy, InterruptFailoverOnNthAbort)
+{
+    Machine m(quiet(1));
+    TmPolicy policy;
+    policy.interruptFailoverThreshold = 3;
+    BtmAbortHandler handler(m, policy);
+    AbortHandlerState st;
+    m.addThread([&](ThreadContext &tc) {
+        using D = BtmAbortHandler::Decision;
+        BtmAbortException e{AbortReason::Interrupt, 0};
+        EXPECT_EQ(handler.onAbort(tc, st, e), D::RetryHardware);
+        EXPECT_EQ(handler.onAbort(tc, st, e), D::RetryHardware);
+        EXPECT_EQ(handler.onAbort(tc, st, e), D::FailToSoftware);
+        EXPECT_EQ(m.stats().get("tm.failovers.interrupt"), 1u);
+    });
+    m.run();
+}
+
+// Golden decision table: every abort reason, under each threshold and
+// explicit-means-conflict configuration, checked against a literal
+// retry/failover string for four consecutive aborts of that reason
+// (fresh transaction state per reason).  'R' = RetryHardware,
+// 'F' = FailToSoftware.
+TEST(AbortHandlerPolicy, GoldenDecisionTable)
+{
+    struct Row {
+        AbortReason reason;
+        const char *thresh_off;     // conflictFailoverThreshold = 0
+        const char *thresh_two;     // conflictFailoverThreshold = 2
+    };
+    // With interruptFailoverThreshold = 3 in both configurations.
+    static const Row kRows[] = {
+        {AbortReason::SetOverflow, "FFFF", "FFFF"},
+        {AbortReason::Syscall, "FFFF", "FFFF"},
+        {AbortReason::Io, "FFFF", "FFFF"},
+        {AbortReason::Exception, "FFFF", "FFFF"},
+        {AbortReason::Uncacheable, "FFFF", "FFFF"},
+        {AbortReason::NestingOverflow, "FFFF", "FFFF"},
+        {AbortReason::PageFault, "RRRR", "RRRR"},
+        {AbortReason::Interrupt, "RRFF", "RRFF"},
+        {AbortReason::Conflict, "RRRR", "RFFF"},
+        {AbortReason::NonTConflict, "RRRR", "RFFF"},
+        {AbortReason::UfoBitSet, "RRRR", "RFFF"},
+        {AbortReason::UfoFault, "RRRR", "RFFF"},
+        // Explicit depends on explicit_means_conflict (below).
+    };
+    for (bool explicit_conflict : {false, true}) {
+        for (int thresh : {0, 2}) {
+            Machine m(quiet(1));
+            TmPolicy policy;
+            policy.interruptFailoverThreshold = 3;
+            policy.conflictFailoverThreshold = thresh;
+            BtmAbortHandler handler(m, policy, explicit_conflict);
+            m.addThread([&](ThreadContext &tc) {
+                auto run = [&](AbortReason r, const char *want) {
+                    AbortHandlerState st;
+                    std::string got;
+                    for (int i = 0; i < 4; ++i) {
+                        auto d = handler.onAbort(
+                            tc, st, BtmAbortException{r, 0});
+                        got += d == BtmAbortHandler::Decision::
+                                        RetryHardware
+                                   ? 'R'
+                                   : 'F';
+                    }
+                    EXPECT_EQ(got, want)
+                        << "reason=" << abortReasonName(r)
+                        << " thresh=" << thresh
+                        << " explicit_conflict=" << explicit_conflict;
+                };
+                for (const Row &row : kRows)
+                    run(row.reason,
+                        thresh == 0 ? row.thresh_off : row.thresh_two);
+                // Explicit: a conflict when the system says so,
+                // otherwise a hard failover.
+                if (explicit_conflict)
+                    run(AbortReason::Explicit,
+                        thresh == 0 ? "RRRR" : "RFFF");
+                else
+                    run(AbortReason::Explicit, "FFFF");
+            });
+            m.run();
+        }
+    }
 }
 
 TEST(AbortHandlerPolicy, BackoffGrowsWithAttempts)

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Tests for the adaptive path predictor (src/hybrid/path_predictor):
+ *
+ *  - disabled by default: no pred.* counters, no behaviour change;
+ *  - a deterministically-overflowing site is learned after one hard
+ *    failover and predicted straight to software;
+ *  - periodic decay walks a poisoned site back to hardware, and
+ *    hardware commits confirm it (pred.hits);
+ *  - transactions without a site (kTxSiteNone) are never predicted;
+ *  - contention feedback weighs lighter than hard-failover feedback;
+ *  - the pred.* counter invariants hold
+ *    (predictions = hw + sw, hits + mispredicts <= predictions);
+ *  - predictor-on service runs export byte-identical stats-JSON
+ *    across identical double runs (the determinism contract).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/tx_system.hh"
+#include "hybrid/path_predictor.hh"
+#include "sim/machine.hh"
+#include "svc/service.hh"
+
+namespace utm {
+namespace {
+
+using svc::SvcParams;
+
+MachineConfig
+quiet(int cores = 1)
+{
+    MachineConfig mc;
+    mc.numCores = cores;
+    mc.timerQuantum = 0;
+    return mc;
+}
+
+std::string
+readWholeFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return {};
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return text;
+}
+
+/**
+ * Run @p count transactions at @p site on @p sys, each writing
+ * @p lines same-set lines (stride = one full L1 sweep), so footprints
+ * beyond the associativity deterministically SetOverflow.
+ */
+void
+runSiteTxs(Machine &m, TxSystem &sys, TxSiteId site, int count,
+           unsigned lines)
+{
+    const MachineConfig &mc = m.config();
+    const Addr stride = std::uint64_t(mc.l1Sets) * kLineSize;
+    for (unsigned i = 0; i < lines; ++i)
+        m.memory().materializePage(0x300000 + i * stride);
+    m.addThread([&m, &sys, site, count, lines, stride](ThreadContext &tc) {
+        for (int n = 0; n < count; ++n) {
+            sys.atomic(tc, site, [&](TxHandle &h) {
+                for (unsigned i = 0; i < lines; ++i)
+                    h.write(0x300000 + i * stride, i + 1, 8);
+            });
+        }
+    });
+    m.run();
+}
+
+TEST(Predictor, OffByDefaultEmitsNoCounters)
+{
+    Machine m(quiet(1));
+    auto sys = TxSystem::create(TxSystemKind::UfoHybrid, m);
+    sys->setup();
+    // Overflowing site: plenty of failovers to (not) learn from.
+    runSiteTxs(m, *sys, /*site=*/7, /*count=*/4,
+               m.config().l1Ways + 2);
+    EXPECT_GT(m.stats().get("tm.failovers.hard.set_overflow"), 0u);
+    for (const auto &[name, value] : m.stats().counters()) {
+        EXPECT_NE(name.rfind("pred.", 0), 0u)
+            << "predictor-off run emitted " << name << "=" << value;
+    }
+    EXPECT_EQ(m.stats().get("tm.failovers.predicted"), 0u);
+}
+
+TEST(Predictor, LearnsDeterministicallyOverflowingSite)
+{
+    Machine m(quiet(1));
+    TmPolicy policy;
+    policy.predictor.enable = true; // startBias 4, hardWeight 4.
+    auto sys = TxSystem::create(TxSystemKind::UfoHybrid, m, policy);
+    sys->setup();
+    runSiteTxs(m, *sys, /*site=*/7, /*count=*/3,
+               m.config().l1Ways + 2);
+
+    // Tx 1: predicted hardware, overflows, hard failover
+    // (score 0 -> 4 = startBias).  Tx 2, 3: predicted software.
+    EXPECT_EQ(m.stats().get("pred.predictions"), 3u);
+    EXPECT_EQ(m.stats().get("pred.predictions.hw"), 1u);
+    EXPECT_EQ(m.stats().get("pred.predictions.sw"), 2u);
+    EXPECT_EQ(m.stats().get("pred.mispredicts"), 1u);
+    EXPECT_EQ(m.stats().get("pred.hits"), 0u);
+    EXPECT_EQ(m.stats().get("pred.sites"), 1u);
+    EXPECT_EQ(m.stats().get("tm.failovers.predicted"), 2u);
+    EXPECT_EQ(m.stats().get("tm.failovers.hard.set_overflow"), 1u);
+    EXPECT_EQ(m.stats().get("tm.commits.sw"), 3u);
+}
+
+TEST(Predictor, DecayWalksSiteBackToHardware)
+{
+    Machine m(quiet(1));
+    TmPolicy policy;
+    policy.predictor.enable = true;
+    policy.predictor.decayInterval = 4;
+    auto sys = TxSystem::create(TxSystemKind::UfoHybrid, m, policy);
+    sys->setup();
+    // One overflow poisons the site to the start bias; after that the
+    // transactions shrink to a single line, so once decay drops the
+    // score below the bias the site commits in hardware again (and
+    // each hardware commit walks the score further down).
+    const MachineConfig &mc = m.config();
+    const Addr stride = std::uint64_t(mc.l1Sets) * kLineSize;
+    for (unsigned i = 0; i < mc.l1Ways + 2; ++i)
+        m.memory().materializePage(0x300000 + i * stride);
+    m.addThread([&](ThreadContext &tc) {
+        sys->atomic(tc, TxSiteId(7), [&](TxHandle &h) {
+            for (unsigned i = 0; i < mc.l1Ways + 2; ++i)
+                h.write(0x300000 + i * stride, i + 1, 8);
+        });
+        for (int n = 0; n < 12; ++n) {
+            sys->atomic(tc, TxSiteId(7), [&](TxHandle &h) {
+                h.write(0x300000, std::uint64_t(n), 8);
+            });
+        }
+    });
+    m.run();
+    EXPECT_GT(m.stats().get("pred.decays"), 0u);
+    EXPECT_GT(m.stats().get("pred.hits"), 0u);
+    EXPECT_GT(m.stats().get("tm.commits.hw"), 0u);
+}
+
+TEST(Predictor, SiteNoneIsNeverPredicted)
+{
+    Machine m(quiet(1));
+    TmPolicy policy;
+    policy.predictor.enable = true;
+    auto sys = TxSystem::create(TxSystemKind::UfoHybrid, m, policy);
+    sys->setup();
+    // No site: the site-less atomic() overload forwards kTxSiteNone.
+    m.memory().materializePage(0x400000);
+    m.addThread([&](ThreadContext &tc) {
+        for (int n = 0; n < 8; ++n)
+            sys->atomic(tc, [&](TxHandle &h) {
+                h.write(0x400000, std::uint64_t(n), 8);
+            });
+    });
+    m.run();
+    EXPECT_EQ(m.stats().get("pred.predictions"), 0u);
+    EXPECT_EQ(m.stats().get("pred.sites"), 0u);
+}
+
+TEST(Predictor, ContentionWeighsLighterThanHardFailover)
+{
+    Machine m(quiet(1));
+    PredictorPolicy policy;
+    policy.enable = true;
+    PathPredictor pred(m, policy);
+    m.addThread([&](ThreadContext &tc) {
+        using P = PathPredictor::Prediction;
+        // One hard failover reaches the bias...
+        EXPECT_EQ(pred.predict(tc, 1), P::Hardware);
+        pred.onFailover(tc, 1, P::Hardware, /*hard=*/true);
+        EXPECT_EQ(pred.predict(tc, 1), P::Software);
+        // ...while contention failovers need hardWeight of them.
+        for (int i = 0; i < policy.hardWeight; ++i) {
+            EXPECT_EQ(pred.predict(tc, 2), P::Hardware);
+            pred.onFailover(tc, 2, P::Hardware, /*hard=*/false);
+        }
+        EXPECT_EQ(pred.predict(tc, 2), P::Software);
+        // Scores are per thread and saturate at maxScore.
+        EXPECT_EQ(pred.score(tc.id(), 1), policy.hardWeight);
+        for (int i = 0; i < 40; ++i)
+            pred.onFailover(tc, 1, P::None, /*hard=*/true);
+        EXPECT_EQ(pred.score(tc.id(), 1), policy.maxScore);
+    });
+    m.run();
+}
+
+TEST(Predictor, CounterInvariantsHoldOnEveryHybrid)
+{
+    for (TxSystemKind kind :
+         {TxSystemKind::UfoHybrid, TxSystemKind::HyTm,
+          TxSystemKind::PhTm}) {
+        SvcParams p;
+        p.load.keyspace = 32;
+        p.load.requestsPerClient = 24;
+        p.load.seed = 3;
+        p.mapBuckets = 8;
+        RunConfig cfg;
+        cfg.kind = kind;
+        cfg.threads = 3;
+        cfg.machine.seed = 11;
+        cfg.machine.timerQuantum = 0;
+        cfg.policy.predictor.enable = true;
+        const RunResult res = svc::runService(p, cfg);
+        ASSERT_TRUE(res.valid) << txSystemKindName(kind);
+        const std::uint64_t total = res.stat("pred.predictions");
+        EXPECT_GT(total, 0u) << txSystemKindName(kind);
+        EXPECT_EQ(res.stat("pred.predictions.hw") +
+                      res.stat("pred.predictions.sw"),
+                  total)
+            << txSystemKindName(kind);
+        EXPECT_LE(res.stat("pred.hits") + res.stat("pred.mispredicts"),
+                  total)
+            << txSystemKindName(kind);
+        EXPECT_EQ(res.stat("tm.failovers.predicted"),
+                  res.stat("pred.predictions.sw"))
+            << txSystemKindName(kind);
+    }
+}
+
+TEST(Predictor, ServiceDoubleRunStatsJsonByteIdentical)
+{
+    for (bool by_key_range : {false, true}) {
+        SvcParams p;
+        p.load.keyspace = 32;
+        p.load.requestsPerClient = 10;
+        p.load.seed = 3;
+        p.mapBuckets = 8;
+        p.siteByKeyRange = by_key_range;
+        std::string text[2];
+        for (int run = 0; run < 2; ++run) {
+            RunConfig cfg;
+            cfg.kind = TxSystemKind::UfoHybrid;
+            cfg.threads = 3;
+            cfg.machine.seed = 11;
+            cfg.machine.timerQuantum = 0;
+            cfg.policy.predictor.enable = true;
+            cfg.statsJsonPath = ::testing::TempDir() +
+                                "/utm_pred_det_" + std::to_string(run) +
+                                ".json";
+            const RunResult res = svc::runService(p, cfg);
+            ASSERT_TRUE(res.valid);
+            text[run] = readWholeFile(cfg.statsJsonPath);
+        }
+        ASSERT_FALSE(text[0].empty());
+        EXPECT_EQ(text[0], text[1])
+            << "predictor-on stats-JSON diverged (siteByKeyRange="
+            << by_key_range << ")";
+    }
+}
+
+} // namespace
+} // namespace utm

@@ -104,6 +104,43 @@ TEST(TmTorture, DoubleRunDeterminismEveryBackend)
     }
 }
 
+TEST(TmTorture, PredictorOnPassesOraclesAndStaysDeterministic)
+{
+    // The path predictor must not perturb the determinism contract:
+    // with it enabled (and per-op-class sites flowing through the kv
+    // workload), every hybrid still passes all oracles, double runs
+    // stay bit-identical, and a recorded schedule replays exactly.
+    for (TxSystemKind kind : {TxSystemKind::UfoHybrid,
+                              TxSystemKind::HyTm, TxSystemKind::PhTm}) {
+        TortureConfig cfg =
+            smallConfig(kind, SchedPolicy::RandomWalk, 11);
+        cfg.workload = torture::TortureWorkload::Kv;
+        cfg.policy.predictor.enable = true;
+        cfg.policy.predictor.decayInterval = 8; // Exercise decay too.
+        cfg.record = true;
+        TortureResult a = torture::runTorture(cfg);
+        TortureResult b = torture::runTorture(cfg);
+        EXPECT_TRUE(a.ok()) << txSystemKindName(kind) << ": oracle '"
+                            << a.oracle << "': " << a.why;
+        EXPECT_EQ(a.stats, b.stats) << txSystemKindName(kind);
+        EXPECT_EQ(a.schedule.serialize(), b.schedule.serialize())
+            << txSystemKindName(kind);
+
+        ScheduleTrace trace;
+        ASSERT_TRUE(
+            ScheduleTrace::parse(a.schedule.serialize(), &trace));
+        TortureConfig replay_cfg = cfg;
+        replay_cfg.record = false;
+        replay_cfg.replay = &trace;
+        TortureResult replayed = torture::runTorture(replay_cfg);
+        EXPECT_TRUE(replayed.ok())
+            << txSystemKindName(kind) << ": " << replayed.why;
+        EXPECT_EQ(replayed.cycles, a.cycles) << txSystemKindName(kind);
+        EXPECT_EQ(replayed.commits, a.commits)
+            << txSystemKindName(kind);
+    }
+}
+
 // ------------------------------------------- Record/replay identity
 
 TEST(TmTorture, ReplayReproducesRunBitIdentically)

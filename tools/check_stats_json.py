@@ -157,6 +157,7 @@ def check_stats_doc(doc):
     for prefix, agg in (("ustm.aborts.", "ustm.aborts"),
                         ("tl2.aborts.", "tl2.aborts"),
                         ("tm.failovers.hard.", "tm.failovers.hard"),
+                        ("pred.predictions.", "pred.predictions"),
                         ("svc.requests.", "svc.requests"),
                         ("svc.shed.", "svc.shed"),
                         ("svc.request_aborts.", "svc.request_aborts"),
@@ -185,6 +186,24 @@ def check_stats_doc(doc):
                "increasing")
         expect(h.get("p50", 0) <= h.get("p90", 0) <= h.get("p99", 0),
                f"histogram {name}: quantiles not monotone")
+
+    # Path-predictor accounting: every prediction resolves to at most
+    # one verdict (transactions that abort out of the machine resolve
+    # neither way), and predicted software starts are exactly the
+    # tm.failovers.predicted attribution.
+    if counters.get("pred.predictions", 0):
+        expect(counters.get("pred.hits", 0) +
+               counters.get("pred.mispredicts", 0) <=
+               counters.get("pred.predictions", 0),
+               f"pred.hits+pred.mispredicts="
+               f"{counters.get('pred.hits', 0) + counters.get('pred.mispredicts', 0)}"
+               f" > pred.predictions={counters.get('pred.predictions', 0)}")
+        expect(counters.get("tm.failovers.predicted", 0) ==
+               counters.get("pred.predictions.sw", 0),
+               f"tm.failovers.predicted="
+               f"{counters.get('tm.failovers.predicted', 0)} != "
+               f"pred.predictions.sw="
+               f"{counters.get('pred.predictions.sw', 0)}")
 
     # svc latency histograms: per-type samples sum to the aggregate,
     # which counts exactly the served requests.
@@ -344,14 +363,19 @@ def check_svc_doc(doc):
     expect(doc.get("schema") == "ufotm-svc",
            f"schema is {doc.get('schema')!r}, want 'ufotm-svc'")
     # v1: the original svc_latency document.  v2 adds the xfer request
-    # verb and the svc_scaling row family (docs/OBSERVABILITY.md has
-    # the migration note).
+    # verb and the svc_scaling row family.  v3 adds the svc_predictor
+    # A/B document: a `series` row key ("predictor-off"/"predictor-on")
+    # plus pred.* fields on throughput rows (docs/OBSERVABILITY.md has
+    # the migration notes).
     version = doc.get("schema_version")
-    expect(version in (1, 2),
-           f"schema_version is {version!r}, want 1 or 2")
-    expect(doc.get("bench") in ("svc_latency", "svc_scaling"),
-           f"bench is {doc.get('bench')!r}, want 'svc_latency' or "
-           "'svc_scaling'")
+    expect(version in (1, 2, 3),
+           f"schema_version is {version!r}, want 1, 2 or 3")
+    expect(doc.get("bench") in ("svc_latency", "svc_scaling",
+                                "svc_predictor"),
+           f"bench is {doc.get('bench')!r}, want 'svc_latency', "
+           "'svc_scaling' or 'svc_predictor'")
+    if doc.get("bench") == "svc_predictor":
+        expect(version == 3, "svc_predictor requires schema_version 3")
     rows = doc.get("rows")
     if not isinstance(rows, list) or not rows:
         problems.append("rows missing or empty")
@@ -380,15 +404,23 @@ def check_svc_doc(doc):
         return problems
 
     # Split into throughput rows (no "request" key) and per-request
-    # latency rows; every (system, mode) needs one of the former and
-    # one per request verb of the latter whose request counts sum to
-    # the aggregate.
+    # latency rows; every (system, mode[, series]) needs one of the
+    # former and one per request verb of the latter whose request
+    # counts sum to the aggregate.  The series key disambiguates the
+    # svc_predictor A/B arms; svc_latency rows carry no series.
+    predictor = doc.get("bench") == "svc_predictor"
     agg = {}
     per_req = {}
     for i, row in enumerate(rows):
         for k in ("benchmark", "system", "mode", "threads"):
             expect(k in row, f"rows[{i}] missing {k!r}")
-        group = (row.get("system"), row.get("mode"))
+        if predictor:
+            expect(row.get("series") in ("predictor-off",
+                                         "predictor-on"),
+                   f"rows[{i}]: series is {row.get('series')!r}, want "
+                   "'predictor-off' or 'predictor-on'")
+        group = (row.get("system"), row.get("mode"),
+                 row.get("series"))
         if "request" in row:
             expect(row["request"] in SVC_REQ_TYPES,
                    f"rows[{i}]: unknown request type "
@@ -407,6 +439,20 @@ def check_svc_doc(doc):
             expect(group not in agg,
                    f"rows[{i}]: duplicate throughput row for {group}")
             agg[group] = row.get("requests", 0)
+            if predictor:
+                for k in ("predictions", "predicted_sw", "hits",
+                          "mispredicts"):
+                    expect(k in row, f"rows[{i}] missing {k!r}")
+                preds = row.get("predictions", 0)
+                expect(row.get("hits", 0) + row.get("mispredicts", 0)
+                       <= preds,
+                       f"rows[{i}]: hits+mispredicts > predictions")
+                expect(row.get("predicted_sw", 0) <= preds,
+                       f"rows[{i}]: predicted_sw > predictions")
+                if row.get("series") == "predictor-off":
+                    expect(preds == 0,
+                           f"rows[{i}]: predictor-off arm reports "
+                           f"{preds} predictions")
 
     expect(set(agg) == set(per_req),
            f"throughput/latency row groups differ: "

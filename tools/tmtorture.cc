@@ -50,6 +50,7 @@ struct Options
     std::uint64_t oracleInterval = 1;
     std::uint64_t pctSteps = 1u << 12; ///< ~ observed steps per run.
     int minimizeBudget = 200;
+    bool predictor = false; ///< Torture with the path predictor on.
     bool injectLockstepBug = false;
     std::string out = "tmtorture.json";
     std::string replayPath; ///< Replay mode when non-empty.
@@ -142,6 +143,9 @@ usage(const char *argv0)
         "  --oracle-interval N  check oracles every N steps (default 1)\n"
         "  --pct-steps N        PCT change-point range (default 4096)\n"
         "  --minimize-budget N  replay runs for minimization (default 200)\n"
+        "  --predictor          enable the adaptive path predictor\n"
+        "                       (hybrid backends; ops carry per-class\n"
+        "                       transaction sites)\n"
         "  --inject-lockstep-bug  mutation self-test: break installUfo\n"
         "  --out PATH           JSON report path ('-' = stdout;\n"
         "                       default tmtorture.json)\n"
@@ -244,6 +248,8 @@ parseArgs(int argc, char **argv)
             opt.pctSteps = std::strtoull(need(i), nullptr, 0);
         } else if (a == "--minimize-budget") {
             opt.minimizeBudget = std::atoi(need(i));
+        } else if (a == "--predictor") {
+            opt.predictor = true;
         } else if (a == "--inject-lockstep-bug") {
             opt.injectLockstepBug = true;
         } else if (a == "--out") {
@@ -279,6 +285,7 @@ makeConfig(const Options &opt, torture::TortureWorkload workload,
     cfg.sched.pctExpectedSteps = opt.pctSteps;
     cfg.oracleInterval = opt.oracleInterval;
     cfg.record = true;
+    cfg.policy.predictor.enable = opt.predictor;
     cfg.injectLockstepBug = opt.injectLockstepBug;
     return cfg;
 }
@@ -372,6 +379,7 @@ main(int argc, char **argv)
     w.kv("cells", opt.cells);
     w.kv("otable_buckets", opt.otableBuckets);
     w.kv("oracle_interval", opt.oracleInterval);
+    w.kv("predictor", opt.predictor);
     w.kv("inject_lockstep_bug", opt.injectLockstepBug);
     w.endObject();
     w.key("runs").beginArray();
