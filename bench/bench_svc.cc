@@ -72,6 +72,16 @@ constexpr int kSvcSchemaVersion = 2;
  */
 constexpr int kSvcPredictorSchemaVersion = 3;
 
+/**
+ * Schema of the svc_batching document only (--batching).  v4: adds
+ * the `batch_k` row-identity field (the configured batch ceiling; 0
+ * on the batching-off arm) and the batch.* row fields (batches,
+ * batch_members, batch_splits, batch_aborts,
+ * begin_commit_cycles_per_req).  The other documents keep their
+ * versions, byte-identical.
+ */
+constexpr int kSvcBatchingSchemaVersion = 4;
+
 svc::SvcParams
 benchParams(bool open_loop, bool quick)
 {
@@ -393,6 +403,248 @@ runPredictor(bool quick, bench::JsonReport &report)
 }
 
 /**
+ * Batching A/B configuration: the latency-bench service shape with a
+ * read-heavy, xfer-free mix (long same-class runs are what the
+ * coalescer drains), a thin closed-loop think time (so the
+ * per-transaction begin/commit tax is a visible fraction of each
+ * request), and an open-loop overload (deep admission queues are
+ * where coalescing recovers capacity).
+ */
+svc::SvcParams
+batchingParams(TxSystemKind kind, bool open_loop, bool quick,
+               bool batch_on)
+{
+    svc::SvcParams p = benchParams(open_loop, quick);
+    p.load.mix.getPct = 50;
+    p.load.mix.putPct = 15;
+    p.load.mix.scanPct = 15;
+    p.load.mix.rmwPct = 10;
+    p.load.mix.xferPct = 0;
+    p.load.mix.rawGetPct = 10;
+    p.load.keyspace = 256;
+    p.load.zipfTheta = 0.4;
+    p.load.meanThink = 20;
+    // Moderate open-loop overload *relative to each system's service
+    // rate* (ustm-strong serves ~8x slower than ufo-hybrid): deep
+    // enough that admission backlogs form and coalescing has work,
+    // shallow enough that most requests are served, not shed.
+    p.load.meanInterarrival =
+        kind == TxSystemKind::UstmStrong ? 900 : 100;
+    p.mapBuckets = 256;
+    p.batch.enable = batch_on;
+    p.batch.maxBatch = 8;
+    // The sweep includes the all-software baseline (ustm-strong),
+    // where amortizing the fixed software begin/commit tax is the
+    // whole point; the adaptive shrink still protects contended
+    // sites.
+    p.batch.growOnSwCommit = true;
+    return p;
+}
+
+/** Simulated cycles all threads spent in begin/commit phases (0 when
+ *  compiled with UFOTM_PROFILING=OFF). */
+std::uint64_t
+beginCommitCycles(const RunResult &res)
+{
+    static const char *const comps[] = {"btm",  "ustm", "tl2", "hytm",
+                                        "phtm", "sle",  "tm"};
+    std::uint64_t sum = 0;
+    for (const char *c : comps) {
+        sum += res.stat(std::string("prof.cycles.") + c + ".begin");
+        sum += res.stat(std::string("prof.cycles.") + c + ".commit");
+    }
+    return sum;
+}
+
+int
+runBatching(bool quick, bench::JsonReport &report)
+{
+    const std::array<TxSystemKind, 2> kinds = {
+        TxSystemKind::UfoHybrid, TxSystemKind::UstmStrong};
+    const int threads = 4;
+    std::printf("tmserve batching A/B: %d clients, Zipfian(0.4) keys, "
+                "maxBatch %u%s\n",
+                threads,
+                batchingParams(TxSystemKind::UfoHybrid, false, quick, true)
+                    .batch.maxBatch,
+                quick ? " (quick)" : "");
+    std::printf("%-13s %-6s %-9s %9s %11s %10s %8s %8s %7s %11s\n",
+                "system", "mode", "batching", "requests", "req/Mcyc",
+                "abort_rate", "batches", "members", "splits",
+                "beg+com/req");
+
+    struct Point
+    {
+        double throughput = 0.0;
+        double abortRate = 0.0;
+        double beginCommitPerReq = 0.0;
+    };
+    // (kind, open_loop, batch_on) -> gate metrics.
+    std::map<std::tuple<int, bool, bool>, Point> points;
+
+    for (TxSystemKind kind : kinds) {
+        for (const bool open_loop : {false, true}) {
+            const char *mode = open_loop ? "open" : "closed";
+            for (const bool batch_on : {false, true}) {
+                const char *series =
+                    batch_on ? "batching-on" : "batching-off";
+                svc::SvcParams p =
+                    batchingParams(kind, open_loop, quick, batch_on);
+                RunConfig cfg = bench::baseRunConfig();
+                cfg.kind = kind;
+                cfg.threads = threads;
+                cfg.machine.seed = 42;
+                const RunResult res = svc::runService(p, cfg);
+                if (!res.valid) {
+                    std::fprintf(stderr,
+                                 "VALIDATION FAILED: svc-batching %s "
+                                 "%s (%s loop)\n",
+                                 txSystemKindName(kind), series, mode);
+                    return 1;
+                }
+
+                const std::uint64_t served = res.stat("svc.requests");
+                const std::uint64_t aborts =
+                    res.stat("svc.request_aborts");
+                const double abort_rate =
+                    served ? double(aborts) / double(served) : 0.0;
+                const double throughput =
+                    res.cycles
+                        ? double(served) * 1e6 / double(res.cycles)
+                        : 0.0;
+                const double bc_per_req =
+                    served ? double(beginCommitCycles(res)) /
+                                 double(served)
+                           : 0.0;
+                points[{int(kind), open_loop, batch_on}] = {
+                    throughput, abort_rate, bc_per_req};
+
+                std::printf("%-13s %-6s %-9s %9llu %11.1f %10.3f "
+                            "%8llu %8llu %7llu %11.1f\n",
+                            txSystemKindName(kind), mode,
+                            batch_on ? "on" : "off",
+                            (unsigned long long)served, throughput,
+                            abort_rate,
+                            (unsigned long long)res.stat(
+                                "batch.batches"),
+                            (unsigned long long)res.stat(
+                                "batch.members"),
+                            (unsigned long long)res.stat(
+                                "batch.splits"),
+                            bc_per_req);
+
+                if (!report.enabled())
+                    continue;
+
+                // One throughput row per (system, mode, series)...
+                json::Writer w;
+                w.beginObject();
+                w.kv("benchmark", "svc-batching");
+                w.kv("system", txSystemKindName(kind));
+                w.kv("mode", mode);
+                w.kv("series", series);
+                w.kv("batch_k",
+                     std::uint64_t(batch_on ? p.batch.maxBatch : 0));
+                w.kv("threads", threads);
+                w.kv("requests", served);
+                w.kv("shed", res.stat("svc.shed"));
+                w.kv("aborts", aborts);
+                w.kv("abort_rate", abort_rate);
+                w.kv("run_cycles", res.cycles);
+                w.kv("throughput_req_per_mcycle", throughput);
+                w.kv("batches", res.stat("batch.batches"));
+                w.kv("batch_members", res.stat("batch.members"));
+                w.kv("batch_splits", res.stat("batch.splits"));
+                w.kv("batch_aborts", res.stat("batch.aborts"));
+                w.kv("begin_commit_cycles_per_req", bc_per_req);
+                w.endObject();
+                report.row(w);
+
+                // ...and one latency row per request type.
+                for (svc::ReqType t : kReqTypes) {
+                    const char *tname = svc::reqTypeName(t);
+                    const Histogram &h = res.hist(
+                        std::string("svc.latency.") + tname);
+                    json::Writer r;
+                    r.beginObject();
+                    r.kv("benchmark", "svc-batching");
+                    r.kv("system", txSystemKindName(kind));
+                    r.kv("mode", mode);
+                    r.kv("series", series);
+                    r.kv("batch_k",
+                         std::uint64_t(batch_on ? p.batch.maxBatch : 0));
+                    r.kv("threads", threads);
+                    r.kv("request", tname);
+                    r.kv("requests",
+                         res.stat(std::string("svc.requests.") + tname));
+                    r.kv("p50_cycles", h.quantile(0.50));
+                    r.kv("p99_cycles", h.quantile(0.99));
+                    r.kv("p999_cycles", h.quantile(0.999));
+                    r.endObject();
+                    report.row(r);
+                }
+            }
+        }
+    }
+
+    // The win criterion (ISSUE 8), self-gating so CI fails loudly if
+    // coalescing stops paying for itself: for every swept system and
+    // loop mode, batching-on must beat batching-off throughput at an
+    // equal-or-lower per-request abort rate, and (when the profiler
+    // is compiled in) must spend fewer begin/commit cycles per served
+    // request — the amortization the batch exists to recover.  Quick
+    // mode reports the same rows but does not gate: with 24 requests
+    // per client the adaptive K barely warms up.
+    if (quick) {
+        std::printf("batching gate: skipped in --quick (adaptive K "
+                    "warm-up dominates the short streams)\n");
+        return 0;
+    }
+    int rc = 0;
+    for (TxSystemKind kind : kinds) {
+        for (const bool open_loop : {false, true}) {
+            const char *mode = open_loop ? "open" : "closed";
+            const Point &off = points.at({int(kind), open_loop, false});
+            const Point &on = points.at({int(kind), open_loop, true});
+            std::printf(
+                "batching gate (%s, %s): throughput %.1f -> %.1f "
+                "req/Mcyc, abort rate %.3f -> %.3f, beg+com/req "
+                "%.1f -> %.1f\n",
+                txSystemKindName(kind), mode, off.throughput,
+                on.throughput, off.abortRate, on.abortRate,
+                off.beginCommitPerReq, on.beginCommitPerReq);
+            if (on.throughput <= off.throughput) {
+                std::fprintf(stderr,
+                             "BATCHING GATE FAILED (%s, %s): "
+                             "throughput %.2f !> %.2f req/Mcyc\n",
+                             txSystemKindName(kind), mode,
+                             on.throughput, off.throughput);
+                rc = 1;
+            }
+            if (on.abortRate > off.abortRate) {
+                std::fprintf(stderr,
+                             "BATCHING GATE FAILED (%s, %s): abort "
+                             "rate %.3f > %.3f\n",
+                             txSystemKindName(kind), mode, on.abortRate,
+                             off.abortRate);
+                rc = 1;
+            }
+            if (off.beginCommitPerReq > 0.0 &&
+                on.beginCommitPerReq >= off.beginCommitPerReq) {
+                std::fprintf(stderr,
+                             "BATCHING GATE FAILED (%s, %s): "
+                             "begin+commit %.2f !< %.2f cycles/req\n",
+                             txSystemKindName(kind), mode,
+                             on.beginCommitPerReq,
+                             off.beginCommitPerReq);
+                rc = 1;
+            }
+        }
+    }
+    return rc;
+}
+
+/**
  * Scaling-curve configuration.  Uniform keys keep logical (key-level)
  * conflicts — and therefore abort rates — low and comparable across
  * shard counts; the mix includes two-key transfers so cross-shard
@@ -553,6 +805,7 @@ main(int argc, char **argv)
     bool quick = false;
     bool scaling = false;
     bool predictor = false;
+    bool batching = false;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--quick"))
             quick = true;
@@ -560,17 +813,22 @@ main(int argc, char **argv)
             scaling = true;
         else if (!std::strcmp(argv[i], "--predictor"))
             predictor = true;
+        else if (!std::strcmp(argv[i], "--batching"))
+            batching = true;
     }
     bench::parseSchedArgs(argc, argv);
     bench::JsonReport report(scaling     ? "svc_scaling"
                              : predictor ? "svc_predictor"
+                             : batching  ? "svc_batching"
                                          : "svc_latency",
                              argc, argv, "ufotm-svc",
-                             predictor ? kSvcPredictorSchemaVersion
-                                       : kSvcSchemaVersion);
+                             predictor  ? kSvcPredictorSchemaVersion
+                             : batching ? kSvcBatchingSchemaVersion
+                                        : kSvcSchemaVersion);
 
     const int rc = scaling     ? runScaling(quick, report)
                    : predictor ? runPredictor(quick, report)
+                   : batching  ? runBatching(quick, report)
                                : runLatency(quick, report);
     if (rc != 0)
         return rc;

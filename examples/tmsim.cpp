@@ -37,6 +37,7 @@ struct Options
     std::uint64_t seed = 42;
     double scale = 1.0;
     double failoverRate = 0.0;
+    bool batch = false; // Request coalescing (kv-service only).
     unsigned l1Sets = 0;   // 0 = default
     Cycles quantum = ~Cycles(0); // ~0 = default
     std::string statsPrefix;
@@ -74,6 +75,8 @@ usage(const char *argv0, int code)
         "      --seed N           RNG seed (default 42)\n"
         "      --scale F          problem-size multiplier\n"
         "      --failover-rate F  forced failover rate (ubench only)\n"
+        "      --batch            request coalescing (kv-service\n"
+        "                         only; emits the batch.* counters)\n"
         "      --l1-sets N        L1 set count (default 64 = 32 KiB)\n"
         "      --quantum N        timer quantum in cycles (0 = off)\n"
         "      --stats PREFIX     dump counters matching PREFIX\n"
@@ -110,6 +113,8 @@ parse(int argc, char **argv)
             o.scale = std::atof(need(a));
         else if (!std::strcmp(a, "--failover-rate"))
             o.failoverRate = std::atof(need(a));
+        else if (!std::strcmp(a, "--batch"))
+            o.batch = true;
         else if (!std::strcmp(a, "--l1-sets"))
             o.l1Sets = unsigned(std::atoi(need(a)));
         else if (!std::strcmp(a, "--quantum"))
@@ -132,6 +137,10 @@ parse(int argc, char **argv)
             std::fprintf(stderr, "unknown option %s\n", a);
             usage(argv[0], 1);
         }
+    }
+    if (o.threads < 1) {
+        std::fprintf(stderr, "thread count must be >= 1\n");
+        std::exit(1);
     }
     return o;
 }
@@ -194,6 +203,8 @@ makeWorkload(const Options &o)
         p.load.zipfTheta = 0.8;
         p.load.requestsPerClient = scaled(p.load.requestsPerClient);
         p.load.seed = o.seed;
+        p.batch.enable = o.batch;
+        p.batch.growOnSwCommit = true;
         return std::make_unique<svc::KvServiceWorkload>(p);
     }
     std::fprintf(stderr, "unknown workload '%s'\n", w.c_str());

@@ -60,6 +60,7 @@ BtmUnit::txBegin()
         ++depth_;
         return;
     }
+    UTM_PROF_PHASE(machine_, tc_, ProfComp::Btm, ProfPhase::Begin);
     tc_.yield(); // Ordered event: begins interleave by timestamp.
     resetTxState();
     inTx_ = true;

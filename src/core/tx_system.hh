@@ -210,6 +210,23 @@ class TxSystem
                           const Body &body) = 0;
 
     virtual const char *name() const = 0;
+
+    /**
+     * Reason of the most recent hardware-path abort observed by
+     * @p tc's BTM unit, or AbortReason::None on systems without a
+     * hardware path.  Host-visible feedback for adaptive callers
+     * (the tmserve coalescer shrinks its batch size on
+     * conflict/capacity aborts); the value persists across the retry
+     * that follows the abort, so a re-executed transaction body can
+     * classify why its previous attempt died.
+     */
+    virtual AbortReason
+    lastHwAbortReason(ThreadContext &tc) const
+    {
+        (void)tc;
+        return AbortReason::None;
+    }
+
     TxSystemKind kind() const { return kind_; }
     Machine &machine() { return machine_; }
     const TmPolicy &policy() const { return policy_; }

@@ -35,6 +35,13 @@ class HybridTmBase : public TxSystem
     Ustm *ustmRuntime() override { return ustm_.get(); }
     /** @} */
 
+    AbortReason
+    lastHwAbortReason(ThreadContext &tc) const override
+    {
+        const auto &unit = btms_[tc.id()];
+        return unit ? unit->lastAbortReason() : AbortReason::None;
+    }
+
   protected:
     HybridTmBase(TxSystemKind kind, Machine &machine,
                  const TmPolicy &policy, bool strong_atomic_stm,

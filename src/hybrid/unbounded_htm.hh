@@ -32,6 +32,13 @@ class UnboundedHtm : public TxSystem
     bool oracleLineBusy(LineAddr line) const override;
     /** @} */
 
+    AbortReason
+    lastHwAbortReason(ThreadContext &tc) const override
+    {
+        const auto &unit = btms_[tc.id()];
+        return unit ? unit->lastAbortReason() : AbortReason::None;
+    }
+
   private:
     BtmUnit &btm(ThreadContext &tc);
 

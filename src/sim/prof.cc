@@ -32,6 +32,7 @@ const char *
 profPhaseName(ProfPhase p)
 {
     switch (p) {
+    case ProfPhase::Begin: return "begin";
     case ProfPhase::BarrierRead: return "barrier_read";
     case ProfPhase::BarrierWrite: return "barrier_write";
     case ProfPhase::Commit: return "commit";

@@ -65,6 +65,7 @@ constexpr int kNumProfComps = 7;
 
 /** What the thread is doing inside the scope. */
 enum class ProfPhase : std::uint8_t {
+    Begin,
     BarrierRead,
     BarrierWrite,
     Commit,
@@ -76,7 +77,7 @@ enum class ProfPhase : std::uint8_t {
     OtableWalk,
     NonTx,
 };
-constexpr int kNumProfPhases = 10;
+constexpr int kNumProfPhases = 11;
 
 const char *profCompName(ProfComp c);
 const char *profPhaseName(ProfPhase p);

@@ -146,13 +146,29 @@ class RandomWalkScheduler final : public SchedulerPolicy
  * on.  Deviation from the paper: a starvation bound also demotes a
  * thread stuck in a blocking spin-wait, since our STM slow paths
  * contain waits PCT's preemptive model does not have.
+ *
+ * The starvation bound is re-drawn (from the policy's own seeded RNG)
+ * after every demotion it triggers.  A *fixed* demotion cadence can
+ * phase-lock with a fixed-event-length lock-retry loop: priority
+ * scheduling ignores clocks, so a thread whose probe cycle has a
+ * constant event count is demoted at the same loop phase every time —
+ * if that phase is inside its row-lock critical section, every lower
+ * priority thread then burns its whole scheduling window against a
+ * lock whose holder is parked, forever (found by tmtorture,
+ * ustm-ufo/pct seed 12 with the batched kv workload; the cycle-jitter
+ * fix for the analogous minclock phase-lock — ReleaseStarvation —
+ * cannot help here because PCT never consults clocks).  An aperiodic
+ * bound drifts the demotion phase across the loop, so the holder
+ * eventually gets demoted outside the critical section and the
+ * waiters' windows find the lock free.
  */
 class PctScheduler final : public SchedulerPolicy
 {
   public:
     PctScheduler(const SchedulerConfig &cfg, std::uint64_t seed)
         : rng_(seed),
-          bound_(cfg.starvationBound ? cfg.starvationBound : 1)
+          bound_(cfg.starvationBound ? cfg.starvationBound : 1),
+          curBound_(bound_)
     {
         for (int t = 0; t < kMaxThreads; ++t)
             order_[t] = static_cast<ThreadId>(t);
@@ -180,9 +196,10 @@ class PctScheduler final : public SchedulerPolicy
                 ++changePointsHit_;
             }
         }
-        if (view.n > 1 && last_ >= 0 && streak_ >= bound_) {
+        if (view.n > 1 && last_ >= 0 && streak_ >= curBound_) {
             demote(last_);
             ++demotions_;
+            curBound_ = bound_ + rng_.nextBounded(bound_);
         }
         ThreadId choice = -1;
         for (int t = 0; t < kMaxThreads && choice < 0; ++t)
@@ -214,6 +231,7 @@ class PctScheduler final : public SchedulerPolicy
 
     Rng rng_;
     unsigned bound_;
+    unsigned curBound_;
     std::array<ThreadId, kMaxThreads> order_;
     std::vector<std::uint64_t> changePoints_;
     std::size_t nextPoint_ = 0;

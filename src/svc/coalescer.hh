@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Adaptive request coalescing for the tmserve hot path.
+ *
+ * Every served request pays the full per-transaction tax — BTM
+ * begin/commit, UFO bit manipulation, otable acquisition/release —
+ * even when a client's admission queue is deep with tiny compatible
+ * requests.  The Coalescer amortizes that tax: a worker drains up to
+ * K consecutive queued requests with the same home shard and a
+ * compatible verb class (read-only GET/SCAN batches; update PUT/RMW
+ * batches) and executes them inside a *single* atomic transaction.
+ * Per-request arrival→completion latency and abort attribution are
+ * preserved by the caller (service.cc): a batch abort attributes to
+ * every member, and re-execution splits the batch back to one
+ * request.
+ *
+ * K is adaptive per batch site — one site per (verb class, home
+ * shard), allocated above the per-verb singleton sites so the path
+ * predictor (src/hybrid/path_predictor.hh) tracks batched and
+ * unbatched execution of the same verb separately:
+ *
+ *  - multiplicative shrink (halve, floor 1) when a batch aborts for
+ *    a conflict- or capacity-class reason (or is killed on the
+ *    software path) — a bigger footprint made the transaction a
+ *    bigger target;
+ *  - additive growth (+1, ceiling BatchParams::maxBatch) on a clean
+ *    first-attempt hardware commit — the batch fit, try a bigger one;
+ *  - software-path clean commits grow only when
+ *    BatchParams::growOnSwCommit is set, so predicted-software sites
+ *    keep small batches by default (the software path's conflict
+ *    window grows with footprint much faster than its fixed
+ *    begin/commit tax shrinks);
+ *  - environmental aborts (interrupt, syscall, page fault) leave K
+ *    alone: they say nothing about the batch's footprint.
+ *
+ * All knobs live in BatchParams (SvcParams::batch) and default *off*;
+ * with batching disabled the serving path is byte-identical to the
+ * unbatched baseline.
+ */
+
+#ifndef UFOTM_SVC_COALESCER_HH
+#define UFOTM_SVC_COALESCER_HH
+
+#include <map>
+
+#include "mem/tm_iface.hh"
+#include "sim/types.hh"
+#include "svc/load_gen.hh"
+
+namespace utm::svc {
+
+/** Request-coalescing knobs (SvcParams::batch); default off. */
+struct BatchParams
+{
+    /** Master switch: off keeps the serving path byte-identical. */
+    bool enable = false;
+
+    /** Batch-size ceiling (and the K histogram's upper bound). */
+    unsigned maxBatch = 8;
+
+    /** Starting K for a batch site that has not been seen yet. */
+    unsigned initialK = 1;
+
+    /** Let clean software-path commits grow K too (default: only
+     *  hardware commits grow, so predicted-software sites stay
+     *  small). */
+    bool growOnSwCommit = false;
+};
+
+/** Verb classes that may share one coalesced transaction. */
+enum class VerbClass
+{
+    ReadOnly, ///< GET and SCAN: no writes, footprints just add up.
+    Update,   ///< PUT and RMW: single-key writers, no cross pairs.
+};
+constexpr int kNumVerbClasses = 2;
+
+/**
+ * Per-worker adaptive batch sizing.  Host-local state only (a
+ * per-site K table), so it is legal to consult and update from
+ * transaction-body callers; determinism follows from the schedule
+ * determinism of the abort/commit events that drive it.
+ */
+class Coalescer
+{
+  public:
+    /**
+     * @param p           the knobs (SvcParams::batch);
+     * @param verbSites   number of per-verb singleton sites already
+     *                    allocated below the batch sites (the batch
+     *                    site range starts at 1 + verbSites);
+     * @param shards      store shard count (>= 1).
+     */
+    Coalescer(const BatchParams &p, TxSiteId verbSites, unsigned shards)
+        : p_(p), base_(1 + verbSites), shards_(shards)
+    {
+    }
+
+    /** Batchable verb class of @p t, or -1 (Xfer: multi-shard pairs
+     *  break the same-home invariant; RawGet: not a transaction). */
+    static int
+    verbClassOf(ReqType t)
+    {
+        switch (t) {
+          case ReqType::Get:
+          case ReqType::Scan:
+            return static_cast<int>(VerbClass::ReadOnly);
+          case ReqType::Put:
+          case ReqType::Rmw:
+            return static_cast<int>(VerbClass::Update);
+          default:
+            return -1;
+        }
+    }
+
+    /** Transaction-site id of (verb class, home shard) batches. */
+    TxSiteId
+    site(int verbClass, unsigned homeShard) const
+    {
+        return base_ + TxSiteId(verbClass) * TxSiteId(shards_) +
+               TxSiteId(homeShard);
+    }
+
+    /** Current K for a batch site (>= 1, <= maxBatch). */
+    unsigned
+    k(TxSiteId site) const
+    {
+        const auto it = k_.find(site);
+        return it == k_.end() ? clamp(p_.initialK) : it->second;
+    }
+
+    /** Clean (first-attempt) commit: additive growth, gated by path. */
+    void
+    onCleanCommit(TxSiteId site, bool softwarePath)
+    {
+        if (softwarePath && !p_.growOnSwCommit)
+            return;
+        unsigned &k = slot(site);
+        if (k < clamp(p_.maxBatch))
+            ++k;
+    }
+
+    /**
+     * The batch aborted at least once; @p reason is the first abort's
+     * hardware reason (AbortReason::None for a software-path kill).
+     * Conflict- and capacity-class reasons halve K; environmental
+     * reasons leave it alone.
+     */
+    void
+    onBatchAbort(TxSiteId site, AbortReason reason, bool softwareKill)
+    {
+        if (!softwareKill && !shrinks(reason))
+            return;
+        unsigned &k = slot(site);
+        k = k > 1 ? k / 2 : 1;
+    }
+
+    const BatchParams &params() const { return p_; }
+
+  private:
+    static bool
+    shrinks(AbortReason r)
+    {
+        switch (r) {
+          case AbortReason::Conflict:
+          case AbortReason::SetOverflow:
+          case AbortReason::NestingOverflow:
+          case AbortReason::Explicit:
+          case AbortReason::UfoFault:
+          case AbortReason::UfoBitSet:
+          case AbortReason::NonTConflict:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    unsigned
+    clamp(unsigned k) const
+    {
+        if (k < 1)
+            return 1;
+        return k > p_.maxBatch ? p_.maxBatch : k;
+    }
+
+    unsigned &
+    slot(TxSiteId site)
+    {
+        auto [it, fresh] = k_.try_emplace(site, clamp(p_.initialK));
+        (void)fresh;
+        return it->second;
+    }
+
+    BatchParams p_;
+    TxSiteId base_;
+    unsigned shards_;
+    std::map<TxSiteId, unsigned> k_; ///< site -> current K.
+};
+
+} // namespace utm::svc
+
+#endif // UFOTM_SVC_COALESCER_HH

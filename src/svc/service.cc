@@ -168,11 +168,96 @@ KvServiceWorkload::serve(ThreadContext &tc, TxSystem &sys,
     }
 }
 
+std::uint64_t
+KvServiceWorkload::backlogDepth(const std::vector<Request> &stream,
+                                std::size_t from, Cycles now,
+                                bool sharded, unsigned home) const
+{
+    std::uint64_t depth = 0;
+    for (std::size_t j = from;
+         j < stream.size() && stream[j].arrival <= now; ++j)
+        if (!sharded || homeShard(stream[j]) == home)
+            ++depth;
+    return depth;
+}
+
+void
+KvServiceWorkload::observeDrainDepth(ThreadContext &tc,
+                                     const std::vector<Request> &stream,
+                                     std::size_t next, bool sharded,
+                                     unsigned home)
+{
+    if (!p_.load.openLoop)
+        return;
+    StatsRegistry &st = tc.stats();
+    const std::uint64_t depth =
+        backlogDepth(stream, next, tc.now(), sharded, home);
+    st.observe("svc.queue_depth", depth);
+    if (sharded)
+        st.observe(shardDepthName_[home], depth);
+}
+
+void
+KvServiceWorkload::shedOne(ThreadContext &tc, const Request &r,
+                           bool sharded, unsigned home)
+{
+    StatsRegistry &st = tc.stats();
+    st.inc("svc.shed");
+    st.inc(std::string("svc.shed.") + reqTypeName(r.type));
+    if (sharded) {
+        st.inc("shard.shed");
+        st.inc(shardShedName_[home]);
+    }
+}
+
+void
+KvServiceWorkload::finishRequest(ThreadContext &tc, const Request &r,
+                                 Cycles start, std::uint64_t hw_aborts,
+                                 std::uint64_t sw_aborts, bool sharded,
+                                 unsigned home)
+{
+    StatsRegistry &st = tc.stats();
+    const Cycles latency = tc.now() - start;
+
+    st.inc("svc.requests");
+    st.inc(std::string("svc.requests.") + reqTypeName(r.type));
+    st.observe("svc.latency", latency);
+    st.observe(std::string("svc.latency.") + reqTypeName(r.type),
+               latency);
+
+    if (hw_aborts)
+        st.inc("svc.request_aborts.hw", hw_aborts);
+    if (sw_aborts)
+        st.inc("svc.request_aborts.sw", sw_aborts);
+    if (hw_aborts + sw_aborts)
+        st.inc("svc.request_aborts", hw_aborts + sw_aborts);
+    st.observe("svc.aborts_per_request", hw_aborts + sw_aborts);
+
+    if (sharded) {
+        st.inc("shard.requests");
+        st.inc(shardReqName_[home]);
+        const unsigned parts = participants(r);
+        st.observe("shard.participants", parts);
+        if (parts > 1) {
+            // Cross-shard attribution: one committed attempt plus
+            // however many aborted attempts this request absorbed.
+            st.inc("shard.cross", 1 + hw_aborts + sw_aborts);
+            st.inc("shard.cross.commits");
+            if (hw_aborts + sw_aborts)
+                st.inc("shard.cross.aborts", hw_aborts + sw_aborts);
+        }
+    }
+}
+
 void
 KvServiceWorkload::threadBody(ThreadContext &tc, TxSystem &sys, int tid,
                               int nthreads)
 {
     (void)nthreads;
+    if (p_.batch.enable) {
+        threadBodyBatched(tc, sys, tid);
+        return;
+    }
     StatsRegistry &st = tc.stats();
     const std::vector<Request> &stream = streams_.at(tid);
 
@@ -193,21 +278,13 @@ KvServiceWorkload::threadBody(ThreadContext &tc, TxSystem &sys, int tid,
             // stream request already due but not yet completed.  When
             // sharded, each client keeps one logical queue per home
             // shard, so only backlog bound for the same shard counts.
-            std::uint64_t depth = 0;
-            for (std::size_t j = i;
-                 j < stream.size() && stream[j].arrival <= tc.now(); ++j)
-                if (!sharded || homeShard(stream[j]) == home)
-                    ++depth;
+            const std::uint64_t depth =
+                backlogDepth(stream, i, tc.now(), sharded, home);
             st.observe("svc.queue_depth", depth);
             if (sharded)
                 st.observe(shardDepthName_[home], depth);
             if (depth > p_.maxQueueDepth) {
-                st.inc("svc.shed");
-                st.inc(std::string("svc.shed.") + reqTypeName(r.type));
-                if (sharded) {
-                    st.inc("shard.shed");
-                    st.inc(shardShedName_[home]);
-                }
+                shedOne(tc, r, sharded, home);
                 tc.advance(p_.shedCost);
                 continue;
             }
@@ -221,38 +298,240 @@ KvServiceWorkload::threadBody(ThreadContext &tc, TxSystem &sys, int tid,
 
         Attempts att;
         serve(tc, sys, r, &att);
-        const Cycles latency = tc.now() - start;
+        finishRequest(tc, r, start, att.hwAborts(), att.swAborts(),
+                      sharded, home);
+        observeDrainDepth(tc, stream, i + 1, sharded, home);
+    }
+}
 
-        st.inc("svc.requests");
-        st.inc(std::string("svc.requests.") + reqTypeName(r.type));
-        st.observe("svc.latency", latency);
-        st.observe(std::string("svc.latency.") + reqTypeName(r.type),
-                   latency);
+/** One request inside a forming/executing batch. */
+struct KvServiceWorkload::BatchMember
+{
+    const Request *req;       ///< Stream entry (owned by streams_).
+    Cycles start;             ///< Admission time (latency origin).
+    std::uint64_t debtHw = 0; ///< Hardware aborts attributed so far.
+    std::uint64_t debtSw = 0; ///< Software aborts attributed so far.
+};
 
-        const std::uint64_t hw_aborts = att.hwAborts();
-        const std::uint64_t sw_aborts = att.swAborts();
-        if (hw_aborts)
-            st.inc("svc.request_aborts.hw", hw_aborts);
-        if (sw_aborts)
-            st.inc("svc.request_aborts.sw", sw_aborts);
-        if (hw_aborts + sw_aborts)
-            st.inc("svc.request_aborts", hw_aborts + sw_aborts);
-        st.observe("svc.aborts_per_request", hw_aborts + sw_aborts);
+void
+KvServiceWorkload::applyMember(TxHandle &h, const Request &r)
+{
+    switch (r.type) {
+      case ReqType::Get: {
+        std::uint64_t v = 0;
+        const bool hit = store_->get(h, r.key, &v);
+        utm_assert(hit);
+        break;
+      }
+      case ReqType::Put: {
+        const bool hit = store_->put(h, r.key, r.value);
+        utm_assert(hit);
+        break;
+      }
+      case ReqType::Scan:
+        store_->scan(h, r.key, p_.load.scanLen);
+        break;
+      case ReqType::Rmw: {
+        const bool hit = store_->rmw(h, r.key, r.value);
+        utm_assert(hit);
+        break;
+      }
+      default:
+        utm_panic("unbatchable verb inside a batch body");
+    }
+}
 
-        if (sharded) {
-            st.inc("shard.requests");
-            st.inc(shardReqName_[home]);
-            const unsigned parts = participants(r);
-            st.observe("shard.participants", parts);
-            if (parts > 1) {
-                // Cross-shard attribution: one committed attempt plus
-                // however many aborted attempts this request absorbed.
-                st.inc("shard.cross", 1 + hw_aborts + sw_aborts);
-                st.inc("shard.cross.commits");
-                if (hw_aborts + sw_aborts)
-                    st.inc("shard.cross.aborts", hw_aborts + sw_aborts);
+/**
+ * The coalesced serving loop.  Differences from threadBody():
+ *
+ *  - after admitting a batchable request (the head), up to K-1
+ *    consecutive compatible requests — same verb class, same home
+ *    shard, and (open loop) already due — are admitted into the same
+ *    batch, each through the standard admission accounting;
+ *  - the batch executes as ONE transaction at its (verb class, home
+ *    shard) batch site.  The first attempt serves every member; any
+ *    re-execution (the previous attempt aborted) serves only the
+ *    first member — the split — and the remainder re-batches under
+ *    the (possibly shrunk) adaptive K;
+ *  - a batch abort attributes to every member it was serving, so
+ *    per-request abort accounting (svc.request_aborts,
+ *    svc.aborts_per_request, shard.cross.aborts) is preserved
+ *    exactly; latency keeps its arrival→completion definition.
+ */
+void
+KvServiceWorkload::threadBodyBatched(ThreadContext &tc, TxSystem &sys,
+                                     int tid)
+{
+    StatsRegistry &st = tc.stats();
+    const std::vector<Request> &stream = streams_.at(tid);
+    const bool sharded = p_.shards > 1;
+
+    // Batch sites live above the per-verb singleton sites, so the
+    // path predictor scores batched and unbatched execution of the
+    // same verb separately (txSite() allocates kNumReqTypes sites per
+    // routing bucket when siteByKeyRange is set, else one block).
+    const TxSiteId verb_sites =
+        kNumReqTypes * (p_.siteByKeyRange ? p_.shards : 1);
+    Coalescer co(p_.batch, verb_sites, p_.shards);
+
+    std::size_t i = 0;
+    while (i < stream.size()) {
+        const Request &head = stream[i];
+        const unsigned home = sharded ? homeShard(head) : 0;
+
+        // Head admission: identical to the unbatched path.
+        Cycles start;
+        if (p_.load.openLoop) {
+            while (tc.now() < head.arrival) {
+                tc.advance(std::min<Cycles>(head.arrival - tc.now(), 64));
+                tc.yield();
             }
+            const std::uint64_t depth =
+                backlogDepth(stream, i, tc.now(), sharded, home);
+            st.observe("svc.queue_depth", depth);
+            if (sharded)
+                st.observe(shardDepthName_[home], depth);
+            if (depth > p_.maxQueueDepth) {
+                shedOne(tc, head, sharded, home);
+                tc.advance(p_.shedCost);
+                ++i;
+                continue;
+            }
+            if (tc.now() > head.arrival)
+                st.inc("svc.queued");
+            start = head.arrival;
+        } else {
+            tc.advance(head.think);
+            start = tc.now();
         }
+
+        const int vc = Coalescer::verbClassOf(head.type);
+        if (vc < 0) {
+            // Unbatchable verb (Xfer, RawGet): the single-request path.
+            Attempts att;
+            serve(tc, sys, head, &att);
+            finishRequest(tc, head, start, att.hwAborts(),
+                          att.swAborts(), sharded, home);
+            ++i;
+            observeDrainDepth(tc, stream, i, sharded, home);
+            continue;
+        }
+
+        const TxSiteId bsite = co.site(vc, home);
+        const unsigned k_now = co.k(bsite);
+
+        // Form the batch: the head plus consecutive compatible
+        // requests, each admitted exactly as the unbatched path
+        // would admit it.  An open-loop candidate that has not
+        // arrived yet closes the batch (coalescing never waits).
+        std::vector<BatchMember> members;
+        members.push_back({&head, start, 0, 0});
+        std::size_t j = i + 1;
+        while (members.size() < k_now && j < stream.size()) {
+            const Request &cand = stream[j];
+            if (Coalescer::verbClassOf(cand.type) != vc)
+                break;
+            if (sharded && homeShard(cand) != home)
+                break;
+            Cycles mstart;
+            if (p_.load.openLoop) {
+                if (cand.arrival > tc.now())
+                    break;
+                const std::uint64_t depth =
+                    backlogDepth(stream, j, tc.now(), sharded, home);
+                st.observe("svc.queue_depth", depth);
+                if (sharded)
+                    st.observe(shardDepthName_[home], depth);
+                if (depth > p_.maxQueueDepth) {
+                    shedOne(tc, cand, sharded, home);
+                    tc.advance(p_.shedCost);
+                    ++j;
+                    continue;
+                }
+                if (tc.now() > cand.arrival)
+                    st.inc("svc.queued");
+                mstart = cand.arrival;
+            } else {
+                tc.advance(cand.think);
+                mstart = tc.now();
+            }
+            members.push_back({&cand, mstart, 0, 0});
+            ++j;
+        }
+
+        // Execute, splitting on abort: each loop iteration is one
+        // batch transaction over the next `plan` pending members.
+        std::size_t done = 0;
+        while (done < members.size()) {
+            const unsigned plan = unsigned(std::min<std::size_t>(
+                members.size() - done, co.k(bsite)));
+            st.inc("batch.batches");
+            st.observe("batch.k", plan);
+
+            unsigned attempts = 0;       // Body entries so far.
+            unsigned served_count = plan; // Members the last attempt ran.
+            bool prev_sw = false;        // Path of the last attempt.
+            bool dirty = false;          // Any abort absorbed?
+            bool first_sw_kill = false;
+            AbortReason first_reason = AbortReason::None;
+            Attempts att;
+            sys.atomic(tc, bsite, [&](TxHandle &h) {
+                att.note(h);
+                if (attempts > 0) {
+                    // Re-execution: the previous attempt aborted.
+                    // Attribute that abort to every member it served.
+                    const unsigned prev_served =
+                        attempts == 1 ? plan : 1;
+                    for (unsigned m = 0; m < prev_served; ++m) {
+                        BatchMember &bm = members[done + m];
+                        if (prev_sw)
+                            ++bm.debtSw;
+                        else
+                            ++bm.debtHw;
+                    }
+                    if (!dirty) {
+                        dirty = true;
+                        first_sw_kill = prev_sw;
+                        first_reason = prev_sw
+                                           ? AbortReason::None
+                                           : sys.lastHwAbortReason(tc);
+                    }
+                }
+                ++attempts;
+                prev_sw = h.path() == TxHandle::Path::Software;
+                // Split on abort: re-executions serve only the first
+                // pending member; the rest re-batch afterwards.
+                served_count = attempts == 1 ? plan : 1;
+                for (unsigned m = 0; m < served_count; ++m)
+                    applyMember(h, *members[done + m].req);
+            });
+
+            if (!dirty) {
+                st.inc("batch.commits");
+                co.onCleanCommit(bsite, att.finalSw);
+            } else {
+                st.inc("batch.aborts");
+                st.inc(std::string("batch.aborts.") +
+                       (first_sw_kill ? "sw"
+                                      : abortReasonName(first_reason)));
+                if (plan > 1)
+                    st.inc("batch.splits");
+                co.onBatchAbort(bsite, first_reason, first_sw_kill);
+            }
+
+            for (unsigned m = 0; m < served_count; ++m) {
+                const BatchMember &bm = members[done + m];
+                st.inc("batch.members");
+                st.inc(std::string("batch.members.") +
+                       reqTypeName(bm.req->type));
+                finishRequest(tc, *bm.req, bm.start, bm.debtHw,
+                              bm.debtSw, sharded, home);
+            }
+            done += served_count;
+        }
+
+        i = j;
+        observeDrainDepth(tc, stream, i, sharded, home);
     }
 }
 

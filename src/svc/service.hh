@@ -18,7 +18,13 @@
  *  - per-request abort attribution: how many hardware and software
  *    aborts each served request absorbed
  *    (`svc.request_aborts[.hw|.sw]`, `svc.aborts_per_request`);
- *  - open-loop admission-queue depth (`svc.queue_depth`);
+ *  - open-loop admission-queue depth (`svc.queue_depth`, observed
+ *    at both the admission and drain edges);
+ *  - with batching enabled (`SvcParams::batch`), coalescing
+ *    outcomes: batches formed, members per batch and per verb,
+ *    splits, and batch-abort attribution (`batch.batches`,
+ *    `batch.members[.<type>]`, `batch.commits`,
+ *    `batch.aborts[.<reason>]`, `batch.splits`, `batch.k`);
  *  - with shards > 1, per-shard routing/queueing and cross-shard
  *    commit/abort attribution (`shard.requests[.<i>]`,
  *    `shard.shed[.<i>]`, `shard.queue_depth.<i>`,
@@ -38,6 +44,7 @@
 #include <vector>
 
 #include "stamp/workload.hh"
+#include "svc/coalescer.hh"
 #include "svc/load_gen.hh"
 #include "svc/sharded_store.hh"
 
@@ -79,6 +86,15 @@ struct SvcParams
      * can separate hot and cold key ranges of the same verb.
      */
     bool siteByKeyRange = false;
+
+    /**
+     * Request coalescing (svc/coalescer.hh): drain up to K
+     * consecutive compatible requests into one transaction, K
+     * adaptive per (verb class, home shard) batch site.  Default off;
+     * the disabled serving path is byte-identical to the unbatched
+     * baseline.
+     */
+    BatchParams batch;
 };
 
 /** The request-serving workload; one simulated thread per client. */
@@ -98,9 +114,42 @@ class KvServiceWorkload final : public Workload
 
   private:
     struct Attempts;
+    struct BatchMember;
 
     void serve(ThreadContext &tc, TxSystem &sys, const Request &r,
                Attempts *att);
+
+    /** The coalesced serving loop (SvcParams::batch.enable). */
+    void threadBodyBatched(ThreadContext &tc, TxSystem &sys, int tid);
+
+    /** Apply one batch member's store operation inside the batch
+     *  transaction (batchable verbs only). */
+    void applyMember(TxHandle &h, const Request &r);
+
+    /** Completion accounting shared by the single and batched paths:
+     *  svc.requests/latency, per-request abort attribution, and the
+     *  sharded counters. */
+    void finishRequest(ThreadContext &tc, const Request &r, Cycles start,
+                       std::uint64_t hwAborts, std::uint64_t swAborts,
+                       bool sharded, unsigned home);
+
+    /** Shed accounting for one open-loop rejection. */
+    void shedOne(ThreadContext &tc, const Request &r, bool sharded,
+                 unsigned home);
+
+    /** This client's backlog: stream entries from @p from (inclusive)
+     *  that are already due at @p now, filtered to @p home's logical
+     *  queue when sharded. */
+    std::uint64_t backlogDepth(const std::vector<Request> &stream,
+                               std::size_t from, Cycles now, bool sharded,
+                               unsigned home) const;
+
+    /** Drain-edge queue-depth observation (open loop): the backlog
+     *  left behind after a completed serve, so the depth histograms
+     *  capture both edges, not just admission. */
+    void observeDrainDepth(ThreadContext &tc,
+                           const std::vector<Request> &stream,
+                           std::size_t next, bool sharded, unsigned home);
 
     /** Home shard of a request (shard of its primary key). */
     unsigned homeShard(const Request &r) const;

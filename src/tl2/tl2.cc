@@ -48,6 +48,7 @@ Tl2::txBegin(ThreadContext &tc)
 {
     TxDesc &tx = txs_[tc.id()];
     utm_assert(!tx.active);
+    UTM_PROF_PHASE(machine_, tc, ProfComp::Tl2, ProfPhase::Begin);
     tx.active = true;
     tx.rv = tc.load(kClockAddr, 8);
     tx.readSet.clear();

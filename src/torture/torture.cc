@@ -11,6 +11,7 @@
 #include "sim/machine.hh"
 #include "sim/oracle.hh"
 #include "sim/rng.hh"
+#include "svc/coalescer.hh"
 #include "svc/sharded_store.hh"
 #include "ustm/ustm.hh"
 
@@ -238,7 +239,207 @@ runTorture(const TortureConfig &cfg)
             std::make_unique<ReplayScheduler>(*cfg.replay));
     m.recordSchedule(cfg.record || cfg.replay);
 
-    for (int t = 0; t < threads && kv; ++t) {
+    // Batched kv variant (cfg.kvBatch): the tmserve coalescer under
+    // adversarial schedules.  Ops are pre-drawn (the batcher looks
+    // ahead, so draws cannot interleave with execution as in the
+    // unbatched loop), then consecutive batchable single-key ops with
+    // the same verb class and home shard run inside one transaction,
+    // with split-on-abort re-execution and adaptive K — every oracle
+    // still armed, shadow publication still per-member in op order.
+    for (int t = 0; t < threads && kv && cfg.kvBatch; ++t) {
+        m.addThread([&, t](ThreadContext &tc) {
+            Rng rng(workloadSeed(cfg.seed, t));
+            const Zipfian zipf(cfg.kvKeyspace, cfg.kvTheta);
+            const bool sharded = cfg.kvShards > 1;
+
+            struct KvOp
+            {
+                int mix;
+                std::uint64_t key, key2, fresh, delta;
+                Cycles adv; ///< Post-op advance (pre-drawn).
+            };
+            std::vector<KvOp> ops;
+            ops.reserve(std::size_t(cfg.opsPerThread));
+            for (int op = 0; op < cfg.opsPerThread; ++op) {
+                KvOp o;
+                o.mix = int(rng.nextBounded(100));
+                o.key = 1 + zipf.sample(rng);
+                o.key2 = 1 + zipf.sample(rng);
+                o.fresh = rng.next() | 1;
+                o.delta = rng.nextBounded(1000);
+                o.adv = o.mix < cfg.kvRawPct
+                            ? 5 + rng.nextBounded(20)
+                            : 10 + rng.nextBounded(40);
+                ops.push_back(o);
+            }
+
+            // Batchable verb class (same single-key thresholds as the
+            // unbatched mix): 0 = read-only GET/SCAN, 1 = update
+            // PUT/RMW, -1 = unbatchable (forced-software op, xfer).
+            const auto classOf = [sharded](const KvOp &o) -> int {
+                if (o.mix < 45)
+                    return 0; // get
+                if (o.mix < (sharded ? 60 : 65))
+                    return 1; // put
+                if (o.mix < (sharded ? 72 : 80))
+                    return 1; // rmw
+                if (o.mix < (sharded ? 82 : 90))
+                    return 0; // scan
+                return -1;
+            };
+
+            auto &mine = pending[t];
+            // One batch member's store op + shadow-pending writes.
+            const auto applyOp = [&](TxHandle &h, const KvOp &o) {
+                const int idx = int(o.key) - 1;
+                if (o.mix < 45) {
+                    std::uint64_t v = 0;
+                    (void)store->get(h, o.key, &v);
+                } else if (o.mix < (sharded ? 60 : 65)) {
+                    store->put(h, o.key, o.fresh);
+                    mine.emplace_back(idx, o.fresh);
+                } else if (o.mix < (sharded ? 72 : 80)) {
+                    std::uint64_t nv = 0;
+                    if (store->rmw(h, o.key, o.delta, &nv))
+                        mine.emplace_back(idx, nv);
+                } else {
+                    store->scan(h, o.key, 4);
+                }
+            };
+
+            // Unbatchable tail ops keep their unbatched form and
+            // per-op-class sites (5 = forced-sw rmw / xfer, 6 =
+            // forced-sw xfer when sharded).
+            const auto runSingle = [&](ThreadContext &tcx,
+                                       const KvOp &o) {
+                if (!sharded) {
+                    sys->atomic(tcx, TxSiteId(5), [&](TxHandle &h) {
+                        mine.clear();
+                        h.requireSoftware();
+                        std::uint64_t nv = 0;
+                        if (store->rmw(h, o.key2, o.delta, &nv))
+                            mine.emplace_back(int(o.key2) - 1, nv);
+                    });
+                    return;
+                }
+                const std::uint64_t xkey =
+                    o.key2 == o.key ? 1 + o.key % cfg.kvKeyspace
+                                    : o.key2;
+                sys->atomic(
+                    tcx, o.mix < 92 ? TxSiteId(5) : TxSiteId(6),
+                    [&](TxHandle &h) {
+                        mine.clear();
+                        if (o.mix >= 92)
+                            h.requireSoftware();
+                        std::uint64_t nf = 0, nt = 0;
+                        if (store->xfer(h, o.key, xkey, o.delta, &nf,
+                                        &nt)) {
+                            mine.emplace_back(int(o.key) - 1, nf);
+                            mine.emplace_back(int(xkey) - 1, nt);
+                        }
+                    });
+            };
+
+            // Batch sites live above the per-op-class sites 1..5/6.
+            svc::BatchParams bp;
+            bp.enable = true;
+            bp.maxBatch = cfg.kvBatchMax;
+            bp.growOnSwCommit = true; // Torture every growth path.
+            svc::Coalescer co(bp, sharded ? TxSiteId(6) : TxSiteId(5),
+                              cfg.kvShards);
+
+            std::size_t i = 0;
+            while (i < ops.size()) {
+                const KvOp &head = ops[i];
+                if (head.mix < cfg.kvRawPct) {
+                    // Raw GET: identical probe to the unbatched loop.
+                    std::uint64_t v = 0;
+                    const bool hit = store->rawGet(tc, head.key, &v);
+                    ++rawReads;
+                    if (checkRaw && rawFlag.empty()) {
+                        if (!hit)
+                            rawFlag = "raw GET missed key " +
+                                      std::to_string(head.key) +
+                                      " (fixed keyspace: chain "
+                                      "structure damaged)";
+                        else if (!history[int(head.key) - 1].count(v))
+                            rawFlag =
+                                "raw GET of key " +
+                                std::to_string(head.key) +
+                                " returned " + std::to_string(v) +
+                                ", never committed for that key "
+                                "(speculative state leaked to a "
+                                "non-transactional read)";
+                    }
+                    tc.advance(head.adv);
+                    ++i;
+                    continue;
+                }
+                const int vc = classOf(head);
+                if (vc < 0) {
+                    runSingle(tc, head);
+                    tc.advance(head.adv);
+                    ++i;
+                    continue;
+                }
+                const unsigned home =
+                    sharded ? store->shardOf(head.key) : 0;
+                const TxSiteId bsite = co.site(vc, home);
+
+                // Form the batch: consecutive batchable ops of the
+                // same class and home shard (raw GETs close it).
+                std::size_t j = i + 1;
+                while (j - i < co.k(bsite) && j < ops.size()) {
+                    const KvOp &cand = ops[j];
+                    if (cand.mix < cfg.kvRawPct || classOf(cand) != vc)
+                        break;
+                    if (sharded && store->shardOf(cand.key) != home)
+                        break;
+                    ++j;
+                }
+
+                // Execute, splitting on abort: re-executions serve
+                // only the first pending member, the rest re-batch.
+                std::size_t done = i;
+                while (done < j) {
+                    const unsigned plan = unsigned(
+                        std::min<std::size_t>(j - done, co.k(bsite)));
+                    unsigned attempts = 0;
+                    unsigned served = plan;
+                    bool prev_sw = false, dirty = false;
+                    bool first_sw = false, final_sw = false;
+                    AbortReason first_reason = AbortReason::None;
+                    sys->atomic(tc, bsite, [&](TxHandle &h) {
+                        if (attempts > 0 && !dirty) {
+                            dirty = true;
+                            first_sw = prev_sw;
+                            first_reason =
+                                prev_sw ? AbortReason::None
+                                        : sys->lastHwAbortReason(tc);
+                        }
+                        ++attempts;
+                        prev_sw =
+                            h.path() == TxHandle::Path::Software;
+                        final_sw = prev_sw;
+                        served = attempts == 1 ? plan : 1;
+                        mine.clear(); // Idempotent across re-execution.
+                        for (unsigned b = 0; b < served; ++b)
+                            applyOp(h, ops[done + b]);
+                    });
+                    if (!dirty)
+                        co.onCleanCommit(bsite, final_sw);
+                    else
+                        co.onBatchAbort(bsite, first_reason, first_sw);
+                    for (unsigned b = 0; b < served; ++b)
+                        tc.advance(ops[done + b].adv);
+                    done += served;
+                }
+                i = j;
+            }
+        });
+    }
+
+    for (int t = 0; t < threads && kv && !cfg.kvBatch; ++t) {
         m.addThread([&, t](ThreadContext &tc) {
             Rng rng(workloadSeed(cfg.seed, t));
             const Zipfian zipf(cfg.kvKeyspace, cfg.kvTheta);

@@ -83,6 +83,17 @@ struct TortureConfig
      * undo-log balance, raw reads) stays armed.
      */
     unsigned kvShards = 1;
+    /**
+     * Coalesce consecutive batchable ops (single-key GET/SCAN and
+     * PUT/RMW runs with the same verb class and home shard) into one
+     * transaction via svc::Coalescer, the tmserve request-coalescing
+     * machinery — multi-member footprints, split-on-abort
+     * re-execution, and adaptive K all under adversarial schedules,
+     * with every oracle still armed.  Raw GETs, forced-software ops,
+     * and transfers stay unbatched.
+     */
+    bool kvBatch = false;
+    unsigned kvBatchMax = 4; ///< Batch-size ceiling when kvBatch is set.
     /** @} */
 
     /**

@@ -110,6 +110,7 @@ Ustm::txBegin(ThreadContext &tc)
         ++tx.depth; // Flattened nesting.
         return;
     }
+    UTM_PROF_PHASE(machine_, tc, ProfComp::Ustm, ProfPhase::Begin);
     // Livelock avoidance: wait until the transaction that killed us
     // has retired before reissuing (Section 4.1).
     if (tx.killerTid >= 0) {

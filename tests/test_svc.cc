@@ -266,6 +266,76 @@ TEST(Service, DoubleRunStatsJsonByteIdentical)
     }
 }
 
+TEST(Service, BatchingServesEveryRequestWithCounterInvariants)
+{
+    SvcParams p = smallParams();
+    p.load.requestsPerClient = 30;
+    p.batch.enable = true;
+    p.batch.maxBatch = 4;
+    p.batch.growOnSwCommit = true;
+    const RunResult res =
+        svc::runService(p, runConfig(TxSystemKind::UfoHybrid, 4));
+    ASSERT_TRUE(res.valid);
+
+    // Coalescing must not change what is served, only how: every
+    // request completes with a latency sample, exactly as unbatched.
+    const std::uint64_t expect = 30u * 4;
+    EXPECT_EQ(res.stat("svc.requests"), expect);
+    EXPECT_EQ(res.hist("svc.latency").samples(), expect);
+
+    // The batch.* family invariants (docs/OBSERVABILITY.md).
+    EXPECT_GT(res.stat("batch.batches"), 0u);
+    EXPECT_EQ(res.stat("batch.commits") + res.stat("batch.aborts"),
+              res.stat("batch.batches"));
+    EXPECT_EQ(res.hist("batch.k").samples(), res.stat("batch.batches"));
+    EXPECT_LE(res.hist("batch.k").max(), p.batch.maxBatch);
+    EXPECT_GE(res.stat("batch.members"), res.stat("batch.batches"));
+    std::uint64_t per_type = 0;
+    for (const auto &[name, value] : res.stats)
+        if (name.rfind("batch.members.", 0) == 0)
+            per_type += value;
+    EXPECT_EQ(per_type, res.stat("batch.members"));
+    EXPECT_LE(res.stat("batch.splits"), res.stat("batch.aborts"));
+    // Only batchable verbs may appear as members.
+    EXPECT_EQ(res.stat("batch.members.xfer"), 0u);
+    EXPECT_EQ(res.stat("batch.members.raw_get"), 0u);
+}
+
+TEST(Service, BatchingOnDoubleRunStatsJsonByteIdentical)
+{
+    // The determinism contract must survive coalescing: with batching
+    // on, two identical runs stay byte-identical for every backend x
+    // scheduler policy (adaptive K is driven only by deterministic
+    // commit/abort events).
+    for (TxSystemKind kind : kAllKinds) {
+        for (SchedPolicy policy : kAllPolicies) {
+            SvcParams p = smallParams();
+            p.load.requestsPerClient = 8;
+            p.batch.enable = true;
+            p.batch.maxBatch = 4;
+            p.batch.growOnSwCommit = true;
+            std::string text[2];
+            for (int run = 0; run < 2; ++run) {
+                RunConfig cfg = runConfig(kind);
+                cfg.machine.sched.policy = policy;
+                cfg.statsJsonPath = ::testing::TempDir() +
+                                    "/utm_svc_batch_det_" +
+                                    std::to_string(run) + ".json";
+                const RunResult res = svc::runService(p, cfg);
+                ASSERT_TRUE(res.valid)
+                    << txSystemKindName(kind) << "/"
+                    << schedPolicyName(policy);
+                text[run] = readWholeFile(cfg.statsJsonPath);
+            }
+            ASSERT_FALSE(text[0].empty());
+            EXPECT_EQ(text[0], text[1])
+                << "stats-JSON diverged across identical batching "
+                << "runs: " << txSystemKindName(kind) << "/"
+                << schedPolicyName(policy);
+        }
+    }
+}
+
 TEST(Service, OpenLoopShedsAtSaturationClosedLoopNever)
 {
     // Arrivals far faster than a software-path service rate: the
@@ -358,6 +428,52 @@ TEST(KvTorture, RecordReplayBitIdentical)
 {
     torture::TortureConfig cfg = kvTortureConfig(
         TxSystemKind::UfoHybrid, SchedPolicy::RandomWalk, 13);
+    cfg.record = true;
+    const auto rec = torture::runTorture(cfg);
+    ASSERT_TRUE(rec.ok()) << rec.oracle << ": " << rec.why;
+    ASSERT_GT(rec.schedule.steps(), 0u);
+
+    torture::TortureConfig replay = cfg;
+    replay.replay = &rec.schedule;
+    const auto rep = torture::runTorture(replay);
+    ASSERT_TRUE(rep.ok()) << rep.oracle << ": " << rep.why;
+    EXPECT_EQ(rep.steps, rec.steps);
+    EXPECT_EQ(rep.cycles, rec.cycles);
+    EXPECT_EQ(rep.commits, rec.commits);
+    EXPECT_EQ(rep.stats, rec.stats);
+}
+
+TEST(KvTorture, BatchedOraclesHoldAndFewerCommitsThanOps)
+{
+    // The coalesced kv loop under every oracle: strong atomicity
+    // (raw reads), the commit-order shadow, and backend invariants
+    // all hold while multi-member transactions commit.  Coalescing
+    // must show up as fewer transactions than ops.
+    for (TxSystemKind kind :
+         {TxSystemKind::UfoHybrid, TxSystemKind::UstmStrong}) {
+        torture::TortureConfig cfg =
+            kvTortureConfig(kind, SchedPolicy::RandomWalk, 21);
+        cfg.kvBatch = true;
+        const auto batched = torture::runTorture(cfg);
+        EXPECT_TRUE(batched.ok()) << txSystemKindName(kind) << ": "
+                                  << batched.oracle << ": "
+                                  << batched.why;
+        EXPECT_GT(batched.rawReads, 0u) << txSystemKindName(kind);
+
+        cfg.kvBatch = false;
+        const auto single = torture::runTorture(cfg);
+        ASSERT_TRUE(single.ok()) << txSystemKindName(kind);
+        EXPECT_LT(batched.commits, single.commits)
+            << txSystemKindName(kind)
+            << ": coalescing never merged a transaction";
+    }
+}
+
+TEST(KvTorture, BatchedRecordReplayBitIdentical)
+{
+    torture::TortureConfig cfg = kvTortureConfig(
+        TxSystemKind::UfoHybrid, SchedPolicy::RandomWalk, 17);
+    cfg.kvBatch = true;
     cfg.record = true;
     const auto rec = torture::runTorture(cfg);
     ASSERT_TRUE(rec.ok()) << rec.oracle << ": " << rec.why;

@@ -272,5 +272,34 @@ TEST(TmTorture, ReleaseStarvation)
     EXPECT_TRUE(res.ok()) << res.oracle << ": " << res.why;
 }
 
+TEST(TmTorture, PctDemotionPhaseLock)
+{
+    // Regression for the third organic find: PCT's starvation-bound
+    // demotion had a *fixed* cadence, and priority scheduling ignores
+    // clocks — so a thread whose otable lock-probe loop has a constant
+    // event count was demoted at the same loop phase every time.
+    // That phase landed inside its row-lock critical section: every
+    // lower-priority thread then burned its whole scheduling window
+    // probing a lock whose holder was parked, and the rotation
+    // repeated forever (no commits, no aborts, no oracle violation —
+    // a silent livelock).  The cycle-jitter fix for the analogous
+    // MinClock phase-lock (ReleaseStarvation above) cannot help here,
+    // because PCT never consults clocks; the fix re-draws the bound
+    // from the policy's own seeded RNG after every demotion.  Exact
+    // original reproducer: ustm-ufo, pct, seed 12, 4 threads x 50
+    // batched kv ops, 4 otable buckets (tmtorture --batch defaults).
+    TortureConfig cfg;
+    cfg.kind = TxSystemKind::UstmStrong;
+    cfg.workload = torture::TortureWorkload::Kv;
+    cfg.kvBatch = true;
+    cfg.threads = 4;
+    cfg.opsPerThread = 50;
+    cfg.seed = 12;
+    cfg.sched.policy = SchedPolicy::Pct;
+    cfg.sched.pctExpectedSteps = 4096;
+    TortureResult res = torture::runTorture(cfg);
+    EXPECT_TRUE(res.ok()) << res.oracle << ": " << res.why;
+}
+
 } // namespace
 } // namespace utm

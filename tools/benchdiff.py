@@ -4,8 +4,8 @@
   benchdiff.py BASELINE CURRENT [--threshold 0.10] [--report PATH]
 
 Rows are matched by their identity fields (benchmark/system/threads/
-series/failover_rate/tx_per_thread, plus mode/request/shards for svc
-rows);
+series/failover_rate/tx_per_thread, plus mode/request/shards/batch_k
+for svc rows);
 the compared metric is `cycles` where a row has one (figure5/figure6
 rows, lower is better), `p99_cycles` (svc latency rows, lower is
 better), else `throughput_tx_per_mcycle` / `throughput_req_per_mcycle`
@@ -24,7 +24,7 @@ import sys
 
 KEY_FIELDS = ("benchmark", "system", "threads", "series",
               "failover_rate", "tx_per_thread", "mode", "request",
-              "shards")
+              "shards", "batch_k")
 
 # (metric, direction): +1 means larger-is-worse, -1 larger-is-better.
 METRICS = (("cycles", 1), ("p99_cycles", 1),

@@ -35,9 +35,9 @@ ABORT_REASONS = [
 # Keep in sync with profCompName()/profPhaseName() in src/sim/prof.cc.
 PROF_COMPONENTS = ["ustm", "btm", "tl2", "hytm", "phtm", "sle", "tm"]
 PROF_PHASES = [
-    "barrier_read", "barrier_write", "commit", "abort_unwind",
-    "stall", "backoff", "retry_wait", "ufo_handler", "otable_walk",
-    "nontx",
+    "begin", "barrier_read", "barrier_write", "commit",
+    "abort_unwind", "stall", "backoff", "retry_wait", "ufo_handler",
+    "otable_walk", "nontx",
 ]
 PROF_CYCLE_NAMES = [f"{c}.{p}" for c in PROF_COMPONENTS
                     for p in PROF_PHASES] + ["app"]
@@ -59,6 +59,11 @@ REASON_FAMILIES = {
     "svc.requests.": SVC_REQ_TYPES,
     "svc.shed.": SVC_REQ_TYPES,
     "svc.latency.": SVC_REQ_TYPES,
+    # A dirty batch is counted once, keyed by its *first* abort's
+    # hardware reason — or the "sw" pseudo-reason for a software-path
+    # kill (src/svc/service.cc, threadBodyBatched).
+    "batch.aborts.": ABORT_REASONS + ["sw"],
+    "batch.members.": SVC_REQ_TYPES,
     "shard.acquires.": SHARD_IDS,
     "shard.chain_inserts.": SHARD_IDS,
     "shard.chain_len.": SHARD_IDS,
@@ -74,6 +79,8 @@ FAMILY_PLACEHOLDERS = {
     "svc.requests.": "svc.requests.<type>",
     "svc.shed.": "svc.shed.<type>",
     "svc.latency.": "svc.latency.<type>",
+    "batch.aborts.": "batch.aborts.<reason>",
+    "batch.members.": "batch.members.<type>",
     "shard.acquires.": "shard.acquires.<shard>",
     "shard.chain_inserts.": "shard.chain_inserts.<shard>",
     "shard.chain_len.": "shard.chain_len.<shard>",
@@ -161,6 +168,8 @@ def check_stats_doc(doc):
                         ("svc.requests.", "svc.requests"),
                         ("svc.shed.", "svc.shed"),
                         ("svc.request_aborts.", "svc.request_aborts"),
+                        ("batch.aborts.", "batch.aborts"),
+                        ("batch.members.", "batch.members"),
                         ("shard.acquires.", "shard.acquires"),
                         ("shard.chain_inserts.", "shard.chain_inserts"),
                         ("shard.requests.", "shard.requests"),
@@ -204,6 +213,28 @@ def check_stats_doc(doc):
                f"{counters.get('tm.failovers.predicted', 0)} != "
                f"pred.predictions.sw="
                f"{counters.get('pred.predictions.sw', 0)}")
+
+    # Request-coalescing accounting: every batch resolves to exactly
+    # one of commit/abort, splits only happen on aborts, each batch
+    # carries at least one member, and the K histogram samples each
+    # batch's planned size exactly once.
+    if counters.get("batch.batches", 0):
+        batches = counters.get("batch.batches", 0)
+        expect(counters.get("batch.commits", 0) +
+               counters.get("batch.aborts", 0) == batches,
+               f"batch.commits+batch.aborts="
+               f"{counters.get('batch.commits', 0) + counters.get('batch.aborts', 0)}"
+               f" != batch.batches={batches}")
+        expect(counters.get("batch.members", 0) >= batches,
+               f"batch.members={counters.get('batch.members', 0)} < "
+               f"batch.batches={batches}")
+        expect(counters.get("batch.splits", 0) <=
+               counters.get("batch.aborts", 0),
+               f"batch.splits={counters.get('batch.splits', 0)} > "
+               f"batch.aborts={counters.get('batch.aborts', 0)}")
+        bk = doc.get("histograms", {}).get("batch.k")
+        expect(isinstance(bk, dict) and bk.get("samples") == batches,
+               f"batch.k histogram samples != batch.batches={batches}")
 
     # svc latency histograms: per-type samples sum to the aggregate,
     # which counts exactly the served requests.
@@ -365,17 +396,21 @@ def check_svc_doc(doc):
     # v1: the original svc_latency document.  v2 adds the xfer request
     # verb and the svc_scaling row family.  v3 adds the svc_predictor
     # A/B document: a `series` row key ("predictor-off"/"predictor-on")
-    # plus pred.* fields on throughput rows (docs/OBSERVABILITY.md has
-    # the migration notes).
+    # plus pred.* fields on throughput rows.  v4 adds the svc_batching
+    # A/B document: a `batch_k` row-identity field (0 on the
+    # batching-off arm) plus batch.* fields on throughput rows
+    # (docs/OBSERVABILITY.md has the migration notes).
     version = doc.get("schema_version")
-    expect(version in (1, 2, 3),
-           f"schema_version is {version!r}, want 1, 2 or 3")
+    expect(version in (1, 2, 3, 4),
+           f"schema_version is {version!r}, want 1, 2, 3 or 4")
     expect(doc.get("bench") in ("svc_latency", "svc_scaling",
-                                "svc_predictor"),
+                                "svc_predictor", "svc_batching"),
            f"bench is {doc.get('bench')!r}, want 'svc_latency', "
-           "'svc_scaling' or 'svc_predictor'")
+           "'svc_scaling', 'svc_predictor' or 'svc_batching'")
     if doc.get("bench") == "svc_predictor":
         expect(version == 3, "svc_predictor requires schema_version 3")
+    if doc.get("bench") == "svc_batching":
+        expect(version == 4, "svc_batching requires schema_version 4")
     rows = doc.get("rows")
     if not isinstance(rows, list) or not rows:
         problems.append("rows missing or empty")
@@ -409,6 +444,7 @@ def check_svc_doc(doc):
     # counts sum to the aggregate.  The series key disambiguates the
     # svc_predictor A/B arms; svc_latency rows carry no series.
     predictor = doc.get("bench") == "svc_predictor"
+    batching = doc.get("bench") == "svc_batching"
     agg = {}
     per_req = {}
     for i, row in enumerate(rows):
@@ -419,6 +455,20 @@ def check_svc_doc(doc):
                                          "predictor-on"),
                    f"rows[{i}]: series is {row.get('series')!r}, want "
                    "'predictor-off' or 'predictor-on'")
+        if batching:
+            expect(row.get("series") in ("batching-off",
+                                         "batching-on"),
+                   f"rows[{i}]: series is {row.get('series')!r}, want "
+                   "'batching-off' or 'batching-on'")
+            expect("batch_k" in row, f"rows[{i}] missing 'batch_k'")
+            if row.get("series") == "batching-off":
+                expect(row.get("batch_k") == 0,
+                       f"rows[{i}]: batching-off arm has batch_k="
+                       f"{row.get('batch_k')!r}, want 0")
+            else:
+                expect(row.get("batch_k", 0) >= 1,
+                       f"rows[{i}]: batching-on arm has batch_k="
+                       f"{row.get('batch_k')!r}, want >= 1")
         group = (row.get("system"), row.get("mode"),
                  row.get("series"))
         if "request" in row:
@@ -453,6 +503,25 @@ def check_svc_doc(doc):
                     expect(preds == 0,
                            f"rows[{i}]: predictor-off arm reports "
                            f"{preds} predictions")
+            if batching:
+                for k in ("batches", "batch_members", "batch_splits",
+                          "batch_aborts",
+                          "begin_commit_cycles_per_req"):
+                    expect(k in row, f"rows[{i}] missing {k!r}")
+                batches = row.get("batches", 0)
+                if row.get("series") == "batching-off":
+                    expect(batches == 0,
+                           f"rows[{i}]: batching-off arm reports "
+                           f"{batches} batches")
+                else:
+                    expect(batches >= 1,
+                           f"rows[{i}]: batching-on arm reports no "
+                           "batches")
+                    expect(row.get("batch_members", 0) >= batches,
+                           f"rows[{i}]: batch_members < batches")
+                expect(row.get("batch_splits", 0) <=
+                       row.get("batch_aborts", 0),
+                       f"rows[{i}]: batch_splits > batch_aborts")
 
     expect(set(agg) == set(per_req),
            f"throughput/latency row groups differ: "

@@ -46,6 +46,7 @@ struct Options
     int ops = 60;
     int cells = 48;
     unsigned kvShards = 1;
+    bool kvBatch = false; ///< Coalesce batchable kv ops (kv workload).
     unsigned otableBuckets = 4;
     std::uint64_t oracleInterval = 1;
     std::uint64_t pctSteps = 1u << 12; ///< ~ observed steps per run.
@@ -138,6 +139,10 @@ usage(const char *argv0)
         "  --shards N           kv-workload store shards (default 1;\n"
         "                       > 1 adds cross-shard transfers to the\n"
         "                       op mix and shards the otable)\n"
+        "  --batch              kv workload: coalesce consecutive\n"
+        "                       batchable ops into one transaction\n"
+        "                       (the tmserve coalescer, adaptive K,\n"
+        "                       split-on-abort; all oracles armed)\n"
         "  --otable-buckets N   otable buckets; small values force\n"
         "                       bucket collisions (default 4)\n"
         "  --oracle-interval N  check oracles every N steps (default 1)\n"
@@ -240,6 +245,8 @@ parseArgs(int argc, char **argv)
             opt.cells = std::atoi(need(i));
         } else if (a == "--shards") {
             opt.kvShards = unsigned(std::atoi(need(i)));
+        } else if (a == "--batch") {
+            opt.kvBatch = true;
         } else if (a == "--otable-buckets") {
             opt.otableBuckets = unsigned(std::atoi(need(i)));
         } else if (a == "--oracle-interval") {
@@ -279,6 +286,7 @@ makeConfig(const Options &opt, torture::TortureWorkload workload,
     cfg.opsPerThread = opt.ops;
     cfg.cells = opt.cells;
     cfg.kvShards = opt.kvShards;
+    cfg.kvBatch = opt.kvBatch;
     cfg.otableBuckets = opt.otableBuckets;
     cfg.seed = seed;
     cfg.sched.policy = policy;
@@ -301,6 +309,8 @@ writeRun(json::Writer &w, const torture::TortureConfig &cfg,
     if (cfg.workload == torture::TortureWorkload::Kv &&
         cfg.kvShards > 1)
         w.kv("shards", std::uint64_t(cfg.kvShards));
+    if (cfg.workload == torture::TortureWorkload::Kv && cfg.kvBatch)
+        w.kv("batch", true);
     w.kv("policy", schedPolicyName(cfg.sched.policy));
     w.kv("seed", cfg.seed);
     w.kv("ok", res.ok());
@@ -377,6 +387,7 @@ main(int argc, char **argv)
     w.kv("threads", opt.threads);
     w.kv("ops_per_thread", opt.ops);
     w.kv("cells", opt.cells);
+    w.kv("kv_batch", opt.kvBatch);
     w.kv("otable_buckets", opt.otableBuckets);
     w.kv("oracle_interval", opt.oracleInterval);
     w.kv("predictor", opt.predictor);
