@@ -108,6 +108,20 @@ benchSched()
     return sc;
 }
 
+/**
+ * Process-wide timeline-export prefix (`--timeline=PREFIX`, parsed by
+ * parseSchedArgs).  When set, every simulated run writes a
+ * `ufotm-timeline` document to PREFIX.<run#>.json, numbered in run
+ * order.  Empty = telemetry off (the default; bench baselines are
+ * byte-identical with telemetry off).
+ */
+inline std::string &
+benchTimelinePrefix()
+{
+    static std::string prefix;
+    return prefix;
+}
+
 inline void
 parseSchedArgs(int argc, char **argv)
 {
@@ -119,6 +133,8 @@ parseSchedArgs(int argc, char **argv)
                              argv[i] + 8);
                 std::exit(2);
             }
+        } else if (!std::strncmp(argv[i], "--timeline=", 11)) {
+            benchTimelinePrefix() = argv[i] + 11;
         }
     }
 }
@@ -129,6 +145,12 @@ baseRunConfig()
 {
     RunConfig cfg;
     cfg.machine.sched = benchSched();
+    if (!benchTimelinePrefix().empty()) {
+        static unsigned run = 0;
+        cfg.timelinePath =
+            benchTimelinePrefix() + "." + std::to_string(run++) +
+            ".json";
+    }
     return cfg;
 }
 

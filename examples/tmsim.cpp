@@ -43,6 +43,8 @@ struct Options
     std::string statsPrefix;
     std::string statsJsonPath;
     std::string tracePath;
+    std::string timelinePath;
+    Cycles timelineWindow = 0; // 0 = TelemetryConfig default
     bool listAndExit = false;
 };
 
@@ -83,6 +85,9 @@ usage(const char *argv0, int code)
         "      --stats-json PATH  write the stats-JSON document\n"
         "                         (docs/OBSERVABILITY.md; - = stdout)\n"
         "      --trace PATH       write a chrome://tracing trace\n"
+        "      --timeline PATH    write the ufotm-timeline document\n"
+        "                         (docs/OBSERVABILITY.md; - = stdout)\n"
+        "      --timeline-window N  timeline window width in cycles\n"
         "      --list             list workloads and systems\n",
         argv0);
     std::exit(code);
@@ -129,6 +134,12 @@ parse(int argc, char **argv)
             o.tracePath = need(a);
         else if (!std::strncmp(a, "--trace=", 8))
             o.tracePath = a + 8;
+        else if (!std::strcmp(a, "--timeline"))
+            o.timelinePath = need(a);
+        else if (!std::strncmp(a, "--timeline=", 11))
+            o.timelinePath = a + 11;
+        else if (!std::strcmp(a, "--timeline-window"))
+            o.timelineWindow = std::strtoull(need(a), nullptr, 0);
         else if (!std::strcmp(a, "--list"))
             o.listAndExit = true;
         else if (!std::strcmp(a, "-h") || !std::strcmp(a, "--help"))
@@ -254,11 +265,14 @@ main(int argc, char **argv)
     cfg.scale = o.scale;
     cfg.statsJsonPath = o.statsJsonPath;
     cfg.tracePath = o.tracePath;
+    cfg.timelinePath = o.timelinePath;
+    if (o.timelineWindow)
+        cfg.machine.telemetry.windowCycles = o.timelineWindow;
 
     RunResult r = runWorkload(*w, cfg);
 
-    // With --stats-json=- the JSON document owns stdout.
-    if (o.statsJsonPath == "-")
+    // With --stats-json=- or --timeline=- the document owns stdout.
+    if (o.statsJsonPath == "-" || o.timelinePath == "-")
         return r.valid ? 0 : 1;
 
     std::printf("workload      : %s\n", o.workload.c_str());

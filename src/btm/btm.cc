@@ -149,7 +149,7 @@ BtmUnit::rollback(bool invalidate_writes)
 }
 
 void
-BtmUnit::wound(AbortReason r, ThreadId killer)
+BtmUnit::wound(AbortReason r, ThreadId killer, LineAddr line)
 {
     utm_assert(inTx_);
     if (doomed_)
@@ -162,7 +162,16 @@ BtmUnit::wound(AbortReason r, ThreadId killer)
     doomReason_ = r;
     doomAddr_ = 0;
     machine_.stats().inc("btm.wounds");
-    (void)killer;
+    if (machine_.telemetry().enabled()) {
+        ConflictEdge e;
+        e.aggressor = killer;
+        if (killer >= 0 && killer < machine_.numThreads())
+            e.aggressorSite = machine_.thread(killer).currentSite();
+        e.victim = tc_.id();
+        e.victimSite = tc_.currentSite();
+        e.line = line;
+        machine_.telemetry().recordConflictEdge("btm", e);
+    }
 }
 
 void
@@ -238,8 +247,12 @@ BtmUnit::onUfoFault(Addr a, AccessType t)
     }
 
     const auto &policy = machine_.memsys().btmPolicy();
-    if (policy.ufoFaultResponse == BtmPolicy::UfoFaultResponse::Abort)
+    if (policy.ufoFaultResponse == BtmPolicy::UfoFaultResponse::Abort) {
+        // Causal edge: the software transaction whose UFO protection
+        // trapped us is the aggressor (resolved via the otable).
+        machine_.telemetry().onUfoTrapEdge(tc_, line);
         raiseAbort(AbortReason::UfoFault, a);
+    }
 
     // Stall policy (Figure 8, bar 3): hold the access until the STM
     // clears the protection, aborting only if wounded meanwhile.

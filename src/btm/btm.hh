@@ -83,7 +83,7 @@ class BtmUnit : public BtmClient
     std::uint64_t txAge() const override { return age_; }
     bool unbounded() const override { return unbounded_; }
     bool wroteLine(LineAddr line) const override;
-    void wound(AbortReason r, ThreadId killer) override;
+    void wound(AbortReason r, ThreadId killer, LineAddr line) override;
     void onUfoFault(Addr a, AccessType t) override;
     void onTxAccess(Addr a, unsigned size, AccessType t) override;
     [[noreturn]] void onCapacityOverflow(LineAddr line) override;

@@ -180,6 +180,7 @@ TxSystem::commitAttempt(ThreadContext &tc)
 void
 TxSystem::abortAttempt(ThreadContext &tc)
 {
+    machine_.telemetry().onAbort(tc.id());
     DeferredActions &d = deferred_[tc.id()];
     // Compensation runs newest-first (like scope unwinding).
     for (auto it = d.abort.rbegin(); it != d.abort.rend(); ++it)

@@ -188,6 +188,7 @@ class TxSystem
     void
     atomic(ThreadContext &tc, const Body &body)
     {
+        AtomicSiteGuard guard(tc, kTxSiteNone);
         atomicAt(tc, kTxSiteNone, body);
     }
 
@@ -202,6 +203,7 @@ class TxSystem
     void
     atomic(ThreadContext &tc, TxSiteId site, const Body &body)
     {
+        AtomicSiteGuard guard(tc, site);
         atomicAt(tc, site, body);
     }
 
@@ -258,6 +260,27 @@ class TxSystem
              const TmPolicy &policy);
 
     friend class TxHandle;
+
+    /**
+     * Marks @p tc as inside an atomic section for its whole dynamic
+     * extent (across every retry), labelled with the outermost site.
+     * Exception-safe, so the telemetry bus (sim/telemetry.hh) can
+     * attribute conflict edges and watchdog state by site even while
+     * an abort unwinds.
+     */
+    struct AtomicSiteGuard
+    {
+        AtomicSiteGuard(ThreadContext &tc, TxSiteId site) : tc_(tc)
+        {
+            tc_.pushAtomicSite(site);
+        }
+        ~AtomicSiteGuard() { tc_.popAtomicSite(); }
+        AtomicSiteGuard(const AtomicSiteGuard &) = delete;
+        AtomicSiteGuard &operator=(const AtomicSiteGuard &) = delete;
+
+      private:
+        ThreadContext &tc_;
+    };
 
     /** Per-attempt deferred/compensating actions (paper Section 6). */
     struct DeferredActions

@@ -241,7 +241,7 @@ MemorySystem::resolveSpecConflicts(ThreadContext &tc, LineAddr line,
         if (requester_wins) {
             if (!vc->doomed())
                 machine_.contention().btmHotLines().observe(line);
-            vc->wound(reason, self);
+            vc->wound(reason, self, line);
         } else {
             return false; // NACKed; retry after the delay.
         }
@@ -374,7 +374,7 @@ MemorySystem::ufoSet(ThreadContext &tc, LineAddr line, UfoBits bits)
             }
             if (!vc->doomed())
                 machine_.contention().btmHotLines().observe(line);
-            vc->wound(AbortReason::UfoBitSet, tc.id());
+            vc->wound(AbortReason::UfoBitSet, tc.id(), line);
         }
     }
 

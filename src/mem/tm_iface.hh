@@ -120,10 +120,12 @@ class BtmClient
     /**
      * Synchronously abort this transaction from another thread's
      * action: restore the undo log, release speculative state, record
-     * the reason.  The victim's fiber observes the doom at its next
-     * simulation event and unwinds via takePendingAbort().
+     * the reason.  @p line is the conflicting cache line (telemetry
+     * conflict-edge attribution).  The victim's fiber observes the
+     * doom at its next simulation event and unwinds via
+     * takePendingAbort().
      */
-    virtual void wound(AbortReason r, ThreadId killer) = 0;
+    virtual void wound(AbortReason r, ThreadId killer, LineAddr line) = 0;
 
     /** A UFO fault hit a transactional access: abort or stall. */
     virtual void onUfoFault(Addr a, AccessType t) = 0;

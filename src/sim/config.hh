@@ -15,6 +15,7 @@
 #include <string>
 
 #include "sim/scheduler.hh"
+#include "sim/telemetry.hh"
 #include "sim/types.hh"
 
 namespace utm {
@@ -60,6 +61,11 @@ struct MachineConfig
 
     /** Scheduling policy (sim/scheduler.hh); MinClock by default. */
     SchedulerConfig sched;
+
+    /** Windowed timeline telemetry (sim/telemetry.hh); off by
+     *  default, in which case every hook is a single branch and all
+     *  outputs are byte-identical to a pre-telemetry build. */
+    TelemetryConfig telemetry;
 
     /** USTM ownership-table bucket count (paper: 65536).  With
      *  sharding this is the bucket count of *each* shard's otable. */

@@ -11,6 +11,7 @@ namespace utm {
 Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
 {
     utm_assert(cfg_.numCores >= 1 && cfg_.numCores < kMaxThreads);
+    telemetry_.configure(*this, cfg_.telemetry);
     msys_ = std::make_unique<MemorySystem>(*this, cfg_);
 }
 
@@ -80,6 +81,7 @@ Machine::run()
             lastPick_ = pick;
             ++steps_;
             threads_[pick]->resume();
+            telemetry_.onStep(pick, threads_[pick]->now());
             if (!oracles_.empty() && steps_ % oracleInterval_ == 0)
                 runOracles();
         }
@@ -95,6 +97,7 @@ Machine::run()
     stats_.set("sched.preemptions", preemptions_);
     if (oracleChecks_)
         stats_.set("torture.oracle_checks", oracleChecks_);
+    telemetry_.finalize();
     running_ = false;
 }
 

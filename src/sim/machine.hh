@@ -27,6 +27,7 @@
 #include "sim/prof.hh"
 #include "sim/scheduler.hh"
 #include "sim/stats.hh"
+#include "sim/telemetry.hh"
 #include "sim/thread_context.hh"
 #include "sim/trace.hh"
 #include "sim/types.hh"
@@ -102,6 +103,7 @@ class Machine
     void
     notifyCommitPoint(ThreadContext &tc)
     {
+        telemetry_.onCommit(tc.id());
         if (commitPublish_)
             commitPublish_(tc);
     }
@@ -127,6 +129,7 @@ class Machine
     TxTracer &tracer() { return tracer_; }
     CycleProfiler &profiler() { return prof_; }
     ContentionTracker &contention() { return contention_; }
+    TelemetryBus &telemetry() { return telemetry_; }
 
     int numThreads() const { return static_cast<int>(threads_.size()); }
     ThreadContext &thread(ThreadId t) { return *threads_.at(t); }
@@ -143,6 +146,7 @@ class Machine
     TxTracer tracer_;
     CycleProfiler prof_;
     ContentionTracker contention_;
+    TelemetryBus telemetry_;
     std::unique_ptr<MemorySystem> msys_;
     std::vector<std::unique_ptr<ThreadContext>> threads_;
     std::unique_ptr<ThreadContext> initCtx_;

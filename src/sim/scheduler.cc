@@ -168,7 +168,8 @@ class PctScheduler final : public SchedulerPolicy
     PctScheduler(const SchedulerConfig &cfg, std::uint64_t seed)
         : rng_(seed),
           bound_(cfg.starvationBound ? cfg.starvationBound : 1),
-          curBound_(bound_)
+          curBound_(bound_),
+          fixedBound_(cfg.testOnlyFixedPctBound)
     {
         for (int t = 0; t < kMaxThreads; ++t)
             order_[t] = static_cast<ThreadId>(t);
@@ -199,7 +200,8 @@ class PctScheduler final : public SchedulerPolicy
         if (view.n > 1 && last_ >= 0 && streak_ >= curBound_) {
             demote(last_);
             ++demotions_;
-            curBound_ = bound_ + rng_.nextBounded(bound_);
+            if (!fixedBound_)
+                curBound_ = bound_ + rng_.nextBounded(bound_);
         }
         ThreadId choice = -1;
         for (int t = 0; t < kMaxThreads && choice < 0; ++t)
@@ -232,6 +234,7 @@ class PctScheduler final : public SchedulerPolicy
     Rng rng_;
     unsigned bound_;
     unsigned curBound_;
+    bool fixedBound_;
     std::array<ThreadId, kMaxThreads> order_;
     std::vector<std::uint64_t> changePoints_;
     std::size_t nextPoint_ = 0;

@@ -91,6 +91,14 @@ struct SchedulerConfig
      * waits (stall polls, victim-unwind loops) still terminate.
      */
     unsigned starvationBound = 256;
+
+    /**
+     * Test-only: keep the PCT starvation bound fixed instead of
+     * re-drawing it after each demotion, re-creating the phase-locked
+     * demotion livelock tmtorture pinned (PctDemotionPhaseLock) so
+     * the stall watchdog can be proven against it.
+     */
+    bool testOnlyFixedPctBound = false;
 };
 
 /** What a policy sees when asked for the next thread. */

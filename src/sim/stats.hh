@@ -45,6 +45,13 @@ class Histogram
         return i == 0 ? 0 : (std::uint64_t(1) << i) - 1;
     }
 
+    /** Lower bound (inclusive) of bucket @p i's value range. */
+    static std::uint64_t
+    bucketLowerBound(int i)
+    {
+        return i == 0 ? 0 : std::uint64_t(1) << (i - 1);
+    }
+
     /** Bucketed quantile (upper bound of the bucket holding @p q). */
     std::uint64_t quantile(double q) const;
 

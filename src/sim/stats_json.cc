@@ -26,12 +26,15 @@ emitHistogram(json::Writer &w, const Histogram &h)
     w.kv("p90", h.quantile(0.90));
     w.kv("p99", h.quantile(0.99));
     // Power-of-two buckets; only the non-empty ones are emitted.
-    // "le" is the inclusive upper bound of the bucket's value range.
+    // "lo"/"le" are the inclusive lower/upper bounds of the bucket's
+    // value range — without "lo" a sparse bucket list is ambiguous
+    // (consumers had to re-derive the geometry from the "le" chain).
     w.key("buckets").beginArray();
     for (int b = 0; b < Histogram::kBuckets; ++b) {
         if (h.bucketCount(b) == 0)
             continue;
         w.beginObject();
+        w.kv("lo", Histogram::bucketLowerBound(b));
         w.kv("le", Histogram::bucketUpperBound(b));
         w.kv("count", h.bucketCount(b));
         w.endObject();

@@ -114,6 +114,28 @@ class ThreadContext
     void resume();
     /** @} */
 
+    /** @name Atomic-section bookkeeping (telemetry attribution).
+     *  Maintained by the RAII guard in TxSystem::atomic(): the
+     *  outermost atomic section's site labels the whole nest. @{ */
+    bool inAtomic() const { return atomicDepth_ > 0; }
+    TxSiteId currentSite() const
+    {
+        return atomicDepth_ > 0 ? currentSite_ : kTxSiteNone;
+    }
+    void
+    pushAtomicSite(TxSiteId site)
+    {
+        if (atomicDepth_++ == 0)
+            currentSite_ = site;
+    }
+    void
+    popAtomicSite()
+    {
+        if (--atomicDepth_ == 0)
+            currentSite_ = kTxSiteNone;
+    }
+    /** @} */
+
   private:
     Machine &machine_;
     ThreadId id_;
@@ -126,6 +148,8 @@ class ThreadContext
     std::unique_ptr<Fiber> fiber_;
     Rng rng_;
     BtmClient *btm_ = nullptr;
+    int atomicDepth_ = 0;
+    TxSiteId currentSite_ = kTxSiteNone;
 };
 
 } // namespace utm

@@ -29,6 +29,8 @@ runWorkload(Workload &w, const RunConfig &cfg)
 {
     MachineConfig mc = cfg.machine;
     mc.numCores = std::max(mc.numCores, cfg.threads);
+    if (!cfg.timelinePath.empty())
+        mc.telemetry.enabled = true;
 
     Machine machine(mc);
     TxHeap heap(machine);
@@ -74,6 +76,12 @@ runWorkload(Workload &w, const RunConfig &cfg)
                               machine.tracer().dumpChromeTrace()))
             utm_panic("cannot write trace to '%s'",
                       cfg.tracePath.c_str());
+    }
+    if (!cfg.timelinePath.empty()) {
+        if (!stats::writeFile(cfg.timelinePath,
+                              machine.telemetry().dumpJson()))
+            utm_panic("cannot write timeline to '%s'",
+                      cfg.timelinePath.c_str());
     }
     return res;
 }

@@ -83,6 +83,13 @@ struct RunConfig
 
     /** When non-empty, write a chrome://tracing trace here. */
     std::string tracePath;
+
+    /**
+     * When non-empty, enable the timeline telemetry bus
+     * (machine.telemetry overrides apply) and write the
+     * `ufotm-timeline` v1 document here.  "-" writes to stdout.
+     */
+    std::string timelinePath;
 };
 
 /** One benchmark run's outcome. */

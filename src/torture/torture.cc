@@ -128,6 +128,29 @@ class BackendOracle final : public InvariantOracle
     TxSystem &sys_;
 };
 
+/** Surfaces the telemetry stall watchdog (sim/telemetry.hh) as a
+ *  torture oracle: the run is violated as soon as the watchdog flags
+ *  a livelock/starvation episode. */
+class StallWatchdogOracle final : public InvariantOracle
+{
+  public:
+    explicit StallWatchdogOracle(Machine &m) : m_(m) {}
+
+    const char *name() const override { return "stall-watchdog"; }
+
+    bool check(std::string *why) override
+    {
+        if (!m_.telemetry().stallFlagged())
+            return true;
+        if (why)
+            *why = m_.telemetry().stallWhy();
+        return false;
+    }
+
+  private:
+    Machine &m_;
+};
+
 } // namespace
 
 TortureResult
@@ -145,6 +168,13 @@ runTorture(const TortureConfig &cfg)
     mc.seed = cfg.seed;
     mc.sched = cfg.sched;
     mc.otableBuckets = cfg.otableBuckets;
+    if (cfg.timeline || cfg.watchdog) {
+        mc.telemetry.enabled = true;
+        if (cfg.timelineWindow)
+            mc.telemetry.windowCycles = cfg.timelineWindow;
+        if (cfg.watchdogWindows)
+            mc.telemetry.watchdogWindows = cfg.watchdogWindows;
+    }
     const bool kv_cfg = cfg.workload == TortureWorkload::Kv;
     if (kv_cfg && cfg.kvShards > 1)
         mc.otableShards = cfg.kvShards;
@@ -226,13 +256,17 @@ runTorture(const TortureConfig &cfg)
     BackendOracle backendOracle(*sys);
     ShadowOracle shadowOracle(m, *sys, addrs, shadow);
     HostFlagOracle rawOracle("raw-read", rawFlag);
+    StallWatchdogOracle stallOracle(m);
     if (cfg.oraclesEnabled) {
         m.addOracle(&backendOracle);
         m.addOracle(&shadowOracle);
         if (kv)
             m.addOracle(&rawOracle);
-        m.setOracleInterval(cfg.oracleInterval);
     }
+    if (cfg.watchdog)
+        m.addOracle(&stallOracle);
+    if (cfg.oraclesEnabled || cfg.watchdog)
+        m.setOracleInterval(cfg.oracleInterval);
 
     if (cfg.replay)
         m.setSchedulerPolicy(
@@ -639,6 +673,14 @@ runTorture(const TortureConfig &cfg)
         res.why = v.why;
         res.violationStep = v.step;
     }
+
+    // run() finalizes the telemetry bus on a clean exit; after a
+    // violation unwound run(), finalize here (idempotent, no-op when
+    // telemetry is off) so the timeline and the conflict./watchdog.
+    // counters cover the abandoned partial run too.
+    m.telemetry().finalize();
+    if (cfg.timeline)
+        res.timeline = m.telemetry().dumpJson();
 
     res.steps = m.schedSteps();
     res.cycles = m.completionTime();

@@ -124,6 +124,23 @@ struct TortureConfig
      * "backend-invariants" violation.
      */
     bool injectLockstepBug = false;
+
+    /** @name Timeline telemetry + stall watchdog (sim/telemetry.hh).
+     * @{ */
+    /** Enable the telemetry bus and return its `ufotm-timeline`
+     *  document in TortureResult::timeline (captured even when the run
+     *  is cut short by an oracle violation). */
+    bool timeline = false;
+    /** Window width in cycles; 0 = TelemetryConfig default. */
+    Cycles timelineWindow = 0;
+    /** Arm the "stall-watchdog" oracle: the run is reported violated
+     *  when the telemetry watchdog flags a livelock/starvation
+     *  episode.  Implies the telemetry bus (not timeline export). */
+    bool watchdog = false;
+    /** Watchdog threshold in consecutive commitless windows;
+     *  0 = TelemetryConfig default. */
+    unsigned watchdogWindows = 0;
+    /** @} */
 };
 
 /** Outcome of one torture run. */
@@ -142,6 +159,7 @@ struct TortureResult
 
     ScheduleTrace schedule; ///< Recorded schedule (when recording).
     std::map<std::string, std::uint64_t> stats; ///< Final counter map.
+    std::string timeline; ///< ufotm-timeline doc (cfg.timeline only).
 
     bool ok() const { return !violated && validated; }
 };

@@ -1,6 +1,7 @@
 #include "ustm/ustm.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 
 #include "mem/memory_system.hh"
@@ -86,6 +87,15 @@ Ustm::setup(ThreadContext &init)
                 wakeRetryers(tokens);
             };
         machine_.memsys().setRetryWakeupHooks(std::move(hooks));
+    }
+    // Telemetry: resolve which software transactions own a line when
+    // a hardware transaction traps on its UFO protection (the
+    // aggressor side of the hybrid's UFO-trap conflict edge).
+    if (machine_.telemetry().enabled()) {
+        machine_.telemetry().setOwnerResolver(
+            [this](ThreadContext &, LineAddr line) {
+                return peekOwners(line);
+            });
     }
 }
 
@@ -535,7 +545,7 @@ Ustm::resolveConflict(ThreadContext &tc, TxDesc &tx,
 {
     machine_.stats().inc("ustm.conflicts");
     machine_.contention().ustmHotLines().observe(line);
-    if (killOwners(tc, owners, tx.age, &tx))
+    if (killOwners(tc, owners, tx.age, &tx, line))
         return; // All younger conflictors were killed; retry.
 
     // Some conflictor is older: stall until the entry changes (or
@@ -555,7 +565,7 @@ Ustm::resolveConflict(ThreadContext &tc, TxDesc &tx,
 
 bool
 Ustm::killOwners(ThreadContext &tc, std::uint64_t owners,
-                 std::uint64_t my_age, TxDesc *me)
+                 std::uint64_t my_age, TxDesc *me, LineAddr line)
 {
     const ThreadId self = tc.id();
 
@@ -590,6 +600,8 @@ Ustm::killOwners(ThreadContext &tc, std::uint64_t owners,
             ot.killedAge = ot.age;
             ot.killerTid = me ? self : -1;
             ot.killerAge = me ? me->age : 0;
+            ot.aggrSite = tc.currentSite();
+            ot.aggrLine = line;
             victims[n_victims++] = {static_cast<ThreadId>(o), ot.age};
             machine_.stats().inc(
                 ot.status == TxDesc::Status::Retrying
@@ -659,7 +671,11 @@ Ustm::releaseEntry(ThreadContext &tc, TxDesc &tx,
     Cycles wait_start = 0;
     for (;;) {
         std::uint64_t w0 = tc.load(head, 8);
-        if (Otable::locked(w0) || !lockRow(tc, head, w0)) {
+        // Stall-injection hook: pretend the row lock is perpetually
+        // contended, reproducing the ReleaseStarvation livelock's
+        // steady state (see UstmPolicy::testOnlyStarveReleaseEntry).
+        if (policy_.testOnlyStarveReleaseEntry || Otable::locked(w0) ||
+            !lockRow(tc, head, w0)) {
             if (!waited) {
                 waited = true;
                 wait_start = tc.now();
@@ -819,6 +835,19 @@ Ustm::unwindAbort(ThreadContext &tc, TxDesc &tx, const char *why)
     tx.status = TxDesc::Status::Aborting;
     machine_.stats().inc("ustm.aborts");
     machine_.stats().inc(std::string("ustm.aborts.") + why);
+    // Telemetry edge, victim-side, for genuine conflict kills only
+    // (retry_wakeup is a cooperative wakeup, not a conflict) — keeps
+    // conflict.edges.ustm a lower bound on ustm.aborts.
+    if (machine_.telemetry().enabled() &&
+        std::strcmp(why, "killed") == 0) {
+        ConflictEdge e;
+        e.aggressor = tx.killerTid;
+        e.aggressorSite = tx.aggrSite;
+        e.victim = tc.id();
+        e.victimSite = tc.currentSite();
+        e.line = tx.aggrLine;
+        machine_.telemetry().recordConflictEdge("ustm", e);
+    }
     UTM_TRACE_EVENT(machine_, tc, TraceEvent::TxAbort,
                     TracePath::Software, AbortReason::Conflict);
     // Eager versioning: restore logged values, newest first, before
@@ -1118,7 +1147,7 @@ Ustm::nonTFaultHandler(ThreadContext &tc, Addr a, AccessType t)
         tc.yield();
         return;
     }
-    killOwners(tc, owners, /*my_age=*/0, /*me=*/nullptr);
+    killOwners(tc, owners, /*my_age=*/0, /*me=*/nullptr, line);
 }
 
 } // namespace utm

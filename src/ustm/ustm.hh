@@ -63,6 +63,19 @@ struct UstmPolicy
     NonTFault nonTFault = NonTFault::Stall;
     Cycles stallPoll = 20;   ///< Poll interval while stalled.
     Cycles lockBackoff = 10; ///< Backoff after losing an otable race.
+
+    /**
+     * Test-only stall injection: releaseEntry() behaves as if its
+     * row-lock acquisition always loses — the steady state the
+     * historic ReleaseStarvation livelock converged to (acquirers'
+     * fixed-cadence probes phase-locked over the releaser's
+     * load-to-CAS window, so the releaser never won the row lock; see
+     * tests/test_tmtorture.cc).  The releasing thread spins forever,
+     * its killers park in the victim-unwind wait, and no thread
+     * commits again — exactly the signature the stall watchdog
+     * (sim/telemetry.hh) must flag.
+     */
+    bool testOnlyStarveReleaseEntry = false;
 };
 
 /** The USTM runtime shared by all threads of one machine. */
@@ -227,6 +240,12 @@ class Ustm
         std::uint64_t killedAge = 0; ///< == age means: die.
         ThreadId killerTid = -1;
         std::uint64_t killerAge = 0;
+        /** @name Telemetry conflict-edge stash, written by the killer
+         *  in killOwners() and consumed victim-side in unwindAbort()
+         *  when the kill is taken. @{ */
+        TxSiteId aggrSite = kTxSiteNone;
+        LineAddr aggrLine = 0;
+        /** @} */
         std::vector<Owned> owned;
         std::unordered_map<LineAddr, std::size_t> ownedIndex;
         std::vector<UndoRec> undo;
@@ -256,10 +275,11 @@ class Ustm
 
     /** Kill every active transaction in @p owners younger than
      *  @p my_age (~0 for non-transactional requesters) and wait for
-     *  each victim to unwind. Returns false if some victim was older
-     *  (caller must stall instead). */
+     *  each victim to unwind. @p line is the conflicting line
+     *  (telemetry edge attribution). Returns false if some victim was
+     *  older (caller must stall instead). */
     bool killOwners(ThreadContext &tc, std::uint64_t owners,
-                    std::uint64_t my_age, TxDesc *me);
+                    std::uint64_t my_age, TxDesc *me, LineAddr line);
 
     void record(TxDesc &tx, LineAddr line, Addr entry, bool write);
 

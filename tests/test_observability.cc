@@ -101,14 +101,18 @@ TEST(StatsJson, HistogramQuantilesAndBuckets)
     EXPECT_NE(doc.find("\"sum\":104"), std::string::npos) << doc;
     EXPECT_NE(doc.find("\"p50\":3"), std::string::npos) << doc;
     EXPECT_NE(doc.find("\"p99\":3"), std::string::npos) << doc;
-    // Only non-empty buckets are emitted.
-    EXPECT_NE(doc.find("{\"le\":1,\"count\":1}"), std::string::npos)
+    // Only non-empty buckets are emitted, each carrying its
+    // inclusive [lo, le] range.
+    EXPECT_NE(doc.find("{\"lo\":1,\"le\":1,\"count\":1}"),
+              std::string::npos)
         << doc;
-    EXPECT_NE(doc.find("{\"le\":3,\"count\":1}"), std::string::npos)
+    EXPECT_NE(doc.find("{\"lo\":2,\"le\":3,\"count\":1}"),
+              std::string::npos)
         << doc;
-    EXPECT_NE(doc.find("{\"le\":127,\"count\":1}"), std::string::npos)
+    EXPECT_NE(doc.find("{\"lo\":64,\"le\":127,\"count\":1}"),
+              std::string::npos)
         << doc;
-    EXPECT_EQ(doc.find("{\"le\":0,"), std::string::npos) << doc;
+    EXPECT_EQ(doc.find("\"le\":0,"), std::string::npos) << doc;
 }
 
 // --------------------------------------------------------- TxTracer

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Tests for the timeline telemetry bus (src/sim/telemetry.{hh,cc})
+ * via the torture harness:
+ *
+ *  - double-run byte-identity of the `ufotm-timeline` document for
+ *    every TxSystemKind x scheduler policy (the same determinism
+ *    gate every other stats surface has);
+ *  - zero-cost-off: with telemetry disabled the run emits no
+ *    conflict.* / watchdog.* counters and no timeline, and enabling
+ *    it perturbs neither timing nor any shared counter;
+ *  - conflict forensics: the conflict.edges counters obey the
+ *    documented identities (edges = btm + ustm; each side bounded by
+ *    its backend's abort/wound counters);
+ *  - stall watchdog: fires on both pinned livelock schedules with
+ *    the historical pathologies re-injected (ReleaseStarvation via
+ *    UstmPolicy::testOnlyStarveReleaseEntry, PctDemotionPhaseLock
+ *    via SchedulerConfig::testOnlyFixedPctBound), and stays silent
+ *    on the same schedules healthy — at identical thresholds;
+ *  - histogram JSON buckets carry their inclusive lower bound.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/tx_system.hh"
+#include "sim/scheduler.hh"
+#include "sim/stats.hh"
+#include "sim/stats_json.hh"
+#include "torture/torture.hh"
+
+namespace utm {
+namespace {
+
+using torture::TortureConfig;
+using torture::TortureResult;
+
+/** Small-but-contended config that keeps each run under a second. */
+TortureConfig
+smallConfig(TxSystemKind kind, SchedPolicy policy, std::uint64_t seed)
+{
+    TortureConfig cfg;
+    cfg.kind = kind;
+    cfg.threads = 4;
+    cfg.opsPerThread = 20;
+    cfg.cells = 24;
+    cfg.seed = seed;
+    cfg.sched.policy = policy;
+    cfg.sched.pctExpectedSteps = 1u << 11;
+    return cfg;
+}
+
+constexpr TxSystemKind kAllKinds[] = {
+    TxSystemKind::NoTm,       TxSystemKind::UnboundedHtm,
+    TxSystemKind::UfoHybrid,  TxSystemKind::HyTm,
+    TxSystemKind::PhTm,       TxSystemKind::Ustm,
+    TxSystemKind::UstmStrong, TxSystemKind::Tl2,
+};
+
+constexpr SchedPolicy kAllPolicies[] = {
+    SchedPolicy::MinClock, SchedPolicy::MaxClock,
+    SchedPolicy::RandomWalk, SchedPolicy::Pct, SchedPolicy::RoundRobin,
+};
+
+/** The exact TmTorture.ReleaseStarvation reproducer config. */
+TortureConfig
+releaseStarvationConfig()
+{
+    TortureConfig cfg;
+    cfg.kind = TxSystemKind::Ustm;
+    cfg.threads = 4;
+    cfg.opsPerThread = 60;
+    cfg.cells = 48;
+    cfg.otableBuckets = 4;
+    cfg.seed = 4;
+    cfg.sched.policy = SchedPolicy::MinClock;
+    return cfg;
+}
+
+/** The exact TmTorture.PctDemotionPhaseLock reproducer config. */
+TortureConfig
+pctDemotionConfig()
+{
+    TortureConfig cfg;
+    cfg.kind = TxSystemKind::UstmStrong;
+    cfg.workload = torture::TortureWorkload::Kv;
+    cfg.kvBatch = true;
+    cfg.threads = 4;
+    cfg.opsPerThread = 50;
+    cfg.seed = 12;
+    cfg.sched.policy = SchedPolicy::Pct;
+    cfg.sched.pctExpectedSteps = 4096;
+    return cfg;
+}
+
+/** Tight watchdog so stall tests fire (or prove silence) quickly. */
+void
+armWatchdog(TortureConfig &cfg)
+{
+    cfg.watchdog = true;
+    cfg.timeline = true;
+    cfg.timelineWindow = 20000;
+    cfg.watchdogWindows = 4;
+}
+
+// ------------------------------------------ Timeline determinism
+
+TEST(Telemetry, TimelineDoubleRunByteIdentityEveryBackendEveryPolicy)
+{
+    // The timeline document is part of the determinism contract:
+    // the same TortureConfig must produce a byte-identical document
+    // twice, for every backend under every scheduler policy.
+    for (TxSystemKind kind : kAllKinds) {
+        for (SchedPolicy policy : kAllPolicies) {
+            TortureConfig cfg = smallConfig(kind, policy, 7);
+            cfg.timeline = true;
+            cfg.timelineWindow = 4096; // Several windows per run.
+            TortureResult a = torture::runTorture(cfg);
+            TortureResult b = torture::runTorture(cfg);
+            ASSERT_TRUE(a.ok())
+                << txSystemKindName(kind) << "/"
+                << schedPolicyName(policy) << ": " << a.why;
+            EXPECT_FALSE(a.timeline.empty())
+                << txSystemKindName(kind) << "/"
+                << schedPolicyName(policy);
+            EXPECT_NE(a.timeline.find("\"schema\":\"ufotm-timeline\""),
+                      std::string::npos)
+                << txSystemKindName(kind) << "/"
+                << schedPolicyName(policy);
+            EXPECT_EQ(a.timeline, b.timeline)
+                << txSystemKindName(kind) << "/"
+                << schedPolicyName(policy);
+        }
+    }
+}
+
+// ------------------------------------------------- Zero-cost off
+
+TEST(Telemetry, DisabledEmitsNothingAndEnablingPerturbsNothing)
+{
+    TortureConfig cfg = smallConfig(TxSystemKind::UfoHybrid,
+                                    SchedPolicy::RandomWalk, 11);
+    TortureResult off = torture::runTorture(cfg);
+    ASSERT_TRUE(off.ok()) << off.why;
+    EXPECT_TRUE(off.timeline.empty());
+    for (const auto &[name, value] : off.stats) {
+        EXPECT_EQ(name.rfind("conflict.", 0), std::string::npos)
+            << name << "=" << value << " emitted with telemetry off";
+        EXPECT_EQ(name.rfind("watchdog.", 0), std::string::npos)
+            << name << "=" << value << " emitted with telemetry off";
+    }
+
+    cfg.timeline = true;
+    TortureResult on = torture::runTorture(cfg);
+    ASSERT_TRUE(on.ok()) << on.why;
+    EXPECT_FALSE(on.timeline.empty());
+    // Telemetry is an observer: identical timing, and identical
+    // counters apart from its own conflict.*/watchdog.* additions.
+    EXPECT_EQ(off.cycles, on.cycles);
+    EXPECT_EQ(off.steps, on.steps);
+    EXPECT_EQ(off.commits, on.commits);
+    std::map<std::string, std::uint64_t> shared = on.stats;
+    for (auto it = shared.begin(); it != shared.end();) {
+        if (it->first.rfind("conflict.", 0) == 0 ||
+            it->first.rfind("watchdog.", 0) == 0)
+            it = shared.erase(it);
+        else
+            ++it;
+    }
+    EXPECT_EQ(off.stats, shared);
+}
+
+// -------------------------------------------- Conflict forensics
+
+TEST(Telemetry, ConflictEdgeCountersObeyAbortBounds)
+{
+    // A contended USTM run: every recorded aborter->victim edge is a
+    // kill, so conflict.edges.ustm is bounded by ustm.aborts and the
+    // family sums exactly.
+    TortureConfig cfg = releaseStarvationConfig();
+    cfg.timeline = true;
+    TortureResult res = torture::runTorture(cfg);
+    ASSERT_TRUE(res.ok()) << res.why;
+
+    const auto get = [&](const char *name) {
+        auto it = res.stats.find(name);
+        return it == res.stats.end() ? std::uint64_t(0) : it->second;
+    };
+    ASSERT_TRUE(res.stats.count("conflict.edges"));
+    EXPECT_EQ(get("conflict.edges"),
+              get("conflict.edges.btm") + get("conflict.edges.ustm"));
+    EXPECT_GT(get("conflict.edges.ustm"), 0u);
+    EXPECT_LE(get("conflict.edges.ustm"), get("ustm.aborts"));
+    std::uint64_t aborts_hw = 0;
+    for (const auto &[name, value] : res.stats)
+        if (name.rfind("btm.aborts.", 0) == 0)
+            aborts_hw += value;
+    EXPECT_LE(get("conflict.edges.btm"), aborts_hw);
+    EXPECT_EQ(get("watchdog.episodes"),
+              get("watchdog.episodes.thread") +
+                  get("watchdog.episodes.global"));
+}
+
+// ---------------------------------------------- Stall watchdog
+
+TEST(Telemetry, WatchdogFlagsReleaseStarvationLivelock)
+{
+    // The pinned ReleaseStarvation schedule with the livelock's
+    // steady state re-injected (releaseEntry never wins its row
+    // lock): the watchdog must cut the run short and name itself.
+    TortureConfig cfg = releaseStarvationConfig();
+    cfg.policy.ustm.testOnlyStarveReleaseEntry = true;
+    armWatchdog(cfg);
+    TortureResult res = torture::runTorture(cfg);
+    EXPECT_TRUE(res.violated);
+    EXPECT_EQ(res.oracle, "stall-watchdog") << res.why;
+    // The timeline of the cut-short run is still captured, and
+    // carries the verdict.
+    EXPECT_NE(res.timeline.find("\"stalled\":true"),
+              std::string::npos);
+}
+
+TEST(Telemetry, WatchdogFlagsPctDemotionPhaseLockLivelock)
+{
+    // Same for the pinned PctDemotionPhaseLock schedule with PCT's
+    // historical fixed starvation bound re-injected — the silent
+    // livelock (no aborts, threads parked inside atomic) that only
+    // the global criterion catches.
+    TortureConfig cfg = pctDemotionConfig();
+    cfg.sched.testOnlyFixedPctBound = true;
+    armWatchdog(cfg);
+    TortureResult res = torture::runTorture(cfg);
+    EXPECT_TRUE(res.violated);
+    EXPECT_EQ(res.oracle, "stall-watchdog") << res.why;
+    EXPECT_NE(res.timeline.find("\"stalled\":true"),
+              std::string::npos);
+}
+
+TEST(Telemetry, WatchdogSilentOnHealthyPinnedSchedules)
+{
+    // The control: the same two schedules, same tight thresholds, no
+    // injection — the watchdog must stay quiet and the runs finish.
+    for (TortureConfig cfg : {releaseStarvationConfig(),
+                              pctDemotionConfig()}) {
+        armWatchdog(cfg);
+        TortureResult res = torture::runTorture(cfg);
+        EXPECT_TRUE(res.ok())
+            << res.oracle << ": " << res.why;
+        auto it = res.stats.find("watchdog.episodes");
+        ASSERT_NE(it, res.stats.end());
+        EXPECT_EQ(it->second, 0u);
+        EXPECT_NE(res.timeline.find("\"stalled\":false"),
+                  std::string::npos);
+    }
+}
+
+// ------------------------------------- Histogram lower bounds
+
+TEST(Telemetry, HistogramJsonBucketsCarryLowerBound)
+{
+    StatsRegistry reg;
+    reg.observe("h", 0);
+    reg.observe("h", 5);
+    const std::string json = stats::dumpJson(reg);
+    // Value 0 lands in bucket 0 ([0, 0]); value 5 in [4, 7].
+    EXPECT_NE(json.find("{\"lo\":0,\"le\":0,\"count\":1}"),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("{\"lo\":4,\"le\":7,\"count\":1}"),
+              std::string::npos)
+        << json;
+    EXPECT_EQ(Histogram::bucketLowerBound(0), 0u);
+    EXPECT_EQ(Histogram::bucketLowerBound(1), 1u);
+    EXPECT_EQ(Histogram::bucketUpperBound(1), 1u);
+    EXPECT_EQ(Histogram::bucketLowerBound(3), 4u);
+    EXPECT_EQ(Histogram::bucketUpperBound(3), 7u);
+}
+
+} // namespace
+} // namespace utm

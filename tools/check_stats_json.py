@@ -1,12 +1,19 @@
 #!/usr/bin/env python3
 """Validate ufotm observability artifacts.
 
-Four modes:
+Five modes:
 
   check_stats_json.py FILE            validate a ufotm-stats document
   check_stats_json.py --bench FILE    validate a ufotm-bench document
   check_stats_json.py --svc FILE      validate a ufotm-svc document
                                       (bench_svc --json output)
+  check_stats_json.py --timeline FILE validate a ufotm-timeline
+                                      document (--timeline output of
+                                      tmsim/bench_svc/tmtorture),
+                                      including the core invariant
+                                      that per-window counter deltas
+                                      sum exactly to the end-of-run
+                                      totals
   check_stats_json.py --check-docs    every counter emitted by src/
                                       must appear in
                                       docs/OBSERVABILITY.md
@@ -109,6 +116,22 @@ def fail(problems):
     sys.exit(1)
 
 
+def check_bucket_geometry(name, buckets, expect):
+    """Sparse-bucket geometry: every bucket carries its inclusive
+    [lo, le] value range, ranges are well-formed, and consecutive
+    buckets are disjoint and ascending."""
+    prev_le = -1
+    for b in buckets:
+        expect("lo" in b, f"histogram {name}: bucket missing 'lo'")
+        lo, le = b.get("lo", 0), b.get("le", 0)
+        expect(lo <= le,
+               f"histogram {name}: bucket lo={lo} > le={le}")
+        expect(lo > prev_le,
+               f"histogram {name}: bucket lo={lo} overlaps previous "
+               f"le={prev_le}")
+        prev_le = le
+
+
 def check_stats_doc(doc):
     problems = []
 
@@ -174,7 +197,9 @@ def check_stats_doc(doc):
                         ("shard.chain_inserts.", "shard.chain_inserts"),
                         ("shard.requests.", "shard.requests"),
                         ("shard.shed.", "shard.shed"),
-                        ("shard.cross.", "shard.cross")):
+                        ("shard.cross.", "shard.cross"),
+                        ("conflict.edges.", "conflict.edges"),
+                        ("watchdog.episodes.", "watchdog.episodes")):
         fam = sum(v for n, v in counters.items()
                   if n.startswith(prefix))
         if agg in counters or fam:
@@ -193,6 +218,7 @@ def check_stats_doc(doc):
         expect(bounds == sorted(set(bounds)),
                f"histogram {name}: bucket bounds not strictly "
                "increasing")
+        check_bucket_geometry(name, buckets, expect)
         expect(h.get("p50", 0) <= h.get("p90", 0) <= h.get("p99", 0),
                f"histogram {name}: quantiles not monotone")
 
@@ -345,6 +371,157 @@ def check_stats_v2(doc, counters, per_thread):
                h.get("samples"),
                f"contention.otable.{name}: bucket counts do not sum "
                "to samples")
+        check_bucket_geometry(f"contention.otable.{name}", buckets,
+                              expect)
+
+    return problems
+
+
+def check_timeline_doc(doc):
+    """Validate a ufotm-timeline v1 document (sim/telemetry.cc).
+
+    The load-bearing invariant: the timeline is a lossless
+    decomposition of the run — for every counter, the per-window
+    deltas sum *exactly* to the end-of-run totals."""
+    problems = []
+
+    def expect(cond, msg):
+        if not cond:
+            problems.append(msg)
+
+    expect(doc.get("schema") == "ufotm-timeline",
+           f"schema is {doc.get('schema')!r}, want 'ufotm-timeline'")
+    expect(doc.get("schema_version") == 1,
+           f"schema_version is {doc.get('schema_version')!r}, want 1")
+    window_cycles = doc.get("window_cycles", 0)
+    expect(isinstance(window_cycles, int) and window_cycles > 0,
+           f"window_cycles is {window_cycles!r}, want a positive int")
+
+    windows = doc.get("windows")
+    expect(isinstance(windows, list), "windows missing")
+    windows = windows or []
+    totals = doc.get("totals")
+    expect(isinstance(totals, dict), "totals missing")
+    totals = totals or {}
+
+    deltas = {}
+    prev_id = -1
+    for w in windows:
+        wid = w.get("window")
+        expect(isinstance(wid, int) and wid > prev_id,
+               f"window id {wid!r} not strictly increasing "
+               f"(previous {prev_id})")
+        prev_id = wid if isinstance(wid, int) else prev_id
+        expect(w.get("start_cycle", 0) <= w.get("end_cycle", 0),
+               f"window {wid}: start_cycle > end_cycle")
+
+        for name, v in w.get("counters", {}).items():
+            expect(isinstance(v, int) and v > 0,
+                   f"window {wid}: counter {name} delta is not a "
+                   f"positive integer: {v!r}")
+            deltas[name] = deltas.get(name, 0) + v
+            expect(name in totals,
+                   f"window {wid}: counter {name} absent from totals")
+
+        for name, h in w.get("histograms", {}).items():
+            expect(h.get("samples", 0) > 0,
+                   f"window {wid}: histogram {name} has no samples")
+            expect(h.get("p50", 0) <= h.get("p90", 0) <=
+                   h.get("p99", 0),
+                   f"window {wid}: histogram {name} quantiles not "
+                   "monotone")
+
+        for t in w.get("threads", []):
+            for k in ("id", "steps", "commits", "aborts"):
+                expect(k in t, f"window {wid}: thread entry missing "
+                       f"{k!r}")
+
+        c = w.get("conflicts", {})
+        edges = c.get("edges", 0)
+        expect(edges == c.get("edges_btm", 0) +
+               c.get("edges_ustm", 0),
+               f"window {wid}: conflicts.edges={edges} != "
+               f"edges_btm+edges_ustm")
+        for table, key in (("hot_lines", "line"),
+                           ("sites", "victim_site")):
+            entries = c.get(table, [])
+            got = [e.get("count", 0) for e in entries]
+            expect(got == sorted(got, reverse=True),
+                   f"window {wid}: conflicts.{table} not "
+                   "count-sorted")
+            expect(sum(got) <= edges,
+                   f"window {wid}: conflicts.{table} counts sum to "
+                   f"{sum(got)} > {edges} edges")
+            for e in entries:
+                expect(key in e and "count" in e,
+                       f"window {wid}: conflicts.{table} entry "
+                       f"missing {key!r}/count")
+
+    # The tentpole invariant: window deltas decompose the final
+    # aggregates exactly — nothing lost, nothing double-counted.
+    for name, total in sorted(totals.items()):
+        expect(deltas.get(name, 0) == total,
+               f"counter {name}: window deltas sum to "
+               f"{deltas.get(name, 0)} != totals {total}")
+    for name in sorted(deltas.keys() - totals.keys()):
+        problems.append(f"counter {name} appears in windows but not "
+                        "in totals")
+
+    # Forensics cross-checks against the aggregate counters.
+    edges_btm = totals.get("conflict.edges.btm", 0)
+    edges_ustm = totals.get("conflict.edges.ustm", 0)
+    if "conflict.edges" in totals:
+        expect(totals["conflict.edges"] == edges_btm + edges_ustm,
+               f"totals conflict.edges={totals['conflict.edges']} != "
+               f"btm+ustm={edges_btm + edges_ustm}")
+    aborts_hw = sum(v for n, v in totals.items()
+                    if n.startswith("btm.aborts."))
+    expect(edges_btm <= aborts_hw,
+           f"conflict.edges.btm={edges_btm} > "
+           f"sum(btm.aborts.*)={aborts_hw}")
+    expect(edges_ustm <= totals.get("ustm.aborts", 0),
+           f"conflict.edges.ustm={edges_ustm} > "
+           f"ustm.aborts={totals.get('ustm.aborts', 0)}")
+
+    # Watchdog consistency: the sticky verdict, the episode list, and
+    # the per-window flags must tell the same story.
+    wd = doc.get("watchdog")
+    expect(isinstance(wd, dict), "watchdog missing")
+    wd = wd or {}
+    expect(wd.get("threshold_windows", 0) > 0,
+           "watchdog.threshold_windows missing or zero")
+    episodes = wd.get("episodes", [])
+    stalled = wd.get("stalled")
+    expect(stalled == bool(episodes),
+           f"watchdog.stalled={stalled!r} inconsistent with "
+           f"{len(episodes)} episode(s)")
+    if stalled:
+        expect(bool(wd.get("why")), "watchdog stalled without a why")
+    flagged = {w.get("window"): w["watchdog"] for w in windows
+               if "watchdog" in w}
+    for e in episodes:
+        wid, tid = e.get("window"), e.get("thread")
+        expect(wid in flagged,
+               f"watchdog episode at window {wid} has no per-window "
+               "watchdog record")
+        if wid not in flagged:
+            continue
+        if tid == -1:
+            expect(flagged[wid].get("global_stall"),
+                   f"global episode at window {wid} but "
+                   "global_stall is false")
+        else:
+            expect(tid in flagged[wid].get("starved_threads", []),
+                   f"episode thread {tid} at window {wid} not in "
+                   "starved_threads")
+    episode_windows = {e.get("window") for e in episodes}
+    for wid in sorted(flagged.keys() - episode_windows):
+        problems.append(f"window {wid} carries a watchdog record but "
+                        "no episode mentions it")
+
+    expect(int(totals.get("watchdog.episodes", 0)) == len(episodes),
+           f"totals watchdog.episodes={totals.get('watchdog.episodes', 0)}"
+           f" != {len(episodes)} episode(s)")
 
     return problems
 
@@ -602,6 +779,8 @@ def main():
                     help="validate ufotm-bench documents")
     ap.add_argument("--svc", action="store_true",
                     help="validate ufotm-svc documents")
+    ap.add_argument("--timeline", action="store_true",
+                    help="validate ufotm-timeline documents")
     ap.add_argument("--check-docs", action="store_true",
                     help="check docs/OBSERVABILITY.md counter coverage")
     args = ap.parse_args()
@@ -611,7 +790,8 @@ def main():
         problems += check_docs()
     for f in args.files:
         doc = json.load(open(f))
-        check = check_svc_doc if args.svc else \
+        check = check_timeline_doc if args.timeline else \
+            check_svc_doc if args.svc else \
             check_bench_doc if args.bench else check_stats_doc
         problems += [f"{f}: {p}" for p in check(doc)]
     if problems:

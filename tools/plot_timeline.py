@@ -1,0 +1,241 @@
+#!/usr/bin/env python3
+"""Render a ufotm-timeline document in a terminal (or as CSV).
+
+  plot_timeline.py TIMELINE.json                  overview
+  plot_timeline.py TIMELINE.json -c tm.commits.hw -c ustm.aborts
+  plot_timeline.py TIMELINE.json --threads        per-thread table
+  plot_timeline.py TIMELINE.json --conflicts      forensics tables
+  plot_timeline.py TIMELINE.json --csv            machine-readable CSV
+
+The overview prints one sparkline row per plotted counter (default:
+the commit and abort families that are non-zero in the document), a
+per-window commit/abort/conflict table, and the watchdog verdict.
+Windows flagged by the stall watchdog are marked with '!' in every
+view.  Stdlib only; pairs with `--timeline` on tmsim, bench_svc and
+tmtorture (see docs/OBSERVABILITY.md).
+"""
+
+import argparse
+import json
+import signal
+import sys
+
+# Eight-level bar glyphs; index 0 is a baseline dot so zero-valued
+# windows stay visible in the sparkline.
+TICKS = "·▁▂▃▄▅▆▇█"
+
+DEFAULT_COUNTERS = [
+    "tm.commits.hw", "tm.commits.sw", "tm.commits.raw",
+    "tm.failovers", "ustm.aborts", "tl2.aborts",
+    "conflict.edges", "svc.served", "batch.batches",
+]
+
+
+def die(msg):
+    print(f"plot_timeline: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die(f"cannot read {path}: {e}")
+    if doc.get("schema") != "ufotm-timeline":
+        die(f"{path}: schema is {doc.get('schema')!r}, "
+            "want 'ufotm-timeline'")
+    return doc
+
+
+def window_value(w, counter):
+    """One window's delta for @counter.  "btm.aborts" rolls up the
+    reason family; the conflict.edges family reads the per-window
+    conflicts block (the counters of that name are only finalized at
+    end of run, so their deltas land entirely in the last window)."""
+    if counter == "btm.aborts":
+        return sum(v for n, v in w.get("counters", {}).items()
+                   if n.startswith("btm.aborts."))
+    edge_keys = {"conflict.edges": "edges",
+                 "conflict.edges.btm": "edges_btm",
+                 "conflict.edges.ustm": "edges_ustm"}
+    if counter in edge_keys:
+        return w.get("conflicts", {}).get(edge_keys[counter], 0)
+    return w.get("counters", {}).get(counter, 0)
+
+
+def series(doc, counter):
+    """Per-window delta series for one counter (absent delta = 0)."""
+    return [window_value(w, counter) for w in doc.get("windows", [])]
+
+
+def sparkline(values):
+    peak = max(values) if values else 0
+    if peak == 0:
+        return TICKS[0] * len(values)
+    # ceil-scale so any non-zero delta gets at least the lowest bar
+    # and only the peak reaches the tallest one.
+    bars = len(TICKS) - 1
+    return "".join(TICKS[0] if v == 0 else
+                   TICKS[1 + (v * bars - 1) // peak]
+                   for v in values)
+
+
+def stall_marks(doc):
+    """Set of window ids carrying a watchdog record."""
+    return {w.get("window") for w in doc.get("windows", [])
+            if "watchdog" in w}
+
+
+def pick_counters(doc, requested):
+    if requested:
+        return requested
+    totals = doc.get("totals", {})
+    picked = [c for c in DEFAULT_COUNTERS if totals.get(c, 0)]
+    if sum(1 for n, v in totals.items()
+           if n.startswith("btm.aborts.") and v):
+        picked.append("btm.aborts")
+    return picked or ["tm.commits.hw"]
+
+
+def print_overview(doc, counters):
+    windows = doc.get("windows", [])
+    marks = stall_marks(doc)
+    wc = doc.get("window_cycles", 0)
+    print(f"{len(windows)} windows x {wc} cycles "
+          f"({windows[-1]['end_cycle'] + 1 if windows else 0} cycles "
+          "total)")
+    width = max((len(c) for c in counters), default=0)
+    for c in counters:
+        vals = series(doc, c)
+        total = sum(vals)
+        print(f"  {c:<{width}}  {sparkline(vals)}  "
+              f"sum={total} peak={max(vals) if vals else 0}")
+    if marks:
+        ruler = "".join("!" if w.get("window") in marks else " "
+                        for w in windows)
+        print(f"  {'stall windows':<{width}}  {ruler}")
+
+    print()
+    print(f"{'win':>4} {'cycles':>10} {'commits':>8} {'aborts':>8} "
+          f"{'edges':>6} {'hot line':>18}")
+    for w in windows:
+        threads = w.get("threads", [])
+        commits = sum(t.get("commits", 0) for t in threads)
+        aborts = sum(t.get("aborts", 0) for t in threads)
+        c = w.get("conflicts", {})
+        hot = c.get("hot_lines", [])
+        hot_s = (f"0x{hot[0]['line']:x}:{hot[0]['count']}"
+                 if hot else "-")
+        mark = "!" if w.get("window") in marks else " "
+        print(f"{w.get('window'):>4} {w.get('end_cycle', 0):>10} "
+              f"{commits:>8} {aborts:>8} {c.get('edges', 0):>6} "
+              f"{hot_s:>18} {mark}")
+
+    wd = doc.get("watchdog", {})
+    print()
+    if wd.get("stalled"):
+        print(f"WATCHDOG: STALLED — {wd.get('why', '')}")
+        for e in wd.get("episodes", []):
+            who = ("global" if e.get("thread") == -1
+                   else f"thread {e.get('thread')}")
+            print(f"  episode: {who} at window {e.get('window')}")
+    else:
+        print(f"watchdog: quiet "
+              f"(threshold {wd.get('threshold_windows', '?')} "
+              "windows)")
+
+
+def print_threads(doc):
+    windows = doc.get("windows", [])
+    marks = stall_marks(doc)
+    n = max((len(w.get("threads", [])) for w in windows), default=0)
+    hdr = " ".join(f"{'t' + str(t):>12}" for t in range(n))
+    print(f"{'win':>4} {hdr}   (commits/aborts per thread)")
+    for w in windows:
+        cells = []
+        for t in w.get("threads", []):
+            starved = t.get("id") in \
+                w.get("watchdog", {}).get("starved_threads", [])
+            cell = f"{t.get('commits', 0)}/{t.get('aborts', 0)}" + \
+                ("!" if starved else "")
+            cells.append(f"{cell:>12}")
+        mark = "!" if w.get("window") in marks else " "
+        print(f"{w.get('window'):>4} {' '.join(cells)} {mark}")
+
+
+def print_conflicts(doc):
+    by_line = {}
+    by_sites = {}
+    for w in doc.get("windows", []):
+        c = w.get("conflicts", {})
+        for e in c.get("hot_lines", []):
+            by_line[e["line"]] = by_line.get(e["line"], 0) + \
+                e["count"]
+        for e in c.get("sites", []):
+            key = (e["aggressor_site"], e["victim_site"])
+            by_sites[key] = by_sites.get(key, 0) + e["count"]
+    print("hot lines (summed over windows; Misra-Gries lower "
+          "bounds):")
+    for line, count in sorted(by_line.items(),
+                              key=lambda kv: -kv[1]):
+        print(f"  {'0x%x' % line:>14} {count:>8}")
+    if not by_line:
+        print("  (no conflict edges)")
+    print("aggressor site -> victim site:")
+    for (agg, vic), count in sorted(by_sites.items(),
+                                    key=lambda kv: -kv[1]):
+        print(f"  {agg:>6} -> {vic:<6} {count:>8}")
+    if not by_sites:
+        print("  (no site attribution)")
+
+
+def print_csv(doc, counters):
+    marks = stall_marks(doc)
+    cols = ["window", "start_cycle", "end_cycle", "commits",
+            "aborts", "edges", "stalled"] + counters
+    print(",".join(cols))
+    for w in doc.get("windows", []):
+        threads = w.get("threads", [])
+        row = [w.get("window"), w.get("start_cycle"),
+               w.get("end_cycle"),
+               sum(t.get("commits", 0) for t in threads),
+               sum(t.get("aborts", 0) for t in threads),
+               w.get("conflicts", {}).get("edges", 0),
+               int(w.get("window") in marks)]
+        row += [window_value(w, c) for c in counters]
+        print(",".join(str(v) for v in row))
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("file", help="ufotm-timeline JSON document")
+    ap.add_argument("-c", "--counter", action="append", default=[],
+                    help="counter to plot (repeatable; 'btm.aborts' "
+                    "rolls up the reason family)")
+    ap.add_argument("--threads", action="store_true",
+                    help="per-window per-thread commit/abort table")
+    ap.add_argument("--conflicts", action="store_true",
+                    help="aggregated conflict forensics tables")
+    ap.add_argument("--csv", action="store_true",
+                    help="emit per-window CSV instead of ASCII")
+    args = ap.parse_args()
+
+    doc = load(args.file)
+    counters = pick_counters(doc, args.counter)
+    if args.csv:
+        print_csv(doc, counters)
+    elif args.threads:
+        print_threads(doc)
+    elif args.conflicts:
+        print_conflicts(doc)
+    else:
+        print_overview(doc, counters)
+
+
+if __name__ == "__main__":
+    # Die quietly when the output pipe closes (e.g. `... | head`).
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+    main()

@@ -53,6 +53,13 @@ struct Options
     int minimizeBudget = 200;
     bool predictor = false; ///< Torture with the path predictor on.
     bool injectLockstepBug = false;
+    bool injectReleaseStarvation = false; ///< Starve USTM releaseEntry.
+    bool injectPctBoundBug = false;     ///< PCT fixed starvation bound.
+    bool timeline = false;   ///< Telemetry on; dump failing timelines.
+    Cycles timelineWindow = 0;
+    bool watchdog = false;   ///< Arm the stall-watchdog oracle.
+    unsigned watchdogWindows = 0;
+    std::string timelineOut = "tmtorture-timeline.json";
     std::string out = "tmtorture.json";
     std::string replayPath; ///< Replay mode when non-empty.
     TxSystemKind replayBackend = TxSystemKind::UfoHybrid;
@@ -152,6 +159,23 @@ usage(const char *argv0)
         "                       (hybrid backends; ops carry per-class\n"
         "                       transaction sites)\n"
         "  --inject-lockstep-bug  mutation self-test: break installUfo\n"
+        "  --inject-release-starvation  stall injection: USTM\n"
+        "                       releaseEntry() never wins its row lock\n"
+        "                       (the ReleaseStarvation livelock's\n"
+        "                       steady state)\n"
+        "  --inject-pct-bound-bug  mutation self-test: fix the PCT\n"
+        "                       starvation bound (the\n"
+        "                       PctDemotionPhaseLock livelock)\n"
+        "  --timeline           enable timeline telemetry; a failing\n"
+        "                       run's ufotm-timeline document goes to\n"
+        "                       --timeline-out\n"
+        "  --timeline-out PATH  failing-run timeline path (default\n"
+        "                       tmtorture-timeline.json)\n"
+        "  --timeline-window N  timeline window width in cycles\n"
+        "  --watchdog           arm the stall-watchdog oracle (flags\n"
+        "                       livelock/starvation as a violation)\n"
+        "  --watchdog-windows N watchdog threshold in consecutive\n"
+        "                       commitless windows\n"
         "  --out PATH           JSON report path ('-' = stdout;\n"
         "                       default tmtorture.json)\n"
         "  --replay FILE        replay one recorded schedule (with\n"
@@ -259,6 +283,20 @@ parseArgs(int argc, char **argv)
             opt.predictor = true;
         } else if (a == "--inject-lockstep-bug") {
             opt.injectLockstepBug = true;
+        } else if (a == "--inject-release-starvation") {
+            opt.injectReleaseStarvation = true;
+        } else if (a == "--inject-pct-bound-bug") {
+            opt.injectPctBoundBug = true;
+        } else if (a == "--timeline") {
+            opt.timeline = true;
+        } else if (a == "--timeline-out") {
+            opt.timelineOut = need(i);
+        } else if (a == "--timeline-window") {
+            opt.timelineWindow = std::strtoull(need(i), nullptr, 0);
+        } else if (a == "--watchdog") {
+            opt.watchdog = true;
+        } else if (a == "--watchdog-windows") {
+            opt.watchdogWindows = unsigned(std::atoi(need(i)));
         } else if (a == "--out") {
             opt.out = need(i);
         } else if (a == "--replay") {
@@ -295,6 +333,13 @@ makeConfig(const Options &opt, torture::TortureWorkload workload,
     cfg.record = true;
     cfg.policy.predictor.enable = opt.predictor;
     cfg.injectLockstepBug = opt.injectLockstepBug;
+    cfg.policy.ustm.testOnlyStarveReleaseEntry =
+        opt.injectReleaseStarvation;
+    cfg.sched.testOnlyFixedPctBound = opt.injectPctBoundBug;
+    cfg.timeline = opt.timeline;
+    cfg.timelineWindow = opt.timelineWindow;
+    cfg.watchdog = opt.watchdog;
+    cfg.watchdogWindows = opt.watchdogWindows;
     return cfg;
 }
 
@@ -392,10 +437,15 @@ main(int argc, char **argv)
     w.kv("oracle_interval", opt.oracleInterval);
     w.kv("predictor", opt.predictor);
     w.kv("inject_lockstep_bug", opt.injectLockstepBug);
+    w.kv("inject_release_starvation", opt.injectReleaseStarvation);
+    w.kv("inject_pct_bound_bug", opt.injectPctBoundBug);
+    w.kv("timeline", opt.timeline);
+    w.kv("watchdog", opt.watchdog);
     w.endObject();
     w.key("runs").beginArray();
 
     int total = 0, failures = 0;
+    bool timelineWritten = false;
     for (torture::TortureWorkload workload : opt.workloads) {
         for (TxSystemKind kind : opt.backends) {
             for (SchedPolicy policy : opt.policies) {
@@ -421,6 +471,17 @@ main(int argc, char **argv)
                         res.oracle.c_str(),
                         (unsigned long long)res.violationStep,
                         res.why.c_str());
+                    // Forensics: keep the first failing run's timeline
+                    // (windowed counters, conflict edges, watchdog).
+                    if (!timelineWritten && !res.timeline.empty()) {
+                        if (stats::writeFile(opt.timelineOut,
+                                             res.timeline + "\n")) {
+                            timelineWritten = true;
+                            std::fprintf(stderr,
+                                         "  timeline -> %s\n",
+                                         opt.timelineOut.c_str());
+                        }
+                    }
                     torture::MinimizeResult min =
                         torture::minimizeSchedule(cfg, res.schedule,
                                                   res.oracle,
