@@ -32,6 +32,17 @@
  * throughput — is self-gated: the bench exits nonzero if the
  * predictor-on run loses.
  *
+ * `--durable` runs the durability A/B (src/mem/persist.hh): the same
+ * service mix with TmPolicy::durable off and on, on the ufo-hybrid and
+ * the all-software ustm-ufo, in both loop modes.  The documented
+ * overhead measurement — throughput and persist cycles per served
+ * request (prof.cycles.{btm,ustm}.persist) — is self-gated: the
+ * durable-off arm must carry no persistence counters, the durable-on
+ * arm must log every writing commit, and closed-loop throughput must
+ * stay within 3x of the non-durable arm (open-loop throughput is
+ * reported but not bounded: fence latency vs the fixed arrival rate
+ * measures overload, not log cost).
+ *
  * `--json` emits a "ufotm-svc" document (docs/OBSERVABILITY.md,
  * schema_version 2; the predictor bench emits schema_version 3, which
  * adds the `series` row key and the pred.* row fields) to
@@ -81,6 +92,17 @@ constexpr int kSvcPredictorSchemaVersion = 3;
  * versions, byte-identical.
  */
 constexpr int kSvcBatchingSchemaVersion = 4;
+
+/**
+ * Schema of the svc_durable document only (--durable).  v5: the
+ * `series` row key takes "durable-off" / "durable-on" and the
+ * throughput rows add the persistence fields (dur_records,
+ * dur_log_bytes, dur_sfence, dur_clwb, persist_cycles_per_req).  The
+ * other documents keep their versions, byte-identical — the
+ * durable-off arm runs the exact non-durable machine (the persistence
+ * domain is inert unless TmPolicy::durable is set).
+ */
+constexpr int kSvcDurableSchemaVersion = 5;
 
 svc::SvcParams
 benchParams(bool open_loop, bool quick)
@@ -644,6 +666,223 @@ runBatching(bool quick, bench::JsonReport &report)
     return rc;
 }
 
+/** Simulated cycles all threads spent in the persistence domain —
+ *  clwb write-backs and commit fences charged against the redo-log
+ *  append (0 when compiled with UFOTM_PROFILING=OFF, and on any
+ *  non-durable run). */
+std::uint64_t
+persistCycles(const RunResult &res)
+{
+    static const char *const comps[] = {"btm", "ustm"};
+    std::uint64_t sum = 0;
+    for (const char *c : comps)
+        sum += res.stat(std::string("prof.cycles.") + c + ".persist");
+    return sum;
+}
+
+int
+runDurable(bool quick, bench::JsonReport &report)
+{
+    const std::array<TxSystemKind, 2> kinds = {
+        TxSystemKind::UfoHybrid, TxSystemKind::UstmStrong};
+    const int threads = 4;
+    std::printf("tmserve durability A/B: %d clients, Zipfian(0.8) "
+                "keys%s\n",
+                threads, quick ? " (quick)" : "");
+    std::printf("%-13s %-6s %-8s %9s %11s %10s %8s %10s %12s\n",
+                "system", "mode", "durable", "requests", "req/Mcyc",
+                "abort_rate", "records", "log_bytes", "persist/req");
+
+    struct Point
+    {
+        double throughput = 0.0;
+        double abortRate = 0.0;
+        double persistPerReq = 0.0;
+        std::uint64_t logged = 0;
+        std::uint64_t logBytes = 0;
+        std::uint64_t beginCommit = 0; ///< Nonzero proves profiling on.
+    };
+    // (kind, open_loop, durable_on) -> gate metrics.
+    std::map<std::tuple<int, bool, bool>, Point> points;
+
+    for (TxSystemKind kind : kinds) {
+        for (const bool open_loop : {false, true}) {
+            const char *mode = open_loop ? "open" : "closed";
+            for (const bool durable_on : {false, true}) {
+                const char *series =
+                    durable_on ? "durable-on" : "durable-off";
+                svc::SvcParams p = benchParams(open_loop, quick);
+                RunConfig cfg = bench::baseRunConfig();
+                cfg.kind = kind;
+                cfg.threads = threads;
+                cfg.machine.seed = 42;
+                cfg.policy.durable = durable_on;
+                const RunResult res = svc::runService(p, cfg);
+                if (!res.valid) {
+                    std::fprintf(stderr,
+                                 "VALIDATION FAILED: svc-durable %s "
+                                 "%s (%s loop)\n",
+                                 txSystemKindName(kind), series, mode);
+                    return 1;
+                }
+
+                const std::uint64_t served = res.stat("svc.requests");
+                const std::uint64_t aborts =
+                    res.stat("svc.request_aborts");
+                const double abort_rate =
+                    served ? double(aborts) / double(served) : 0.0;
+                const double throughput =
+                    res.cycles
+                        ? double(served) * 1e6 / double(res.cycles)
+                        : 0.0;
+                const double persist_per_req =
+                    served ? double(persistCycles(res)) / double(served)
+                           : 0.0;
+                const std::uint64_t logged =
+                    res.stat("dur.commits.logged");
+                const std::uint64_t log_bytes = res.stat("dur.log_bytes");
+                points[{int(kind), open_loop, durable_on}] = {
+                    throughput,      abort_rate, persist_per_req,
+                    logged,          log_bytes,  beginCommitCycles(res)};
+
+                std::printf("%-13s %-6s %-8s %9llu %11.1f %10.3f "
+                            "%8llu %10llu %12.1f\n",
+                            txSystemKindName(kind), mode,
+                            durable_on ? "on" : "off",
+                            (unsigned long long)served, throughput,
+                            abort_rate, (unsigned long long)logged,
+                            (unsigned long long)log_bytes,
+                            persist_per_req);
+
+                if (!report.enabled())
+                    continue;
+
+                // One throughput row per (system, mode, series)...
+                json::Writer w;
+                w.beginObject();
+                w.kv("benchmark", "svc-durable");
+                w.kv("system", txSystemKindName(kind));
+                w.kv("mode", mode);
+                w.kv("series", series);
+                w.kv("threads", threads);
+                w.kv("requests", served);
+                w.kv("shed", res.stat("svc.shed"));
+                w.kv("aborts", aborts);
+                w.kv("abort_rate", abort_rate);
+                w.kv("run_cycles", res.cycles);
+                w.kv("throughput_req_per_mcycle", throughput);
+                w.kv("dur_records", logged);
+                w.kv("dur_log_bytes", log_bytes);
+                w.kv("dur_sfence", res.stat("dur.sfence"));
+                w.kv("dur_clwb",
+                     res.stat("dur.clwb.dirty") +
+                         res.stat("dur.clwb.clean"));
+                w.kv("persist_cycles_per_req", persist_per_req);
+                w.endObject();
+                report.row(w);
+
+                // ...and one latency row per request type.
+                for (svc::ReqType t : kReqTypes) {
+                    const char *tname = svc::reqTypeName(t);
+                    const Histogram &h = res.hist(
+                        std::string("svc.latency.") + tname);
+                    json::Writer r;
+                    r.beginObject();
+                    r.kv("benchmark", "svc-durable");
+                    r.kv("system", txSystemKindName(kind));
+                    r.kv("mode", mode);
+                    r.kv("series", series);
+                    r.kv("threads", threads);
+                    r.kv("request", tname);
+                    r.kv("requests",
+                         res.stat(std::string("svc.requests.") + tname));
+                    r.kv("p50_cycles", h.quantile(0.50));
+                    r.kv("p99_cycles", h.quantile(0.99));
+                    r.kv("p999_cycles", h.quantile(0.999));
+                    r.endObject();
+                    report.row(r);
+                }
+            }
+        }
+    }
+
+    // The durability-overhead measurement (ISSUE 10), self-gating so
+    // CI fails loudly if the redo log stops being cheap or stops
+    // logging: for every swept system and loop mode the durable-off
+    // arm must be exactly the non-durable machine (no persistence
+    // counters, no persist cycles — the inert-domain guarantee the
+    // byte-identical committed baselines rest on), the durable-on arm
+    // must actually log (records > 0, >= 56 bytes each — the minimum
+    // record is header + txid/ts/count + one write triple) and charge
+    // its cost to prof.cycles.*.persist, and the measured overhead
+    // must stay bounded: closed-loop durable-on throughput >= 1/3 of
+    // durable-off.  The bound is deliberately loose — the interesting
+    // number is the committed baseline row, which the benchdiff gate
+    // pins exactly — but a 3x closed-loop collapse means the append
+    // path grew a pathology.  Open-loop throughput is not bounded:
+    // there the fence latency pushes the contended service rate below
+    // the fixed arrival rate, so the off/on ratio measures how
+    // overloaded the arrival schedule is, not what the log costs (the
+    // fast hybrid drops past 1/3 while spending ~350 persist
+    // cycles/request — both numbers are pinned in the baseline).
+    int rc = 0;
+    for (TxSystemKind kind : kinds) {
+        for (const bool open_loop : {false, true}) {
+            const char *mode = open_loop ? "open" : "closed";
+            const Point &off = points.at({int(kind), open_loop, false});
+            const Point &on = points.at({int(kind), open_loop, true});
+            std::printf("durable gate (%s, %s): throughput %.1f -> "
+                        "%.1f req/Mcyc (%.1f%%), %llu records / %llu "
+                        "log bytes, persist %.1f cyc/req\n",
+                        txSystemKindName(kind), mode, off.throughput,
+                        on.throughput,
+                        off.throughput > 0.0
+                            ? 100.0 * on.throughput / off.throughput
+                            : 0.0,
+                        (unsigned long long)on.logged,
+                        (unsigned long long)on.logBytes,
+                        on.persistPerReq);
+            if (off.logged != 0 || off.logBytes != 0 ||
+                off.persistPerReq != 0.0) {
+                std::fprintf(stderr,
+                             "DURABLE GATE FAILED (%s, %s): "
+                             "durable-off arm has persistence "
+                             "counters (inert domain leaked)\n",
+                             txSystemKindName(kind), mode);
+                rc = 1;
+            }
+            if (on.logged == 0 || on.logBytes < 56 * on.logged) {
+                std::fprintf(stderr,
+                             "DURABLE GATE FAILED (%s, %s): "
+                             "%llu records / %llu bytes logged\n",
+                             txSystemKindName(kind), mode,
+                             (unsigned long long)on.logged,
+                             (unsigned long long)on.logBytes);
+                rc = 1;
+            }
+            if (on.beginCommit > 0 && on.persistPerReq <= 0.0) {
+                std::fprintf(stderr,
+                             "DURABLE GATE FAILED (%s, %s): no "
+                             "persist cycles charged (the "
+                             "prof.cycles.*.persist attribution "
+                             "broke)\n",
+                             txSystemKindName(kind), mode);
+                rc = 1;
+            }
+            if (!open_loop && 3.0 * on.throughput < off.throughput) {
+                std::fprintf(stderr,
+                             "DURABLE GATE FAILED (%s, %s): "
+                             "throughput %.2f < 1/3 of %.2f "
+                             "req/Mcyc\n",
+                             txSystemKindName(kind), mode,
+                             on.throughput, off.throughput);
+                rc = 1;
+            }
+        }
+    }
+    return rc;
+}
+
 /**
  * Scaling-curve configuration.  Uniform keys keep logical (key-level)
  * conflicts — and therefore abort rates — low and comparable across
@@ -806,6 +1045,7 @@ main(int argc, char **argv)
     bool scaling = false;
     bool predictor = false;
     bool batching = false;
+    bool durable = false;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--quick"))
             quick = true;
@@ -815,20 +1055,25 @@ main(int argc, char **argv)
             predictor = true;
         else if (!std::strcmp(argv[i], "--batching"))
             batching = true;
+        else if (!std::strcmp(argv[i], "--durable"))
+            durable = true;
     }
     bench::parseSchedArgs(argc, argv);
     bench::JsonReport report(scaling     ? "svc_scaling"
                              : predictor ? "svc_predictor"
                              : batching  ? "svc_batching"
+                             : durable   ? "svc_durable"
                                          : "svc_latency",
                              argc, argv, "ufotm-svc",
                              predictor  ? kSvcPredictorSchemaVersion
                              : batching ? kSvcBatchingSchemaVersion
+                             : durable  ? kSvcDurableSchemaVersion
                                         : kSvcSchemaVersion);
 
     const int rc = scaling     ? runScaling(quick, report)
                    : predictor ? runPredictor(quick, report)
                    : batching  ? runBatching(quick, report)
+                   : durable   ? runDurable(quick, report)
                                : runLatency(quick, report);
     if (rc != 0)
         return rc;

@@ -38,6 +38,7 @@ struct Options
     double scale = 1.0;
     double failoverRate = 0.0;
     bool batch = false; // Request coalescing (kv-service only).
+    bool durable = false; // Redo-log commits (durable backends only).
     unsigned l1Sets = 0;   // 0 = default
     Cycles quantum = ~Cycles(0); // ~0 = default
     std::string statsPrefix;
@@ -79,6 +80,10 @@ usage(const char *argv0, int code)
         "      --failover-rate F  forced failover rate (ubench only)\n"
         "      --batch            request coalescing (kv-service\n"
         "                         only; emits the batch.* counters)\n"
+        "      --durable          redo-log commits (durable\n"
+        "                         backends only; emits the dur.*\n"
+        "                         counters and the persist profile\n"
+        "                         phase)\n"
         "      --l1-sets N        L1 set count (default 64 = 32 KiB)\n"
         "      --quantum N        timer quantum in cycles (0 = off)\n"
         "      --stats PREFIX     dump counters matching PREFIX\n"
@@ -120,6 +125,8 @@ parse(int argc, char **argv)
             o.failoverRate = std::atof(need(a));
         else if (!std::strcmp(a, "--batch"))
             o.batch = true;
+        else if (!std::strcmp(a, "--durable"))
+            o.durable = true;
         else if (!std::strcmp(a, "--l1-sets"))
             o.l1Sets = unsigned(std::atoi(need(a)));
         else if (!std::strcmp(a, "--quantum"))
@@ -263,6 +270,7 @@ main(int argc, char **argv)
     if (o.quantum != ~Cycles(0))
         cfg.machine.timerQuantum = o.quantum;
     cfg.scale = o.scale;
+    cfg.policy.durable = o.durable;
     cfg.statsJsonPath = o.statsJsonPath;
     cfg.tracePath = o.tracePath;
     cfg.timelinePath = o.timelinePath;

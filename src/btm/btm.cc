@@ -89,6 +89,12 @@ BtmUnit::txEnd()
     // Commit linearization point: past the doom check nothing can
     // fail, so the speculative writes are final.
     machine_.notifyCommitPoint(tc_);
+    // Durable mode: fence the redo record BEFORE the flash clear.
+    // The committing() shield keeps the still-speculative write set
+    // safe for the window (conflictors NACK, timer aborts defer), so
+    // the writes become visible only after the fence completes.
+    if (machine_.persist().active())
+        persistCommit();
     // Commit: flash-clear SR/SW, discard the checkpoint. Speculative
     // data becomes architectural (it already sits in SimMemory).
     machine_.memsys().clearSpec(tc_.id(), readLines_, writeLines_,
@@ -110,6 +116,23 @@ BtmUnit::txEnd()
     }
     resetTxState();
     tc_.advance(kCommitCost);
+}
+
+void
+BtmUnit::persistCommit()
+{
+    UTM_PROF_PHASE(machine_, tc_, ProfComp::Btm, ProfPhase::Persist);
+    committing_ = true;
+    if (undo_.empty()) {
+        machine_.persist().noteReadOnlyCommit();
+    } else {
+        std::vector<PersistDomain::RedoWrite> writes;
+        writes.reserve(undo_.size());
+        for (const UndoRec &u : undo_)
+            writes.push_back({u.addr, u.size});
+        machine_.persist().appendCommitRecord(tc_, age_, writes);
+    }
+    committing_ = false;
 }
 
 void
@@ -152,6 +175,9 @@ void
 BtmUnit::wound(AbortReason r, ThreadId killer, LineAddr line)
 {
     utm_assert(inTx_);
+    // The memory system's durable-commit shield NACKs (or waits out)
+    // every conflictor while the fence window is open.
+    utm_assert(!committing_);
     if (doomed_)
         return; // Already rolled back; keep the first reason.
     // The coherence action undoes the speculative state synchronously

@@ -78,6 +78,7 @@ class BtmUnit : public BtmClient
 
     /** @name BtmClient interface (memory-system callbacks). @{ */
     bool inTx() const override { return inTx_; }
+    bool committing() const override { return committing_; }
     bool doomed() const override { return doomed_; }
     [[noreturn]] void takePendingAbort() override;
     std::uint64_t txAge() const override { return age_; }
@@ -127,6 +128,11 @@ class BtmUnit : public BtmClient
     /** Roll back speculative stores and release speculative state. */
     void rollback(bool invalidate_writes);
 
+    /** Durable mode: append + fence the redo record inside the
+     *  committing() window (shielded from wounds and timer aborts)
+     *  before the speculative state is flash-cleared. */
+    void persistCommit();
+
     /** Complete an abort on this core's own fiber and unwind. */
     [[noreturn]] void raiseAbort(AbortReason r, Addr a);
 
@@ -137,6 +143,7 @@ class BtmUnit : public BtmClient
     bool unbounded_;
 
     bool inTx_ = false;
+    bool committing_ = false;
     int depth_ = 0;
     std::uint64_t age_ = 0;
     bool doomed_ = false;

@@ -47,6 +47,24 @@ txSystemKindStronglyAtomic(TxSystemKind k)
     return false;
 }
 
+bool
+txSystemKindDurable(TxSystemKind k)
+{
+    switch (k) {
+      case TxSystemKind::UnboundedHtm:
+      case TxSystemKind::UfoHybrid:
+      case TxSystemKind::HyTm:
+      case TxSystemKind::PhTm:
+      case TxSystemKind::Ustm:
+      case TxSystemKind::UstmStrong:
+        return true;
+      case TxSystemKind::NoTm:
+      case TxSystemKind::Tl2:
+        return false;
+    }
+    return false;
+}
+
 // ---------------------------------------------------------------------
 // TxHandle
 
@@ -411,27 +429,46 @@ std::unique_ptr<TxSystem>
 TxSystem::create(TxSystemKind kind, Machine &machine,
                  const TmPolicy &policy)
 {
+    std::unique_ptr<TxSystem> sys;
     switch (kind) {
       case TxSystemKind::NoTm:
-        return std::make_unique<NoTmSystem>(machine, policy);
+        sys = std::make_unique<NoTmSystem>(machine, policy);
+        break;
       case TxSystemKind::UnboundedHtm:
-        return std::make_unique<UnboundedHtm>(machine, policy);
+        sys = std::make_unique<UnboundedHtm>(machine, policy);
+        break;
       case TxSystemKind::UfoHybrid:
-        return std::make_unique<UfoHybridTm>(machine, policy);
+        sys = std::make_unique<UfoHybridTm>(machine, policy);
+        break;
       case TxSystemKind::HyTm:
-        return std::make_unique<HyTm>(machine, policy);
+        sys = std::make_unique<HyTm>(machine, policy);
+        break;
       case TxSystemKind::PhTm:
-        return std::make_unique<PhTm>(machine, policy);
+        sys = std::make_unique<PhTm>(machine, policy);
+        break;
       case TxSystemKind::Ustm:
-        return std::make_unique<UstmSystem>(TxSystemKind::Ustm, machine,
-                                            policy, false);
+        sys = std::make_unique<UstmSystem>(TxSystemKind::Ustm, machine,
+                                           policy, false);
+        break;
       case TxSystemKind::UstmStrong:
-        return std::make_unique<UstmSystem>(TxSystemKind::UstmStrong,
-                                            machine, policy, true);
+        sys = std::make_unique<UstmSystem>(TxSystemKind::UstmStrong,
+                                           machine, policy, true);
+        break;
       case TxSystemKind::Tl2:
-        return std::make_unique<Tl2System>(machine, policy);
+        sys = std::make_unique<Tl2System>(machine, policy);
+        break;
     }
-    utm_panic("bad TxSystemKind");
+    if (!sys)
+        utm_panic("bad TxSystemKind");
+    if (policy.durable) {
+        if (txSystemKindDurable(kind))
+            machine.persist().activate();
+        else
+            utm_warn("backend %s cannot run durable commits; "
+                     "TmPolicy::durable ignored",
+                     txSystemKindName(kind));
+    }
+    return sys;
 }
 
 } // namespace utm

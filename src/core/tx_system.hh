@@ -67,6 +67,16 @@ const char *txSystemKindName(TxSystemKind k);
  */
 bool txSystemKindStronglyAtomic(TxSystemKind k);
 
+/**
+ * Can this configuration run with durable (redo-log) commits
+ * (TmPolicy::durable, mem/persist.hh)?  True for every real TM
+ * backend — their commits funnel through Ustm::txEnd (software) or
+ * BtmUnit::txEnd (hardware), which host the redo-log append.  False
+ * for NoTm (no commit point to anchor a record to) and TL2 (lazy
+ * version-clock commit; out of scope for the durability study).
+ */
+bool txSystemKindDurable(TxSystemKind k);
+
 /** Handle passed to a transaction body; routes accesses per path. */
 class TxHandle
 {

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Crash recovery for durable UFO-TM (mem/persist.hh).
+ *
+ * Recovery is a pure function of the persistent image: it loads the
+ * surviving lines into a freshly-constructed machine, scans each
+ * shard's redo log, truncates the (at most one, provably last) torn
+ * record per shard by checksum, replays the valid records across all
+ * shards in commit-timestamp order, and scrubs every surviving UFO
+ * protection bit — no transaction is live after a crash, so the
+ * otable↔UFO lockstep invariant demands an all-clear protection map
+ * to match the rebuilt-empty ownership table.
+ *
+ * Because nothing host-side from the crashed machine is consulted and
+ * the image is never mutated, recovering twice is identical to
+ * recovering once (idempotence), and the same image always recovers
+ * to the same state.
+ *
+ * The caller is responsible for deterministically re-creating the
+ * store layout (heap allocations) on the target machine before
+ * calling recover() — the image overlay then restores the checkpoint
+ * bytes and the replay applies every durable commit on top.
+ */
+
+#ifndef UFOTM_DUR_RECOVERY_HH
+#define UFOTM_DUR_RECOVERY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace utm {
+
+class Machine;
+class PersistentImage;
+
+namespace dur {
+
+/** One replayed redo write. */
+struct RecoveredWrite
+{
+    Addr addr;
+    std::uint64_t value;
+    unsigned size;
+    UfoBits ufo; ///< Protection bits the committer had published.
+};
+
+/** One valid redo record, parsed from a shard log. */
+struct RecoveredRecord
+{
+    std::uint64_t txid;
+    std::uint64_t commitTs;
+    unsigned shard;
+    std::vector<RecoveredWrite> writes;
+};
+
+/**
+ * What recovery did; rendered as the `ufotm-recover` JSON report and
+ * exported as the target machine's `rec.*` counters.
+ */
+struct RecoveryReport
+{
+    std::uint64_t shardsScanned = 0;
+    std::uint64_t linesLoaded = 0;
+    std::uint64_t recordsScanned = 0;   ///< applied + discarded
+    std::uint64_t recordsApplied = 0;
+    std::uint64_t recordsDiscarded = 0; ///< torn tails truncated
+    std::uint64_t writesApplied = 0;
+    std::uint64_t bytesScanned = 0;
+    std::uint64_t ufoLinesScrubbed = 0;
+    std::uint64_t maxCommitTs = 0;      ///< 0 when nothing applied
+    Cycles cycles = 0;                  ///< modeled recovery cost
+
+    /** Commit timestamps applied, ascending (prefix-consistency
+     *  oracle input; not part of the JSON report). */
+    std::vector<std::uint64_t> appliedTs;
+
+    /** The `ufotm-recover` JSON document. */
+    std::string toJson() const;
+};
+
+/**
+ * Recover @p machine from @p image: overlay the surviving lines,
+ * scan + truncate + replay the redo logs, scrub UFO bits, and set
+ * the machine's `rec.*` counters.  The machine must have the same
+ * configuration (heap/otable/persist geometry) as the crashed one.
+ */
+RecoveryReport recover(Machine &machine, const PersistentImage &image);
+
+} // namespace dur
+} // namespace utm
+
+#endif // UFOTM_DUR_RECOVERY_HH

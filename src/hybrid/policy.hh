@@ -84,6 +84,17 @@ struct TmPolicy
     /** Adaptive path prediction (off by default). */
     PredictorPolicy predictor;
 
+    /**
+     * Durable (redo-log) commits: every committed write set is
+     * appended to the persistence domain's per-shard redo log,
+     * written back (`clwb`) and fenced (`sfence`) before the commit
+     * is reported durable (mem/persist.hh, dur/recovery.hh).  Only
+     * meaningful for backends txSystemKindDurable() accepts; ignored
+     * (with a warning) otherwise.  Default OFF — every committed
+     * baseline is byte-identical with durability disabled.
+     */
+    bool durable = false;
+
     /** Exponential-backoff base delay before hardware retries. */
     Cycles backoffBase = 20;
 

@@ -114,7 +114,11 @@ MemorySystem::accessImpl(ThreadContext &tc, Addr a, AccessType t,
     tc.yield();
 
     for (;;) {
-        const bool in_tx = me && me->inTx();
+        // A durably-committing transaction is past its linearization
+        // point: its redo-log accesses are non-speculative, cannot be
+        // doomed, and must not page-fault (the domain pre-materializes
+        // the log), so it is treated as non-transactional here.
+        const bool in_tx = me && me->inTx() && !me->committing();
         if (in_tx) {
             if (me->doomed())
                 me->takePendingAbort(); // throws
@@ -155,7 +159,7 @@ MemorySystem::accessImpl(ThreadContext &tc, Addr a, AccessType t,
 
     chargeAccess(tc, line, t); // may throw (overflow, timer)
 
-    if (me && me->inTx())
+    if (me && me->inTx() && !me->committing())
         me->onTxAccess(a, size, t); // undo log + read/write sets
 
     // Functional completion: one atomic event.
@@ -189,6 +193,9 @@ MemorySystem::accessImpl(ThreadContext &tc, Addr a, AccessType t,
       default:
         utm_panic("bad rmw kind");
     }
+    if (t == AccessType::Write &&
+        (rmw != RmwKind::Cas || *rmw_success))
+        machine_.persist().markDirty(line);
     return result;
 }
 
@@ -215,7 +222,7 @@ MemorySystem::resolveSpecConflicts(ThreadContext &tc, LineAddr line,
         return true;
 
     BtmClient *me = btm_[self];
-    const bool me_tx = me && me->inTx();
+    const bool me_tx = me && me->inTx() && !me->committing();
 
     // Don't hold the iterator across wound() calls: wounding erases
     // spec-table entries.
@@ -224,6 +231,13 @@ MemorySystem::resolveSpecConflicts(ThreadContext &tc, LineAddr line,
             continue;
         BtmClient *vc = btm_[v];
         utm_assert(vc && vc->inTx());
+        // Durable-commit shield: a victim inside its redo-log fence
+        // window is logically committed — wounding it would roll back
+        // final writes.  NACK the requester; the window is short.
+        if (vc->committing()) {
+            machine_.stats().inc("dur.commit_shield_nacks");
+            return false;
+        }
         bool requester_wins;
         AbortReason reason;
         if (!me_tx) {
@@ -268,7 +282,9 @@ MemorySystem::chargeAccess(ThreadContext &tc, LineAddr line,
     const ThreadId self = tc.id();
     Cache &l1 = *l1_[self];
     BtmClient *me = btm_[self];
-    const bool in_tx = me && me->inTx();
+    // Committing (fence-window) accesses are non-speculative: they may
+    // evict speculative lines and never count toward the L1 bound.
+    const bool in_tx = me && me->inTx() && !me->committing();
     StatsRegistry &stats = machine_.stats();
 
     Cycles lat = cfg_.l1HitLatency;
@@ -345,6 +361,31 @@ MemorySystem::ufoSet(ThreadContext &tc, LineAddr line, UfoBits bits)
     utm_assert(!me || !me->inTx());
     machine_.stats().inc("ufo.bit_sets");
     tc.yield();
+
+    // Durable-commit shield: a speculative owner inside its redo-log
+    // fence window is logically committed and cannot be killed; wait
+    // for its window to close (it only does bounded stores/clwbs, so
+    // this terminates) before resolving the bit-set against it.
+    for (;;) {
+        bool commit_wait = false;
+        auto sit = spec_.find(line);
+        if (sit != spec_.end()) {
+            std::uint64_t vmask = sit->second.readers;
+            if (sit->second.writer >= 0)
+                vmask |= 1ull << sit->second.writer;
+            vmask &= ~(1ull << tc.id());
+            for (int v = 0; vmask != 0; ++v, vmask >>= 1)
+                if ((vmask & 1) && btm_[v] && btm_[v]->committing()) {
+                    commit_wait = true;
+                    break;
+                }
+        }
+        if (!commit_wait)
+            break;
+        machine_.stats().inc("dur.commit_shield_waits");
+        tc.advance(cfg_.nackRetryDelay);
+        tc.yield();
+    }
 
     // Exclusive coherence permission is required to keep the bits
     // coherent, so remote speculative copies are killed -- the

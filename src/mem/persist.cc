@@ -1,0 +1,221 @@
+#include "mem/persist.hh"
+
+#include <string>
+
+#include "mem/sim_memory.hh"
+#include "sim/logging.hh"
+#include "sim/machine.hh"
+#include "sim/thread_context.hh"
+
+namespace utm {
+
+std::uint32_t
+persistChecksum(const std::uint64_t *words, std::size_t n)
+{
+    // FNV-1a over the little-endian bytes of the payload words, folded
+    // to 32 bits.  Never zero, so a valid record's header can always
+    // be told apart from never-written (all-zero) log space.
+    std::uint64_t h = 14695981039346656037ull;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (int b = 0; b < 8; ++b) {
+            h ^= static_cast<std::uint8_t>(words[i] >> (8 * b));
+            h *= 1099511628211ull;
+        }
+    }
+    std::uint32_t folded =
+        static_cast<std::uint32_t>(h ^ (h >> 32));
+    return folded ? folded : 1;
+}
+
+void
+PersistDomain::activate()
+{
+    if (active_)
+        return;
+    const MachineConfig &mc = machine_.config();
+    utm_assert(mc.persist.logBase >= mc.heapBase + mc.heapSize);
+    active_ = true;
+    tail_.assign(numShards(), 0);
+    // The lock lines must exist up front: the append spin lock is
+    // CAS'd from commit paths that must never page-fault.
+    for (unsigned s = 0; s < numShards(); ++s)
+        machine_.memory().materializePage(shardLogBase(s));
+    machine_.stats().set("dur.active", 1);
+}
+
+unsigned
+PersistDomain::numShards() const
+{
+    const unsigned s = machine_.config().otableShards;
+    return s ? s : 1;
+}
+
+Addr
+PersistDomain::shardLogBase(unsigned shard) const
+{
+    const PersistConfig &pc = machine_.config().persist;
+    return pc.logBase + Addr(shard) * pc.logShardStride;
+}
+
+std::uint64_t
+PersistDomain::shardRecordCapacity() const
+{
+    return machine_.config().persist.logShardStride - kLineSize;
+}
+
+void
+PersistDomain::writeBackLine(LineAddr line)
+{
+    SimMemory &mem = machine_.memory();
+    PersistentImage::Line img;
+    for (unsigned off = 0; off < kLineSize; off += 8) {
+        const std::uint64_t w = mem.read(line + off, 8);
+        for (int b = 0; b < 8; ++b)
+            img.data[off + b] =
+                static_cast<std::uint8_t>(w >> (8 * b));
+    }
+    img.ufo = mem.ufoBits(line);
+    image_.put(line, img);
+}
+
+void
+PersistDomain::clwb(ThreadContext &tc, LineAddr line)
+{
+    // A write-back is its own ordered event (and crash point).
+    tc.yield();
+    const PersistConfig &pc = machine_.config().persist;
+    const bool was_dirty = dirty_.erase(line) > 0;
+    writeBackLine(line);
+    ++pendingClwb_[tc.id()];
+    machine_.stats().inc(was_dirty ? "dur.clwb.dirty"
+                                   : "dur.clwb.clean");
+    tc.advance(was_dirty ? pc.clwbCost : pc.clwbCleanCost);
+}
+
+void
+PersistDomain::sfence(ThreadContext &tc, std::uint64_t commit_ts)
+{
+    // The crash point sits BEFORE the drain: if the machine dies here
+    // the record's lines are already in the image (it will be applied)
+    // but the fence never completed (it is not *guaranteed* durable) —
+    // exactly the window the prefix-consistency oracle allows.
+    tc.yield();
+    const PersistConfig &pc = machine_.config().persist;
+    unsigned &pending = pendingClwb_[tc.id()];
+    tc.advance(pc.sfenceBase + Cycles(pending) * pc.sfencePerLine);
+    pending = 0;
+    machine_.stats().inc("dur.sfence");
+    fenceCompleted_.insert(commit_ts);
+}
+
+void
+PersistDomain::noteReadOnlyCommit()
+{
+    machine_.stats().inc("dur.commits.readonly");
+}
+
+void
+PersistDomain::appendCommitRecord(ThreadContext &tc, std::uint64_t txid,
+                                  const std::vector<RedoWrite> &writes)
+{
+    utm_assert(active_ && !writes.empty());
+    const PersistConfig &pc = machine_.config().persist;
+    SimMemory &mem = machine_.memory();
+    StatsRegistry &st = machine_.stats();
+
+    const unsigned shard =
+        machine_.config().shardOfAddr(writes.front().addr);
+    const Addr lock = shardLogBase(shard);
+
+    // Serialize appends per shard: a record only begins once its
+    // predecessor is fully written back and fenced, so a torn record
+    // is provably the last one in its shard log.
+    while (!tc.cas(lock, 8, 0, std::uint64_t(tc.id()) + 1)) {
+        st.inc("dur.log_lock_spins");
+        tc.advance(pc.lockRetryDelay);
+    }
+
+    const std::uint64_t nwords =
+        kRecordFixedWords + kRecordWordsPerWrite * writes.size();
+    const std::uint64_t len = 8 * (1 + nwords);
+    if (tail_[shard] + len > shardRecordCapacity())
+        utm_fatal("durable redo log shard %u overflow (%llu + %llu "
+                  "bytes); raise persist.logShardStride",
+                  shard,
+                  static_cast<unsigned long long>(tail_[shard]),
+                  static_cast<unsigned long long>(len));
+    const Addr rec = shardRecordBase(shard) + tail_[shard];
+
+    // Payload: the committed values, read functionally — past the
+    // commit linearization point the eager writes are final.  UFO
+    // bits ride along so the record preserves the protection state
+    // the committer published.
+    const std::uint64_t commit_ts = lastTs_[tc.id()];
+    std::vector<std::uint64_t> words;
+    words.reserve(nwords);
+    words.push_back(txid);
+    words.push_back(commit_ts);
+    words.push_back(writes.size());
+    for (const RedoWrite &w : writes) {
+        utm_assert(w.size >= 1 && w.size <= 8);
+        const UfoBits ub = mem.ufoBits(lineOf(w.addr));
+        words.push_back(w.addr);
+        words.push_back(mem.read(w.addr, w.size));
+        words.push_back(std::uint64_t(w.size) |
+                        (std::uint64_t(ub.faultOnRead) << 8) |
+                        (std::uint64_t(ub.faultOnWrite) << 9));
+    }
+    const std::uint32_t cksum =
+        persistChecksum(words.data(), words.size());
+    const std::uint64_t header = len | (std::uint64_t(cksum) << 32);
+
+    // The record's pages must exist before the first store: the
+    // committing window must never page-fault.
+    for (Addr a = rec & ~(SimMemory::kPageSize - 1); a < rec + len;
+         a += SimMemory::kPageSize)
+        mem.materializePage(a);
+
+    // Timed stores, header first (lowest address).  Header-first plus
+    // address-ordered write-back makes both torn-tail shapes
+    // organically reachable: a crash before any write-back leaves a
+    // zero header (clean stop), a crash between the header line and a
+    // later payload line leaves a checksum mismatch (truncation).
+    tc.store(rec, header, 8);
+    for (std::size_t i = 0; i < words.size(); ++i)
+        tc.store(rec + 8 * (i + 1), words[i], 8);
+
+    for (LineAddr line = lineOf(rec); line < rec + len;
+         line += kLineSize)
+        clwb(tc, line);
+    sfence(tc, commit_ts);
+
+    tail_[shard] += len;
+    st.inc("dur.commits.logged");
+    st.inc("dur.log_records");
+    st.inc("dur.log_bytes", len);
+    st.inc("dur.log_records." + std::to_string(shard));
+    st.inc("dur.log_bytes." + std::to_string(shard), len);
+
+    tc.store(lock, 0, 8);
+}
+
+void
+PersistDomain::checkpointHeap()
+{
+    utm_assert(active_);
+    const MachineConfig &mc = machine_.config();
+    std::uint64_t pages = 0;
+    machine_.memory().forEachPage([&](Addr base) {
+        if (base < mc.heapBase || base >= mc.heapBase + mc.heapSize)
+            return;
+        ++pages;
+        for (Addr line = base; line < base + SimMemory::kPageSize;
+             line += kLineSize)
+            writeBackLine(line);
+    });
+    machine_.stats().set("dur.checkpoint_pages", pages);
+    machine_.stats().set("dur.checkpoint_lines",
+                         pages * SimMemory::kLinesPerPage);
+}
+
+} // namespace utm

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Modeled persistence domain: dirty-line tracking, `clwb`/`sfence`
+ * analogues with simulated-cycle costs, and the per-shard redo log
+ * that durable commits append to.
+ *
+ * The domain models a system whose caches are volatile and whose
+ * memory sits behind a persistence boundary: a store becomes durable
+ * only once its line has been explicitly written back (`clwb`) and a
+ * subsequent fence (`sfence`) has drained the write-back queue.  The
+ * host-side PersistentImage is the authoritative "what survived"
+ * state: `clwb` copies the line's current data *and UFO bits* into
+ * the image, and nothing else ever reaches it — so a crash at an
+ * arbitrary scheduling step leaves exactly the clwb'd lines behind,
+ * organically producing empty, torn, and complete redo-record tails
+ * for recovery (dur/recovery.hh) to sort out.
+ *
+ * Redo-log geometry: shard s's log occupies
+ * [logBase + s*stride, logBase + (s+1)*stride).  The first line holds
+ * the shard's append lock (a simulated spin lock, CAS-acquired);
+ * records start at +kLineSize.  Appends are serialized per shard by
+ * the lock, so a torn record is always the *last* record in its shard
+ * log and scan-stop-at-first-invalid truncation is sound.
+ *
+ * The domain is inert (active() == false, every hook a single branch)
+ * unless a durable TxSystem activates it, keeping all non-durable
+ * baselines byte-identical.
+ */
+
+#ifndef UFOTM_MEM_PERSIST_HH
+#define UFOTM_MEM_PERSIST_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace utm {
+
+class Machine;
+class ThreadContext;
+
+/** FNV-1a over the payload words of a redo record, folded to 32 bits
+ *  and never zero (so valid headers differ from unwritten log space).
+ *  Shared by the append path and recovery's torn-tail truncation. */
+std::uint32_t persistChecksum(const std::uint64_t *words,
+                              std::size_t n);
+
+/**
+ * Host-side snapshot of everything that crossed the persistence
+ * boundary: per-line data plus the line's UFO protection bits (the
+ * bits travel with the data through the hierarchy, so a write-back
+ * persists both — which is what lets recovery rebuild the otable↔UFO
+ * lockstep invariant).
+ */
+class PersistentImage
+{
+  public:
+    struct Line
+    {
+        std::array<std::uint8_t, kLineSize> data{};
+        UfoBits ufo;
+    };
+
+    void
+    put(LineAddr line, const Line &l)
+    {
+        lines_[line] = l;
+    }
+
+    const Line *find(LineAddr line) const
+    {
+        auto it = lines_.find(line);
+        return it == lines_.end() ? nullptr : &it->second;
+    }
+
+    /** Lines in ascending address order (std::map), for replay. */
+    const std::map<LineAddr, Line> &lines() const { return lines_; }
+
+    std::size_t size() const { return lines_.size(); }
+
+  private:
+    std::map<LineAddr, Line> lines_;
+};
+
+/**
+ * The persistence domain of one Machine.  Owned by the Machine;
+ * activated by TxSystem::create when the policy requests durability
+ * and the backend supports it (core/tx_system.hh:txSystemKindDurable).
+ */
+class PersistDomain
+{
+  public:
+    /** One write of a durable commit's redo record.  The domain reads
+     *  the committed value and the line's UFO bits from simulated
+     *  memory at append time (the caller's eager writes are final by
+     *  the commit linearization point). */
+    struct RedoWrite
+    {
+        Addr addr;
+        unsigned size;
+    };
+
+    /** Fixed payload words before the per-write triples. */
+    static constexpr std::uint64_t kRecordFixedWords = 3;
+    /** 8-byte words per redo write (addr, value, size|ufo). */
+    static constexpr std::uint64_t kRecordWordsPerWrite = 3;
+
+    explicit PersistDomain(Machine &machine) : machine_(machine) {}
+
+    PersistDomain(const PersistDomain &) = delete;
+    PersistDomain &operator=(const PersistDomain &) = delete;
+
+    /** Arm the domain; idempotent.  Materializes each shard's lock
+     *  line so the append spin lock never page-faults. */
+    void activate();
+
+    bool active() const { return active_; }
+
+    /** Dirty-line tracking, called on every simulated write.  A
+     *  single branch when the domain is inert. */
+    void
+    markDirty(LineAddr line)
+    {
+        if (active_)
+            dirty_.insert(line);
+    }
+
+    /**
+     * @name Commit timestamps.
+     *
+     * A dense counter, separate from Machine::nextTxSeq so durability
+     * never perturbs age-based contention management.  Assigned inside
+     * Machine::notifyCommitPoint — before the commit-publish hook
+     * runs, so harnesses can read lastCommitTs() from the hook.
+     * @{
+     */
+    std::uint64_t
+    assignCommitTs(ThreadId t)
+    {
+        return lastTs_[t] = ++tsCounter_;
+    }
+
+    std::uint64_t lastCommitTs(ThreadId t) const { return lastTs_[t]; }
+    /** @} */
+
+    /**
+     * Append one durable commit's redo record to the shard log owning
+     * the first written address, fence it, and mark the committer's
+     * commit timestamp fence-complete.  Runs on the committer's fiber
+     * with simulated stores/clwbs/sfence — every one a scheduling (and
+     * crash) point.  @p writes must be non-empty.
+     */
+    void appendCommitRecord(ThreadContext &tc, std::uint64_t txid,
+                            const std::vector<RedoWrite> &writes);
+
+    /** Account a durable commit with an empty write set (nothing to
+     *  log or fence). */
+    void noteReadOnlyCommit();
+
+    /**
+     * Snapshot every materialized heap-range page (data + UFO bits)
+     * into the image: the base state redo records replay over.  Called
+     * once after workload setup, before threads run.  The otable and
+     * log regions are deliberately excluded — recovery must rebuild
+     * ownership empty, not restore a stale table.
+     */
+    void checkpointHeap();
+
+    /** @name Log geometry (shared with dur/recovery.cc). @{ */
+    unsigned numShards() const;
+    Addr shardLogBase(unsigned shard) const;
+    /** First record address (the lock occupies the first line). */
+    Addr shardRecordBase(unsigned shard) const
+    {
+        return shardLogBase(shard) + kLineSize;
+    }
+    std::uint64_t shardRecordCapacity() const;
+    /** @} */
+
+    /** The surviving persistent state (crash-harness harvest). */
+    const PersistentImage &image() const { return image_; }
+
+    /** Commit timestamps whose sfence completed: the set of commits a
+     *  crash is *guaranteed* not to lose (prefix-consistency oracle
+     *  lower bound).  Read-only commits never appear (no record, no
+     *  fence). */
+    const std::set<std::uint64_t> &fenceCompletedTs() const
+    {
+        return fenceCompleted_;
+    }
+
+  private:
+    /** Write @p line's current memory state through to the image. */
+    void writeBackLine(LineAddr line);
+
+    /** One clwb: eager write-back + cost + pending-fence accounting. */
+    void clwb(ThreadContext &tc, LineAddr line);
+
+    /** One sfence: drain cost + fence-completion marking. */
+    void sfence(ThreadContext &tc, std::uint64_t commit_ts);
+
+    Machine &machine_;
+    bool active_ = false;
+    std::set<LineAddr> dirty_;
+    PersistentImage image_;
+    std::set<std::uint64_t> fenceCompleted_;
+    std::array<std::uint64_t, kMaxThreads> lastTs_{};
+    std::array<unsigned, kMaxThreads> pendingClwb_{};
+    std::vector<std::uint64_t> tail_; ///< Per-shard append offset.
+    std::uint64_t tsCounter_ = 0;
+};
+
+} // namespace utm
+
+#endif // UFOTM_MEM_PERSIST_HH

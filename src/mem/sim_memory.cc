@@ -110,6 +110,13 @@ SimMemory::forEachUfoLine(
     }
 }
 
+void
+SimMemory::forEachPage(const std::function<void(Addr)> &fn) const
+{
+    for (const auto &[idx, page] : pages_)
+        fn(idx << kPageBits);
+}
+
 bool
 SimMemory::pageHasUfoBits(Addr a) const
 {

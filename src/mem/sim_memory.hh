@@ -65,6 +65,13 @@ class SimMemory
     void forEachUfoLine(
         const std::function<void(LineAddr, UfoBits)> &fn) const;
 
+    /**
+     * Invoke @p fn with the base address of every materialized page.
+     * Enumeration order is unspecified (hash-map order) — callers
+     * that need deterministic output must aggregate, not early-exit.
+     */
+    void forEachPage(const std::function<void(Addr)> &fn) const;
+
   private:
     struct Page
     {

@@ -102,6 +102,16 @@ class BtmClient
     /** Is a hardware transaction currently executing on this core? */
     virtual bool inTx() const = 0;
 
+    /**
+     * Is this transaction inside its durable-commit fence window —
+     * past the commit linearization point, appending its redo record
+     * (mem/persist.hh)?  A committing transaction can no longer fail:
+     * the memory system treats its accesses as non-speculative and
+     * shields it from wounds (conflicting requesters are NACKed, UFO
+     * bit-set kills wait).  Always false without durability.
+     */
+    virtual bool committing() const { return false; }
+
     /** Is this transaction already wounded but not yet unwound? */
     virtual bool doomed() const = 0;
 

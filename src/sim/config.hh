@@ -20,6 +20,41 @@
 
 namespace utm {
 
+/**
+ * Modeled persistence domain (mem/persist.hh): geometry of the
+ * per-shard redo-log region and the cycle costs of the persist
+ * primitives (`clwb`/`sfence` analogues).  The domain is inert unless
+ * a durable TxSystem activates it (TmPolicy::durable), so these knobs
+ * never perturb a non-durable run.
+ */
+struct PersistConfig
+{
+    /** Base of the redo-log region; must sit above the heap. */
+    Addr logBase = 0x40000000;
+
+    /** Per-shard log stride (lock line + record area). */
+    std::uint64_t logShardStride = 8ull << 20;
+
+    /** @name Persist-primitive costs, in cycles. @{ */
+    /** Write-back of a dirty line to the persistence domain. */
+    Cycles clwbCost = 40;
+    /** clwb of a line that is already clean (no write-back needed). */
+    Cycles clwbCleanCost = 8;
+    /** Fixed drain cost of an sfence. */
+    Cycles sfenceBase = 20;
+    /** Per-pending-clwb drain cost of an sfence. */
+    Cycles sfencePerLine = 10;
+    /** Retry delay when the per-shard log lock is contended. */
+    Cycles lockRetryDelay = 20;
+    /** @} */
+
+    /** @name Modeled recovery costs (charged to the report only). @{ */
+    Cycles recoverLoadPerLine = 4;
+    Cycles recoverScanPerRecord = 30;
+    Cycles recoverApplyPerWrite = 12;
+    /** @} */
+};
+
 /** Full description of the simulated machine. */
 struct MachineConfig
 {
@@ -86,6 +121,9 @@ struct MachineConfig
     /** Simulated-heap base address and size. */
     Addr heapBase = 0x10000000;
     std::uint64_t heapSize = 512ull << 20;
+
+    /** Persistence-domain geometry and costs (mem/persist.hh). */
+    PersistConfig persist;
 
     /** @name Heap-stripe → otable-shard routing.
      *  Shared by the USTM runtime (per-line otable selection) and the

@@ -8,7 +8,8 @@
 
 namespace utm {
 
-Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
+Machine::Machine(const MachineConfig &cfg)
+    : cfg_(cfg), persist_(*this)
 {
     utm_assert(cfg_.numCores >= 1 && cfg_.numCores < kMaxThreads);
     telemetry_.configure(*this, cfg_.telemetry);
@@ -82,12 +83,23 @@ Machine::run()
             ++steps_;
             threads_[pick]->resume();
             telemetry_.onStep(pick, threads_[pick]->now());
+            // A crash is abrupt: no oracle pass, no finalization.
+            // Suspended fibers stay where they are; only host-side
+            // state (recorded schedule, persistent image) survives.
+            if (crashStep_ != 0 && steps_ >= crashStep_) {
+                crashed_ = true;
+                break;
+            }
             if (!oracles_.empty() && steps_ % oracleInterval_ == 0)
                 runOracles();
         }
     } catch (...) {
         running_ = false;
         throw;
+    }
+    if (crashed_) {
+        running_ = false;
+        return;
     }
     sched_->onRunEnd(stats_);
     prof_.finalize(*this);

@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "mem/persist.hh"
 #include "mem/sim_memory.hh"
 #include "sim/config.hh"
 #include "sim/prof.hh"
@@ -103,10 +104,29 @@ class Machine
     void
     notifyCommitPoint(ThreadContext &tc)
     {
+        // Durable runs stamp the commit timestamp first, so the
+        // publish hook can read persist().lastCommitTs().
+        if (persist_.active())
+            persist_.assignCommitTs(tc.id());
         telemetry_.onCommit(tc.id());
         if (commitPublish_)
             commitPublish_(tc);
     }
+    /** @} */
+
+    /**
+     * @name Crash injection (crash-torture harness).
+     *
+     * When armed, run() stops abruptly after the given scheduling
+     * step: fibers are abandoned where they stand, no end-of-run
+     * finalization happens, and crashed() reports true.  The only
+     * state the harness may then trust is host-side — the recorded
+     * schedule and the persistence domain's image.
+     * @{
+     */
+    void setCrashStep(std::uint64_t step) { crashStep_ = step; }
+    std::uint64_t crashStep() const { return crashStep_; }
+    bool crashed() const { return crashed_; }
     /** @} */
 
     /** Scheduling steps taken so far (== shared-memory-event slices). */
@@ -125,6 +145,8 @@ class Machine
     const MachineConfig &config() const { return cfg_; }
     SimMemory &memory() { return mem_; }
     MemorySystem &memsys() { return *msys_; }
+    PersistDomain &persist() { return persist_; }
+    const PersistDomain &persist() const { return persist_; }
     StatsRegistry &stats() { return stats_; }
     TxTracer &tracer() { return tracer_; }
     CycleProfiler &profiler() { return prof_; }
@@ -147,6 +169,7 @@ class Machine
     CycleProfiler prof_;
     ContentionTracker contention_;
     TelemetryBus telemetry_;
+    PersistDomain persist_;
     std::unique_ptr<MemorySystem> msys_;
     std::vector<std::unique_ptr<ThreadContext>> threads_;
     std::unique_ptr<ThreadContext> initCtx_;
@@ -160,6 +183,8 @@ class Machine
     std::uint64_t preemptions_ = 0;
     ThreadId lastPick_ = -1;
     std::uint64_t txSeq_ = 1;
+    std::uint64_t crashStep_ = 0;
+    bool crashed_ = false;
     bool recording_ = false;
     bool running_ = false;
 };

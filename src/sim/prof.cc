@@ -43,6 +43,7 @@ profPhaseName(ProfPhase p)
     case ProfPhase::UfoHandler: return "ufo_handler";
     case ProfPhase::OtableWalk: return "otable_walk";
     case ProfPhase::NonTx: return "nontx";
+    case ProfPhase::Persist: return "persist";
     }
     return "?";
 }

@@ -76,8 +76,9 @@ enum class ProfPhase : std::uint8_t {
     UfoHandler,
     OtableWalk,
     NonTx,
+    Persist, ///< Durable-commit redo-log append + clwb/sfence drain.
 };
-constexpr int kNumProfPhases = 11;
+constexpr int kNumProfPhases = 12;
 
 const char *profCompName(ProfComp c);
 const char *profPhaseName(ProfPhase p);

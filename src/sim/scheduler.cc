@@ -322,6 +322,7 @@ ScheduleTrace::clear()
 {
     blocks_.clear();
     steps_ = 0;
+    crashStep_ = 0;
 }
 
 ScheduleTrace
@@ -337,7 +338,12 @@ std::string
 ScheduleTrace::serialize() const
 {
     std::ostringstream os;
-    os << "ufotm-sched v1";
+    // Crash-free traces keep the v1 rendering byte-identical so every
+    // pre-existing trace file and pinned regression string round-trips.
+    if (crashStep_ == 0)
+        os << "ufotm-sched v1";
+    else
+        os << "ufotm-sched v2 crash=" << crashStep_;
     for (const Block &b : blocks_)
         os << ' ' << b.tid << 'x' << b.count;
     return os.str();
@@ -348,11 +354,22 @@ ScheduleTrace::parse(const std::string &text, ScheduleTrace *out)
 {
     std::istringstream is(text);
     std::string magic, version;
-    if (!(is >> magic >> version) ||
-        magic != "ufotm-sched" || version != "v1")
+    if (!(is >> magic >> version) || magic != "ufotm-sched" ||
+        (version != "v1" && version != "v2"))
         return false;
     ScheduleTrace t;
     std::string tok;
+    if (version == "v2") {
+        if (!(is >> tok) || tok.rfind("crash=", 0) != 0)
+            return false;
+        std::uint64_t crash = 0;
+        auto r = std::from_chars(tok.data() + 6,
+                                 tok.data() + tok.size(), crash);
+        if (r.ec != std::errc{} || r.ptr != tok.data() + tok.size() ||
+            crash == 0)
+            return false;
+        t.setCrashStep(crash);
+    }
     while (is >> tok) {
         std::size_t x = tok.find('x');
         if (x == std::string::npos)

@@ -139,6 +139,13 @@ makeSchedulerPolicy(const SchedulerConfig &cfg,
  * A recorded schedule: the sequence of thread ids picked by the
  * scheduler, run-length encoded.  Compact, diffable, and serializable
  * ("ufotm-sched v1" text format) for failure reports and replay files.
+ *
+ * A crash-torture run additionally records its injected crash step
+ * (Machine::setCrashStep) so the whole failure — schedule AND crash
+ * point — replays from one artifact.  A trace with a crash step
+ * serializes as "ufotm-sched v2 crash=<K> ..."; a trace without one
+ * stays byte-identical to the v1 format, so every pre-existing trace
+ * file and pinned regression string round-trips unchanged.
  */
 class ScheduleTrace
 {
@@ -167,12 +174,17 @@ class ScheduleTrace
     bool empty() const { return blocks_.empty(); }
     const std::vector<Block> &blocks() const { return blocks_; }
 
+    /** Injected crash step of a crash-torture run; 0 = no crash. */
+    std::uint64_t crashStep() const { return crashStep_; }
+    void setCrashStep(std::uint64_t step) { crashStep_ = step; }
+
     void clear();
 
     /** Rebuild from a block list (normalizes adjacent same-tid runs). */
     static ScheduleTrace fromBlocks(const std::vector<Block> &blocks);
 
-    /** One-line "ufotm-sched v1 <tid>x<count> ..." rendering. */
+    /** One-line "ufotm-sched v1 <tid>x<count> ..." rendering (v2 with
+     *  a leading "crash=<K>" field when a crash step is set). */
     std::string serialize() const;
     static bool parse(const std::string &text, ScheduleTrace *out);
 
@@ -184,6 +196,7 @@ class ScheduleTrace
   private:
     std::vector<Block> blocks_;
     std::uint64_t steps_ = 0;
+    std::uint64_t crashStep_ = 0;
 };
 
 /**

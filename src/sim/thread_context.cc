@@ -53,7 +53,9 @@ ThreadContext::advance(Cycles n)
         const Cycles q = machine_.config().timerQuantum;
         nextTimer_ = ((clock_ / q) + 1) * q;
         stats().inc("machine.timer_interrupts");
-        if (btm_ && btm_->inTx())
+        // A durably-committing transaction is past its linearization
+        // point; the interrupt is taken after the fence window closes.
+        if (btm_ && btm_->inTx() && !btm_->committing())
             btm_->onTimerInterrupt(); // throws BtmAbortException
     }
 }

@@ -37,6 +37,10 @@ runWorkload(Workload &w, const RunConfig &cfg)
     auto sys = TxSystem::create(cfg.kind, machine, cfg.policy);
     sys->setup();
     w.setup(machine.initContext(), heap, cfg.threads);
+    // Durable runs snapshot the post-setup heap into the persistent
+    // image; redo records replay on top of this base state.
+    if (machine.persist().active())
+        machine.persist().checkpointHeap();
 
     for (int t = 0; t < cfg.threads; ++t) {
         machine.addThread([&w, sys = sys.get(), t, n = cfg.threads](

@@ -1,10 +1,13 @@
 #include "torture/torture.hh"
 
 #include <memory>
+#include <set>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "dur/recovery.hh"
+#include "mem/persist.hh"
 #include "mem/sim_memory.hh"
 #include "rt/heap.hh"
 #include "sim/logging.hh"
@@ -151,17 +154,25 @@ class StallWatchdogOracle final : public InvariantOracle
     Machine &m_;
 };
 
-} // namespace
-
-TortureResult
-runTorture(const TortureConfig &cfg)
+/** One committed transaction, as the commit-publish hook saw it
+ *  (crash-torture harvest). */
+struct CommittedTx
 {
-    // NoTm has no concurrency control; racing it is not a TM bug.
-    const int threads = cfg.kind == TxSystemKind::NoTm ? 1 : cfg.threads;
-    // h.syscall() in a hardware transaction aborts it; the unbounded
-    // HTM has no software fallback for Syscall aborts, by design.
-    const bool syscalls = cfg.kind != TxSystemKind::UnboundedHtm;
+    std::uint64_t ts; ///< PersistDomain commit timestamp.
+    std::vector<std::pair<int, std::uint64_t>> writes;
+};
 
+/** What a crash run leaves behind for the recovery phase. */
+struct CrashHarvest
+{
+    PersistentImage image;
+    std::set<std::uint64_t> fenceTs;
+    std::vector<CommittedTx> history; ///< In commit order (ts ascending).
+};
+
+MachineConfig
+makeTortureMachineConfig(const TortureConfig &cfg, int threads)
+{
     MachineConfig mc;
     mc.numCores = threads;
     mc.timerQuantum = 0;
@@ -175,12 +186,71 @@ runTorture(const TortureConfig &cfg)
         if (cfg.watchdogWindows)
             mc.telemetry.watchdogWindows = cfg.watchdogWindows;
     }
-    const bool kv_cfg = cfg.workload == TortureWorkload::Kv;
-    if (kv_cfg && cfg.kvShards > 1)
+    if (cfg.workload == TortureWorkload::Kv && cfg.kvShards > 1)
         mc.otableShards = cfg.kvShards;
+    return mc;
+}
+
+/**
+ * The watched 8-byte words, their initial values, and (for Kv) the
+ * store that owns them.  Deterministic: a fresh machine with the same
+ * TortureConfig produces the identical layout, which is what lets the
+ * crash harness re-create the store on a recovery machine.
+ */
+struct WatchedLayout
+{
+    std::unique_ptr<svc::ShardedKvStore> store;
+    std::vector<Addr> addrs;
+    std::vector<std::uint64_t> initial;
+};
+
+WatchedLayout
+setupWatchedLayout(const TortureConfig &cfg, Machine &m, TxHeap &heap)
+{
+    WatchedLayout lay;
+    if (cfg.workload != TortureWorkload::Kv) {
+        const Addr base = heap.allocZeroed(
+            m.initContext(), std::uint64_t(cfg.cells) * 8,
+            /*line_aligned=*/true);
+        for (int i = 0; i < cfg.cells; ++i)
+            lay.addrs.push_back(base + Addr(i) * 8);
+        lay.initial.assign(std::size_t(cfg.cells), 0);
+        return lay;
+    }
+    // The sharded store carves its own per-stripe heaps (with one
+    // shard it spans the whole heap, bit-identical to the old direct
+    // KvStore); the caller's `heap` stays unused for Kv.
+    lay.store = std::make_unique<svc::ShardedKvStore>(
+        svc::ShardedKvStore::create(m.initContext(), cfg.kvBuckets,
+                                    cfg.kvKeyspace, cfg.kvShards));
+    lay.store->populate(m.initContext());
+    auto no_tm = TxSystem::create(TxSystemKind::NoTm, m);
+    no_tm->atomic(m.initContext(), [&](TxHandle &h) {
+        for (std::uint64_t k = 1; k <= cfg.kvKeyspace; ++k) {
+            const Addr va = lay.store->valueAddr(h, k);
+            utm_assert(va != 0);
+            lay.addrs.push_back(va);
+            lay.initial.push_back(k * 100); // populate() value.
+        }
+    });
+    return lay;
+}
+
+TortureResult
+runTortureImpl(const TortureConfig &cfg, CrashHarvest *harvest)
+{
+    // NoTm has no concurrency control; racing it is not a TM bug.
+    const int threads = cfg.kind == TxSystemKind::NoTm ? 1 : cfg.threads;
+    // h.syscall() in a hardware transaction aborts it; the unbounded
+    // HTM has no software fallback for Syscall aborts, by design.
+    const bool syscalls = cfg.kind != TxSystemKind::UnboundedHtm;
+
+    const MachineConfig mc = makeTortureMachineConfig(cfg, threads);
 
     auto machine = std::make_unique<Machine>(mc);
     Machine &m = *machine;
+    if (cfg.crashStep)
+        m.setCrashStep(cfg.crashStep);
     TxHeap heap(m);
     auto sys = TxSystem::create(cfg.kind, m, cfg.policy);
     sys->setup();
@@ -195,37 +265,16 @@ runTorture(const TortureConfig &cfg)
     // Cells these are the contended array; for Kv, the map's value
     // words (the chain structure is fixed after populate, so only the
     // value words change during the run).
-    std::vector<Addr> addrs;
-    std::vector<std::uint64_t> shadow;
+    WatchedLayout lay = setupWatchedLayout(cfg, m, heap);
+    std::vector<Addr> addrs = std::move(lay.addrs);
+    std::vector<std::uint64_t> shadow = std::move(lay.initial);
+    std::unique_ptr<svc::ShardedKvStore> store = std::move(lay.store);
     // Every value ever committed per watched word (raw-read oracle).
     std::vector<std::unordered_set<std::uint64_t>> history;
-    std::unique_ptr<svc::ShardedKvStore> store;
-
-    if (!kv) {
-        const Addr base =
-            heap.allocZeroed(m.initContext(), std::uint64_t(cells) * 8,
-                             /*line_aligned=*/true);
-        for (int i = 0; i < cells; ++i)
-            addrs.push_back(base + Addr(i) * 8);
-        shadow.assign(std::size_t(cells), 0);
-    } else {
-        // The sharded store carves its own per-stripe heaps (with one
-        // shard it spans the whole heap, bit-identical to the old
-        // direct KvStore); the local `heap` stays unused for Kv.
-        store = std::make_unique<svc::ShardedKvStore>(
-            svc::ShardedKvStore::create(m.initContext(), cfg.kvBuckets,
-                                        cfg.kvKeyspace, cfg.kvShards));
-        store->populate(m.initContext());
-        auto no_tm = TxSystem::create(TxSystemKind::NoTm, m);
-        no_tm->atomic(m.initContext(), [&](TxHandle &h) {
-            for (std::uint64_t k = 1; k <= cfg.kvKeyspace; ++k) {
-                const Addr va = store->valueAddr(h, k);
-                utm_assert(va != 0);
-                addrs.push_back(va);
-                shadow.push_back(k * 100); // populate() value.
-            }
-        });
-    }
+    // Durable runs snapshot the post-setup state into the persistent
+    // image; redo records replay on top of this base state.
+    if (m.persist().active())
+        m.persist().checkpointHeap();
     history.resize(shadow.size());
     for (std::size_t i = 0; i < shadow.size(); ++i)
         history[i].insert(shadow[i]);
@@ -239,6 +288,12 @@ runTorture(const TortureConfig &cfg)
     m.setCommitPublishHook([&](ThreadContext &tc) {
         ++commits;
         auto &mine = pending[tc.id()];
+        // Crash harvest: the committed history in commit order, tagged
+        // with the durable commit timestamp (assigned just before this
+        // hook runs).  The prefix-consistency oracles replay it.
+        if (harvest)
+            harvest->history.push_back(
+                {m.persist().lastCommitTs(tc.id()), mine});
         for (const auto &[cell, value] : mine) {
             shadow[cell] = value;
             history[cell].insert(value);
@@ -673,6 +728,15 @@ runTorture(const TortureConfig &cfg)
         res.why = v.why;
         res.violationStep = v.step;
     }
+    res.crashed = m.crashed();
+
+    // Harvest the surviving persistent state before the machine dies:
+    // after a crash the image IS the machine, as far as recovery is
+    // concerned.
+    if (harvest) {
+        harvest->image = m.persist().image();
+        harvest->fenceTs = m.persist().fenceCompletedTs();
+    }
 
     // run() finalizes the telemetry bus on a clean exit; after a
     // violation unwound run(), finalize here (idempotent, no-op when
@@ -687,9 +751,11 @@ runTorture(const TortureConfig &cfg)
     res.commits = commits;
     res.rawReads = rawReads;
     res.schedule = m.recordedSchedule();
+    if (res.crashed)
+        res.schedule.setCrashStep(cfg.crashStep);
     res.stats = m.stats().counters();
 
-    if (!res.violated) {
+    if (!res.violated && !res.crashed) {
         res.validated = true;
         for (std::size_t i = 0; i < addrs.size(); ++i) {
             if (m.memory().read(addrs[i], 8) != shadow[i]) {
@@ -701,14 +767,23 @@ runTorture(const TortureConfig &cfg)
             }
         }
     } else {
-        // Abandoned mid-run: unfinished fibers and in-flight BTM
-        // transactions are expected, not suspicious.
+        // Abandoned mid-run (oracle violation or injected crash):
+        // unfinished fibers and in-flight BTM transactions are
+        // expected, not suspicious.
         setWarningsSuppressed(true);
         sys.reset();
         machine.reset();
         setWarningsSuppressed(false);
     }
     return res;
+}
+
+} // namespace
+
+TortureResult
+runTorture(const TortureConfig &cfg)
+{
+    return runTortureImpl(cfg, nullptr);
 }
 
 namespace {
@@ -777,6 +852,178 @@ minimizeSchedule(const TortureConfig &cfg, const ScheduleTrace &failing,
 
     res.schedule = std::move(best);
     return res;
+}
+
+CrashTortureResult
+runCrashTorture(const TortureConfig &base, std::uint64_t crash_step)
+{
+    CrashTortureResult out;
+    TortureConfig cfg = base;
+    cfg.policy.durable = true;
+    cfg.record = true;
+    if (!txSystemKindDurable(cfg.kind)) {
+        out.why = std::string("backend ") + txSystemKindName(cfg.kind) +
+                  " cannot run durable commits";
+        return out;
+    }
+
+    // A replayed crash trace carries its own crash step; otherwise an
+    // explicit step pins it, and failing both, a crash-free probe run
+    // measures the schedule so the seed can pick a step uniformly over
+    // the whole run.
+    if (crash_step == 0 && cfg.replay)
+        crash_step = cfg.replay->crashStep();
+    if (crash_step == 0) {
+        TortureConfig probe = cfg;
+        probe.record = false;
+        probe.crashStep = 0;
+        const TortureResult pr = runTortureImpl(probe, nullptr);
+        if (!pr.ok()) {
+            out.why = "crash-free probe failed oracle " + pr.oracle +
+                      ": " + pr.why;
+            return out;
+        }
+        out.probeSteps = pr.steps;
+        std::uint64_t h =
+            (cfg.seed + 0x9e3779b97f4a7c15ull) * 0xbf58476d1ce4e5b9ull;
+        h ^= h >> 31;
+        crash_step = 1 + h % pr.steps;
+    }
+    out.crashStep = crash_step;
+    cfg.crashStep = crash_step;
+
+    // Crash run: deterministic, so it retraces the probe's schedule
+    // until the machine dies at the injected step.  All oracles stay
+    // armed up to the crash.
+    CrashHarvest hv;
+    const TortureResult cr = runTortureImpl(cfg, &hv);
+    out.schedule = cr.schedule;
+    out.stats = cr.stats;
+    out.crashSteps = cr.steps;
+    out.timeline = cr.timeline;
+    if (cr.violated) {
+        out.why = "oracle " + cr.oracle +
+                  " violated before the crash: " + cr.why;
+        return out;
+    }
+
+    // The committed history keyed by durable commit timestamp.
+    // Read-only commits log nothing and never fence; they are exempt
+    // from every durability obligation.
+    std::map<std::uint64_t, const CommittedTx *> committed;
+    for (const CommittedTx &c : hv.history)
+        if (!c.writes.empty())
+            committed[c.ts] = &c;
+    out.committedTx = committed.size();
+    out.fencedTx = hv.fenceTs.size();
+
+    // Recovery machine: identical geometry, deterministically
+    // re-created store layout, empty ownership state.
+    const int threads =
+        cfg.kind == TxSystemKind::NoTm ? 1 : cfg.threads;
+    Machine rm(makeTortureMachineConfig(cfg, threads));
+    TxHeap rheap(rm);
+    auto rsys = TxSystem::create(cfg.kind, rm, cfg.policy);
+    rsys->setup();
+    const WatchedLayout lay = setupWatchedLayout(cfg, rm, rheap);
+
+    const dur::RecoveryReport rep = dur::recover(rm, hv.image);
+    out.recoverJson = rep.toJson();
+    out.recoveredTx = rep.recordsApplied;
+    out.discardedRecords = rep.recordsDiscarded;
+    const std::set<std::uint64_t> applied(rep.appliedTs.begin(),
+                                          rep.appliedTs.end());
+
+    // Oracle: every fence-completed commit survived.
+    for (std::uint64_t ts : hv.fenceTs) {
+        if (!applied.count(ts)) {
+            out.why = "fence-completed commit ts=" +
+                      std::to_string(ts) + " lost by recovery";
+            return out;
+        }
+    }
+    // Oracle: nothing that never committed was recovered.
+    for (std::uint64_t ts : rep.appliedTs) {
+        if (!committed.count(ts)) {
+            out.why = "recovered record ts=" + std::to_string(ts) +
+                      " was never committed";
+            return out;
+        }
+    }
+    // Oracle: per-key prefix consistency.  Once one committed write
+    // to a key is missing, every later write to that key must be
+    // missing too — a recovered successor would expose a state no
+    // prefix of the key's history ever had.
+    std::vector<char> keyGap(lay.addrs.size(), 0);
+    for (const auto &[ts, c] : committed) {
+        const bool ap = applied.count(ts) != 0;
+        for (const auto &[cell, value] : c->writes) {
+            (void)value;
+            if (ap && keyGap[std::size_t(cell)]) {
+                out.why = "non-prefix recovery: key " +
+                          std::to_string(cell) + " write of ts=" +
+                          std::to_string(ts) +
+                          " recovered after an earlier lost write";
+                return out;
+            }
+            if (!ap)
+                keyGap[std::size_t(cell)] = 1;
+        }
+    }
+    // Oracle: the recovered store equals a host-side replay of exactly
+    // the recovered subset of the committed history.
+    std::vector<std::uint64_t> expected = lay.initial;
+    for (const auto &[ts, c] : committed) {
+        if (!applied.count(ts))
+            continue;
+        for (const auto &[cell, value] : c->writes)
+            expected[std::size_t(cell)] = value;
+    }
+    for (std::size_t i = 0; i < lay.addrs.size(); ++i) {
+        const std::uint64_t got = rm.memory().read(lay.addrs[i], 8);
+        if (got != expected[i]) {
+            out.why = "recovered key " + std::to_string(i) + " = " +
+                      std::to_string(got) + ", expected " +
+                      std::to_string(expected[i]) +
+                      " (replay of the recovered commit subset)";
+            return out;
+        }
+    }
+    // Oracle: no UFO protection bit survives recovery, and the
+    // backend's otable↔UFO lockstep invariant holds on the recovered
+    // machine (empty ownership ↔ all-clear protection).
+    std::uint64_t ufoLeft = 0;
+    rm.memory().forEachUfoLine(
+        [&](LineAddr, UfoBits) { ++ufoLeft; });
+    if (ufoLeft) {
+        out.why = std::to_string(ufoLeft) +
+                  " UFO-protected lines survived recovery";
+        return out;
+    }
+    std::string why;
+    if (!rsys->oracleInvariantsHold(&why)) {
+        out.why = "post-recovery backend invariants: " + why;
+        return out;
+    }
+    // Oracle: recovery is idempotent — a second pass over the same
+    // image reports and rebuilds exactly the same thing.
+    const dur::RecoveryReport rep2 = dur::recover(rm, hv.image);
+    if (rep2.toJson() != out.recoverJson) {
+        out.why = "recovery not idempotent: second pass reported " +
+                  rep2.toJson();
+        return out;
+    }
+    for (std::size_t i = 0; i < lay.addrs.size(); ++i) {
+        if (rm.memory().read(lay.addrs[i], 8) != expected[i]) {
+            out.why = "recovery not idempotent: key " +
+                      std::to_string(i) +
+                      " changed on the second pass";
+            return out;
+        }
+    }
+
+    out.ok = true;
+    return out;
 }
 
 } // namespace utm::torture

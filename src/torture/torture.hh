@@ -113,6 +113,15 @@ struct TortureConfig
     /** Replay this trace instead of running @p sched. Borrowed. */
     const ScheduleTrace *replay = nullptr;
 
+    /**
+     * Durable crash injection: abandon the run after this many
+     * scheduling steps (Machine::setCrashStep), leaving only the
+     * persistent image behind.  0 = no crash.  Meaningful only with
+     * policy.durable on a durable-capable backend; use
+     * runCrashTorture() for the full crash-recover-check cycle.
+     */
+    std::uint64_t crashStep = 0;
+
     std::uint64_t oracleInterval = 1;
     bool oraclesEnabled = true;
 
@@ -151,6 +160,7 @@ struct TortureResult
     std::string why;       ///< Violation description.
     std::uint64_t violationStep = 0;
 
+    bool crashed = false;  ///< The injected crash step was reached.
     bool validated = false; ///< End-of-run shadow equality (when !violated).
     std::uint64_t steps = 0;
     Cycles cycles = 0;
@@ -166,6 +176,55 @@ struct TortureResult
 
 /** Run one torture configuration to completion (or first violation). */
 TortureResult runTorture(const TortureConfig &cfg);
+
+/**
+ * Outcome of one crash-torture cycle: crash run, recovery, and the
+ * prefix-consistency oracles.
+ */
+struct CrashTortureResult
+{
+    bool ok = false;       ///< Every crash-recovery oracle held.
+    std::string why;       ///< First failed oracle (when !ok).
+
+    std::uint64_t crashStep = 0;  ///< Injected crash step (in schedule).
+    std::uint64_t probeSteps = 0; ///< Crash-free probe length (0: pinned).
+    std::uint64_t crashSteps = 0; ///< Steps the crash run executed.
+
+    std::uint64_t committedTx = 0; ///< Durable-write commits at crash.
+    std::uint64_t fencedTx = 0;    ///< ... whose commit fence completed.
+    std::uint64_t recoveredTx = 0; ///< Redo records recovery replayed.
+    std::uint64_t discardedRecords = 0; ///< Torn tails truncated.
+
+    std::string recoverJson; ///< The `ufotm-recover` report.
+    ScheduleTrace schedule;  ///< Recorded schedule, crash step included.
+    std::map<std::string, std::uint64_t> stats; ///< Crash-run counters.
+    std::string timeline; ///< Crash-run ufotm-timeline (cfg.timeline).
+};
+
+/**
+ * One full crash-torture cycle on a durable backend:
+ *
+ *  1. Probe: run the configuration crash-free (all oracles armed) and
+ *     derive a crash step from the seed, uniform over the schedule —
+ *     unless @p crash_step pins one (or cfg.replay carries one).
+ *  2. Crash: re-run with the crash injected; the machine is abandoned
+ *     at that scheduling step and only the persistent image survives.
+ *     The commit-publish hook records the committed history (commit
+ *     timestamp + writes) and the fence-completed timestamp set.
+ *  3. Recover: build a fresh machine, deterministically re-create the
+ *     store layout, and dur::recover() from the surviving image.
+ *  4. Check prefix consistency: fence-completed ⊆ recovered ⊆
+ *     committed; per-key recovered writes form a prefix of that key's
+ *     committed write sequence; the recovered state equals a replay of
+ *     exactly the recovered subset; no UFO protection bit survives and
+ *     the backend's otable↔UFO lockstep invariant holds on the
+ *     recovered machine; recovering twice is byte-identical to once.
+ *
+ * Forces policy.durable and schedule recording; cfg.kind must be
+ * durable-capable (core/tx_system.hh:txSystemKindDurable).
+ */
+CrashTortureResult runCrashTorture(const TortureConfig &cfg,
+                                   std::uint64_t crash_step = 0);
 
 /** Outcome of minimizeSchedule(). */
 struct MinimizeResult

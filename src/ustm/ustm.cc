@@ -166,6 +166,12 @@ Ustm::txEnd(ThreadContext &tc)
     // Commit linearization point: past the final kill check, before
     // ownership release, the eager writes are final.
     machine_.notifyCommitPoint(tc);
+    // Durable mode: the redo record is appended and fenced BEFORE the
+    // release — conflictors wait out a Committing owner (killOwners),
+    // so any dependent transaction commits strictly after this fence
+    // and the durable record set stays conflict-closed downward.
+    if (machine_.persist().active())
+        persistCommit(tc, tx);
     releaseAll(tc, tx);
     tx.status = TxDesc::Status::Inactive;
     tx.depth = 0;
@@ -177,6 +183,21 @@ Ustm::txEnd(ThreadContext &tc)
     UTM_TRACE_EVENT(machine_, tc, TraceEvent::TxCommit,
                     TracePath::Software, AbortReason::None);
     tc.advance(kCommitCost);
+}
+
+void
+Ustm::persistCommit(ThreadContext &tc, TxDesc &tx)
+{
+    UTM_PROF_PHASE(machine_, tc, ProfComp::Ustm, ProfPhase::Persist);
+    if (tx.undo.empty()) {
+        machine_.persist().noteReadOnlyCommit();
+        return;
+    }
+    std::vector<PersistDomain::RedoWrite> writes;
+    writes.reserve(tx.undo.size());
+    for (const TxDesc::UndoRec &u : tx.undo)
+        writes.push_back({u.addr, u.size});
+    machine_.persist().appendCommitRecord(tc, tx.age, writes);
 }
 
 std::uint64_t

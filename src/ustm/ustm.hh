@@ -287,6 +287,11 @@ class Ustm
     void releaseEntry(ThreadContext &tc, TxDesc &tx,
                       const TxDesc::Owned &o);
 
+    /** Durable mode: append + fence the commit's redo record while
+     *  still Committing (unkillable) and holding ownership, so the
+     *  fence completes before the writes become visible. */
+    void persistCommit(ThreadContext &tc, TxDesc &tx);
+
     /** Downgrade a held write entry to read ownership (for retry). */
     void downgradeEntry(ThreadContext &tc, TxDesc::Owned &o);
 

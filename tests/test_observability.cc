@@ -371,9 +371,11 @@ TEST(StatsJson, RunWorkloadWritesSchemaValidDocument)
 // The committed example document stays in lockstep with the emitter:
 // re-running the exact configuration that produced it (see
 // docs/OBSERVABILITY.md: `tmsim -w ubench -s ufo-hybrid -t 2
-// --failover-rate 0.25 --stats-json ...`) must reproduce the file
-// byte for byte.  Only meaningful in the default build — the example
-// was generated with tracing and profiling compiled in.
+// --failover-rate 0.25 --durable --stats-json ...`; durable, so the
+// dur.* family and the persist profile phase are part of the pinned
+// bytes) must reproduce the file byte for byte.  Only meaningful in
+// the default build — the example was generated with tracing and
+// profiling compiled in.
 #if UTM_TRACING && UTM_PROFILING
 
 namespace {
@@ -405,6 +407,7 @@ TEST(StatsJson, CommittedExampleDocumentIsReproducible)
     cfg.kind = TxSystemKind::UfoHybrid;
     cfg.threads = 2;
     cfg.machine.seed = 42;
+    cfg.policy.durable = true;
     cfg.statsJsonPath =
         ::testing::TempDir() + "/utm_stats_example_test.json";
     RunResult r = runWorkload(w, cfg);

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate ufotm observability artifacts.
 
-Five modes:
+Six modes:
 
   check_stats_json.py FILE            validate a ufotm-stats document
   check_stats_json.py --bench FILE    validate a ufotm-bench document
@@ -14,6 +14,10 @@ Five modes:
                                       that per-window counter deltas
                                       sum exactly to the end-of-run
                                       totals
+  check_stats_json.py --recover FILE  validate a ufotm-recover
+                                      document (dur::recover's
+                                      report, embedded in tmtorture
+                                      --crash run rows)
   check_stats_json.py --check-docs    every counter emitted by src/
                                       must appear in
                                       docs/OBSERVABILITY.md
@@ -44,7 +48,7 @@ PROF_COMPONENTS = ["ustm", "btm", "tl2", "hytm", "phtm", "sle", "tm"]
 PROF_PHASES = [
     "begin", "barrier_read", "barrier_write", "commit",
     "abort_unwind", "stall", "backoff", "retry_wait", "ufo_handler",
-    "otable_walk", "nontx",
+    "otable_walk", "nontx", "persist",
 ]
 PROF_CYCLE_NAMES = [f"{c}.{p}" for c in PROF_COMPONENTS
                     for p in PROF_PHASES] + ["app"]
@@ -71,6 +75,9 @@ REASON_FAMILIES = {
     # kill (src/svc/service.cc, threadBodyBatched).
     "batch.aborts.": ABORT_REASONS + ["sw"],
     "batch.members.": SVC_REQ_TYPES,
+    # Per-shard redo-log families (src/mem/persist.cc, durable runs).
+    "dur.log_records.": SHARD_IDS,
+    "dur.log_bytes.": SHARD_IDS,
     "shard.acquires.": SHARD_IDS,
     "shard.chain_inserts.": SHARD_IDS,
     "shard.chain_len.": SHARD_IDS,
@@ -88,6 +95,8 @@ FAMILY_PLACEHOLDERS = {
     "svc.latency.": "svc.latency.<type>",
     "batch.aborts.": "batch.aborts.<reason>",
     "batch.members.": "batch.members.<type>",
+    "dur.log_records.": "dur.log_records.<shard>",
+    "dur.log_bytes.": "dur.log_bytes.<shard>",
     "shard.acquires.": "shard.acquires.<shard>",
     "shard.chain_inserts.": "shard.chain_inserts.<shard>",
     "shard.chain_len.": "shard.chain_len.<shard>",
@@ -193,6 +202,8 @@ def check_stats_doc(doc):
                         ("svc.request_aborts.", "svc.request_aborts"),
                         ("batch.aborts.", "batch.aborts"),
                         ("batch.members.", "batch.members"),
+                        ("dur.log_records.", "dur.log_records"),
+                        ("dur.log_bytes.", "dur.log_bytes"),
                         ("shard.acquires.", "shard.acquires"),
                         ("shard.chain_inserts.", "shard.chain_inserts"),
                         ("shard.requests.", "shard.requests"),
@@ -261,6 +272,54 @@ def check_stats_doc(doc):
         bk = doc.get("histograms", {}).get("batch.k")
         expect(isinstance(bk, dict) and bk.get("samples") == batches,
                f"batch.k histogram samples != batch.batches={batches}")
+
+    # Durability accounting (docs/OBSERVABILITY.md "Durability &
+    # recovery"): the dur.* family only exists on durable runs, every
+    # logged commit is exactly one redo record sealed by exactly one
+    # fence, write-backs cover at least the record bytes, and the log
+    # grows monotonically with the record count (>= 56 bytes each —
+    # header + txid/ts/count + one write triple).
+    dur_counters = [n for n in counters if n.startswith("dur.")]
+    if counters.get("dur.active", 0):
+        records = counters.get("dur.log_records", 0)
+        expect(counters.get("dur.commits.logged", 0) == records,
+               f"dur.commits.logged="
+               f"{counters.get('dur.commits.logged', 0)} != "
+               f"dur.log_records={records}")
+        expect(counters.get("dur.sfence", 0) == records,
+               f"dur.sfence={counters.get('dur.sfence', 0)} != "
+               f"dur.log_records={records}")
+        clwb = counters.get("dur.clwb.dirty", 0) + \
+            counters.get("dur.clwb.clean", 0)
+        expect(clwb >= records,
+               f"dur.clwb.dirty+clean={clwb} < "
+               f"dur.log_records={records}")
+        expect(counters.get("dur.log_bytes", 0) >= 56 * records,
+               f"dur.log_bytes={counters.get('dur.log_bytes', 0)} < "
+               f"56 * dur.log_records={56 * records}")
+    else:
+        expect(not dur_counters,
+               f"dur.* counters on a non-durable run: "
+               f"{sorted(dur_counters)[:4]}")
+
+    # Recovery accounting (dur::recover on a recovered machine): every
+    # scanned record is either applied or discarded as a torn tail,
+    # and each applied record carries at least one write.
+    if "rec.records.scanned" in counters:
+        scanned = counters.get("rec.records.scanned", 0)
+        applied = counters.get("rec.records.applied", 0)
+        expect(applied + counters.get("rec.records.discarded", 0) ==
+               scanned,
+               f"rec.records.applied+discarded != "
+               f"rec.records.scanned={scanned}")
+        expect(counters.get("rec.writes_applied", 0) >= applied,
+               f"rec.writes_applied="
+               f"{counters.get('rec.writes_applied', 0)} < "
+               f"rec.records.applied={applied}")
+        expect(counters.get("rec.bytes_scanned", 0) >= 56 * applied,
+               f"rec.bytes_scanned="
+               f"{counters.get('rec.bytes_scanned', 0)} < "
+               f"56 * rec.records.applied={56 * applied}")
 
     # svc latency histograms: per-type samples sum to the aggregate,
     # which counts exactly the served requests.
@@ -526,6 +585,85 @@ def check_timeline_doc(doc):
     return problems
 
 
+def check_recover_doc(doc):
+    """Validate a ufotm-recover document (src/dur/recovery.cc
+    RecoveryReport::toJson; also embedded as the `recover` object of
+    every tmtorture --crash run row).
+
+    The scan invariant: every scanned record is either applied or
+    discarded as a torn tail, each applied record carries at least one
+    write, and the byte count covers at least the 56-byte minimum
+    record (header + txid/ts/count + one write triple) per applied
+    record.
+
+    Also accepts a whole tmtorture --crash report (ufotm-torture with
+    config.crash): every run row's embedded `recover` object is
+    validated, and the run's recovered/discarded summary counts must
+    match it."""
+    problems = []
+
+    def expect(cond, msg):
+        if not cond:
+            problems.append(msg)
+
+    if doc.get("schema") == "ufotm-torture":
+        expect(doc.get("config", {}).get("crash"),
+               "ufotm-torture document is not a --crash report")
+        runs = doc.get("runs", [])
+        expect(bool(runs), "no runs in the --crash report")
+        for i, run in enumerate(runs):
+            rec = run.get("recover")
+            if not isinstance(rec, dict):
+                problems.append(f"runs[{i}]: recover object missing")
+                continue
+            problems += [f"runs[{i}]: {p}"
+                         for p in check_recover_doc(rec)]
+            records = rec.get("records", {})
+            expect(run.get("recovered") == records.get("applied"),
+                   f"runs[{i}]: recovered={run.get('recovered')!r} != "
+                   f"recover.records.applied="
+                   f"{records.get('applied')!r}")
+            expect(run.get("discarded") == records.get("discarded"),
+                   f"runs[{i}]: discarded={run.get('discarded')!r} != "
+                   f"recover.records.discarded="
+                   f"{records.get('discarded')!r}")
+        return problems
+
+    expect(doc.get("schema") == "ufotm-recover",
+           f"schema is {doc.get('schema')!r}, want 'ufotm-recover'")
+    expect(doc.get("version") == 1,
+           f"version is {doc.get('version')!r}, want 1")
+    for k in ("shards_scanned", "lines_loaded", "writes_applied",
+              "bytes_scanned", "ufo_lines_scrubbed", "max_commit_ts",
+              "recovery_cycles"):
+        expect(isinstance(doc.get(k), int) and doc.get(k, -1) >= 0,
+               f"{k} is {doc.get(k)!r}, want a non-negative integer")
+    records = doc.get("records")
+    expect(isinstance(records, dict), "records object missing")
+    records = records if isinstance(records, dict) else {}
+    for k in ("scanned", "applied", "discarded"):
+        expect(isinstance(records.get(k), int) and
+               records.get(k, -1) >= 0,
+               f"records.{k} is {records.get(k)!r}, want a "
+               "non-negative integer")
+    scanned = records.get("scanned", 0)
+    applied = records.get("applied", 0)
+    expect(applied + records.get("discarded", 0) == scanned,
+           f"records.applied+discarded != records.scanned={scanned}")
+    expect(doc.get("shards_scanned", 0) >= 1,
+           "shards_scanned must be >= 1")
+    expect(doc.get("writes_applied", 0) >= applied,
+           f"writes_applied={doc.get('writes_applied', 0)} < "
+           f"records.applied={applied}")
+    expect(doc.get("bytes_scanned", 0) >= 56 * applied,
+           f"bytes_scanned={doc.get('bytes_scanned', 0)} < "
+           f"56 * records.applied={56 * applied}")
+    if applied == 0:
+        expect(doc.get("max_commit_ts", 0) == 0,
+               "max_commit_ts nonzero with no applied records")
+    return problems
+
+
 def check_bench_doc(doc):
     problems = []
     if doc.get("schema") != "ufotm-bench":
@@ -575,19 +713,26 @@ def check_svc_doc(doc):
     # A/B document: a `series` row key ("predictor-off"/"predictor-on")
     # plus pred.* fields on throughput rows.  v4 adds the svc_batching
     # A/B document: a `batch_k` row-identity field (0 on the
-    # batching-off arm) plus batch.* fields on throughput rows
+    # batching-off arm) plus batch.* fields on throughput rows.  v5
+    # adds the svc_durable A/B document: "durable-off"/"durable-on"
+    # series plus the persistence fields (dur_records, dur_log_bytes,
+    # dur_sfence, dur_clwb, persist_cycles_per_req) on throughput rows
     # (docs/OBSERVABILITY.md has the migration notes).
     version = doc.get("schema_version")
-    expect(version in (1, 2, 3, 4),
-           f"schema_version is {version!r}, want 1, 2, 3 or 4")
+    expect(version in (1, 2, 3, 4, 5),
+           f"schema_version is {version!r}, want 1-5")
     expect(doc.get("bench") in ("svc_latency", "svc_scaling",
-                                "svc_predictor", "svc_batching"),
+                                "svc_predictor", "svc_batching",
+                                "svc_durable"),
            f"bench is {doc.get('bench')!r}, want 'svc_latency', "
-           "'svc_scaling', 'svc_predictor' or 'svc_batching'")
+           "'svc_scaling', 'svc_predictor', 'svc_batching' or "
+           "'svc_durable'")
     if doc.get("bench") == "svc_predictor":
         expect(version == 3, "svc_predictor requires schema_version 3")
     if doc.get("bench") == "svc_batching":
         expect(version == 4, "svc_batching requires schema_version 4")
+    if doc.get("bench") == "svc_durable":
+        expect(version == 5, "svc_durable requires schema_version 5")
     rows = doc.get("rows")
     if not isinstance(rows, list) or not rows:
         problems.append("rows missing or empty")
@@ -622,6 +767,7 @@ def check_svc_doc(doc):
     # svc_predictor A/B arms; svc_latency rows carry no series.
     predictor = doc.get("bench") == "svc_predictor"
     batching = doc.get("bench") == "svc_batching"
+    durable = doc.get("bench") == "svc_durable"
     agg = {}
     per_req = {}
     for i, row in enumerate(rows):
@@ -646,6 +792,10 @@ def check_svc_doc(doc):
                 expect(row.get("batch_k", 0) >= 1,
                        f"rows[{i}]: batching-on arm has batch_k="
                        f"{row.get('batch_k')!r}, want >= 1")
+        if durable:
+            expect(row.get("series") in ("durable-off", "durable-on"),
+                   f"rows[{i}]: series is {row.get('series')!r}, want "
+                   "'durable-off' or 'durable-on'")
         group = (row.get("system"), row.get("mode"),
                  row.get("series"))
         if "request" in row:
@@ -699,6 +849,29 @@ def check_svc_doc(doc):
                 expect(row.get("batch_splits", 0) <=
                        row.get("batch_aborts", 0),
                        f"rows[{i}]: batch_splits > batch_aborts")
+            if durable:
+                for k in ("dur_records", "dur_log_bytes",
+                          "dur_sfence", "dur_clwb",
+                          "persist_cycles_per_req"):
+                    expect(k in row, f"rows[{i}] missing {k!r}")
+                recs = row.get("dur_records", 0)
+                if row.get("series") == "durable-off":
+                    expect(recs == 0 and
+                           row.get("dur_log_bytes", 0) == 0 and
+                           row.get("persist_cycles_per_req", 0) == 0,
+                           f"rows[{i}]: durable-off arm carries "
+                           "persistence fields")
+                else:
+                    expect(recs >= 1,
+                           f"rows[{i}]: durable-on arm logged no "
+                           "records")
+                    expect(row.get("dur_sfence", 0) == recs,
+                           f"rows[{i}]: dur_sfence != dur_records")
+                    expect(row.get("dur_clwb", 0) >= recs,
+                           f"rows[{i}]: dur_clwb < dur_records")
+                    expect(row.get("dur_log_bytes", 0) >= 56 * recs,
+                           f"rows[{i}]: dur_log_bytes < 56 * "
+                           "dur_records")
 
     expect(set(agg) == set(per_req),
            f"throughput/latency row groups differ: "
@@ -781,6 +954,8 @@ def main():
                     help="validate ufotm-svc documents")
     ap.add_argument("--timeline", action="store_true",
                     help="validate ufotm-timeline documents")
+    ap.add_argument("--recover", action="store_true",
+                    help="validate ufotm-recover documents")
     ap.add_argument("--check-docs", action="store_true",
                     help="check docs/OBSERVABILITY.md counter coverage")
     args = ap.parse_args()
@@ -791,6 +966,7 @@ def main():
     for f in args.files:
         doc = json.load(open(f))
         check = check_timeline_doc if args.timeline else \
+            check_recover_doc if args.recover else \
             check_svc_doc if args.svc else \
             check_bench_doc if args.bench else check_stats_doc
         problems += [f"{f}: {p}" for p in check(doc)]

@@ -4,13 +4,14 @@
 #
 #   tools/runbench.sh [--build-dir DIR] [--out DIR]
 #
-# Runs the seven benches that back the regression gate
+# Runs the eight benches that back the regression gate
 # (figure5_speedup, figure6_aborts, figure7_failover, and bench_svc in
-# its service-latency, scaling-curve, predictor-A/B, and batching-A/B
-# modes) with --quick (the pinned smoke scale: figure5/6 at scale 0.5,
-# figure7 at 96 tx/thread, svc at 24 requests/client, scaling at 12
-# requests/client) and writes BENCH_<name>.json into --out (default
-# bench/baselines/, i.e. refresh the committed baselines in place).
+# its service-latency, scaling-curve, predictor-A/B, batching-A/B, and
+# durability-A/B modes) with --quick (the pinned smoke scale:
+# figure5/6 at scale 0.5, figure7 at 96 tx/thread, svc at 24
+# requests/client, scaling at 12 requests/client) and writes
+# BENCH_<name>.json into --out (default bench/baselines/, i.e. refresh
+# the committed baselines in place).
 #
 # The simulator is deterministic, so two runs of the same tree produce
 # byte-identical rows; CI diffs a fresh --out against the committed
@@ -34,13 +35,14 @@ mkdir -p "$out_dir"
 
 # binary:bench-name[:extra-arg] triples (bench_svc reports as
 # "svc_latency" by default, "svc_scaling" with --scaling,
-# "svc_predictor" with --predictor, and "svc_batching" with
-# --batching).
+# "svc_predictor" with --predictor, "svc_batching" with --batching,
+# and "svc_durable" with --durable).
 for spec in figure5_speedup:figure5_speedup figure6_aborts:figure6_aborts \
             figure7_failover:figure7_failover bench_svc:svc_latency \
             bench_svc:svc_scaling:--scaling \
             bench_svc:svc_predictor:--predictor \
-            bench_svc:svc_batching:--batching; do
+            bench_svc:svc_batching:--batching \
+            bench_svc:svc_durable:--durable; do
     rest="${spec#*:}"
     bin="$build_dir/bench/${spec%%:*}"
     bench="${rest%%:*}"

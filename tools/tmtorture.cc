@@ -45,6 +45,8 @@ struct Options
     int threads = 4;
     int ops = 60;
     int cells = 48;
+    bool crash = false;          ///< Crash-torture mode (durable runs).
+    std::uint64_t crashStep = 0; ///< Pin the crash step (0 = derive).
     unsigned kvShards = 1;
     bool kvBatch = false; ///< Coalesce batchable kv ops (kv workload).
     unsigned otableBuckets = 4;
@@ -143,6 +145,17 @@ usage(const char *argv0)
         "  --threads N          workload threads (default 4)\n"
         "  --ops N              transactions per thread (default 60)\n"
         "  --cells N            contended 8-byte cells (default 48)\n"
+        "  --crash              crash-torture mode: run every config\n"
+        "                       durable, kill the machine at a\n"
+        "                       seed-derived scheduling step, recover\n"
+        "                       from the surviving persistent image,\n"
+        "                       and check prefix consistency (every\n"
+        "                       fence-completed commit recovered, no\n"
+        "                       uncommitted write visible, recovery\n"
+        "                       idempotent).  Non-durable backends\n"
+        "                       (tl2, no-tm) are skipped\n"
+        "  --crash-step N       pin the crash step instead of deriving\n"
+        "                       it from the seed (implies --crash)\n"
         "  --shards N           kv-workload store shards (default 1;\n"
         "                       > 1 adds cross-shard transfers to the\n"
         "                       op mix and shards the otable)\n"
@@ -179,7 +192,9 @@ usage(const char *argv0)
         "  --out PATH           JSON report path ('-' = stdout;\n"
         "                       default tmtorture.json)\n"
         "  --replay FILE        replay one recorded schedule (with\n"
-        "                       --backend and --seed)\n"
+        "                       --backend and --seed); a v2 trace\n"
+        "                       carrying crash=<K> re-runs the whole\n"
+        "                       crash-recover-check cycle\n"
         "  --backend NAME       backend for --replay\n"
         "  --seed N             first sweep seed / replay seed "
         "(default 1)\n",
@@ -267,6 +282,11 @@ parseArgs(int argc, char **argv)
             opt.ops = std::atoi(need(i));
         } else if (a == "--cells") {
             opt.cells = std::atoi(need(i));
+        } else if (a == "--crash") {
+            opt.crash = true;
+        } else if (a == "--crash-step") {
+            opt.crashStep = std::strtoull(need(i), nullptr, 0);
+            opt.crash = true;
         } else if (a == "--shards") {
             opt.kvShards = unsigned(std::atoi(need(i)));
         } else if (a == "--batch") {
@@ -384,6 +404,32 @@ writeRun(json::Writer &w, const torture::TortureConfig &cfg,
     w.endObject();
 }
 
+/** One crash-torture run's JSON report entry. */
+void
+writeCrashRun(json::Writer &w, const torture::TortureConfig &cfg,
+              const torture::CrashTortureResult &res)
+{
+    w.beginObject();
+    w.kv("backend", txSystemKindName(cfg.kind));
+    w.kv("workload", torture::tortureWorkloadName(cfg.workload));
+    w.kv("policy", schedPolicyName(cfg.sched.policy));
+    w.kv("seed", cfg.seed);
+    w.kv("ok", res.ok);
+    w.kv("crash_step", res.crashStep);
+    w.kv("probe_steps", res.probeSteps);
+    w.kv("committed", res.committedTx);
+    w.kv("fenced", res.fencedTx);
+    w.kv("recovered", res.recoveredTx);
+    w.kv("discarded", res.discardedRecords);
+    if (!res.recoverJson.empty())
+        w.key("recover").raw(res.recoverJson);
+    if (!res.ok) {
+        w.kv("why", res.why);
+        w.kv("schedule", res.schedule.serialize());
+    }
+    w.endObject();
+}
+
 int
 replayMode(const Options &opt)
 {
@@ -397,6 +443,25 @@ replayMode(const Options &opt)
         makeConfig(opt, opt.workloads.front(), opt.replayBackend,
                    SchedPolicy::MinClock, opt.seed);
     cfg.replay = &trace;
+    if (trace.crashStep() != 0 || opt.crash) {
+        // A crash trace replays the whole crash-recover-check cycle.
+        const torture::CrashTortureResult res =
+            torture::runCrashTorture(cfg, opt.crashStep);
+        if (res.ok) {
+            std::printf(
+                "crash replay OK: %s seed %llu, crash at step %llu, "
+                "%llu committed / %llu fenced / %llu recovered\n",
+                txSystemKindName(cfg.kind),
+                (unsigned long long)cfg.seed,
+                (unsigned long long)res.crashStep,
+                (unsigned long long)res.committedTx,
+                (unsigned long long)res.fencedTx,
+                (unsigned long long)res.recoveredTx);
+            return 0;
+        }
+        std::printf("crash replay FAILED: %s\n", res.why.c_str());
+        return 1;
+    }
     const torture::TortureResult res = torture::runTorture(cfg);
     if (res.ok()) {
         std::printf("replay OK: %s seed %llu, %llu steps, "
@@ -414,6 +479,103 @@ replayMode(const Options &opt)
     return 1;
 }
 
+/**
+ * Crash-torture sweep: every (workload, durable backend, policy, seed)
+ * runs the full crash-recover-check cycle of torture::runCrashTorture.
+ */
+int
+crashSweepMode(const Options &opt)
+{
+    json::Writer w;
+    w.beginObject();
+    w.kv("schema", "ufotm-torture");
+    w.kv("schema_version", 1);
+    w.key("config").beginObject();
+    w.kv("crash", true);
+    w.kv("seeds", opt.seeds);
+    w.kv("threads", opt.threads);
+    w.kv("ops_per_thread", opt.ops);
+    w.kv("cells", opt.cells);
+    w.kv("kv_batch", opt.kvBatch);
+    w.kv("otable_buckets", opt.otableBuckets);
+    w.kv("oracle_interval", opt.oracleInterval);
+    w.kv("crash_step", opt.crashStep);
+    w.kv("timeline", opt.timeline);
+    w.kv("watchdog", opt.watchdog);
+    w.endObject();
+    w.key("runs").beginArray();
+
+    int total = 0, failures = 0, skipped = 0;
+    bool timelineWritten = false;
+    for (torture::TortureWorkload workload : opt.workloads) {
+        for (TxSystemKind kind : opt.backends) {
+            if (!txSystemKindDurable(kind)) {
+                std::fprintf(stderr,
+                             "skipping %s: no durable commits\n",
+                             txSystemKindName(kind));
+                ++skipped;
+                continue;
+            }
+            for (SchedPolicy policy : opt.policies) {
+                for (int i = 0; i < opt.seeds; ++i) {
+                    const std::uint64_t s = opt.seed + std::uint64_t(i);
+                    torture::TortureConfig cfg =
+                        makeConfig(opt, workload, kind, policy, s);
+                    const torture::CrashTortureResult res =
+                        torture::runCrashTorture(cfg, opt.crashStep);
+                    ++total;
+                    writeCrashRun(w, cfg, res);
+                    if (res.ok)
+                        continue;
+                    ++failures;
+                    std::fprintf(
+                        stderr,
+                        "FAIL %s/%s/%s seed %llu crash@%llu: %s\n",
+                        torture::tortureWorkloadName(workload),
+                        txSystemKindName(kind),
+                        schedPolicyName(policy), (unsigned long long)s,
+                        (unsigned long long)res.crashStep,
+                        res.why.c_str());
+                    std::fprintf(stderr, "  schedule: %s\n",
+                                 res.schedule.serialize().c_str());
+                    if (!timelineWritten && !res.timeline.empty()) {
+                        if (stats::writeFile(opt.timelineOut,
+                                             res.timeline + "\n")) {
+                            timelineWritten = true;
+                            std::fprintf(stderr, "  timeline -> %s\n",
+                                         opt.timelineOut.c_str());
+                        }
+                    }
+                }
+            }
+            std::fprintf(
+                stderr,
+                "crash %s/%-13s done (%d policies x %d seeds)\n",
+                torture::tortureWorkloadName(workload),
+                txSystemKindName(kind), int(opt.policies.size()),
+                opt.seeds);
+        }
+    }
+
+    w.endArray();
+    w.key("summary").beginObject();
+    w.kv("runs", total);
+    w.kv("failures", failures);
+    w.kv("skipped_backends", skipped);
+    w.endObject();
+    w.endObject();
+
+    if (!stats::writeFile(opt.out, w.str() + "\n")) {
+        std::fprintf(stderr, "cannot write report '%s'\n",
+                     opt.out.c_str());
+        return 2;
+    }
+    std::fprintf(stderr,
+                 "tmtorture --crash: %d runs, %d failures -> %s\n",
+                 total, failures, opt.out.c_str());
+    return failures ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -422,6 +584,8 @@ main(int argc, char **argv)
     const Options opt = parseArgs(argc, argv);
     if (!opt.replayPath.empty())
         return replayMode(opt);
+    if (opt.crash)
+        return crashSweepMode(opt);
 
     json::Writer w;
     w.beginObject();
